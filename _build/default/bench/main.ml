@@ -1,0 +1,542 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index), printing our measurements
+   side by side with the paper's published numbers.
+
+   Usage:
+     dune exec bench/main.exe                  -- all experiments, default caps
+     dune exec bench/main.exe -- table2        -- one experiment
+     dune exec bench/main.exe -- table2 --full -- uncapped (can run for hours)
+     dune exec bench/main.exe -- micro         -- bechamel micro-benchmarks
+
+   Absolute times are not comparable with the paper's (different host,
+   language, and a simulated CPU instead of silicon); the *shape* — state
+   counts, which policies are learnable/expressible, growth with
+   associativity, who is slow and who is fast — is. *)
+
+let line = String.make 78 '-'
+
+let header title =
+  Printf.printf "\n%s\n%s\n%s\n%!" line title line
+
+(* ----------------------------------------------------------------------- *)
+(* Table 2: learning from software-simulated caches                         *)
+(* ----------------------------------------------------------------------- *)
+
+let table2 ~full () =
+  header
+    "Table 2: learning policies from software-simulated caches (Polca + L*, \
+     Wp-method depth 1)";
+  Printf.printf "%-10s %5s | %8s %16s | %8s %14s\n%!" "Policy" "Assoc"
+    "states" "time" "paper" "paper time";
+  let budget = if full then 1100 else 300 in
+  List.iter
+    (fun (name, assoc, paper_states, paper_time) ->
+      if paper_states > budget then
+        Printf.printf "%-10s %5d | %8s %16s | %8d %14s  (skipped: > %d states%s)\n%!"
+          name assoc "-" "-" paper_states paper_time budget
+          (if full then "" else ", use --full")
+      else
+        let policy = Cq_policy.Zoo.make_exn ~name ~assoc in
+        let report = Cq_core.Learn.learn_simulated ~identify:false policy in
+        let ok = if report.Cq_core.Learn.states = paper_states then "" else "  <-- MISMATCH" in
+        Printf.printf "%-10s %5d | %8d %16s | %8d %14s%s\n%!" name assoc
+          report.Cq_core.Learn.states
+          (Cq_util.Clock.to_string report.Cq_core.Learn.seconds)
+          paper_states paper_time ok)
+    Paper_data.table2
+
+(* ----------------------------------------------------------------------- *)
+(* Table 3: processor specifications (static; printed for reference)        *)
+(* ----------------------------------------------------------------------- *)
+
+let table3 () =
+  header "Table 3: simulated processors' specifications";
+  List.iter
+    (fun model -> Fmt.pr "%a@." Cq_hwsim.Cpu_model.pp_specs model)
+    Cq_hwsim.Cpu_model.all
+
+(* ----------------------------------------------------------------------- *)
+(* Table 4: learning from (simulated) hardware                              *)
+(* ----------------------------------------------------------------------- *)
+
+type t4_plan = {
+  model : Cq_hwsim.Cpu_model.t;
+  level : Cq_hwsim.Cpu_model.level;
+  cat_ways : int option;
+  set : int;
+  slice : int;
+  max_states : int;
+  paper : Paper_data.t4_row;
+  expensive : bool; (* skipped unless --full *)
+}
+
+let t4_plans =
+  let p cpu level =
+    List.find
+      (fun (r : Paper_data.t4_row) -> r.Paper_data.cpu = cpu && r.Paper_data.level = level)
+      Paper_data.table4
+  in
+  [
+    { model = Cq_hwsim.Cpu_model.haswell; level = Cq_hwsim.Cpu_model.L1;
+      cat_ways = None; set = 0; slice = 0; max_states = 100_000;
+      paper = p "i7-4790" "L1"; expensive = false };
+    { model = Cq_hwsim.Cpu_model.haswell; level = Cq_hwsim.Cpu_model.L2;
+      cat_ways = None; set = 0; slice = 0; max_states = 100_000;
+      paper = p "i7-4790" "L2"; expensive = true };
+    (* Haswell L3: no CAT support; the 768-831 leader group behaves
+       non-deterministically.  We attempt the noisy leader (fails at reset
+       discovery, as in the paper); the deterministic 512-575 group at full
+       associativity 16 exceeds any reasonable state budget. *)
+    { model = Cq_hwsim.Cpu_model.haswell; level = Cq_hwsim.Cpu_model.L3;
+      cat_ways = None; set = 768; slice = 0; max_states = 64;
+      paper = p "i7-4790" "L3"; expensive = false };
+    { model = Cq_hwsim.Cpu_model.skylake; level = Cq_hwsim.Cpu_model.L1;
+      cat_ways = None; set = 0; slice = 0; max_states = 100_000;
+      paper = p "i5-6500" "L1"; expensive = false };
+    { model = Cq_hwsim.Cpu_model.skylake; level = Cq_hwsim.Cpu_model.L2;
+      cat_ways = None; set = 0; slice = 0; max_states = 100_000;
+      paper = p "i5-6500" "L2"; expensive = true };
+    { model = Cq_hwsim.Cpu_model.skylake; level = Cq_hwsim.Cpu_model.L3;
+      cat_ways = Some 4; set = 0; slice = 0; max_states = 100_000;
+      paper = p "i5-6500" "L3"; expensive = true };
+    { model = Cq_hwsim.Cpu_model.kaby_lake; level = Cq_hwsim.Cpu_model.L1;
+      cat_ways = None; set = 0; slice = 0; max_states = 100_000;
+      paper = p "i7-8550U" "L1"; expensive = false };
+    { model = Cq_hwsim.Cpu_model.kaby_lake; level = Cq_hwsim.Cpu_model.L2;
+      cat_ways = None; set = 0; slice = 0; max_states = 100_000;
+      paper = p "i7-8550U" "L2"; expensive = true };
+    { model = Cq_hwsim.Cpu_model.kaby_lake; level = Cq_hwsim.Cpu_model.L3;
+      cat_ways = Some 4; set = 0; slice = 0; max_states = 100_000;
+      paper = p "i7-8550U" "L3"; expensive = true };
+  ]
+
+let table4 ~full () =
+  header
+    "Table 4: learning policies from (simulated) hardware caches via \
+     CacheQuery";
+  Printf.printf "%-9s %-3s %5s | %-46s %9s | %6s %-5s %-10s\n%!" "CPU" "Lvl"
+    "assoc" "ours" "time" "paper" "pol." "paper reset";
+  List.iter
+    (fun plan ->
+      let paper_states =
+        match plan.paper.Paper_data.states with
+        | Some n -> string_of_int n
+        | None -> "-"
+      in
+      if plan.expensive && not full then
+        Printf.printf "%-9s %-3s %5d | %-46s %9s | %6s %-5s %-10s\n%!"
+          plan.paper.Paper_data.cpu plan.paper.Paper_data.level
+          plan.paper.Paper_data.assoc "(skipped: expensive, use --full)" "-"
+          paper_states plan.paper.Paper_data.policy plan.paper.Paper_data.reset
+      else begin
+        let machine =
+          Cq_hwsim.Machine.create ~noise:Cq_hwsim.Machine.quiet_noise plan.model
+        in
+        let t0 = Cq_util.Clock.now () in
+        let run =
+          Cq_core.Hardware.learn_set machine plan.level ?cat_ways:plan.cat_ways
+            ~set:plan.set ~slice:plan.slice ~max_states:plan.max_states
+            ~check_hits:false
+        in
+        let dt = Cq_util.Clock.now () -. t0 in
+        let ours =
+          match run.Cq_core.Hardware.outcome with
+          | Cq_core.Hardware.Learned { report; reset; _ } ->
+              Printf.sprintf "%d states, %s, reset %s" report.Cq_core.Learn.states
+                (match report.Cq_core.Learn.identified with
+                | [] -> "undocumented"
+                | l -> String.concat "/" l)
+                (Cq_cachequery.Frontend.reset_to_string reset)
+          | Cq_core.Hardware.Failed { reason; _ } ->
+              Printf.sprintf "- (%s)" reason
+        in
+        Printf.printf "%-9s %-3s %5d | %-46s %8.1fs | %6s %-5s %-10s\n%!"
+          plan.paper.Paper_data.cpu plan.paper.Paper_data.level
+          run.Cq_core.Hardware.assoc ours dt paper_states
+          plan.paper.Paper_data.policy plan.paper.Paper_data.reset
+      end)
+    t4_plans
+
+(* ----------------------------------------------------------------------- *)
+(* Table 5: synthesizing explanations                                       *)
+(* ----------------------------------------------------------------------- *)
+
+let table5 ~full () =
+  header "Table 5: synthesizing explanations for policies (associativity 4)";
+  Printf.printf "%-10s %6s | %-9s %16s | %-9s %12s\n%!" "Policy" "states"
+    "template" "time" "paper" "paper time";
+  let deadline = if full then 3600.0 else 90.0 in
+  List.iter
+    (fun (name, paper_states, paper_template, paper_time) ->
+      let policy = Cq_policy.Zoo.make_exn ~name ~assoc:4 in
+      let machine = Cq_policy.Policy.to_mealy policy in
+      let r = Cq_synth.Search.synthesize ~deadline machine in
+      let template, time_str =
+        match r.Cq_synth.Search.outcome with
+        | Cq_synth.Search.Found _ ->
+            (r.Cq_synth.Search.template, Cq_util.Clock.to_string r.Cq_synth.Search.seconds)
+        | Cq_synth.Search.Not_expressible -> ("-", "(not expressible)")
+        | Cq_synth.Search.Timeout ->
+            ("-", Printf.sprintf "(timeout %.0fs)" deadline)
+      in
+      Printf.printf "%-10s %6d | %-9s %16s | %-9s %12s\n%!" name paper_states
+        template time_str
+        (Option.value paper_template ~default:"-")
+        paper_time)
+    Paper_data.table5
+
+(* ----------------------------------------------------------------------- *)
+(* Figure 5 / Appendix C: the synthesized New1 and New2 programs            *)
+(* ----------------------------------------------------------------------- *)
+
+let figure5 () =
+  header "Figure 5 / Appendix C: synthesized programs for New1 and New2";
+  List.iter
+    (fun name ->
+      let policy = Cq_policy.Zoo.make_exn ~name ~assoc:4 in
+      let machine = Cq_policy.Policy.to_mealy policy in
+      let r = Cq_synth.Search.synthesize ~deadline:120.0 machine in
+      match r.Cq_synth.Search.outcome with
+      | Cq_synth.Search.Found prog ->
+          Printf.printf "\n--- %s (%s template, %s) ---\n%s\n%!" name
+            r.Cq_synth.Search.template
+            (Cq_util.Clock.to_string r.Cq_synth.Search.seconds)
+            (Cq_synth.Rules.to_string prog)
+      | _ -> Printf.printf "\n--- %s: synthesis failed ---\n%!" name)
+    [ "New1"; "New2" ]
+
+(* ----------------------------------------------------------------------- *)
+(* Figure 1: the toy pipeline                                                *)
+(* ----------------------------------------------------------------------- *)
+
+let figure1 () =
+  header "Figure 1: the end-to-end toy pipeline (2-way LRU)";
+  let policy = Cq_policy.Lru.make 2 in
+  let oracle = Cq_cache.Oracle.of_policy policy in
+  let show blocks =
+    let results = oracle.Cq_cache.Oracle.query blocks in
+    Printf.printf "  %-10s -> %s\n%!"
+      (String.concat " " (List.map Cq_cache.Block.to_string blocks))
+      (String.concat " "
+         (List.map
+            (fun r -> if Cq_cache.Cache_set.result_is_hit r then "Hit" else "Miss")
+            results))
+  in
+  Printf.printf "Figure 1b/1c traces:\n";
+  let b = Cq_cache.Block.of_index in
+  show [ b 0; b 1; b 2; b 0 ];
+  show [ b 0; b 1; b 2; b 1 ];
+  let report = Cq_core.Learn.learn_simulated policy in
+  Printf.printf
+    "Figure 1a: learned a %d-state machine (identified as: %s).\n%!"
+    report.Cq_core.Learn.states
+    (String.concat ", " report.Cq_core.Learn.identified)
+
+(* ----------------------------------------------------------------------- *)
+(* §7.2: the cost of learning from hardware                                  *)
+(* ----------------------------------------------------------------------- *)
+
+let cost () =
+  header "Section 7.2: the cost of learning from hardware";
+  let plru8 = Cq_policy.Zoo.make_exn ~name:"PLRU" ~assoc:8 in
+  let sim_report = Cq_core.Learn.learn_simulated ~identify:false plru8 in
+  Printf.printf
+    "PLRU-8 from the software-simulated cache:        %8.2f s (paper: %.2f s)\n%!"
+    sim_report.Cq_core.Learn.seconds Paper_data.cost_sim_seconds;
+  (* ... vs. via CacheQuery with a warm query cache: learn once to fill the
+     memo, then learn again with every MBL query answered from it. *)
+  let machine =
+    Cq_hwsim.Machine.create ~noise:Cq_hwsim.Machine.quiet_noise
+      Cq_hwsim.Cpu_model.skylake
+  in
+  let backend =
+    Cq_cachequery.Backend.create machine
+      { Cq_cachequery.Backend.level = Cq_hwsim.Cpu_model.L1; slice = 0; set = 0 }
+  in
+  ignore (Cq_cachequery.Backend.calibrate backend);
+  let frontend = Cq_cachequery.Frontend.create backend in
+  let oracle = Cq_cachequery.Frontend.oracle frontend in
+  let learn () =
+    Cq_core.Learn.learn_from_cache ~memoize:false ~identify:false
+      ~check_hits:false oracle
+  in
+  let cold = learn () in
+  let warm = learn () in
+  Printf.printf
+    "PLRU-8 via CacheQuery (cold run):                %8.2f s\n%!"
+    cold.Cq_core.Learn.seconds;
+  Printf.printf
+    "PLRU-8 via CacheQuery (warm LevelDB-style memo): %8.2f s (paper: %.0f s)\n%!"
+    warm.Cq_core.Learn.seconds Paper_data.cost_warm_cache_seconds;
+  Printf.printf
+    "abstraction overhead factor (warm / simulated):  %7.1fx (paper: %.0fx)\n%!"
+    (warm.Cq_core.Learn.seconds /. sim_report.Cq_core.Learn.seconds)
+    Paper_data.cost_overhead_factor;
+  Printf.printf "\nSingle MBL query '@ M _?' (mean of 100 executions):\n%!";
+  List.iter
+    (fun (level, paper_ms) ->
+      let lvl =
+        match level with
+        | "L1" -> Cq_hwsim.Cpu_model.L1
+        | "L2" -> Cq_hwsim.Cpu_model.L2
+        | _ -> Cq_hwsim.Cpu_model.L3
+      in
+      let machine =
+        Cq_hwsim.Machine.create ~noise:Cq_hwsim.Machine.quiet_noise
+          Cq_hwsim.Cpu_model.skylake
+      in
+      let backend =
+        Cq_cachequery.Backend.create machine
+          { Cq_cachequery.Backend.level = lvl; slice = 0; set = 0 }
+      in
+      ignore (Cq_cachequery.Backend.calibrate backend);
+      let fe = Cq_cachequery.Frontend.create backend in
+      Cq_cachequery.Frontend.set_memo fe false;
+      let t0 = Cq_util.Clock.now () in
+      for _ = 1 to 100 do
+        ignore (Cq_cachequery.Frontend.run_mbl fe "@ M _?")
+      done;
+      let ms = (Cq_util.Clock.now () -. t0) /. 100.0 *. 1000.0 in
+      Printf.printf "  %s: %7.2f ms/query (paper, on silicon: %.0f ms)\n%!" level
+        ms paper_ms)
+    Paper_data.cost_query_ms
+
+(* ----------------------------------------------------------------------- *)
+(* Appendix B: leader sets                                                   *)
+(* ----------------------------------------------------------------------- *)
+
+let leaders ~full () =
+  header "Appendix B: adaptive policies and leader-set detection";
+  let scan_cpu model n_sets =
+    Printf.printf "\n%s (%s), slice 0, first %d sets:\n%!"
+      model.Cq_hwsim.Cpu_model.name model.Cq_hwsim.Cpu_model.codename n_sets;
+    let machine =
+      Cq_hwsim.Machine.create ~noise:Cq_hwsim.Machine.quiet_noise model
+    in
+    if model.Cq_hwsim.Cpu_model.supports_cat then
+      Cq_hwsim.Machine.set_cat_ways machine 4;
+    let sets = List.init n_sets (fun i -> i) in
+    let results = Cq_core.Leader_sets.scan machine sets in
+    List.iter
+      (fun r ->
+        if
+          r.Cq_core.Leader_sets.classification
+          <> Cq_core.Leader_sets.Follower
+        then
+          Printf.printf "  set %4d: %s\n%!" r.Cq_core.Leader_sets.set
+            (Cq_core.Leader_sets.classification_to_string
+               r.Cq_core.Leader_sets.classification))
+      results;
+    let detected, expected = Cq_core.Leader_sets.check_against_model model results in
+    Printf.printf
+      "  vulnerable leaders detected [%s]; index formula predicts [%s] => %s\n%!"
+      (String.concat "," (List.map string_of_int detected))
+      (String.concat "," (List.map string_of_int expected))
+      (if detected = expected then "MATCH" else "MISMATCH")
+  in
+  scan_cpu Cq_hwsim.Cpu_model.skylake (if full then 256 else 72);
+  if full then scan_cpu Cq_hwsim.Cpu_model.kaby_lake 256
+  else
+    Printf.printf
+      "\ni7-8550U (Kaby Lake): same selection formula as Skylake (use --full \
+       to rescan).\n%!";
+  (* Haswell: leaders live in slice 0, sets 512-575 / 768-831. *)
+  let model = Cq_hwsim.Cpu_model.haswell in
+  Printf.printf "\n%s (%s), slice 0, sampling sets 504..584 and 760..840:\n%!"
+    model.Cq_hwsim.Cpu_model.name model.Cq_hwsim.Cpu_model.codename;
+  let machine = Cq_hwsim.Machine.create ~noise:Cq_hwsim.Machine.quiet_noise model in
+  let sample =
+    List.init 11 (fun i -> 504 + (i * 8)) @ List.init 11 (fun i -> 760 + (i * 8))
+  in
+  let results = Cq_core.Leader_sets.scan machine sample in
+  List.iter
+    (fun r ->
+      if r.Cq_core.Leader_sets.classification <> Cq_core.Leader_sets.Follower
+      then
+        Printf.printf "  set %4d: %s\n%!" r.Cq_core.Leader_sets.set
+          (Cq_core.Leader_sets.classification_to_string
+             r.Cq_core.Leader_sets.classification))
+    results;
+  Printf.printf
+    "  (the 768-831 group is thrash-resistant and non-deterministic, as in \
+     the paper)\n%!"
+
+(* ----------------------------------------------------------------------- *)
+(* Ablations: design choices DESIGN.md calls out                             *)
+(* ----------------------------------------------------------------------- *)
+
+let ablations () =
+  header "Ablations: W vs Wp suites, hit probes, fingerprint vs learning";
+  (* (a) The paper uses the Wp-method for its smaller suites (§3.4):
+     compare total suite symbols on the evaluation policies. *)
+  Printf.printf "\n(a) conformance suite size (total input symbols, depth 1):\n%!";
+  Printf.printf "    %-10s %10s %10s %8s\n%!" "policy" "W" "Wp" "ratio";
+  List.iter
+    (fun (name, assoc) ->
+      let h =
+        Cq_automata.Mealy.minimize
+          (Cq_policy.Policy.to_mealy (Cq_policy.Zoo.make_exn ~name ~assoc))
+      in
+      let w = Cq_learner.Equivalence.suite_symbols (Cq_learner.Equivalence.w_method_suite ~depth:1 h) in
+      let wp = Cq_learner.Equivalence.suite_symbols (Cq_learner.Equivalence.wp_method_suite ~depth:1 h) in
+      Printf.printf "    %-10s %10d %10d %8.2fx\n%!" name w wp
+        (float_of_int w /. float_of_int (max 1 wp)))
+    [ ("LRU", 4); ("PLRU", 8); ("MRU", 6); ("SRRIP-HP", 4); ("New1", 4); ("New2", 4) ];
+  (* (b) Algorithm 1 probes accesses whose outcome is known (hit checks):
+     cost and result with and without. *)
+  Printf.printf "\n(b) Polca hit probes (New1-4 from a simulated cache):\n%!";
+  List.iter
+    (fun check_hits ->
+      let r =
+        Cq_core.Learn.learn_simulated ~identify:false ~check_hits
+          (Cq_policy.Zoo.make_exn ~name:"New1" ~assoc:4)
+      in
+      Printf.printf "    check_hits=%-5b %d states, %d cache queries, %s\n%!"
+        check_hits r.Cq_core.Learn.states r.Cq_core.Learn.cache_queries
+        (Cq_util.Clock.to_string r.Cq_core.Learn.seconds))
+    [ true; false ];
+  (* (c) nanoBench-style fingerprinting vs. full learning (the trade-off
+     the paper's related work discusses): random testing works where the
+     reset fully resets the policy state (L1) and fails where it does not
+     (Skylake L2's age bits survive Flush+Refill); learning handles both. *)
+  Printf.printf "\n(c) fingerprinting vs learning (simulated Skylake):\n%!";
+  let fingerprint level set =
+    let machine =
+      Cq_hwsim.Machine.create ~noise:Cq_hwsim.Machine.quiet_noise
+        Cq_hwsim.Cpu_model.skylake
+    in
+    let be =
+      Cq_cachequery.Backend.create machine
+        { Cq_cachequery.Backend.level; slice = 0; set }
+    in
+    ignore (Cq_cachequery.Backend.calibrate be);
+    let fe = Cq_cachequery.Frontend.create be in
+    Cq_util.Clock.time (fun () ->
+        Cq_core.Fingerprint.identify ~sequences:250
+          (Cq_cachequery.Frontend.oracle fe))
+  in
+  let v1, dt1 = fingerprint Cq_hwsim.Cpu_model.L1 5 in
+  Printf.printf "    L1: survivors [%s] in %.2f s (%d sequences)\n%!"
+    (String.concat "; " v1.Cq_core.Fingerprint.survivors)
+    dt1 v1.Cq_core.Fingerprint.sequences;
+  let v2, _ = fingerprint Cq_hwsim.Cpu_model.L2 5 in
+  Printf.printf
+    "    L2: survivors [%s] -- random testing cannot pin the post-reset \
+     control state (stale age bits) and eliminates every candidate, while \
+     learning recovers New1: the generality gap the paper describes\n%!"
+    (String.concat "; " v2.Cq_core.Fingerprint.survivors);
+  (* (d) Optimal eviction strategies computed from the learned models (the
+     paper's security motivation, §10). *)
+  Printf.printf "\n(d) shortest eviction strategies (line 0, associativity 4):\n%!";
+  List.iter
+    (fun name ->
+      let policy = Cq_policy.Zoo.make_exn ~name ~assoc:4 in
+      let m = Cq_policy.Policy.to_mealy policy in
+      match Cq_core.Eviction.shortest ~target:0 m (Cq_automata.Mealy.init m) with
+      | Some s ->
+          Printf.printf "    %-10s %s\n%!" name
+            (Fmt.str "%a" (Cq_core.Eviction.pp_strategy ~assoc:4) s)
+      | None -> Printf.printf "    %-10s (not evictable)\n%!" name)
+    [ "LRU"; "FIFO"; "PLRU"; "MRU"; "LIP"; "SRRIP-HP"; "New1"; "New2" ]
+
+(* ----------------------------------------------------------------------- *)
+(* Bechamel micro-benchmarks: one per experiment family                      *)
+(* ----------------------------------------------------------------------- *)
+
+let micro () =
+  header "Micro-benchmarks (bechamel): core operations of each experiment";
+  let open Bechamel in
+  let new1 = Cq_policy.Zoo.make_exn ~name:"New1" ~assoc:4 in
+  let new1_mealy = Cq_policy.Policy.to_mealy new1 in
+  let word = [ 4; 0; 4; 2; 4; 1; 0; 4; 3; 4 ] in
+  let sim_oracle = Cq_cache.Oracle.of_policy new1 in
+  let polca = Cq_core.Polca.create ~check_hits:true sim_oracle in
+  let machine =
+    Cq_hwsim.Machine.create ~noise:Cq_hwsim.Machine.quiet_noise
+      Cq_hwsim.Cpu_model.skylake
+  in
+  let prog_new1 =
+    {
+      Cq_synth.Rules.init = [| 3; 3; 3; 0 |];
+      promote =
+        { p_self = [ (Cq_synth.Rules.Always, Cq_synth.Rules.Const 0) ]; p_others = None };
+      evict = Cq_synth.Rules.First_with_age 3;
+      insert = { i_self = Cq_synth.Rules.Const 1; i_others = None };
+      normalize =
+        {
+          n_touched = Cq_synth.Rules.N_aging { except_touched = true };
+          n_pre_miss = Cq_synth.Rules.N_nop;
+        };
+    }
+  in
+  let tests =
+    [
+      Test.make ~name:"t2-mealy-run-new1"
+        (Staged.stage (fun () -> Cq_automata.Mealy.run new1_mealy word));
+      Test.make ~name:"t2-polca-query"
+        (Staged.stage (fun () -> Cq_core.Polca.run polca word));
+      Test.make ~name:"t4-hwsim-load"
+        (Staged.stage
+           (let addr = ref 0 in
+            fun () ->
+              addr := (!addr + 4096) land 0xFFFFFF;
+              Cq_hwsim.Machine.load machine !addr));
+      Test.make ~name:"t4-mbl-expand"
+        (Staged.stage (fun () -> Cq_mbl.Expand.expand_string ~assoc:8 "@ X _?"));
+      Test.make ~name:"t5-synth-check"
+        (Staged.stage (fun () ->
+             Cq_synth.Search.check_exact new1_mealy prog_new1));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-24s %14.1f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-24s (no estimate)\n%!" name)
+        results)
+    (List.map (fun t -> Test.make_grouped ~name:"micro" [ t ]) tests)
+
+(* ----------------------------------------------------------------------- *)
+(* Driver                                                                    *)
+(* ----------------------------------------------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let cmds = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let cmds = if cmds = [] then [ "all" ] else cmds in
+  let run = function
+    | "table2" -> table2 ~full ()
+    | "table3" -> table3 ()
+    | "table4" -> table4 ~full ()
+    | "table5" -> table5 ~full ()
+    | "figure1" -> figure1 ()
+    | "figure5" -> figure5 ()
+    | "cost" -> cost ()
+    | "leaders" -> leaders ~full ()
+    | "ablations" -> ablations ()
+    | "micro" -> micro ()
+    | "all" ->
+        figure1 ();
+        table3 ();
+        table2 ~full ();
+        table4 ~full ();
+        table5 ~full ();
+        figure5 ();
+        cost ();
+        leaders ~full ();
+        ablations ();
+        micro ()
+    | other -> Printf.printf "unknown experiment %S\n%!" other
+  in
+  List.iter run cmds;
+  Printf.printf "\n(done)\n%!"

@@ -1,0 +1,1 @@
+bin/cachequery_cli.ml: Arg Cmd Cmdliner Cq_cache Cq_cachequery Cq_hwsim Cq_mbl In_channel Int64 List Option Printf String Term

@@ -1,0 +1,1 @@
+bin/cachequery_cli.mli:

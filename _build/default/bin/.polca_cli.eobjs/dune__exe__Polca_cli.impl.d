@@ -1,0 +1,1 @@
+bin/polca_cli.ml: Arg Cmd Cmdliner Cq_automata Cq_core Cq_hwsim Cq_policy Fmt Option Out_channel Printf String Term

@@ -1,0 +1,1 @@
+bin/polca_cli.mli:

@@ -1,0 +1,1 @@
+bin/synthesize_cli.ml: Arg Cmd Cmdliner Cq_automata Cq_core Cq_policy Cq_synth Cq_util Fmt Term

@@ -1,0 +1,234 @@
+(* The CacheQuery command-line tool: an interactive REPL and a batch mode
+   over the simulated CPUs, mirroring the paper's frontend (§4.2).
+
+   Interactive commands:
+     level L1|L2|L3      switch target level
+     set N               switch target set
+     slice N             switch target slice (L3)
+     cat N               virtually reduce L3 associativity via CAT
+     reps N              repetitions for majority voting
+     reset F+R | <mbl>   reset sequence applied before each query
+     info                show current target and configuration
+     quit                exit
+   anything else is parsed as an MBL expression and executed. *)
+
+let parse_level = function
+  | "L1" | "l1" -> Some Cq_hwsim.Cpu_model.L1
+  | "L2" | "l2" -> Some Cq_hwsim.Cpu_model.L2
+  | "L3" | "l3" -> Some Cq_hwsim.Cpu_model.L3
+  | _ -> None
+
+type session = {
+  machine : Cq_hwsim.Machine.t;
+  mutable level : Cq_hwsim.Cpu_model.level;
+  mutable slice : int;
+  mutable set : int;
+  mutable reps : int;
+  mutable reset : Cq_cachequery.Frontend.reset;
+  mutable frontend : Cq_cachequery.Frontend.t option;
+}
+
+let frontend session =
+  match session.frontend with
+  | Some fe -> fe
+  | None ->
+      let backend =
+        Cq_cachequery.Backend.create session.machine
+          { Cq_cachequery.Backend.level = session.level;
+            slice = session.slice;
+            set = session.set }
+      in
+      let threshold, _, _ = Cq_cachequery.Backend.calibrate backend in
+      Printf.printf "# calibrated %s threshold: %d cycles\n%!"
+        (Cq_hwsim.Cpu_model.level_to_string session.level)
+        threshold;
+      let fe =
+        Cq_cachequery.Frontend.create ~reset:session.reset
+          ~repetitions:session.reps backend
+      in
+      session.frontend <- Some fe;
+      fe
+
+let invalidate session = session.frontend <- None
+
+let result_to_string r =
+  if Cq_cache.Cache_set.result_is_hit r then "Hit" else "Miss"
+
+let run_query session input =
+  match Cq_cachequery.Frontend.run_mbl (frontend session) input with
+  | results ->
+      List.iter
+        (fun (q, rs) ->
+          Printf.printf "%s -> %s\n%!"
+            (Cq_mbl.Expand.query_to_string q)
+            (match rs with
+            | [] -> "(no profiled access)"
+            | rs -> String.concat " " (List.map result_to_string rs)))
+        results
+  | exception Cq_mbl.Parser.Parse_error msg -> Printf.printf "parse error: %s\n%!" msg
+  | exception Cq_mbl.Expand.Expansion_error msg ->
+      Printf.printf "expansion error: %s\n%!" msg
+
+let handle_command session line =
+  match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+  | [] -> true
+  | [ "quit" ] | [ "exit" ] -> false
+  | [ "info" ] ->
+      let model = Cq_hwsim.Machine.model session.machine in
+      Printf.printf "# %s (%s), target %s slice %d set %d, assoc %d, reps %d, reset %s\n%!"
+        model.Cq_hwsim.Cpu_model.name model.Cq_hwsim.Cpu_model.codename
+        (Cq_hwsim.Cpu_model.level_to_string session.level)
+        session.slice session.set
+        (Cq_hwsim.Machine.effective_assoc session.machine session.level)
+        session.reps
+        (Cq_cachequery.Frontend.reset_to_string session.reset);
+      true
+  | [ "level"; l ] -> (
+      match parse_level l with
+      | Some level ->
+          session.level <- level;
+          invalidate session;
+          true
+      | None ->
+          Printf.printf "unknown level %S\n%!" l;
+          true)
+  | [ "set"; n ] ->
+      session.set <- int_of_string n;
+      invalidate session;
+      true
+  | [ "slice"; n ] ->
+      session.slice <- int_of_string n;
+      invalidate session;
+      true
+  | [ "reps"; n ] ->
+      session.reps <- int_of_string n;
+      Option.iter
+        (fun fe -> Cq_cachequery.Frontend.set_repetitions fe session.reps)
+        session.frontend;
+      true
+  | [ "cat"; n ] ->
+      (match Cq_hwsim.Machine.set_cat_ways session.machine (int_of_string n) with
+      | () -> invalidate session
+      | exception Failure msg -> Printf.printf "error: %s\n%!" msg);
+      true
+  | "reset" :: rest ->
+      let spec = String.concat " " rest in
+      (match spec with
+      | "F+R" | "f+r" -> session.reset <- Cq_cachequery.Frontend.Flush_refill
+      | "none" -> session.reset <- Cq_cachequery.Frontend.No_reset
+      | _ -> (
+          match Cq_mbl.Parser.parse_result spec with
+          | Ok ast -> session.reset <- Cq_cachequery.Frontend.Sequence ast
+          | Error msg -> Printf.printf "parse error: %s\n%!" msg));
+      Option.iter
+        (fun fe -> Cq_cachequery.Frontend.set_reset fe session.reset)
+        session.frontend;
+      true
+  | _ ->
+      run_query session line;
+      true
+
+let interactive session =
+  Printf.printf
+    "CacheQuery (simulated %s). MBL queries or commands (info, level, set, \
+     slice, cat, reps, reset, quit).\n%!"
+    (Cq_hwsim.Machine.model session.machine).Cq_hwsim.Cpu_model.name;
+  let continue = ref true in
+  while !continue do
+    Printf.printf "> %!";
+    match In_channel.input_line In_channel.stdin with
+    | None -> continue := false
+    | Some line -> continue := handle_command session line
+  done
+
+let batch session sets query =
+  List.iter
+    (fun set ->
+      session.set <- set;
+      invalidate session;
+      Printf.printf "--- set %d ---\n%!" set;
+      run_query session query)
+    sets
+
+(* --- Command line --------------------------------------------------------- *)
+
+open Cmdliner
+
+let cpu_arg =
+  let doc = "Simulated CPU: haswell, skylake or kabylake." in
+  Arg.(value & opt string "skylake" & info [ "cpu" ] ~doc)
+
+let level_arg =
+  let doc = "Target cache level (L1, L2, L3)." in
+  Arg.(value & opt string "L1" & info [ "level" ] ~doc)
+
+let set_arg = Arg.(value & opt int 0 & info [ "set" ] ~doc:"Target set index.")
+let slice_arg = Arg.(value & opt int 0 & info [ "slice" ] ~doc:"Target slice (L3).")
+let reps_arg = Arg.(value & opt int 1 & info [ "reps" ] ~doc:"Repetitions (majority vote).")
+
+let noise_arg =
+  Arg.(value & flag & info [ "noise" ] ~doc:"Enable measurement noise in the simulator.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulator seed.")
+
+let query_arg =
+  let doc = "Run this MBL query in batch mode and exit (otherwise: REPL)." in
+  Arg.(value & opt (some string) None & info [ "query"; "q" ] ~doc)
+
+let sets_arg =
+  let doc = "Comma-separated set indices (or a-b ranges) for batch mode." in
+  Arg.(value & opt (some string) None & info [ "sets" ] ~doc)
+
+let parse_sets spec =
+  String.split_on_char ',' spec
+  |> List.concat_map (fun part ->
+         match String.index_opt part '-' with
+         | Some i ->
+             let lo = int_of_string (String.sub part 0 i) in
+             let hi =
+               int_of_string (String.sub part (i + 1) (String.length part - i - 1))
+             in
+             List.init (hi - lo + 1) (fun k -> lo + k)
+         | None -> [ int_of_string part ])
+
+let main cpu level set slice reps noise seed query sets =
+  match Cq_hwsim.Cpu_model.by_name cpu with
+  | None -> `Error (false, Printf.sprintf "unknown CPU %S" cpu)
+  | Some model -> (
+      match parse_level level with
+      | None -> `Error (false, Printf.sprintf "unknown level %S" level)
+      | Some level ->
+          let noise_cfg =
+            if noise then Cq_hwsim.Machine.default_noise
+            else Cq_hwsim.Machine.quiet_noise
+          in
+          let machine =
+            Cq_hwsim.Machine.create ~seed:(Int64.of_int seed) ~noise:noise_cfg model
+          in
+          let session =
+            {
+              machine;
+              level;
+              slice;
+              set;
+              reps;
+              reset = Cq_cachequery.Frontend.Flush_refill;
+              frontend = None;
+            }
+          in
+          (match (query, sets) with
+          | Some q, Some ss -> batch session (parse_sets ss) q
+          | Some q, None -> run_query session q
+          | None, _ -> interactive session);
+          `Ok ())
+
+let cmd =
+  let doc = "query (simulated) hardware cache sets with MBL" in
+  Cmd.v
+    (Cmd.info "cachequery" ~doc)
+    Term.(
+      ret
+        (const main $ cpu_arg $ level_arg $ set_arg $ slice_arg $ reps_arg
+       $ noise_arg $ seed_arg $ query_arg $ sets_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,112 @@
+(* The Polca command-line tool: learn a replacement policy automaton either
+   from a software-simulated cache (§6) or from a simulated CPU through
+   CacheQuery (§7), identify it against the policy zoo, and optionally dump
+   it as a DOT graph. *)
+
+open Cmdliner
+
+let learn_simulated policy assoc depth dot =
+  match Cq_policy.Zoo.make ~name:policy ~assoc with
+  | Error msg -> `Error (false, msg)
+  | Ok p ->
+      let report =
+        Cq_core.Learn.learn_simulated
+          ~equivalence:(Cq_core.Learn.W_method depth) p
+      in
+      Fmt.pr "%a@." Cq_core.Learn.pp_report report;
+      Option.iter
+        (fun path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc
+                (Cq_automata.Mealy.to_dot
+                   ~input_label:(Cq_policy.Types.input_label ~assoc)
+                   ~output_label:Cq_policy.Types.output_label
+                   report.Cq_core.Learn.machine));
+          Fmt.pr "wrote %s@." path)
+        dot;
+      `Ok ()
+
+let learn_hardware cpu level set slice cat depth noise dot =
+  match Cq_hwsim.Cpu_model.by_name cpu with
+  | None -> `Error (false, Printf.sprintf "unknown CPU %S" cpu)
+  | Some model ->
+      let noise_cfg =
+        if noise then Cq_hwsim.Machine.default_noise
+        else Cq_hwsim.Machine.quiet_noise
+      in
+      let machine = Cq_hwsim.Machine.create ~noise:noise_cfg model in
+      let run =
+        Cq_core.Hardware.learn_set machine level ~slice ~set ?cat_ways:cat
+          ~equivalence:(Cq_core.Learn.W_method depth)
+          ~check_hits:false
+          ~repetitions:(if noise then 5 else 1)
+      in
+      Fmt.pr "%s %s slice %d set %d (assoc %d%s): %a@." run.Cq_core.Hardware.cpu
+        (Cq_hwsim.Cpu_model.level_to_string run.Cq_core.Hardware.level)
+        run.Cq_core.Hardware.slice run.Cq_core.Hardware.set
+        run.Cq_core.Hardware.assoc
+        (if run.Cq_core.Hardware.cat then ", CAT" else "")
+        Cq_core.Hardware.pp_outcome run.Cq_core.Hardware.outcome;
+      (match run.Cq_core.Hardware.outcome with
+      | Cq_core.Hardware.Learned { report; _ } ->
+          Fmt.pr "%a@." Cq_core.Learn.pp_report report;
+          Option.iter
+            (fun path ->
+              Out_channel.with_open_text path (fun oc ->
+                  Out_channel.output_string oc
+                    (Cq_automata.Mealy.to_dot
+                       ~input_label:
+                         (Cq_policy.Types.input_label
+                            ~assoc:run.Cq_core.Hardware.assoc)
+                       ~output_label:Cq_policy.Types.output_label
+                       report.Cq_core.Learn.machine));
+              Fmt.pr "wrote %s@." path)
+            dot
+      | Cq_core.Hardware.Failed _ -> ());
+      `Ok ()
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "simulate" ] ~doc:"Learn from a software-simulated cache running this policy.")
+
+let assoc_arg = Arg.(value & opt int 4 & info [ "assoc" ] ~doc:"Associativity (simulated cache).")
+let depth_arg = Arg.(value & opt int 1 & info [ "depth" ] ~doc:"Conformance-test depth k.")
+let cpu_arg = Arg.(value & opt string "skylake" & info [ "cpu" ] ~doc:"Simulated CPU for hardware mode.")
+
+let level_arg =
+  let level_conv : Cq_hwsim.Cpu_model.level Arg.conv =
+    Arg.conv
+      ~docv:"LEVEL"
+      ( (fun s ->
+          match String.uppercase_ascii s with
+          | "L1" -> Ok Cq_hwsim.Cpu_model.L1
+          | "L2" -> Ok Cq_hwsim.Cpu_model.L2
+          | "L3" -> Ok Cq_hwsim.Cpu_model.L3
+          | _ -> Error (`Msg "expected L1, L2 or L3")),
+        fun ppf l -> Fmt.string ppf (Cq_hwsim.Cpu_model.level_to_string l) )
+  in
+  Arg.(value & opt level_conv Cq_hwsim.Cpu_model.L1 & info [ "level" ] ~doc:"Cache level.")
+
+let set_arg = Arg.(value & opt int 0 & info [ "set" ] ~doc:"Target set.")
+let slice_arg = Arg.(value & opt int 0 & info [ "slice" ] ~doc:"Target slice.")
+let cat_arg = Arg.(value & opt (some int) None & info [ "cat" ] ~doc:"Reduce L3 ways via CAT.")
+let noise_arg = Arg.(value & flag & info [ "noise" ] ~doc:"Enable simulator noise (adds repetitions).")
+let dot_arg = Arg.(value & opt (some string) None & info [ "dot" ] ~doc:"Write learned automaton to this DOT file.")
+
+let main policy assoc cpu level set slice cat depth noise dot =
+  match policy with
+  | Some name -> learn_simulated name assoc depth dot
+  | None -> learn_hardware cpu level set slice cat depth noise dot
+
+let cmd =
+  let doc = "learn cache replacement policies (Polca + LearnLib-style L*)" in
+  Cmd.v
+    (Cmd.info "polca" ~doc)
+    Term.(
+      ret
+        (const main $ policy_arg $ assoc_arg $ cpu_arg $ level_arg $ set_arg
+       $ slice_arg $ cat_arg $ depth_arg $ noise_arg $ dot_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,62 @@
+(* The explanation synthesizer CLI (§5/§8): take a policy (from the zoo, or
+   learned from a simulated cache first), synthesize a high-level program
+   explaining it, and print the program in the style of Figure 5. *)
+
+open Cmdliner
+
+let main policy assoc deadline learn_first =
+  match Cq_policy.Zoo.make ~name:policy ~assoc with
+  | Error msg -> `Error (false, msg)
+  | Ok p ->
+      let machine =
+        if learn_first then begin
+          Fmt.pr "learning %s (associativity %d) from a simulated cache...@." policy assoc;
+          let report = Cq_core.Learn.learn_simulated ~identify:false p in
+          Fmt.pr "learned %d states in %a@." report.Cq_core.Learn.states
+            Cq_util.Clock.pp_duration report.Cq_core.Learn.seconds;
+          report.Cq_core.Learn.machine
+        end
+        else Cq_policy.Policy.to_mealy p
+      in
+      Fmt.pr "synthesizing an explanation for %s (%d states)...@." policy
+        (Cq_automata.Mealy.n_states machine);
+      let r = Cq_synth.Search.synthesize ~deadline machine in
+      (match r.Cq_synth.Search.outcome with
+      | Cq_synth.Search.Found prog ->
+          Fmt.pr "found with the %s template in %a (%d candidates):@.@.%a@."
+            r.Cq_synth.Search.template Cq_util.Clock.pp_duration
+            r.Cq_synth.Search.seconds r.Cq_synth.Search.candidates_tried
+            Cq_synth.Rules.pp prog;
+          let ok =
+            Cq_automata.Mealy.equivalent machine
+              (Cq_policy.Policy.to_mealy (Cq_synth.Rules.to_policy prog))
+          in
+          Fmt.pr "validation (bisimulation against the automaton): %s@."
+            (if ok then "exact match" else "MISMATCH (bug)")
+      | Cq_synth.Search.Not_expressible ->
+          Fmt.pr
+            "not expressible in the template (searched %d candidates in %a) — \
+             e.g. PLRU's tree state has no per-line age encoding@."
+            r.Cq_synth.Search.candidates_tried Cq_util.Clock.pp_duration
+            r.Cq_synth.Search.seconds
+      | Cq_synth.Search.Timeout ->
+          Fmt.pr "timeout after %a (%d candidates)@." Cq_util.Clock.pp_duration
+            r.Cq_synth.Search.seconds r.Cq_synth.Search.candidates_tried);
+      `Ok ()
+
+let policy_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"POLICY" ~doc:"Policy name (see polca --help).")
+
+let assoc_arg = Arg.(value & opt int 4 & info [ "assoc" ] ~doc:"Associativity.")
+let deadline_arg = Arg.(value & opt float 300.0 & info [ "deadline" ] ~doc:"Search deadline in seconds.")
+
+let learn_arg =
+  Arg.(value & flag & info [ "learn" ] ~doc:"Learn the automaton from a simulated cache first (end-to-end pipeline).")
+
+let cmd =
+  let doc = "synthesize human-readable explanations of replacement policies" in
+  Cmd.v
+    (Cmd.info "synthesize" ~doc)
+    Term.(ret (const main $ policy_arg $ assoc_arg $ deadline_arg $ learn_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/eviction_strategies.ml: Cq_cachequery Cq_core Cq_hwsim Cq_policy Cq_util Fmt List String

@@ -1,0 +1,1 @@
+examples/eviction_strategies.mli:

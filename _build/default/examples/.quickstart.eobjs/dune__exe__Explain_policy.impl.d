@@ -1,0 +1,1 @@
+examples/explain_policy.ml: Cq_automata Cq_core Cq_policy Cq_synth Cq_util Fmt

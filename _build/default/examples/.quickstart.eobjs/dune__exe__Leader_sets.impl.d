@@ -1,0 +1,1 @@
+examples/leader_sets.ml: Cq_core Cq_hwsim Fmt List String

@@ -1,0 +1,1 @@
+examples/learn_hardware.ml: Cq_core Cq_hwsim Fmt

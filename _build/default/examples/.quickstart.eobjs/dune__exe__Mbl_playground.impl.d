@@ -1,0 +1,1 @@
+examples/mbl_playground.ml: Cq_cache Cq_cachequery Cq_hwsim Cq_mbl Fmt List String

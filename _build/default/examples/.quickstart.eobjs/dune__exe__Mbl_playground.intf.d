@@ -1,0 +1,1 @@
+examples/mbl_playground.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cq_automata Cq_cache Cq_core Cq_policy Fmt List String

@@ -1,0 +1,57 @@
+(* A tour of MemBlockLang (§4.1 / Appendix A).
+
+   Shows how MBL expressions expand into sets of concrete queries, and what
+   a simulated Skylake L1 cache set answers for each — including the
+   eviction-probing query of Example 4.1 and the thrashing probe of
+   Appendix B.
+
+   Run with:  dune exec examples/mbl_playground.exe *)
+
+let show_expansion assoc input =
+  Fmt.pr "  %-22s (assoc %d) expands to:@." input assoc;
+  List.iter
+    (fun q -> Fmt.pr "    %s@." (Cq_mbl.Expand.query_to_string q))
+    (Cq_mbl.Expand.expand_string ~assoc input);
+  Fmt.pr "@."
+
+let () =
+  Fmt.pr "--- Macro expansion ---------------------------------------@.";
+  show_expansion 4 "@ X _?";
+  (* Example 4.1: fill, miss, probe who was evicted *)
+  show_expansion 4 "(A B C D)[E F]";
+  show_expansion 2 "(A B C)3";
+  show_expansion 4 "{A B, C} D?";
+  show_expansion 4 "@ M a M?";
+
+  (* the Appendix B thrashing probe *)
+  Fmt.pr "--- Against a simulated Skylake L1 set --------------------@.";
+  let machine =
+    Cq_hwsim.Machine.create ~noise:Cq_hwsim.Machine.quiet_noise
+      Cq_hwsim.Cpu_model.skylake
+  in
+  let backend =
+    Cq_cachequery.Backend.create machine
+      { Cq_cachequery.Backend.level = Cq_hwsim.Cpu_model.L1; slice = 0; set = 3 }
+  in
+  let threshold, _, _ = Cq_cachequery.Backend.calibrate backend in
+  Fmt.pr "calibrated hit/miss threshold: %d cycles@." threshold;
+  let frontend = Cq_cachequery.Frontend.create backend in
+  List.iter
+    (fun input ->
+      Fmt.pr "@.query: %s@." input;
+      List.iter
+        (fun (q, rs) ->
+          Fmt.pr "  %-28s -> %s@."
+            (Cq_mbl.Expand.query_to_string q)
+            (String.concat " "
+               (List.map
+                  (fun r ->
+                    if Cq_cache.Cache_set.result_is_hit r then "Hit" else "Miss")
+                  rs)))
+        (Cq_cachequery.Frontend.run_mbl frontend input))
+    [
+      "@ (@)?" (* fill then reprobe: all hits *);
+      "@ X _?" (* who does X evict? (PLRU: way 0 = block A) *);
+      "@ X? X?" (* a fresh block misses, then hits *);
+      "(A B)4 C D E F G H I _?" (* pin A/B by re-touching, then probe *);
+    ]

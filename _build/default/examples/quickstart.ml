@@ -1,0 +1,48 @@
+(* Quickstart: the toy pipeline of Figure 1.
+
+   We build a software-simulated 2-way cache running LRU, expose it as a
+   cache oracle, learn its replacement policy with Polca + L*, and print
+   the learned automaton — which is exactly the 2-state LRU Mealy machine
+   of Example 2.2.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* Figure 1c: ask the cache directly, in abstract blocks. *)
+  let policy = Cq_policy.Lru.make 2 in
+  let oracle = Cq_cache.Oracle.of_policy policy in
+  let show_trace blocks =
+    let results = oracle.Cq_cache.Oracle.query blocks in
+    Fmt.pr "  %-12s -> %s@."
+      (String.concat " " (List.map Cq_cache.Block.to_string blocks))
+      (String.concat " "
+         (List.map
+            (fun r -> if Cq_cache.Cache_set.result_is_hit r then "Hit" else "Miss")
+            results))
+  in
+  Fmt.pr "A 2-way LRU cache set, queried with block traces (cf. Figure 1):@.";
+  let b = Cq_cache.Block.of_index in
+  show_trace [ b 0; b 1; b 2; b 0 ];
+  (* A B C A *)
+  show_trace [ b 0; b 1; b 2; b 1 ];
+  (* A B C B *)
+  Fmt.pr "@.";
+
+  (* Figure 1a/1b: learn the policy behind the cache. *)
+  Fmt.pr "Learning the replacement policy with Polca + L*...@.";
+  let report = Cq_core.Learn.learn_simulated policy in
+  Fmt.pr "%a@.@." Cq_core.Learn.pp_report report;
+
+  (* The learned automaton, in full. *)
+  Fmt.pr "Learned Mealy machine:@.";
+  Cq_automata.Mealy.pp
+    ~pp_input:(fun ppf i ->
+      Cq_policy.Types.pp_input ppf (Cq_policy.Types.input_of_int ~assoc:2 i))
+    ~pp_output:Cq_policy.Types.pp_output Fmt.stdout report.Cq_core.Learn.machine;
+  Fmt.pr "@.";
+
+  (* And its DOT rendering, ready for graphviz. *)
+  Fmt.pr "DOT:@.%s@."
+    (Cq_automata.Mealy.to_dot
+       ~input_label:(Cq_policy.Types.input_label ~assoc:2)
+       ~output_label:Cq_policy.Types.output_label report.Cq_core.Learn.machine)

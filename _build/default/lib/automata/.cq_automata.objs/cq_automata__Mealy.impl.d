@@ -1,0 +1,1 @@
+lib/automata/mealy.ml: Array Buffer Cq_util Fmt Hashtbl List Option Printf Queue

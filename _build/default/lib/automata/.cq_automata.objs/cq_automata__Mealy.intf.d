@@ -1,0 +1,1 @@
+lib/automata/mealy.mli: Format

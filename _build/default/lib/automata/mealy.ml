@@ -1,0 +1,281 @@
+(* Deterministic finite-state Mealy machines over a dense integer input
+   alphabet [0 .. n_inputs-1] and a polymorphic output alphabet.
+
+   Replacement policies (Def. 2.1 of the paper) are Mealy machines with
+   inputs {Ln(0), ..., Ln(n-1), Evct}; the learner produces machines in this
+   representation and the synthesiser validates candidate programs against
+   them.  Keeping inputs dense lets us store transitions as flat arrays. *)
+
+type 'o t = {
+  n_states : int;
+  init : int;
+  n_inputs : int;
+  next : int array array; (* next.(s).(i) : successor state *)
+  out : 'o array array;   (* out.(s).(i)  : emitted output *)
+}
+
+let n_states t = t.n_states
+let n_inputs t = t.n_inputs
+let init t = t.init
+
+let check_valid t =
+  if t.n_states <= 0 then invalid_arg "Mealy: empty state set";
+  if t.n_inputs <= 0 then invalid_arg "Mealy: empty input alphabet";
+  if t.init < 0 || t.init >= t.n_states then invalid_arg "Mealy: bad initial state";
+  if Array.length t.next <> t.n_states || Array.length t.out <> t.n_states then
+    invalid_arg "Mealy: transition table size mismatch";
+  Array.iteri
+    (fun s row ->
+      if Array.length row <> t.n_inputs || Array.length t.out.(s) <> t.n_inputs then
+        invalid_arg "Mealy: transition row size mismatch";
+      Array.iter
+        (fun s' ->
+          if s' < 0 || s' >= t.n_states then invalid_arg "Mealy: dangling transition")
+        row)
+    t.next
+
+let make ~init ~n_inputs ~next ~out =
+  let t = { n_states = Array.length next; init; n_inputs; next; out } in
+  check_valid t;
+  t
+
+let step t s i =
+  if i < 0 || i >= t.n_inputs then invalid_arg "Mealy.step: input out of range";
+  (t.next.(s).(i), t.out.(s).(i))
+
+let next_state t s i = fst (step t s i)
+let output t s i = snd (step t s i)
+
+let run_from t s word =
+  let state = ref s in
+  List.map
+    (fun i ->
+      let s', o = step t !state i in
+      state := s';
+      o)
+    word
+
+let run t word = run_from t t.init word
+
+let state_after t word = List.fold_left (fun s i -> next_state t s i) t.init word
+
+(* Enumerate the reachable part of an implicit machine given by a step
+   function over arbitrary (immutable, structurally comparable) states.
+   This is how concrete policy implementations are turned into explicit
+   automata for ground-truth state counts and equivalence checking. *)
+let of_fun ~init ~n_inputs ~step ~max_states =
+  let exception Too_many_states in
+  let index : ('s Cq_util.Deep.t, int) Hashtbl.t = Hashtbl.create 97 in
+  let by_id : (int, 's) Hashtbl.t = Hashtbl.create 97 in
+  let count = ref 0 in
+  let intern s =
+    let key = Cq_util.Deep.pack s in
+    match Hashtbl.find_opt index key with
+    | Some id -> id
+    | None ->
+        if !count >= max_states then raise Too_many_states;
+        let id = !count in
+        incr count;
+        Hashtbl.add index key id;
+        Hashtbl.add by_id id s;
+        id
+  in
+  let _ = intern init in
+  let rows_next = ref [] and rows_out = ref [] in
+  (* Worklist BFS: process states in id order; new states get fresh ids, so
+     the numbering is the deterministic BFS order from the initial state. *)
+  let processed = ref 0 in
+  (try
+     while !processed < !count do
+       let s = Hashtbl.find by_id !processed in
+       let nrow = Array.make n_inputs 0 in
+       let orow = ref [] in
+       for i = 0 to n_inputs - 1 do
+         let s', o = step s i in
+         nrow.(i) <- intern s';
+         orow := o :: !orow
+       done;
+       rows_next := nrow :: !rows_next;
+       rows_out := Array.of_list (List.rev !orow) :: !rows_out;
+       incr processed
+     done
+   with Too_many_states ->
+     failwith (Printf.sprintf "Mealy.of_fun: more than %d reachable states" max_states));
+  let next = Array.of_list (List.rev !rows_next) in
+  let out = Array.of_list (List.rev !rows_out) in
+  make ~init:0 ~n_inputs ~next ~out
+
+(* Moore-style partition refinement adapted to Mealy machines: the initial
+   partition groups states with identical output rows, then blocks are split
+   until successor blocks stabilise.  O(k * n^2) worst case, plenty for the
+   sizes in this repository (tens of thousands of states). *)
+let minimize t =
+  let n = t.n_states and k = t.n_inputs in
+  let block = Array.make n 0 in
+  (* Initial partition by output signature. *)
+  let sig_index = Hashtbl.create 97 in
+  let n_blocks = ref 0 in
+  for s = 0 to n - 1 do
+    let key = Cq_util.Deep.pack (Array.to_list t.out.(s)) in
+    match Hashtbl.find_opt sig_index key with
+    | Some b -> block.(s) <- b
+    | None ->
+        Hashtbl.add sig_index key !n_blocks;
+        block.(s) <- !n_blocks;
+        incr n_blocks
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let split_index = Hashtbl.create 97 in
+    let new_block = Array.make n 0 in
+    let next_id = ref 0 in
+    for s = 0 to n - 1 do
+      let key =
+        Cq_util.Deep.pack
+          ( block.(s),
+            Array.to_list (Array.init k (fun i -> block.(t.next.(s).(i)))) )
+      in
+      match Hashtbl.find_opt split_index key with
+      | Some b -> new_block.(s) <- b
+      | None ->
+          Hashtbl.add split_index key !next_id;
+          new_block.(s) <- !next_id;
+          incr next_id
+    done;
+    if !next_id <> !n_blocks then begin
+      changed := true;
+      n_blocks := !next_id;
+      Array.blit new_block 0 block 0 n
+    end
+  done;
+  (* Rebuild over blocks, renumbering so the initial block is reachable-first
+     (BFS order) for a canonical result on connected machines. *)
+  let nb = !n_blocks in
+  let repr = Array.make nb (-1) in
+  for s = n - 1 downto 0 do
+    repr.(block.(s)) <- s
+  done;
+  let order = Array.make nb (-1) in
+  let pos = Array.make nb (-1) in
+  let queue = Queue.create () in
+  let count = ref 0 in
+  let visit b =
+    if pos.(b) = -1 then begin
+      pos.(b) <- !count;
+      order.(!count) <- b;
+      incr count;
+      Queue.add b queue
+    end
+  in
+  visit block.(t.init);
+  while not (Queue.is_empty queue) do
+    let b = Queue.take queue in
+    let s = repr.(b) in
+    for i = 0 to k - 1 do
+      visit block.(t.next.(s).(i))
+    done
+  done;
+  let reach = !count in
+  let next = Array.init reach (fun bi ->
+      let s = repr.(order.(bi)) in
+      Array.init k (fun i -> pos.(block.(t.next.(s).(i)))))
+  in
+  let out = Array.init reach (fun bi ->
+      let s = repr.(order.(bi)) in
+      Array.copy t.out.(s))
+  in
+  make ~init:0 ~n_inputs:k ~next ~out
+
+(* Shortest word distinguishing two machines (or two states of the same
+   machine), via BFS over the synchronous product.  Returns [None] when the
+   machines are trace-equivalent. *)
+let find_counterexample ?(from_a = None) ?(from_b = None) a b =
+  if a.n_inputs <> b.n_inputs then
+    invalid_arg "Mealy.find_counterexample: input alphabets differ";
+  let k = a.n_inputs in
+  let start = (Option.value from_a ~default:a.init, Option.value from_b ~default:b.init) in
+  let seen = Hashtbl.create 997 in
+  let queue = Queue.create () in
+  Hashtbl.add seen start ();
+  Queue.add (start, []) queue;
+  let result = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       let (sa, sb), path = Queue.take queue in
+       for i = 0 to k - 1 do
+         let sa', oa = step a sa i in
+         let sb', ob = step b sb i in
+         if oa <> ob then begin
+           result := Some (List.rev (i :: path));
+           raise Exit
+         end;
+         let st = (sa', sb') in
+         if not (Hashtbl.mem seen st) then begin
+           Hashtbl.add seen st ();
+           Queue.add (st, i :: path) queue
+         end
+       done
+     done
+   with Exit -> ());
+  !result
+
+let equivalent a b = Option.is_none (find_counterexample a b)
+
+(* Canonical form: minimize, then states are already BFS-numbered from the
+   initial state by [minimize], so equal canonical machines are isomorphic. *)
+let canonicalize t = minimize t
+
+let isomorphic a b =
+  let ca = canonicalize a and cb = canonicalize b in
+  ca.n_states = cb.n_states && ca.next = cb.next && ca.out = cb.out
+
+(* Access sequences: for each reachable state, a shortest input word reaching
+   it from the initial state (BFS).  Used by the Wp-method. *)
+let access_sequences t =
+  let acc = Array.make t.n_states None in
+  acc.(t.init) <- Some [];
+  let queue = Queue.create () in
+  Queue.add t.init queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.take queue in
+    let path = Option.get acc.(s) in
+    for i = 0 to t.n_inputs - 1 do
+      let s' = t.next.(s).(i) in
+      if acc.(s') = None then begin
+        acc.(s') <- Some (path @ [ i ]);
+        Queue.add s' queue
+      end
+    done
+  done;
+  acc
+
+let pp ?(pp_input = Fmt.int) ~pp_output ppf t =
+  Fmt.pf ppf "@[<v>Mealy machine: %d states, %d inputs, init %d@," t.n_states
+    t.n_inputs t.init;
+  for s = 0 to t.n_states - 1 do
+    for i = 0 to t.n_inputs - 1 do
+      Fmt.pf ppf "  %d --%a/%a--> %d@," s pp_input i pp_output t.out.(s).(i)
+        t.next.(s).(i)
+    done
+  done;
+  Fmt.pf ppf "@]"
+
+let to_dot ?(name = "mealy") ~input_label ~output_label t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" name);
+  Buffer.add_string buf
+    (Printf.sprintf "  __start [shape=point]; __start -> s%d;\n" t.init);
+  for s = 0 to t.n_states - 1 do
+    Buffer.add_string buf (Printf.sprintf "  s%d [shape=circle,label=\"%d\"];\n" s s)
+  done;
+  for s = 0 to t.n_states - 1 do
+    for i = 0 to t.n_inputs - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "  s%d -> s%d [label=\"%s/%s\"];\n" s t.next.(s).(i)
+           (input_label i)
+           (output_label t.out.(s).(i)))
+    done
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,68 @@
+(** Deterministic Mealy machines over a dense integer input alphabet.
+
+    Replacement policies (Definition 2.1 in the paper) are Mealy machines
+    with inputs [{Ln(0), ..., Ln(n-1), Evct}]; the automata produced by the
+    learner and consumed by the synthesiser all use this representation.
+    States and inputs are integers ([0 ..]); outputs are polymorphic. *)
+
+type 'o t
+
+val make :
+  init:int -> n_inputs:int -> next:int array array -> out:'o array array -> 'o t
+(** [make ~init ~n_inputs ~next ~out] builds a machine from explicit tables.
+    Raises [Invalid_argument] on malformed tables. *)
+
+val n_states : 'o t -> int
+val n_inputs : 'o t -> int
+val init : 'o t -> int
+
+val step : 'o t -> int -> int -> int * 'o
+(** [step t s i] is the successor state and output for input [i] in state
+    [s]. Raises [Invalid_argument] when [i] is out of range. *)
+
+val next_state : 'o t -> int -> int -> int
+val output : 'o t -> int -> int -> 'o
+
+val run : 'o t -> int list -> 'o list
+(** Output word for an input word from the initial state. *)
+
+val run_from : 'o t -> int -> int list -> 'o list
+val state_after : 'o t -> int list -> int
+
+val of_fun :
+  init:'s -> n_inputs:int -> step:('s -> int -> 's * 'o) -> max_states:int -> 'o t
+(** Explicit reachable-state enumeration of an implicit machine. States of
+    the implicit machine must be immutable and structurally comparable.
+    The result numbers states in BFS order from the initial state. Fails if
+    more than [max_states] states are reachable. *)
+
+val minimize : 'o t -> 'o t
+(** Minimal trace-equivalent machine, restricted to reachable states and
+    numbered in BFS order (hence canonical for a given behaviour). *)
+
+val find_counterexample :
+  ?from_a:int option -> ?from_b:int option -> 'o t -> 'o t -> int list option
+(** Shortest input word on which the two machines produce different outputs,
+    or [None] when trace-equivalent. *)
+
+val equivalent : 'o t -> 'o t -> bool
+val canonicalize : 'o t -> 'o t
+val isomorphic : 'o t -> 'o t -> bool
+
+val access_sequences : 'o t -> int list option array
+(** For each state, a shortest input word reaching it from the initial state
+    ([None] for unreachable states). *)
+
+val pp :
+  ?pp_input:(Format.formatter -> int -> unit) ->
+  pp_output:(Format.formatter -> 'o -> unit) ->
+  Format.formatter ->
+  'o t ->
+  unit
+
+val to_dot :
+  ?name:string ->
+  input_label:(int -> string) ->
+  output_label:('o -> string) ->
+  'o t ->
+  string

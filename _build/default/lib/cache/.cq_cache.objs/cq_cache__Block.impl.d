@@ -1,0 +1,1 @@
+lib/cache/block.ml: Char Fmt List Printf String

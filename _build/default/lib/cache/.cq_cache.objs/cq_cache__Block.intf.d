@@ -1,0 +1,1 @@
+lib/cache/block.mli: Format

@@ -1,0 +1,1 @@
+lib/cache/cache_set.ml: Array Block Cq_policy Fmt List

@@ -1,0 +1,1 @@
+lib/cache/cache_set.mli: Block Cq_policy Format

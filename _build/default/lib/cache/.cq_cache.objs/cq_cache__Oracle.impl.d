@@ -1,0 +1,1 @@
+lib/cache/oracle.ml: Block Cache_set Cq_util Hashtbl List

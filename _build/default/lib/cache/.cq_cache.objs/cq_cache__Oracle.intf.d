@@ -1,0 +1,1 @@
+lib/cache/oracle.mli: Block Cache_set Cq_policy Cq_util

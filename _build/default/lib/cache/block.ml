@@ -1,0 +1,59 @@
+(* Abstract memory blocks.  The paper ranges over a potentially infinite,
+   ordered set of blocks written A, B, C, ...; we represent them as dense
+   non-negative integers and render them in spreadsheet-column style
+   (A .. Z, AA, AB, ...), which matches the MBL notation.
+
+   A second, disjoint pool of "auxiliary" blocks (indices >= [aux_offset])
+   renders in lowercase (a, b, ..., aa, ...).  MBL uses these for blocks
+   that must never collide with the '@' expansion regardless of the
+   associativity — e.g. the thrashing probe in Appendix B's '@ M a M?'. *)
+
+type t = int
+
+let aux_offset = 100_000
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = compare a b
+
+let of_index i =
+  if i < 0 then invalid_arg "Block.of_index: negative index";
+  i
+
+let aux i =
+  if i < 0 then invalid_arg "Block.aux: negative index";
+  aux_offset + i
+
+let index b = b
+let is_aux b = b >= aux_offset
+
+let spreadsheet ~base b =
+  let rec go acc b =
+    let acc = String.make 1 (Char.chr (Char.code base + (b mod 26))) ^ acc in
+    if b < 26 then acc else go acc ((b / 26) - 1)
+  in
+  go "" b
+
+let to_string b =
+  if is_aux b then spreadsheet ~base:'a' (b - aux_offset)
+  else spreadsheet ~base:'A' b
+
+let decode ~base s =
+  let value = ref 0 in
+  String.iter
+    (fun c ->
+      if c < base || Char.code c > Char.code base + 25 then
+        invalid_arg (Printf.sprintf "Block.of_string: bad character %C" c);
+      value := (!value * 26) + (Char.code c - Char.code base) + 1)
+    s;
+  !value - 1
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Block.of_string: empty name";
+  if s.[0] >= 'a' && s.[0] <= 'z' then aux (decode ~base:'a' s)
+  else of_index (decode ~base:'A' s)
+
+let pp ppf b = Fmt.string ppf (to_string b)
+
+(* The canonical first [n] blocks: what the MBL macro '@' expands to. *)
+let first n = List.init n of_index

@@ -1,0 +1,27 @@
+(** Abstract memory blocks, rendered in the paper's A, B, C ... notation. *)
+
+type t = private int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_index : int -> t
+(** [of_index 0] is block A, [of_index 1] is B, ... *)
+
+val aux : int -> t
+(** [aux i] is the i-th auxiliary block (rendered lowercase); auxiliary
+    blocks are disjoint from any realistic ['@'] expansion. *)
+
+val index : t -> int
+val is_aux : t -> bool
+
+val to_string : t -> string
+(** Spreadsheet-column rendering: A..Z, AA, AB, ... *)
+
+val of_string : string -> t
+(** Inverse of [to_string]. Raises [Invalid_argument] on malformed names. *)
+
+val pp : Format.formatter -> t -> unit
+
+val first : int -> t list
+(** The first [n] blocks in order (what the MBL macro ['@'] expands to). *)

@@ -1,0 +1,101 @@
+(* A single n-way cache set induced by a replacement policy — the labelled
+   transition system of Definition 2.3 / Figure 2.
+
+   The cache stores blocks in lines; the policy sees only line indices
+   [Ln(i)] and eviction requests [Evct], never the blocks themselves (the
+   data-independence that Polca exploits).  A [Hit] on line [i] forwards
+   [Ln(i)] to the policy; a [Miss] asks the policy for a victim line with
+   [Evct] and installs the block there.
+
+   The structure is mutable (it models a device) but [reset] restores the
+   exact initial configuration, which is what learning requires. *)
+
+type result = Hit | Miss
+
+let result_is_hit = function Hit -> true | Miss -> false
+
+let pp_result ppf r = Fmt.string ppf (match r with Hit -> "Hit" | Miss -> "Miss")
+
+type t =
+  | Set : {
+      assoc : int;
+      initial_content : Block.t array;
+      mutable content : Block.t array;
+      policy_init : 's;
+      mutable policy_state : 's;
+      policy_step : 's -> Cq_policy.Types.input -> 's * Cq_policy.Types.output;
+      mutable accesses : int; (* total block accesses served since creation *)
+    }
+      -> t
+
+let create ?initial_content policy =
+  let (Cq_policy.Policy.Policy p) = policy in
+  let assoc = p.assoc in
+  let initial_content =
+    match initial_content with
+    | Some blocks ->
+        if Array.length blocks <> assoc then
+          invalid_arg "Cache_set.create: initial content must fill the set";
+        let sorted = Array.to_list blocks |> List.sort_uniq Block.compare in
+        if List.length sorted <> assoc then
+          invalid_arg "Cache_set.create: initial content has repeated blocks";
+        Array.copy blocks
+    | None -> Array.of_list (Block.first assoc)
+  in
+  Set
+    {
+      assoc;
+      initial_content;
+      content = Array.copy initial_content;
+      policy_init = p.init;
+      policy_state = p.init;
+      policy_step = p.step;
+      accesses = 0;
+    }
+
+let assoc (Set c) = c.assoc
+let initial_content (Set c) = Array.copy c.initial_content
+let content (Set c) = Array.copy c.content
+let accesses (Set c) = c.accesses
+
+let reset (Set c) =
+  c.content <- Array.copy c.initial_content;
+  c.policy_state <- c.policy_init
+
+let find_line (Set c) block =
+  let found = ref None in
+  Array.iteri
+    (fun i b -> if !found = None && Block.equal b block then found := Some i)
+    c.content;
+  !found
+
+(* Figure 2: the Hit and Miss rules. *)
+let access (Set c as t) block =
+  c.accesses <- c.accesses + 1;
+  match find_line t block with
+  | Some i ->
+      let s', out = c.policy_step c.policy_state (Cq_policy.Types.Line i) in
+      (match out with
+      | None -> ()
+      | Some _ -> invalid_arg "Cache_set.access: policy evicted on a hit");
+      c.policy_state <- s';
+      Hit
+  | None ->
+      let s', out = c.policy_step c.policy_state Cq_policy.Types.Evct in
+      let victim =
+        match out with
+        | Some i when i >= 0 && i < c.assoc -> i
+        | _ -> invalid_arg "Cache_set.access: policy returned no victim on a miss"
+      in
+      c.content.(victim) <- block;
+      c.policy_state <- s';
+      Miss
+
+let access_seq t blocks = List.map (access t) blocks
+
+(* Flush: empty the set is not expressible in the Def 2.3 model (content is
+   always full); hardware reset via clflush is modelled in cq_hwsim.  Here
+   [reload] re-runs an access sequence from the initial configuration. *)
+let run_from_reset t blocks =
+  reset t;
+  access_seq t blocks

@@ -1,0 +1,41 @@
+(** A single n-way cache set induced by a replacement policy — the labelled
+    transition system of Definition 2.3 / Figure 2 of the paper.
+
+    The structure is mutable (it models a device); [reset] restores the
+    exact initial configuration, which is what query-based learning
+    requires. *)
+
+type result = Hit | Miss
+
+val result_is_hit : result -> bool
+val pp_result : Format.formatter -> result -> unit
+
+type t
+
+val create : ?initial_content:Block.t array -> Cq_policy.Policy.t -> t
+(** [create policy] builds a full cache set whose content is the first
+    [assoc] blocks (A, B, C, ...) in lines 0, 1, 2, ...; the policy starts
+    in its initial control state.  [initial_content] overrides the blocks
+    (must fill the set, without repetition). *)
+
+val assoc : t -> int
+
+val initial_content : t -> Block.t array
+(** The cc0 the set resets to. *)
+
+val content : t -> Block.t array
+(** Current content (test/debug introspection; the learner never uses it). *)
+
+val accesses : t -> int
+(** Total block accesses served since creation. *)
+
+val reset : t -> unit
+(** Restore the initial content and policy control state. *)
+
+val access : t -> Block.t -> result
+(** One access, following the Hit/Miss rules of Figure 2. *)
+
+val access_seq : t -> Block.t list -> result list
+
+val run_from_reset : t -> Block.t list -> result list
+(** [reset] then [access_seq] — the trace semantics ⟦C⟧ on one query. *)

@@ -1,0 +1,108 @@
+(* The cache-semantics oracle consumed by Polca (the paper's ⟦C⟧).
+
+   A query is a sequence of block accesses executed from the cache's fixed
+   initial configuration; the oracle returns the hit/miss outcome of every
+   access.  Both the software-simulated cache (§6) and CacheQuery over
+   hardware (§7) implement this interface, which is exactly what makes
+   Polca agnostic to where the cache lives. *)
+
+type t = {
+  assoc : int;
+  initial_content : Block.t array; (* cc0, known to Polca *)
+  query : Block.t list -> Cache_set.result list;
+}
+
+type stats = {
+  mutable queries : int;        (* oracle queries issued *)
+  mutable block_accesses : int; (* total blocks across all queries *)
+  mutable memo_hits : int;      (* queries answered from the memo table *)
+}
+
+let fresh_stats () = { queries = 0; block_accesses = 0; memo_hits = 0 }
+
+let of_cache_set set =
+  {
+    assoc = Cache_set.assoc set;
+    initial_content = Cache_set.initial_content set;
+    query = Cache_set.run_from_reset set;
+  }
+
+let of_policy ?initial_content policy =
+  of_cache_set (Cache_set.create ?initial_content policy)
+
+let counting stats t =
+  {
+    t with
+    query =
+      (fun blocks ->
+        stats.queries <- stats.queries + 1;
+        stats.block_accesses <- stats.block_accesses + List.length blocks;
+        t.query blocks);
+  }
+
+(* Memoization table over whole queries — the role LevelDB plays in the
+   CacheQuery frontend.  Sound because queries always start from the reset
+   state, so equal block sequences yield equal results. *)
+let memoized ?stats t =
+  (* Keys are block traces with long shared prefixes: pack them with a deep
+     hash or the table degenerates into one bucket. *)
+  let table : (Block.t list Cq_util.Deep.t, Cache_set.result list) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  {
+    t with
+    query =
+      (fun blocks ->
+        let key = Cq_util.Deep.pack blocks in
+        match Hashtbl.find_opt table key with
+        | Some r ->
+            (match stats with
+            | Some s -> s.memo_hits <- s.memo_hits + 1
+            | None -> ());
+            r
+        | None ->
+            let r = t.query blocks in
+            Hashtbl.add table key r;
+            r);
+  }
+
+(* Artificial misclassification noise: each individual hit/miss outcome is
+   flipped with probability [p].  Used to stress-test the majority-vote
+   denoising in CacheQuery and the failure modes discussed in §9. *)
+let noisy ~prng ~p t =
+  {
+    t with
+    query =
+      (fun blocks ->
+        List.map
+          (fun r ->
+            if Cq_util.Prng.bool prng p then
+              match r with Cache_set.Hit -> Cache_set.Miss | Cache_set.Miss -> Cache_set.Hit
+            else r)
+          (t.query blocks));
+  }
+
+(* Majority vote over [reps] repetitions of the query — the denoising the
+   CacheQuery backend applies when executing generated code several times. *)
+let majority ~reps t =
+  if reps < 1 then invalid_arg "Oracle.majority: reps must be >= 1";
+  {
+    t with
+    query =
+      (fun blocks ->
+        let runs = List.init reps (fun _ -> t.query blocks) in
+        match runs with
+        | [] -> assert false
+        | first :: _ ->
+            List.mapi
+              (fun i _ ->
+                let hits =
+                  List.fold_left
+                    (fun acc run ->
+                      if Cache_set.result_is_hit (List.nth run i) then acc + 1
+                      else acc)
+                    0 runs
+                in
+                if 2 * hits > reps then Cache_set.Hit else Cache_set.Miss)
+              first);
+  }

@@ -1,0 +1,36 @@
+(** The cache-semantics oracle consumed by Polca (the paper's ⟦C⟧).
+
+    A query is a block trace executed from the cache's fixed initial
+    configuration; the oracle returns the outcome of every access.  The
+    software-simulated cache (§6 of the paper) and CacheQuery over
+    hardware (§7) both implement this interface. *)
+
+type t = {
+  assoc : int;
+  initial_content : Block.t array;  (** cc0, known to Polca *)
+  query : Block.t list -> Cache_set.result list;
+}
+
+type stats = {
+  mutable queries : int;
+  mutable block_accesses : int;
+  mutable memo_hits : int;
+}
+
+val fresh_stats : unit -> stats
+
+val of_cache_set : Cache_set.t -> t
+val of_policy : ?initial_content:Block.t array -> Cq_policy.Policy.t -> t
+
+val counting : stats -> t -> t
+(** Count queries and accesses into [stats]. *)
+
+val memoized : ?stats:stats -> t -> t
+(** Memoize whole queries (the role LevelDB plays in the paper's frontend).
+    Sound because every query starts from the reset state. *)
+
+val noisy : prng:Cq_util.Prng.t -> p:float -> t -> t
+(** Flip each individual outcome with probability [p] (fault injection). *)
+
+val majority : reps:int -> t -> t
+(** Majority vote over [reps] repetitions of each query. *)

@@ -1,0 +1,1 @@
+lib/cachequery/backend.ml: Cq_cache Cq_hwsim Cq_mbl Cq_util Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/cachequery/backend.mli: Cq_cache Cq_hwsim Cq_mbl

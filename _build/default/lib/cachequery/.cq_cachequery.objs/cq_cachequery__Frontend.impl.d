@@ -1,0 +1,1 @@
+lib/cachequery/frontend.ml: Array Backend Cq_cache Cq_hwsim Cq_mbl Cq_util Hashtbl List

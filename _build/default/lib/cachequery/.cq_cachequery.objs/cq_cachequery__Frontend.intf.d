@@ -1,0 +1,1 @@
+lib/cachequery/frontend.mli: Backend Cq_cache Cq_mbl

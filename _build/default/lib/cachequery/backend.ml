@@ -1,0 +1,316 @@
+(* The CacheQuery backend — the role played by the paper's Linux kernel
+   module.  Given a target cache set (level, slice, set index) on a
+   simulated machine, it:
+
+   - selects congruent physical addresses and maps abstract blocks to them
+     (the paper's per-level memory pools);
+   - keeps higher cache levels out of the way by accessing non-interfering
+     eviction sets after every load (cache filtering, §4.3);
+   - executes queries as sequences of timed loads / clflushes and
+     classifies each profiled load as a hit or miss at the target level via
+     a calibrated latency threshold;
+   - disables prefetchers and runs in a low-noise configuration, with
+     repetition and majority voting left to the frontend. *)
+
+type target = {
+  level : Cq_hwsim.Cpu_model.level;
+  slice : int;
+  set : int;
+}
+
+type t = {
+  machine : Cq_hwsim.Machine.t;
+  target : target;
+  (* block -> physical address, lazily extended *)
+  block_addr : (Cq_cache.Block.t, int) Hashtbl.t;
+  mutable pool : int list; (* unassigned congruent addresses *)
+  mutable pool_cursor : int; (* line index where enumeration resumes *)
+  mutable threshold : int; (* latency <= threshold ==> hit at target level *)
+  (* Addresses used to evict the target blocks from levels above the
+     target; chosen congruent at the higher level but non-interfering at
+     the target level and below. *)
+  filter_sets : (Cq_hwsim.Cpu_model.level * int list) list;
+  (* Sweep that evicts a block from the target level itself (same target
+     set, non-interfering below); used by calibration to observe
+     "miss at target, hit at next level" latencies.  Empty for L3, where
+     a plain flush yields the memory-latency miss population. *)
+  calib_sweep : int list;
+  mutable calib_dirty : bool; (* calibration touched the target set *)
+  mutable timed_loads : int;
+  mutable filter_loads : int;
+}
+
+let machine t = t.machine
+let target t = t.target
+let threshold t = t.threshold
+let timed_loads t = t.timed_loads
+let filter_loads t = t.filter_loads
+
+let line_size t = (Cq_hwsim.Machine.model t.machine).Cq_hwsim.Cpu_model.line_size
+
+(* Levels strictly above (closer to the core than) the target level. *)
+let levels_above = function
+  | Cq_hwsim.Cpu_model.L1 -> []
+  | Cq_hwsim.Cpu_model.L2 -> [ Cq_hwsim.Cpu_model.L1 ]
+  | Cq_hwsim.Cpu_model.L3 -> [ Cq_hwsim.Cpu_model.L1; Cq_hwsim.Cpu_model.L2 ]
+
+(* Build, for each level above the target, an eviction set: addresses that
+   are congruent with the target's image at that level but map to a
+   *different* set at the target level (and, for L1 filtering under an L3
+   target, also a different L2 set), so that accessing them cannot disturb
+   the state under measurement.  Their own L3 sets are also kept distinct
+   from the target's to avoid inclusive back-invalidation. *)
+let build_filter_sets machine (target : target) =
+  let sample_addr =
+    List.hd
+      (Cq_hwsim.Machine.congruent_addresses machine target.level
+         ~slice:target.slice ~set:target.set 1)
+  in
+  List.map
+    (fun above ->
+      let a_slice, a_set = Cq_hwsim.Machine.map_addr machine above sample_addr in
+      let spec =
+        Cq_hwsim.Cpu_model.spec (Cq_hwsim.Machine.model machine) above
+      in
+      let non_interfering addr =
+        let t_slice, t_set =
+          Cq_hwsim.Machine.map_addr machine target.level addr
+        in
+        not (t_slice = target.slice && t_set = target.set)
+        &&
+        (* never fight the inclusive L3 set of the target's blocks *)
+        match target.level with
+        | Cq_hwsim.Cpu_model.L3 -> true
+        | _ ->
+            let l3_slice, l3_set =
+              Cq_hwsim.Machine.map_addr machine Cq_hwsim.Cpu_model.L3 addr
+            in
+            let t3_slice, t3_set =
+              Cq_hwsim.Machine.map_addr machine Cq_hwsim.Cpu_model.L3 sample_addr
+            in
+            not (l3_slice = t3_slice && l3_set = t3_set)
+      in
+      (* Twice the associativity thrashes any of the deterministic policies
+         we model out of the level. *)
+      let addrs =
+        Cq_hwsim.Machine.congruent_addresses machine above ~slice:a_slice
+          ~set:a_set ~filter:non_interfering
+          (2 * spec.Cq_hwsim.Cpu_model.assoc)
+      in
+      (above, addrs))
+    (levels_above target.level)
+
+(* Addresses in the *target* set itself whose L3 (or L2) images differ from
+   the sample's, so sweeping them evicts a block from the target level
+   without perturbing deeper levels' copies of it. *)
+let build_calib_sweep machine (target : target) =
+  let model = Cq_hwsim.Machine.model machine in
+  let spec = Cq_hwsim.Cpu_model.spec model target.level in
+  match target.level with
+  | Cq_hwsim.Cpu_model.L3 -> []
+  | (Cq_hwsim.Cpu_model.L1 | Cq_hwsim.Cpu_model.L2) as level ->
+      let sample =
+        List.hd
+          (Cq_hwsim.Machine.congruent_addresses machine level
+             ~slice:target.slice ~set:target.set 1)
+      in
+      let next =
+        match level with
+        | Cq_hwsim.Cpu_model.L1 -> Cq_hwsim.Cpu_model.L2
+        | _ -> Cq_hwsim.Cpu_model.L3
+      in
+      let next_slice, next_set = Cq_hwsim.Machine.map_addr machine next sample in
+      let l3_slice, l3_set =
+        Cq_hwsim.Machine.map_addr machine Cq_hwsim.Cpu_model.L3 sample
+      in
+      let filter addr =
+        let ns, nt = Cq_hwsim.Machine.map_addr machine next addr in
+        let ts, tt =
+          Cq_hwsim.Machine.map_addr machine Cq_hwsim.Cpu_model.L3 addr
+        in
+        (not (ns = next_slice && nt = next_set))
+        && not (ts = l3_slice && tt = l3_set)
+      in
+      Cq_hwsim.Machine.congruent_addresses machine level ~slice:target.slice
+        ~set:target.set ~filter
+        (2 * spec.Cq_hwsim.Cpu_model.assoc)
+
+let default_threshold machine level =
+  let model = Cq_hwsim.Machine.model machine in
+  match level with
+  | Cq_hwsim.Cpu_model.L1 ->
+      (model.Cq_hwsim.Cpu_model.l1.hit_latency
+      + model.Cq_hwsim.Cpu_model.l2.hit_latency)
+      / 2
+  | Cq_hwsim.Cpu_model.L2 ->
+      (model.Cq_hwsim.Cpu_model.l2.hit_latency
+      + model.Cq_hwsim.Cpu_model.l3.hit_latency)
+      / 2
+  | Cq_hwsim.Cpu_model.L3 ->
+      (model.Cq_hwsim.Cpu_model.l3.hit_latency
+      + model.Cq_hwsim.Cpu_model.memory_latency)
+      / 2
+
+let create ?(disable_prefetchers = true) machine (target : target) =
+  let model = Cq_hwsim.Machine.model machine in
+  let spec = Cq_hwsim.Cpu_model.spec model target.level in
+  if target.slice < 0 || target.slice >= spec.Cq_hwsim.Cpu_model.slices then
+    invalid_arg "Backend.create: slice out of range";
+  if target.set < 0 || target.set >= spec.Cq_hwsim.Cpu_model.sets_per_slice then
+    invalid_arg "Backend.create: set out of range";
+  if disable_prefetchers then Cq_hwsim.Machine.set_prefetchers machine false;
+  {
+    machine;
+    target;
+    block_addr = Hashtbl.create 64;
+    pool = [];
+    pool_cursor = 0;
+    (* model-derived default; refined by [calibrate] *)
+    threshold = default_threshold machine target.level;
+    filter_sets = build_filter_sets machine target;
+    calib_sweep = build_calib_sweep machine target;
+    calib_dirty = false;
+    timed_loads = 0;
+    filter_loads = 0;
+  }
+
+(* Address of a block, allocating a fresh congruent address on first use. *)
+let rec addr_of_block t block =
+  match Hashtbl.find_opt t.block_addr block with
+  | Some a -> a
+  | None -> (
+      match t.pool with
+      | a :: rest ->
+          t.pool <- rest;
+          Hashtbl.add t.block_addr block a;
+          a
+      | [] ->
+          (* The calibration sweep draws from the same congruent stream;
+             block addresses must never alias it, or sweeping would touch
+             the blocks under measurement. *)
+          let not_in_sweep a = not (List.mem a t.calib_sweep) in
+          let fresh =
+            Cq_hwsim.Machine.congruent_addresses t.machine t.target.level
+              ~slice:t.target.slice ~set:t.target.set ~start:t.pool_cursor
+              ~filter:not_in_sweep 32
+          in
+          (match List.rev fresh with
+          | last :: _ ->
+              (* Resume enumeration just past the last stride step used. *)
+              let model = Cq_hwsim.Machine.model t.machine in
+              let spec = Cq_hwsim.Cpu_model.spec model t.target.level in
+              let stride = spec.Cq_hwsim.Cpu_model.sets_per_slice * line_size t in
+              t.pool_cursor <- ((last - (t.target.set * line_size t)) / stride) + 1
+          | [] -> ());
+          t.pool <- fresh;
+          addr_of_block t block)
+
+(* Cache filtering: push the just-accessed data out of the levels above the
+   target by sweeping the pre-computed non-interfering eviction sets. *)
+let filter_higher_levels t =
+  List.iter
+    (fun (_, addrs) ->
+      List.iter
+        (fun a ->
+          t.filter_loads <- t.filter_loads + 1;
+          ignore (Cq_hwsim.Machine.load t.machine a))
+        addrs)
+    t.filter_sets
+
+(* One timed, filtered load of a block; returns the measured cycles. *)
+let timed_load t block =
+  let addr = addr_of_block t block in
+  (* For L2/L3 targets the block must not be served by a higher level. *)
+  let cycles = Cq_hwsim.Machine.load t.machine addr in
+  t.timed_loads <- t.timed_loads + 1;
+  filter_higher_levels t;
+  cycles
+
+let classify t cycles = if cycles <= t.threshold then Cq_cache.Cache_set.Hit else Cq_cache.Cache_set.Miss
+
+let flush_block t block =
+  let addr = addr_of_block t block in
+  Cq_hwsim.Machine.clflush t.machine addr
+
+(* Flush every address this backend has ever directed at the target set —
+   assigned block addresses, the unassigned remainder of the pool, and the
+   calibration sweep.  This is the building block of the Flush+Refill
+   reset: afterwards the target set holds no valid line. *)
+let flush_all_known t =
+  Hashtbl.iter (fun _ addr -> Cq_hwsim.Machine.clflush t.machine addr) t.block_addr;
+  (* The unassigned pool has never been accessed, so it cannot be cached.
+     The calibration sweep only needs flushing once after calibration. *)
+  if t.calib_dirty then begin
+    List.iter (Cq_hwsim.Machine.clflush t.machine) t.calib_sweep;
+    t.calib_dirty <- false
+  end
+
+(* Execute one concrete query (an expanded MBL query): perform each
+   operation in order and report hit/miss for the profiled ones. *)
+let run_query t (q : Cq_mbl.Expand.query) =
+  List.filter_map
+    (fun (el : Cq_mbl.Expand.element) ->
+      match el.tag with
+      | Some Cq_mbl.Ast.Flush ->
+          flush_block t el.block;
+          None
+      | Some Cq_mbl.Ast.Profile ->
+          let cycles = timed_load t el.block in
+          Some (classify t cycles)
+      | None ->
+          ignore (timed_load t el.block);
+          None)
+    q
+
+(* As [run_query], but also returns raw cycle counts of profiled loads
+   (used by the §7.2 cost experiment and by calibration diagnostics). *)
+let run_query_timed t (q : Cq_mbl.Expand.query) =
+  List.filter_map
+    (fun (el : Cq_mbl.Expand.element) ->
+      match el.tag with
+      | Some Cq_mbl.Ast.Flush ->
+          flush_block t el.block;
+          None
+      | Some Cq_mbl.Ast.Profile ->
+          let cycles = timed_load t el.block in
+          Some (classify t cycles, cycles)
+      | None ->
+          ignore (timed_load t el.block);
+          None)
+    q
+
+(* Calibration: build latency samples for "hit at target level" and "served
+   by the next level" and place the threshold between the two populations
+   (Otsu).  Uses scratch blocks far away from the learning alphabet. *)
+let calibrate ?(samples = 64) t =
+  t.calib_dirty <- true;
+  let scratch i = Cq_cache.Block.aux (90_000 + i) in
+  let hit_samples = ref [] and miss_samples = ref [] in
+  for i = 0 to samples - 1 do
+    let b = scratch i in
+    (* First touch: fills the whole hierarchy. *)
+    ignore (timed_load t b);
+    (* Second touch after filtering: served by the target level. *)
+    let hit_cycles = timed_load t b in
+    hit_samples := hit_cycles :: !hit_samples;
+    (* Evict from the target level only (keeping the next level's copy),
+       or flush entirely when the target is the last level: the re-touch
+       then samples the closest "miss" population the learner will see. *)
+    (match t.calib_sweep with
+    | [] -> flush_block t b
+    | sweep ->
+        List.iter (fun a -> ignore (Cq_hwsim.Machine.load t.machine a)) sweep;
+        List.iter
+          (fun a -> ignore (Cq_hwsim.Machine.load t.machine a))
+          (List.rev sweep));
+    let miss_cycles = timed_load t b in
+    miss_samples := miss_cycles :: !miss_samples
+  done;
+  (* Medians are robust against interrupt/TLB-style outlier spikes, which
+     would otherwise dominate a variance-based split like Otsu's. *)
+  let med xs = Cq_util.Stats.median (List.map float_of_int xs) in
+  let hit_med = med !hit_samples and miss_med = med !miss_samples in
+  if miss_med > hit_med +. 1.0 then
+    t.threshold <- int_of_float (Float.round ((hit_med +. miss_med) /. 2.0));
+  (* else: populations indistinguishable; keep the model-derived default *)
+  (t.threshold, !hit_samples, !miss_samples)

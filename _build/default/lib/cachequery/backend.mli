@@ -1,0 +1,55 @@
+(** The CacheQuery backend — the role of the paper's Linux kernel module
+    (§4.2/§4.3): address selection, cache filtering, code "generation"
+    (timed load sequences on the simulated machine), latency calibration
+    and hit/miss classification for one target cache set. *)
+
+type target = {
+  level : Cq_hwsim.Cpu_model.level;
+  slice : int;
+  set : int;
+}
+
+type t
+
+val create : ?disable_prefetchers:bool -> Cq_hwsim.Machine.t -> target -> t
+(** Attach to a target set: select congruent address pools and build the
+    non-interfering eviction sets used for cache filtering.  Disables the
+    machine's prefetchers by default, as the real tool does. *)
+
+val machine : t -> Cq_hwsim.Machine.t
+val target : t -> target
+
+val threshold : t -> int
+(** Current hit/miss latency threshold (cycles). *)
+
+val timed_loads : t -> int
+val filter_loads : t -> int
+
+val addr_of_block : t -> Cq_cache.Block.t -> int
+(** The physical address backing an abstract block (allocated on first
+    use, always congruent with the target set). *)
+
+val timed_load : t -> Cq_cache.Block.t -> int
+(** One profiled load of a block, followed by the filtering sweep that
+    keeps levels above the target out of the way; returns measured
+    cycles. *)
+
+val classify : t -> int -> Cq_cache.Cache_set.result
+(** Cycles -> Hit/Miss at the target level, via the threshold. *)
+
+val flush_block : t -> Cq_cache.Block.t -> unit
+val flush_all_known : t -> unit
+(** clflush everything this backend ever directed at the target set (the
+    building block of the Flush+Refill reset). *)
+
+val run_query : t -> Cq_mbl.Expand.query -> Cq_cache.Cache_set.result list
+(** Execute an expanded MBL query; returns outcomes of profiled accesses. *)
+
+val run_query_timed :
+  t -> Cq_mbl.Expand.query -> (Cq_cache.Cache_set.result * int) list
+(** As [run_query] but with raw cycle counts (§7.2 measurements). *)
+
+val calibrate : ?samples:int -> t -> int * int list * int list
+(** Measure known-hit and known-miss latency populations at the target
+    level and set the threshold between their medians; returns
+    [(threshold, hit_samples, miss_samples)]. *)

@@ -1,0 +1,137 @@
+(* The CacheQuery frontend (§4.2): expands MBL expressions, executes them
+   through the backend with a configurable reset sequence and repetition
+   count, memoizes query responses (the role LevelDB plays in the paper's
+   implementation), and exposes the cache-oracle interface that Polca
+   consumes. *)
+
+type reset =
+  | No_reset
+  | Flush_refill (* clflush everything, then access '@' *)
+  | Sequence of Cq_mbl.Ast.t (* e.g. '@ @' or 'D C B A @' *)
+  | Flush_then of Cq_mbl.Ast.t (* clflush everything, then run the query *)
+
+let reset_to_string = function
+  | No_reset -> "none"
+  | Flush_refill -> "F+R"
+  | Sequence ast -> Cq_mbl.Ast.to_string ast
+  | Flush_then ast -> "F+ " ^ Cq_mbl.Ast.to_string ast
+
+type t = {
+  backend : Backend.t;
+  assoc : int; (* effective associativity of the target level *)
+  mutable reset : reset;
+  mutable repetitions : int;
+  mutable memo_enabled : bool;
+  memo :
+    (Cq_cache.Block.t list Cq_util.Deep.t, Cq_cache.Cache_set.result list)
+    Hashtbl.t;
+  stats : Cq_cache.Oracle.stats;
+}
+
+let create ?(reset = Flush_refill) ?(repetitions = 1) backend =
+  let machine = Backend.machine backend in
+  let target = Backend.target backend in
+  {
+    backend;
+    assoc = Cq_hwsim.Machine.effective_assoc machine target.Backend.level;
+    reset;
+    repetitions;
+    memo_enabled = true;
+    memo = Hashtbl.create 8192;
+    stats = Cq_cache.Oracle.fresh_stats ();
+  }
+
+let backend t = t.backend
+let assoc t = t.assoc
+let stats t = t.stats
+let set_reset t reset = t.reset <- reset
+let reset_sequence t = t.reset
+let set_repetitions t n =
+  if n < 1 then invalid_arg "Frontend.set_repetitions: need >= 1";
+  t.repetitions <- n
+
+let set_memo t enabled = t.memo_enabled <- enabled
+let clear_memo t = Hashtbl.reset t.memo
+
+(* Expand an MBL expression at the target's associativity. *)
+let expand t input = Cq_mbl.Expand.expand_string ~assoc:t.assoc input
+
+let run_reset_ast t ast =
+  match Cq_mbl.Expand.expand ~assoc:t.assoc ast with
+  | [ q ] -> ignore (Backend.run_query t.backend q)
+  | _ -> invalid_arg "Frontend: reset sequence must expand to a single query"
+
+let apply_reset t =
+  match t.reset with
+  | No_reset -> ()
+  | Flush_refill ->
+      Backend.flush_all_known t.backend;
+      run_reset_ast t Cq_mbl.Ast.At
+  | Sequence ast -> run_reset_ast t ast
+  | Flush_then ast ->
+      Backend.flush_all_known t.backend;
+      run_reset_ast t ast
+
+(* Execute one expanded query: reset, run, and majority-vote over
+   [repetitions] independent executions (each from reset). *)
+let run_expanded t (q : Cq_mbl.Expand.query) =
+  let one () =
+    apply_reset t;
+    Backend.run_query t.backend q
+  in
+  if t.repetitions = 1 then one ()
+  else begin
+    let runs = List.init t.repetitions (fun _ -> one ()) in
+    match runs with
+    | [] -> assert false
+    | first :: _ ->
+        List.mapi
+          (fun i _ ->
+            let hits =
+              List.fold_left
+                (fun acc run ->
+                  if Cq_cache.Cache_set.result_is_hit (List.nth run i) then
+                    acc + 1
+                  else acc)
+                0 runs
+            in
+            if 2 * hits > t.repetitions then Cq_cache.Cache_set.Hit
+            else Cq_cache.Cache_set.Miss)
+          first
+  end
+
+(* Run an MBL expression; returns each expanded query with the hit/miss
+   outcomes of its profiled accesses. *)
+let run_mbl t input =
+  List.map (fun q -> (q, run_expanded t q)) (expand t input)
+
+(* --- Oracle view (what Polca talks to) -------------------------------- *)
+
+(* A Polca query accesses a sequence of blocks, profiling every access. *)
+let query_blocks t blocks =
+  let key = Cq_util.Deep.pack blocks in
+  let cached = if t.memo_enabled then Hashtbl.find_opt t.memo key else None in
+  match cached with
+  | Some r ->
+      t.stats.Cq_cache.Oracle.memo_hits <- t.stats.Cq_cache.Oracle.memo_hits + 1;
+      r
+  | None ->
+      t.stats.Cq_cache.Oracle.queries <- t.stats.Cq_cache.Oracle.queries + 1;
+      t.stats.Cq_cache.Oracle.block_accesses <-
+        t.stats.Cq_cache.Oracle.block_accesses + List.length blocks;
+      let q =
+        List.map
+          (fun b ->
+            { Cq_mbl.Expand.block = b; tag = Some Cq_mbl.Ast.Profile })
+          blocks
+      in
+      let r = run_expanded t q in
+      if t.memo_enabled then Hashtbl.add t.memo key r;
+      r
+
+let oracle t =
+  {
+    Cq_cache.Oracle.assoc = t.assoc;
+    initial_content = Array.of_list (Cq_cache.Block.first t.assoc);
+    query = query_blocks t;
+  }

@@ -1,0 +1,39 @@
+(** The CacheQuery frontend (§4.2 of the paper): MBL expansion, reset
+    sequences, repetition with majority voting, the LevelDB-style query
+    memo, and the cache-oracle view that Polca consumes. *)
+
+type reset =
+  | No_reset
+  | Flush_refill  (** clflush everything, then access ['@'] *)
+  | Sequence of Cq_mbl.Ast.t  (** e.g. [@ @] or [D C B A @] *)
+  | Flush_then of Cq_mbl.Ast.t  (** clflush everything, then the sequence *)
+
+val reset_to_string : reset -> string
+
+type t
+
+val create : ?reset:reset -> ?repetitions:int -> Backend.t -> t
+val backend : t -> Backend.t
+
+val assoc : t -> int
+(** Effective associativity of the target level (CAT-aware). *)
+
+val stats : t -> Cq_cache.Oracle.stats
+val set_reset : t -> reset -> unit
+val reset_sequence : t -> reset
+val set_repetitions : t -> int -> unit
+val set_memo : t -> bool -> unit
+val clear_memo : t -> unit
+
+val expand : t -> string -> Cq_mbl.Expand.query list
+(** Parse and expand an MBL expression at the target's associativity. *)
+
+val run_mbl :
+  t -> string -> (Cq_mbl.Expand.query * Cq_cache.Cache_set.result list) list
+(** Run an MBL expression: each expanded query executes from reset (with
+    majority voting over [repetitions]); profiled accesses' outcomes are
+    returned. *)
+
+val oracle : t -> Cq_cache.Oracle.t
+(** The cache oracle Polca talks to: every access profiled, queries
+    memoized. *)

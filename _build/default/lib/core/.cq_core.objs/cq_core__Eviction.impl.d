@@ -1,0 +1,1 @@
+lib/core/eviction.ml: Cq_automata Cq_policy Fmt Fun Hashtbl List Option Printf Queue String

@@ -1,0 +1,1 @@
+lib/core/eviction.mli: Cq_automata Cq_policy Format

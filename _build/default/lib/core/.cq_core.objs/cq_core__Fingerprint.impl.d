@@ -1,0 +1,1 @@
+lib/core/fingerprint.ml: Cq_cache Cq_policy Cq_util List

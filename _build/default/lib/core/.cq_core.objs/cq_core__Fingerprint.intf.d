@@ -1,0 +1,1 @@
+lib/core/fingerprint.mli: Cq_cache

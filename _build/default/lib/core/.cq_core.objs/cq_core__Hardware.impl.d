@@ -1,0 +1,1 @@
+lib/core/hardware.ml: Cq_cachequery Cq_hwsim Cq_learner Cq_util Fmt Learn List Polca Reset String

@@ -1,0 +1,1 @@
+lib/core/hardware.mli: Cq_cachequery Cq_hwsim Format Learn

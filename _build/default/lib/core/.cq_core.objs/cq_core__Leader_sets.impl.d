@@ -1,0 +1,1 @@
+lib/core/leader_sets.ml: Cq_cache Cq_cachequery Cq_hwsim List

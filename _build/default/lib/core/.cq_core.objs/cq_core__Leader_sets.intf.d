@@ -1,0 +1,1 @@
+lib/core/leader_sets.mli: Cq_cachequery Cq_hwsim

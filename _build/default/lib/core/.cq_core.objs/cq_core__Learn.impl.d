@@ -1,0 +1,1 @@
+lib/core/learn.ml: Cq_automata Cq_cache Cq_learner Cq_policy Cq_util Fmt Polca String

@@ -1,0 +1,1 @@
+lib/core/learn.mli: Cq_automata Cq_cache Cq_policy Format

@@ -1,0 +1,1 @@
+lib/core/polca.ml: Array Cq_cache Cq_learner Cq_policy List

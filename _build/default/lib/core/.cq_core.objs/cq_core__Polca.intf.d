@@ -1,0 +1,1 @@
+lib/core/polca.mli: Cq_cache Cq_learner Cq_policy

@@ -1,0 +1,1 @@
+lib/core/reset.ml: Cq_cache Cq_cachequery Cq_mbl Cq_util List

@@ -1,0 +1,1 @@
+lib/core/reset.mli: Cq_cachequery Cq_util

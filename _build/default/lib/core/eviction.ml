@@ -1,0 +1,145 @@
+(* Computing optimal eviction strategies from learned policy models.
+
+   The paper's security discussion (§10) motivates exactly this use of the
+   learned automata: "detailed policy models, such as the ones we provide,
+   enable one to systematically compute optimal eviction strategies, and to
+   unveil new sophisticated cache attacks" (cf. Rowhammer.js, which had to
+   *test thousands* of candidate strategies instead).
+
+   Setting: an attacker shares a cache set with a victim block sitting in
+   line [target].  The attacker can touch its own cached lines (inputs
+   [Ln(i)], i <> target) and insert fresh blocks (input [Evct]); it wants
+   the policy to evict the victim's line.  Given the policy automaton:
+
+   - [shortest ~target m state] is the provably shortest attacker input
+     word, from a known control state, whose final [Evct] kicks out
+     [target] (BFS over the automaton);
+   - [universal ~target m] is a single word that evicts [target] from
+     *every* control state (the attacker usually does not know the state) —
+     built greedily by chaining per-state shortest strategies over the
+     shrinking set of surviving states;
+   - [eviction_rate ~target m word] scores an arbitrary strategy: the
+     fraction of control states from which it evicts the target (the
+     "eviction rate" of the Rowhammer.js literature). *)
+
+type strategy = {
+  word : int list; (* over the flattened policy alphabet *)
+  length : int;
+  accesses : int; (* Ln inputs (touches of attacker-cached lines) *)
+  misses : int; (* Evct inputs (fresh-block insertions) *)
+}
+
+let strategy_of_word assoc word =
+  {
+    word;
+    length = List.length word;
+    accesses = List.length (List.filter (fun i -> i < assoc) word);
+    misses = List.length (List.filter (fun i -> i = assoc) word);
+  }
+
+let pp_strategy ~assoc ppf s =
+  Fmt.pf ppf "%s  (%d accesses, %d misses)"
+    (String.concat " "
+       (List.map
+          (fun i ->
+            if i = assoc then "miss"
+            else Printf.sprintf "Ln(%d)" i)
+          s.word))
+    s.accesses s.misses
+
+(* Does one step evict the target?  Only [Evct] transitions whose output
+   names the target line count. *)
+let evicts_target ~assoc ~target m state input =
+  input = assoc && Cq_automata.Mealy.output m state input = Some target
+
+(* Attacker-legal inputs: everything except touching the victim's line. *)
+let legal_inputs ~assoc ~target =
+  List.filter (fun i -> i <> target) (List.init (assoc + 1) Fun.id)
+
+(* Shortest eviction word from a known control state (BFS). *)
+let shortest ~target m state =
+  let assoc = Cq_automata.Mealy.n_inputs m - 1 in
+  if target < 0 || target >= assoc then invalid_arg "Eviction.shortest: bad target";
+  let inputs = legal_inputs ~assoc ~target in
+  let seen = Hashtbl.create 97 in
+  let queue = Queue.create () in
+  Hashtbl.add seen state ();
+  Queue.add (state, []) queue;
+  let result = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       let s, path = Queue.take queue in
+       List.iter
+         (fun i ->
+           if evicts_target ~assoc ~target m s i then begin
+             result := Some (List.rev (i :: path));
+             raise Exit
+           end;
+           let s' = Cq_automata.Mealy.next_state m s i in
+           if not (Hashtbl.mem seen s') then begin
+             Hashtbl.add seen s' ();
+             Queue.add (s', i :: path) queue
+           end)
+         inputs
+     done
+   with Exit -> ());
+  Option.map (strategy_of_word assoc) !result
+
+(* Advance a set of "surviving" states through a word, dropping the states
+   in which the target got evicted along the way. *)
+let survivors ~assoc ~target m states word =
+  List.filter_map
+    (fun s ->
+      let rec go s = function
+        | [] -> Some s
+        | i :: rest ->
+            if evicts_target ~assoc ~target m s i then None
+            else go (Cq_automata.Mealy.next_state m s i) rest
+      in
+      go s word)
+    states
+
+(* A single word evicting the target from every control state: repeatedly
+   extend with the shortest strategy of one surviving state.  Each round
+   eliminates at least that state, so at most [n_states] rounds. *)
+let universal ~target m =
+  let assoc = Cq_automata.Mealy.n_inputs m - 1 in
+  let all_states = List.init (Cq_automata.Mealy.n_states m) Fun.id in
+  let rec go word states rounds =
+    match states with
+    | [] -> Some (strategy_of_word assoc word)
+    | s :: _ ->
+        if rounds > Cq_automata.Mealy.n_states m then None
+        else (
+          match shortest ~target m s with
+          | None -> None (* target not evictable from s at all *)
+          | Some step ->
+              let word' = word @ step.word in
+              go word' (survivors ~assoc ~target m states step.word) (rounds + 1))
+  in
+  go [] all_states 0
+
+(* Fraction of control states from which [word] evicts the target. *)
+let eviction_rate ~target m word =
+  let assoc = Cq_automata.Mealy.n_inputs m - 1 in
+  let n = Cq_automata.Mealy.n_states m in
+  let surviving = survivors ~assoc ~target m (List.init n Fun.id) word in
+  float_of_int (n - List.length surviving) /. float_of_int n
+
+(* Summary for a policy: per-line shortest strategies (from the initial
+   state) and the universal strategy, as one record per line. *)
+type summary = {
+  line : int;
+  from_init : strategy option;
+  from_any : strategy option;
+}
+
+let analyze_policy policy =
+  let m = Cq_policy.Policy.to_mealy policy in
+  let assoc = Cq_policy.Policy.assoc policy in
+  List.init assoc (fun line ->
+      {
+        line;
+        from_init = shortest ~target:line m (Cq_automata.Mealy.init m);
+        from_any = universal ~target:line m;
+      })

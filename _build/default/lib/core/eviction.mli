@@ -1,0 +1,42 @@
+(** Optimal eviction strategies computed from learned policy models — the
+    security application the paper's §10 motivates (Rowhammer.js had to
+    *test* thousands of candidate strategies; with the policy automaton
+    they can be computed exactly).
+
+    The attacker shares a cache set with a victim block in line [target];
+    it may touch its own lines ([Ln(i)], [i <> target]) and insert fresh
+    blocks ([Evct]), and wants the policy to evict line [target]. *)
+
+type strategy = {
+  word : int list;  (** over the flattened policy alphabet *)
+  length : int;
+  accesses : int;  (** [Ln] inputs *)
+  misses : int;  (** [Evct] inputs *)
+}
+
+val pp_strategy : assoc:int -> Format.formatter -> strategy -> unit
+
+val shortest :
+  target:int -> Cq_policy.Types.output Cq_automata.Mealy.t -> int -> strategy option
+(** [shortest ~target m state]: the provably shortest attacker word from
+    control state [state] whose final [Evct] evicts [target] (BFS);
+    [None] if the target is never evictable. *)
+
+val universal :
+  target:int -> Cq_policy.Types.output Cq_automata.Mealy.t -> strategy option
+(** One word that evicts [target] from *every* control state (the attacker
+    usually does not know the state). *)
+
+val eviction_rate :
+  target:int -> Cq_policy.Types.output Cq_automata.Mealy.t -> int list -> float
+(** Fraction of control states from which the word evicts the target —
+    the "eviction rate" of the attack literature, computed exactly. *)
+
+type summary = {
+  line : int;
+  from_init : strategy option;
+  from_any : strategy option;
+}
+
+val analyze_policy : Cq_policy.Policy.t -> summary list
+(** Per-line strategies for a policy (one row per cache line). *)

@@ -1,0 +1,62 @@
+(* Random-testing policy identification, in the style of Abel & Reineke's
+   nanoBench (discussed in the paper's related work): instead of *learning*
+   the policy, generate random block sequences, run them against the cache
+   under test, and eliminate every candidate from a pool of simulated
+   policies that disagrees.
+
+   As the paper notes, this is less general than learning (it can only
+   recognise policies already in the pool) and carries no correctness
+   guarantee (a finite set of random sequences may fail to separate two
+   candidates), but it is drastically cheaper — the ablation in the
+   benchmark harness quantifies the trade-off.
+
+   Candidates are tried both from their raw initial state and warmed
+   through an initial fill, because the cache under test answers from
+   whatever state its reset sequence establishes. *)
+
+type verdict = {
+  survivors : string list; (* candidate policies consistent with all runs *)
+  sequences : int;
+  accesses : int;
+}
+
+(* Random block trace over the first [assoc + spread] blocks. *)
+let random_trace prng ~assoc ~len =
+  List.init len (fun _ ->
+      Cq_cache.Block.of_index (Cq_util.Prng.int prng (assoc + 3)))
+
+let candidate_oracles ~assoc =
+  List.concat_map
+    (fun name ->
+      match Cq_policy.Zoo.make ~name ~assoc with
+      | Error _ -> []
+      | Ok p ->
+          [
+            (name, Cq_cache.Oracle.of_policy p);
+            (name, Cq_cache.Oracle.of_policy (Cq_policy.Policy.warmed p));
+          ])
+    Cq_policy.Zoo.names
+
+let identify ?(sequences = 200) ?(max_len = 24) ?(seed = 7)
+    (cache : Cq_cache.Oracle.t) =
+  let assoc = cache.Cq_cache.Oracle.assoc in
+  let prng = Cq_util.Prng.of_int seed in
+  let candidates = ref (candidate_oracles ~assoc) in
+  let accesses = ref 0 in
+  let runs = ref 0 in
+  while !runs < sequences && !candidates <> [] do
+    let len = 2 + Cq_util.Prng.int prng (max_len - 2) in
+    let trace = random_trace prng ~assoc ~len in
+    accesses := !accesses + len;
+    let reference = cache.Cq_cache.Oracle.query trace in
+    candidates :=
+      List.filter
+        (fun (_, oracle) -> oracle.Cq_cache.Oracle.query trace = reference)
+        !candidates;
+    incr runs
+  done;
+  {
+    survivors = List.sort_uniq compare (List.map fst !candidates);
+    sequences = !runs;
+    accesses = !accesses;
+  }

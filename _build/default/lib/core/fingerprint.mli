@@ -1,0 +1,21 @@
+(** Random-testing policy identification in the style of Abel & Reineke's
+    nanoBench, discussed in the paper's related work: run random block
+    sequences against the cache under test and eliminate every candidate
+    from a pool of simulated policies that disagrees.
+
+    Fast, but pool-only and guarantee-free (cf. the learning pipeline's
+    Corollary 3.4) — and it requires a reset that fully re-establishes the
+    policy's control state, which e.g. Skylake L2's Flush+Refill does not;
+    the [ablations] benchmark quantifies the trade-off. *)
+
+type verdict = {
+  survivors : string list;  (** candidates consistent with every run *)
+  sequences : int;
+  accesses : int;
+}
+
+val identify :
+  ?sequences:int -> ?max_len:int -> ?seed:int -> Cq_cache.Oracle.t -> verdict
+(** Fingerprint the cache behind the oracle against the policy zoo (each
+    candidate tried from its raw and warmed initial state).  Stops early
+    when no candidate survives. *)

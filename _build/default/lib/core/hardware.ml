@@ -1,0 +1,92 @@
+(* Case study §7: learning replacement policies from (simulated) hardware.
+
+   This driver reproduces the Table 4 workflow for one cache set:
+   build a CacheQuery backend on the target set, calibrate the latency
+   threshold, discover a reset sequence, learn through Polca + L*, and
+   identify the resulting automaton against the policy zoo. *)
+
+type outcome =
+  | Learned of {
+      report : Learn.report;
+      reset : Cq_cachequery.Frontend.reset;
+      threshold : int;
+    }
+  | Failed of { reason : string; reset : Cq_cachequery.Frontend.reset option }
+
+type run = {
+  cpu : string;
+  level : Cq_hwsim.Cpu_model.level;
+  slice : int;
+  set : int;
+  assoc : int; (* effective associativity (CAT-reduced if requested) *)
+  cat : bool;
+  outcome : outcome;
+}
+
+let pp_outcome ppf = function
+  | Learned { report; reset; threshold } ->
+      Fmt.pf ppf "learned %d states (reset %s, threshold %dc): %s" report.Learn.states
+        (Cq_cachequery.Frontend.reset_to_string reset)
+        threshold
+        (match report.Learn.identified with
+        | [] -> "previously undocumented policy"
+        | l -> String.concat ", " l)
+  | Failed { reason; _ } -> Fmt.pf ppf "failed: %s" reason
+
+let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
+    ?equivalence ?check_hits ?(max_states = 100_000) ?(reset_trials = 24)
+    machine level =
+  let model = Cq_hwsim.Machine.model machine in
+  (match cat_ways with
+  | Some ways -> Cq_hwsim.Machine.set_cat_ways machine ways
+  | None -> ());
+  let backend =
+    Cq_cachequery.Backend.create machine
+      { Cq_cachequery.Backend.level; slice; set }
+  in
+  let threshold, _, _ = Cq_cachequery.Backend.calibrate backend in
+  let frontend = Cq_cachequery.Frontend.create ~repetitions backend in
+  let assoc = Cq_cachequery.Frontend.assoc frontend in
+  let prng = Cq_util.Prng.of_int seed in
+  let outcome =
+    match Reset.find ~trials:reset_trials ~prng frontend with
+    | None ->
+        Failed
+          {
+            reason =
+              "no deterministic reset sequence found (non-deterministic set \
+               behaviour)";
+            reset = None;
+          }
+    | Some reset -> (
+        let oracle = Cq_cachequery.Frontend.oracle frontend in
+        match
+          Learn.learn_from_cache ?equivalence ?check_hits ~memoize:false
+            ~max_states oracle
+        with
+        | report -> Learned { report; reset; threshold }
+        | exception Cq_learner.Lstar.Diverged msg ->
+            Failed { reason = "learning diverged: " ^ msg; reset = Some reset }
+        | exception Polca.Non_deterministic msg ->
+            Failed { reason = "non-deterministic responses: " ^ msg; reset = Some reset })
+  in
+  {
+    cpu = model.Cq_hwsim.Cpu_model.name;
+    level;
+    slice;
+    set;
+    assoc;
+    cat = cat_ways <> None;
+    outcome;
+  }
+
+(* Leader-A sets of a CPU's L3 (the learnable ones), per the Appendix B
+   index formulas baked into the CPU model. *)
+let l3_leader_sets ?(slice = 0) model =
+  let spec = model.Cq_hwsim.Cpu_model.l3 in
+  match spec.Cq_hwsim.Cpu_model.policy with
+  | Cq_hwsim.Cpu_model.Fixed _ -> []
+  | Cq_hwsim.Cpu_model.Adaptive { leader_a; _ } ->
+      List.filter
+        (fun set -> leader_a ~slice ~set)
+        (List.init spec.Cq_hwsim.Cpu_model.sets_per_slice (fun i -> i))

@@ -1,0 +1,48 @@
+(** Case study §7: learning replacement policies from (simulated) hardware.
+
+    One call drives the full Table 4 workflow for a cache set: backend
+    construction, latency calibration, reset-sequence discovery, learning
+    through Polca + L*, and identification against the policy zoo. *)
+
+type outcome =
+  | Learned of {
+      report : Learn.report;
+      reset : Cq_cachequery.Frontend.reset;
+      threshold : int;
+    }
+  | Failed of { reason : string; reset : Cq_cachequery.Frontend.reset option }
+
+type run = {
+  cpu : string;
+  level : Cq_hwsim.Cpu_model.level;
+  slice : int;
+  set : int;
+  assoc : int;  (** effective associativity (CAT-reduced if requested) *)
+  cat : bool;
+  outcome : outcome;
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val learn_set :
+  ?seed:int ->
+  ?cat_ways:int ->
+  ?slice:int ->
+  ?set:int ->
+  ?repetitions:int ->
+  ?equivalence:Learn.equivalence ->
+  ?check_hits:bool ->
+  ?max_states:int ->
+  ?reset_trials:int ->
+  Cq_hwsim.Machine.t ->
+  Cq_hwsim.Cpu_model.level ->
+  run
+(** Learn the policy of one cache set.  [cat_ways] virtually reduces the L3
+    associativity via Intel CAT (fails on CPUs without CAT support).
+    Failure modes mirror the paper's: no deterministic reset sequence
+    (nondeterministic sets), diverging observations, state budget
+    exhausted. *)
+
+val l3_leader_sets : ?slice:int -> Cq_hwsim.Cpu_model.t -> int list
+(** The vulnerable-leader set indices of a CPU's L3 per the Appendix B
+    formulas (the learnable L3 sets); empty for non-adaptive L3s. *)

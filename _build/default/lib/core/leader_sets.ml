@@ -1,0 +1,117 @@
+(* Appendix B: detecting adaptive policies and leader sets.
+
+   Modern L3 caches dedicate a few "leader" sets to fixed policies and let
+   the remaining "follower" sets switch between those policies based on a
+   set-dueling counter (PSEL).  We reproduce the paper's methodology:
+
+   1. Probe every scanned set with a thrashing query (working set larger
+      than the associativity) and record how many of the original blocks
+      survive — the set's *thrash signature*.
+   2. Drive the duel in both directions: thrash one signature-group of sets
+      (their misses saturate PSEL one way), re-probe; then thrash the other
+      group, re-probe.
+   3. Sets whose signature never changes are fixed (leaders): vulnerable
+      leaders always lose their working set, resistant leaders keep part of
+      it.  Sets that flip are followers.
+
+   The detected vulnerable-leader indices can then be compared against the
+   paper's index formulas (they are baked into the CPU models, so on the
+   simulated CPUs the match is exact). *)
+
+type classification =
+  | Fixed_vulnerable (* leader: always thrashes (paper: policy New2) *)
+  | Fixed_resistant (* leader: survives thrashing *)
+  | Follower (* signature follows PSEL *)
+
+let classification_to_string = function
+  | Fixed_vulnerable -> "fixed (thrash-vulnerable)"
+  | Fixed_resistant -> "fixed (thrash-resistant)"
+  | Follower -> "follower (adaptive)"
+
+type scan_result = {
+  slice : int;
+  set : int;
+  signatures : int list; (* surviving blocks per probe round *)
+  classification : classification;
+}
+
+(* Thrash probe: fill the set with '@', sweep 2x associativity fresh
+   blocks through it, then re-probe the '@' blocks.  Returns how many of
+   them survived (hit). *)
+let thrash_probe frontend =
+  let assoc = Cq_cachequery.Frontend.assoc frontend in
+  let at_blocks = Cq_cache.Block.first assoc in
+  let sweep = List.init (2 * assoc) (fun i -> Cq_cache.Block.of_index (assoc + i)) in
+  let oracle = Cq_cachequery.Frontend.oracle frontend in
+  Cq_cachequery.Frontend.set_memo frontend false;
+  let results = oracle.Cq_cache.Oracle.query (at_blocks @ sweep @ at_blocks) in
+  Cq_cachequery.Frontend.set_memo frontend true;
+  let tail = List.filteri (fun i _ -> i >= assoc + (2 * assoc)) results in
+  List.fold_left
+    (fun acc r -> if Cq_cache.Cache_set.result_is_hit r then acc + 1 else acc)
+    0 tail
+
+(* Repeated thrashing of a set, used to push PSEL. *)
+let pound frontend rounds =
+  for _ = 1 to rounds do
+    ignore (thrash_probe frontend)
+  done
+
+let scan ?(slice = 0) ?(pound_rounds = 40) machine sets =
+  let frontends =
+    List.map
+      (fun set ->
+        let backend =
+          Cq_cachequery.Backend.create machine
+            { Cq_cachequery.Backend.level = Cq_hwsim.Cpu_model.L3; slice; set }
+        in
+        ignore (Cq_cachequery.Backend.calibrate backend);
+        (set, Cq_cachequery.Frontend.create backend))
+      sets
+  in
+  (* Round 0: baseline signature. *)
+  let sig0 = List.map (fun (set, fe) -> (set, thrash_probe fe)) frontends in
+  (* Partition by baseline signature: the low group thrashes (loses most
+     blocks), the high group survives. *)
+  let vulnerable_like (_, s) = s = 0 in
+  let group_v = List.filter vulnerable_like sig0 |> List.map fst in
+  let group_r = List.filter (fun x -> not (vulnerable_like x)) sig0 |> List.map fst in
+  let fe_of set = List.assoc set frontends in
+  (* Phase 1: pound the vulnerable-like group (misses in vulnerable leaders
+     push PSEL towards the resistant policy); re-probe everything. *)
+  List.iter (fun set -> pound (fe_of set) pound_rounds) group_v;
+  let sig1 = List.map (fun (set, fe) -> (set, thrash_probe fe)) frontends in
+  (* Phase 2: pound the resistant-like group; re-probe. *)
+  List.iter (fun set -> pound (fe_of set) pound_rounds) group_r;
+  let sig2 = List.map (fun (set, fe) -> (set, thrash_probe fe)) frontends in
+  List.map
+    (fun (set, _) ->
+      let s0 = List.assoc set sig0
+      and s1 = List.assoc set sig1
+      and s2 = List.assoc set sig2 in
+      let classification =
+        if s0 = s1 && s1 = s2 then
+          if s0 = 0 then Fixed_vulnerable else Fixed_resistant
+        else Follower
+      in
+      { slice; set; signatures = [ s0; s1; s2 ]; classification })
+    (List.map (fun (s, f) -> (s, f)) frontends)
+
+(* Compare detected vulnerable leaders with the model's ground-truth
+   formula; returns (detected, expected). *)
+let check_against_model model ?(slice = 0) results =
+  let detected =
+    List.filter_map
+      (fun r ->
+        if r.classification = Fixed_vulnerable then Some r.set else None)
+      results
+  in
+  let expected =
+    match model.Cq_hwsim.Cpu_model.l3.Cq_hwsim.Cpu_model.policy with
+    | Cq_hwsim.Cpu_model.Fixed _ -> []
+    | Cq_hwsim.Cpu_model.Adaptive { leader_a; _ } ->
+        List.filter
+          (fun r -> leader_a ~slice ~set:r)
+          (List.map (fun r -> r.set) results)
+  in
+  (detected, expected)

@@ -1,0 +1,84 @@
+(* The end-to-end learning loop (§3.4): Polca as membership oracle, L* as
+   learner, W-method conformance testing (depth k) as equivalence oracle.
+
+   Corollary 3.4 holds by construction: if learning returns policy P', then
+   the policy under learning is trace-equivalent to P' or has more than
+   |P'| + k states. *)
+
+type equivalence =
+  | W_method of int (* depth k of the conformance suite *)
+  | Wp_method of int (* the paper's configuration: smaller suites, same guarantee *)
+  | Random_walk of { max_tests : int; max_len : int; seed : int }
+
+let default_equivalence = Wp_method 1
+
+type report = {
+  machine : Cq_policy.Types.output Cq_automata.Mealy.t;
+  states : int;
+  seconds : float;
+  rounds : int; (* equivalence queries issued *)
+  suffixes : int; (* distinguishing suffixes added by Rivest–Schapire *)
+  member_queries : int; (* membership queries reaching Polca *)
+  member_symbols : int;
+  cache_queries : int; (* block-trace queries reaching the cache oracle *)
+  cache_accesses : int; (* total block accesses of those queries *)
+  identified : string list; (* known policies equivalent to the result *)
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>states: %d@,time: %a@,equivalence rounds: %d@,suffixes added: \
+     %d@,membership queries: %d (%d symbols)@,cache queries: %d (%d block \
+     accesses)@,identified as: %s@]"
+    r.states Cq_util.Clock.pp_duration r.seconds r.rounds r.suffixes
+    r.member_queries r.member_symbols r.cache_queries r.cache_accesses
+    (match r.identified with [] -> "(unknown policy)" | l -> String.concat ", " l)
+
+(* Learn the replacement policy behind a cache oracle. *)
+let learn_from_cache ?(equivalence = default_equivalence) ?(check_hits = true)
+    ?(memoize = true) ?(max_states = 1_000_000) ?(identify = true) cache =
+  let cache_stats = Cq_cache.Oracle.fresh_stats () in
+  let cache = Cq_cache.Oracle.counting cache_stats cache in
+  let cache = if memoize then Cq_cache.Oracle.memoized ~stats:cache_stats cache else cache in
+  let polca = Polca.create ~check_hits cache in
+  let mstats = Cq_learner.Moracle.fresh_stats () in
+  let oracle =
+    Polca.moracle polca
+    |> Cq_learner.Moracle.counting mstats
+    |> Cq_learner.Moracle.cached ~stats:mstats
+  in
+  let find_cex =
+    match equivalence with
+    | W_method depth -> Cq_learner.Equivalence.w_method ~depth oracle
+    | Wp_method depth -> Cq_learner.Equivalence.wp_method ~depth oracle
+    | Random_walk { max_tests; max_len; seed } ->
+        Cq_learner.Equivalence.random_walk
+          ~prng:(Cq_util.Prng.of_int seed)
+          ~max_tests ~max_len oracle
+  in
+  let (result : _ Cq_learner.Lstar.result), seconds =
+    Cq_util.Clock.time (fun () ->
+        Cq_learner.Lstar.learn ~max_states ~oracle ~find_cex ())
+  in
+  {
+    machine = result.machine;
+    states = Cq_automata.Mealy.n_states result.machine;
+    seconds;
+    rounds = result.rounds;
+    suffixes = result.suffixes_added;
+    member_queries = mstats.Cq_learner.Moracle.queries;
+    member_symbols = mstats.Cq_learner.Moracle.symbols;
+    cache_queries = cache_stats.Cq_cache.Oracle.queries;
+    cache_accesses = cache_stats.Cq_cache.Oracle.block_accesses;
+    identified = (if identify then Cq_policy.Zoo.identify result.machine else []);
+  }
+
+(* Case study §6: learn a policy from a software-simulated cache. *)
+let learn_simulated ?equivalence ?check_hits ?max_states ?identify policy =
+  learn_from_cache ?equivalence ?check_hits ?max_states ?identify
+    (Cq_cache.Oracle.of_policy policy)
+
+(* Sanity check used in tests and experiments: the learned machine must be
+   trace-equivalent to the (warm-started) ground-truth policy machine. *)
+let verify_against report policy =
+  Cq_automata.Mealy.equivalent report.machine (Cq_policy.Policy.to_mealy policy)

@@ -1,0 +1,56 @@
+(** The end-to-end learning loop (§3.4 of the paper): Polca as membership
+    oracle, L* as learner, W-method conformance testing as equivalence
+    oracle.
+
+    Corollary 3.4 holds by construction: if learning a cache C(P, cc0, n)
+    returns P', then ⟦P⟧ = ⟦P'⟧ or P has more than |P'| + k states. *)
+
+type equivalence =
+  | W_method of int  (** conformance-suite depth k *)
+  | Wp_method of int  (** Wp-method, depth k: same guarantee, smaller suite *)
+  | Random_walk of { max_tests : int; max_len : int; seed : int }
+
+val default_equivalence : equivalence
+(** [Wp_method 1], the paper's configuration (§3.4). *)
+
+type report = {
+  machine : Cq_policy.Types.output Cq_automata.Mealy.t;
+  states : int;
+  seconds : float;
+  rounds : int;
+  suffixes : int;
+  member_queries : int;
+  member_symbols : int;
+  cache_queries : int;
+  cache_accesses : int;
+  identified : string list;
+      (** known policies trace-equivalent to the result (up to reset state
+          and line permutation) *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val learn_from_cache :
+  ?equivalence:equivalence ->
+  ?check_hits:bool ->
+  ?memoize:bool ->
+  ?max_states:int ->
+  ?identify:bool ->
+  Cq_cache.Oracle.t ->
+  report
+(** Learn the replacement policy behind a cache oracle.  [memoize] (default
+    true) interposes a query memo — disable it when the oracle already
+    memoizes (the CacheQuery frontend does).  May raise
+    {!Cq_learner.Lstar.Diverged} or {!Polca.Non_deterministic}. *)
+
+val learn_simulated :
+  ?equivalence:equivalence ->
+  ?check_hits:bool ->
+  ?max_states:int ->
+  ?identify:bool ->
+  Cq_policy.Policy.t ->
+  report
+(** Case study §6: learn a policy from a software-simulated cache. *)
+
+val verify_against : report -> Cq_policy.Policy.t -> bool
+(** Is the learned machine trace-equivalent to the policy's ground truth? *)

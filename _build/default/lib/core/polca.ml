@@ -1,0 +1,112 @@
+(* Polca (Algorithm 1): a membership oracle for the replacement policy,
+   built on top of a cache oracle.
+
+   The policy alphabet talks about cache *lines* (Ln(i), Evct); the cache
+   only accepts *blocks*.  Polca translates between the two by tracking the
+   cache content cc: Ln(i) maps to the block currently stored in line i;
+   Evct maps to a fresh block never used before.  A miss's victim line is
+   recovered by [find_evicted]: replay the block trace extended with each
+   previously-cached block and see which one now misses.
+
+   The resulting oracle answers *output queries* (input word over the
+   policy alphabet -> output word), which is exactly what the Mealy-machine
+   learner consumes; Theorem 3.1's trace-membership oracle is the
+   derived [member] function. *)
+
+type t = {
+  cache : Cq_cache.Oracle.t;
+  check_hits : bool;
+      (* Algorithm 1 probes the cache even for Ln(i) inputs whose result is
+         a foregone conclusion (the block is present by construction).
+         Those probes detect nondeterminism — e.g. a broken reset sequence
+         — at the cost of extra queries; disabling them is the ablation
+         discussed in the EXPERIMENTS notes. *)
+}
+
+exception Non_deterministic of string
+
+let create ?(check_hits = true) cache = { cache; check_hits }
+
+let assoc t = t.cache.Cq_cache.Oracle.assoc
+
+let n_inputs t = Cq_policy.Types.n_inputs ~assoc:(assoc t)
+
+(* Outcome of the last access of a block trace. *)
+let probe_last t blocks =
+  match List.rev (t.cache.Cq_cache.Oracle.query blocks) with
+  | last :: _ -> last
+  | [] -> invalid_arg "Polca.probe_last: empty query"
+
+(* Which line was evicted by the last block of [trace]?  Probe the trace
+   extended with each currently-tracked block; the one that misses is the
+   victim (Algorithm 1's findEvicted). *)
+let find_evicted t trace cc =
+  let n = Array.length cc in
+  let rec go i =
+    if i >= n then
+      raise
+        (Non_deterministic
+           "find_evicted: no tracked block misses after an observed miss")
+    else
+      match probe_last t (List.rev (cc.(i) :: trace)) with
+      | Cq_cache.Cache_set.Miss -> i
+      | Cq_cache.Cache_set.Hit -> go (i + 1)
+  in
+  go 0
+
+(* Answer an output query: the policy outputs along [word] (a word over the
+   flattened input alphabet: 0..n-1 = Ln(i), n = Evct). *)
+let run t word =
+  let n = assoc t in
+  let cc = Array.copy t.cache.Cq_cache.Oracle.initial_content in
+  (* Fresh blocks for Evct inputs, disjoint from cc0 and deterministic for
+     a given query (so the query memo works). *)
+  let next_fresh = ref n in
+  let trace = ref [] (* reversed block trace so far *) in
+  let outputs =
+    List.map
+      (fun input ->
+        match Cq_policy.Types.input_of_int ~assoc:n input with
+        | Cq_policy.Types.Line i ->
+            let b = cc.(i) in
+            trace := b :: !trace;
+            if t.check_hits then begin
+              match probe_last t (List.rev !trace) with
+              | Cq_cache.Cache_set.Hit -> ()
+              | Cq_cache.Cache_set.Miss ->
+                  raise
+                    (Non_deterministic
+                       "tracked block missed: reset sequence or cache \
+                        interface is unsound")
+            end;
+            None
+        | Cq_policy.Types.Evct ->
+            let b = Cq_cache.Block.of_index !next_fresh in
+            incr next_fresh;
+            trace := b :: !trace;
+            (match probe_last t (List.rev !trace) with
+            | Cq_cache.Cache_set.Miss -> ()
+            | Cq_cache.Cache_set.Hit ->
+                raise
+                  (Non_deterministic
+                     "fresh block hit: cache interface is unsound"));
+            let victim = find_evicted t !trace cc in
+            cc.(victim) <- b;
+            Some victim)
+      word
+  in
+  outputs
+
+(* The membership oracle consumed by the learner. *)
+let moracle t = { Cq_learner.Moracle.n_inputs = n_inputs t; query = run t }
+
+(* Theorem 3.1: trace membership.  [member t tr] holds iff the input/output
+   trace [tr] belongs to the policy's trace semantics. *)
+let member t tr =
+  let inputs =
+    List.map (fun (i, _) -> Cq_policy.Types.input_to_int ~assoc:(assoc t) i) tr
+  in
+  let expected = List.map snd tr in
+  match run t inputs with
+  | outputs -> outputs = expected
+  | exception Non_deterministic _ -> false

@@ -1,0 +1,34 @@
+(** Polca (Algorithm 1 of the paper): a membership oracle for the
+    replacement policy, built on top of a cache oracle.
+
+    Polca translates the policy alphabet (cache lines) into the cache
+    alphabet (memory blocks) by tracking the cache content: [Ln(i)] maps to
+    the block currently in line [i], [Evct] to a fresh block, and a miss's
+    victim line is recovered by probing the trace extended with each
+    tracked block ([findEvicted]). *)
+
+type t
+
+exception Non_deterministic of string
+(** Raised when the cache's answers are inconsistent with a deterministic
+    policy over the assumed initial content — the symptom of a broken
+    reset sequence or noisy measurements (§7.1). *)
+
+val create : ?check_hits:bool -> Cq_cache.Oracle.t -> t
+(** [check_hits] (default [true]) probes the cache even for accesses that
+    must hit by construction, exactly as Algorithm 1 is written; those
+    probes only serve to detect nondeterminism and can be disabled for a
+    ~2x cheaper oracle (see the ablation in EXPERIMENTS.md). *)
+
+val assoc : t -> int
+val n_inputs : t -> int
+
+val run : t -> int list -> Cq_policy.Types.output list
+(** Output query: the policy's outputs along a word over the flattened
+    input alphabet (0..n-1 = Ln(i), n = Evct). *)
+
+val moracle : t -> Cq_policy.Types.output Cq_learner.Moracle.t
+(** The membership oracle consumed by the learner. *)
+
+val member : t -> (Cq_policy.Types.input * Cq_policy.Types.output) list -> bool
+(** Theorem 3.1: trace membership in the policy semantics ⟦P⟧. *)

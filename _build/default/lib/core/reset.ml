@@ -1,0 +1,84 @@
+(* Reset-sequence discovery and validation (§7.1).
+
+   Polca assumes every query starts from one fixed cache-set state, but on
+   hardware that state must be (re-)established by a reset sequence — and
+   finding one requires knowledge of the very policy being learned.  The
+   paper resolves the bootstrap empirically: a wrong reset sequence makes
+   equal query prefixes produce different outputs, which is detectable.
+
+   [find] tries a list of candidate sequences (Flush+Refill first, then the
+   manual sequences the paper reports in Table 4, then heavier variants)
+   and returns the first one under which the cache behaves deterministically
+   and consistently on a battery of random block traces. *)
+
+let at = Cq_mbl.Ast.At
+
+(* 'D C B A @' generalised: the first [assoc] blocks in reverse order,
+   then the '@' fill. *)
+let reverse_fill assoc =
+  let blocks =
+    List.rev_map
+      (fun b -> Cq_mbl.Ast.Block (Cq_cache.Block.to_string b))
+      (Cq_cache.Block.first assoc)
+  in
+  Cq_mbl.Ast.Seq (blocks @ [ at ])
+
+let candidates assoc : Cq_cachequery.Frontend.reset list =
+  [
+    Cq_cachequery.Frontend.Flush_refill;
+    Cq_cachequery.Frontend.Sequence (Cq_mbl.Ast.Seq [ at; at ]);
+    Cq_cachequery.Frontend.Sequence (reverse_fill assoc);
+    Cq_cachequery.Frontend.Flush_then (Cq_mbl.Ast.Seq [ at; at ]);
+    Cq_cachequery.Frontend.Flush_then (reverse_fill assoc);
+    Cq_cachequery.Frontend.Sequence (Cq_mbl.Ast.Power (Cq_mbl.Ast.Seq [ at; at ], 2));
+    Cq_cachequery.Frontend.Flush_then
+      (Cq_mbl.Ast.Seq [ reverse_fill assoc; reverse_fill assoc ]);
+    Cq_cachequery.Frontend.Flush_then (Cq_mbl.Ast.Power (Cq_mbl.Ast.Seq [ at; at ], 3));
+  ]
+
+(* Random block trace over the learning alphabet: the initial blocks plus a
+   few fresh ones, as Polca's probes would produce. *)
+let random_trace prng assoc len =
+  List.init len (fun _ -> Cq_cache.Block.of_index (Cq_util.Prng.int prng (assoc + 3)))
+
+(* Determinism check: every query, repeated, must give identical answers,
+   and answers must be prefix-consistent (outputs of a prefix of a query
+   are a prefix of the outputs). *)
+let validate ?(trials = 24) ?(max_len = 24) ~prng frontend =
+  let assoc = Cq_cachequery.Frontend.assoc frontend in
+  let oracle = Cq_cachequery.Frontend.oracle frontend in
+  Cq_cachequery.Frontend.set_memo frontend false;
+  let ok = ref true in
+  let t = ref 0 in
+  while !ok && !t < trials do
+    let len = 2 + Cq_util.Prng.int prng (max_len - 2) in
+    let trace = random_trace prng assoc len in
+    let r1 = oracle.Cq_cache.Oracle.query trace in
+    let r2 = oracle.Cq_cache.Oracle.query trace in
+    if r1 <> r2 then ok := false
+    else begin
+      (* prefix consistency *)
+      let cut = 1 + Cq_util.Prng.int prng (len - 1) in
+      let prefix = List.filteri (fun i _ -> i < cut) trace in
+      let rp = oracle.Cq_cache.Oracle.query prefix in
+      let r1p = List.filteri (fun i _ -> i < cut) r1 in
+      if rp <> r1p then ok := false
+    end;
+    incr t
+  done;
+  Cq_cachequery.Frontend.set_memo frontend true;
+  Cq_cachequery.Frontend.clear_memo frontend;
+  !ok
+
+(* Try candidates in order; configure the frontend with the first reset
+   sequence that validates. *)
+let find ?(trials = 24) ?(max_len = 24) ~prng frontend =
+  let assoc = Cq_cachequery.Frontend.assoc frontend in
+  let rec go = function
+    | [] -> None
+    | reset :: rest ->
+        Cq_cachequery.Frontend.set_reset frontend reset;
+        Cq_cachequery.Frontend.clear_memo frontend;
+        if validate ~trials ~max_len ~prng frontend then Some reset else go rest
+  in
+  go (candidates assoc)

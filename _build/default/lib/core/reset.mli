@@ -1,0 +1,28 @@
+(** Reset-sequence discovery and validation (§7.1 of the paper).
+
+    Polca needs every query to start from one fixed cache-set state, but
+    establishing that state requires knowledge of the policy being
+    learned.  The paper resolves the bootstrap empirically: wrong reset
+    sequences make equal query prefixes produce different outputs.  [find]
+    automates exactly that. *)
+
+val candidates : int -> Cq_cachequery.Frontend.reset list
+(** Candidate reset sequences for a given associativity, in priority
+    order: Flush+Refill, the paper's manual sequences ([@ @],
+    [D C B A @]), then flush-prefixed and repeated variants. *)
+
+val validate :
+  ?trials:int -> ?max_len:int -> prng:Cq_util.Prng.t -> Cq_cachequery.Frontend.t -> bool
+(** Determinism check under the frontend's current reset sequence: random
+    block traces run twice must agree, and outputs must be
+    prefix-consistent.  Temporarily disables the query memo. *)
+
+val find :
+  ?trials:int ->
+  ?max_len:int ->
+  prng:Cq_util.Prng.t ->
+  Cq_cachequery.Frontend.t ->
+  Cq_cachequery.Frontend.reset option
+(** Try the candidates in order and configure the frontend with the first
+    that validates; [None] when the set behaves nondeterministically under
+    all of them (e.g. follower sets, Haswell's noisy leaders). *)

@@ -1,0 +1,1 @@
+lib/hwsim/cache_level.ml: Array Cpu_model Cq_policy Cq_util Hashtbl Option

@@ -1,0 +1,1 @@
+lib/hwsim/cpu_model.ml: Cq_policy Fmt List String

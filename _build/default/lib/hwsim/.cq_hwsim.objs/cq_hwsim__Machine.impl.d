@@ -1,0 +1,1 @@
+lib/hwsim/machine.ml: Array Cache_level Cpu_model Cq_util Float List Printf

@@ -1,0 +1,264 @@
+(* Models of the three processors analysed in the paper (Table 3), together
+   with the microarchitectural details the paper reverse-engineered:
+   per-level replacement policies, adaptive-L3 leader-set selection
+   (Appendix B), reset behaviour, CAT support, and load latencies.
+
+   These models are the "silicon" our CacheQuery implementation talks to;
+   they are the ground truth the learning pipeline must rediscover. *)
+
+type level = L1 | L2 | L3
+
+let level_to_string = function L1 -> "L1" | L2 -> "L2" | L3 -> "L3"
+let pp_level ppf l = Fmt.string ppf (level_to_string l)
+let all_levels = [ L1; L2; L3 ]
+
+(* How the sets of a level choose their replacement policy. *)
+type set_policy =
+  | Fixed of (int -> Cq_policy.Policy.t)
+      (* every set runs this policy (given the effective associativity) *)
+  | Adaptive of {
+      leader_a : slice:int -> set:int -> bool;
+          (* "thrash-vulnerable" fixed-policy leader sets *)
+      leader_b : slice:int -> set:int -> bool;
+          (* "thrash-resistant" fixed-policy leader sets *)
+      policy_a : int -> Cq_policy.Policy.t;
+      policy_b : int -> Cq_policy.Policy.t;
+      noisy_b : bool;
+          (* Haswell's resistant leaders look nondeterministic (Appendix B):
+             when set, leader-B fills randomly re-touch the inserted way *)
+    }
+
+type level_spec = {
+  assoc : int;
+  slices : int;
+  sets_per_slice : int;
+  hit_latency : int; (* cycles for a hit served by this level *)
+  policy : set_policy;
+  fill_touches_policy : bool;
+      (* whether installing a block into an *invalid* way updates the
+         replacement state as if the way had been accessed.  When false,
+         Flush+Refill does not reset the policy state and a custom reset
+         sequence is needed — this is what forces the '@ @' reset on
+         Haswell L1 and the 'D C B A @' reset on Skylake/Kaby Lake L2
+         (Table 4). *)
+}
+
+type t = {
+  name : string;
+  codename : string;
+  line_size : int;
+  l1 : level_spec;
+  l2 : level_spec;
+  l3 : level_spec;
+  memory_latency : int;
+  supports_cat : bool;
+  slice_masks : int array; (* XOR-fold masks; one per slice-index bit *)
+}
+
+let spec t = function L1 -> t.l1 | L2 -> t.l2 | L3 -> t.l3
+
+(* Slice-hash masks in the spirit of Maurice et al. (RAID'15): slice bit j
+   is the parity of (physical address AND mask j). *)
+let mask_2slices = [| 0x1b5f575440 |]
+let mask_4slices = [| 0x1b5f575440; 0x2eb5faa880 |]
+let mask_8slices = [| 0x1b5f575440; 0x2eb5faa880; 0x3cccc93100 |]
+
+(* Appendix B, Skylake / Kaby Lake leader-set selection:
+   vulnerable: ((set & 0x3e0) >> 5) xor (set & 0x1f) = 0x00 and set & 0x2 = 0
+   resistant:  ((set & 0x3e0) >> 5) xor (set & 0x1f) = 0x1f and set & 0x2 = 2
+   (leaders appear in every slice). *)
+let skl_fold set = ((set land 0x3e0) lsr 5) lxor (set land 0x1f)
+let skl_leader_a ~slice:_ ~set = skl_fold set = 0x00 && set land 0x2 = 0
+let skl_leader_b ~slice:_ ~set = skl_fold set = 0x1f && set land 0x2 = 0x2
+
+(* Appendix B, Haswell: leaders live only in slice 0;
+   vulnerable sets 512-575 ((set & 0x7c0) >> 6 = 0x8),
+   resistant sets 768-831 ((set & 0x7c0) >> 6 = 0xc). *)
+let hsw_leader_a ~slice ~set = slice = 0 && (set land 0x7c0) lsr 6 = 0x8
+let hsw_leader_b ~slice ~set = slice = 0 && (set land 0x7c0) lsr 6 = 0xc
+
+let plru assoc = Cq_policy.Plru.make assoc
+let new1 assoc = Cq_policy.Newpol.make_new1 assoc
+let new2 assoc = Cq_policy.Newpol.make_new2 assoc
+
+(* The thrash-resistant leader policy.  The paper could not learn Intel's
+   (it hides behind nondeterminism on Haswell and adaptivity elsewhere);
+   we model it as LIP — the canonical thrash-resistant insertion policy
+   from the set-dueling literature [Qureshi et al.] — which retains the
+   working set under any sweep, giving leader-B sets a stable signature. *)
+let resistant assoc = Cq_policy.Lip.make assoc
+
+let haswell =
+  {
+    name = "i7-4790";
+    codename = "Haswell";
+    line_size = 64;
+    l1 =
+      {
+        assoc = 8;
+        slices = 1;
+        sets_per_slice = 64;
+        hit_latency = 4;
+        policy = Fixed plru;
+        (* Haswell L1 fills do not refresh the PLRU bits, so Flush+Refill
+           does not reset the control state; '@ @' does (Table 4). *)
+        fill_touches_policy = false;
+      };
+    l2 =
+      {
+        assoc = 8;
+        slices = 1;
+        sets_per_slice = 512;
+        hit_latency = 12;
+        policy = Fixed plru;
+        fill_touches_policy = true;
+      };
+    l3 =
+      {
+        assoc = 16;
+        slices = 4;
+        sets_per_slice = 2048;
+        hit_latency = 42;
+        policy =
+          Adaptive
+            {
+              leader_a = hsw_leader_a;
+              leader_b = hsw_leader_b;
+              policy_a = new2;
+              policy_b = resistant;
+              noisy_b = true;
+            };
+        fill_touches_policy = true;
+      };
+    memory_latency = 230;
+    supports_cat = false;
+    slice_masks = mask_4slices;
+  }
+
+let skylake =
+  {
+    name = "i5-6500";
+    codename = "Skylake";
+    line_size = 64;
+    l1 =
+      {
+        assoc = 8;
+        slices = 1;
+        sets_per_slice = 64;
+        hit_latency = 4;
+        policy = Fixed plru;
+        fill_touches_policy = true;
+      };
+    l2 =
+      {
+        assoc = 4;
+        slices = 1;
+        sets_per_slice = 1024;
+        hit_latency = 12;
+        policy = Fixed new1;
+        (* New1's age bits are not refreshed by fills of invalid ways:
+           Flush+Refill leaves them stale, hence the 'D C B A @' reset. *)
+        fill_touches_policy = false;
+      };
+    l3 =
+      {
+        assoc = 12;
+        slices = 8;
+        sets_per_slice = 1024;
+        hit_latency = 40;
+        policy =
+          Adaptive
+            {
+              leader_a = skl_leader_a;
+              leader_b = skl_leader_b;
+              policy_a = new2;
+              policy_b = resistant;
+              noisy_b = false;
+            };
+        fill_touches_policy = true;
+      };
+    memory_latency = 220;
+    supports_cat = true;
+    slice_masks = mask_8slices;
+  }
+
+let kaby_lake =
+  {
+    skylake with
+    name = "i7-8550U";
+    codename = "Kaby Lake";
+    l3 = { skylake.l3 with assoc = 16 };
+  }
+
+(* A miniature CPU for tests: tiny caches with the same structural features
+   (three levels, slices, an adaptive L3 with leader sets, CAT) so that the
+   whole pipeline — calibration, filtering, reset discovery, learning —
+   runs in milliseconds. *)
+let toy =
+  {
+    name = "toy-1000";
+    codename = "Toy";
+    line_size = 64;
+    l1 =
+      {
+        assoc = 2;
+        slices = 1;
+        sets_per_slice = 8;
+        hit_latency = 4;
+        policy = Fixed plru;
+        fill_touches_policy = true;
+      };
+    l2 =
+      {
+        assoc = 2;
+        slices = 1;
+        sets_per_slice = 16;
+        hit_latency = 12;
+        policy = Fixed new1;
+        fill_touches_policy = false;
+      };
+    l3 =
+      {
+        assoc = 4;
+        slices = 2;
+        sets_per_slice = 32;
+        hit_latency = 40;
+        policy =
+          Adaptive
+            {
+              (* PLRU as the thrash-vulnerable leader policy keeps the
+                 toy's L3 learnable in milliseconds (8 control states);
+                 the real CPUs' New2 leaders are exercised by the Table 4
+                 benchmark. *)
+              leader_a = (fun ~slice:_ ~set -> set mod 8 = 0);
+              leader_b = (fun ~slice:_ ~set -> set mod 8 = 4);
+              policy_a = plru;
+              policy_b = resistant;
+              noisy_b = false;
+            };
+        fill_touches_policy = true;
+      };
+    memory_latency = 200;
+    supports_cat = true;
+    slice_masks = mask_2slices;
+  }
+
+let all = [ haswell; skylake; kaby_lake ]
+
+let by_name name =
+  List.find_opt
+    (fun t ->
+      String.lowercase_ascii t.name = String.lowercase_ascii name
+      || String.lowercase_ascii t.codename = String.lowercase_ascii name)
+    all
+
+(* Table 3, for the benchmark harness. *)
+let pp_specs ppf t =
+  Fmt.pf ppf "@[<v>%s (%s)@," t.name t.codename;
+  List.iter
+    (fun level ->
+      let s = spec t level in
+      Fmt.pf ppf "  %a: assoc %d, %d slice(s), %d sets per slice@," pp_level
+        level s.assoc s.slices s.sets_per_slice)
+    all_levels;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,1 @@
+lib/learner/equivalence.ml: Array Cq_automata Cq_util Fun Hashtbl List Moracle Option Seq

@@ -1,0 +1,1 @@
+lib/learner/equivalence.mli: Cq_automata Cq_util Moracle Seq

@@ -1,0 +1,1 @@
+lib/learner/lstar.ml: Array Cq_automata Cq_util Hashtbl List Moracle

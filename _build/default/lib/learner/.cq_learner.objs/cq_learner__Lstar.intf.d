@@ -1,0 +1,1 @@
+lib/learner/lstar.mli: Cq_automata Moracle

@@ -1,0 +1,1 @@
+lib/learner/moracle.ml: Cq_automata Hashtbl List

@@ -1,0 +1,1 @@
+lib/learner/moracle.mli: Cq_automata

@@ -1,0 +1,187 @@
+(* Equivalence oracles: approximations of the teacher's equivalence query
+   by conformance testing (§3.3).
+
+   The main oracle is the W-method with depth parameter [k]: its test suite
+   is (|H| + k)-complete, giving the guarantee of Theorem 3.3 / Corollary
+   3.4 — if the suite passes, the true machine is equivalent to the
+   hypothesis or has more than |H| + k states.
+
+   A random-walk oracle is provided as the cheaper heuristic alternative
+   the paper mentions, and a "perfect" oracle (ground truth available) is
+   used in tests and ablations. *)
+
+type 'o t = 'o Cq_automata.Mealy.t -> int list option
+
+(* Characterization set: a set of input words separating every pair of
+   states of [m].  Built incrementally: while two states are unseparated,
+   find a shortest distinguishing word via product BFS and add it. *)
+let characterization_set m =
+  let n = Cq_automata.Mealy.n_states m in
+  let w = ref [] in
+  let signature s =
+    List.map (fun word -> Cq_automata.Mealy.run_from m s word) !w
+  in
+  let finished = ref false in
+  while not !finished do
+    let groups : ('a, int) Hashtbl.t = Hashtbl.create 97 in
+    let clash = ref None in
+    (* Find two states with equal signatures. *)
+    let s = ref 0 in
+    while !clash = None && !s < n do
+      let sg = Cq_util.Deep.pack (signature !s) in
+      (match Hashtbl.find_opt groups sg with
+      | Some s' -> clash := Some (s', !s)
+      | None -> Hashtbl.add groups sg !s);
+      incr s
+    done;
+    match !clash with
+    | None -> finished := true
+    | Some (p, q) -> (
+        match
+          Cq_automata.Mealy.find_counterexample ~from_a:(Some p)
+            ~from_b:(Some q) m m
+        with
+        | Some word -> w := word :: !w
+        | None ->
+            (* Unminimized hypothesis: p and q are genuinely equivalent.
+               Cannot happen for L* hypotheses (rows are distinct), but
+               guard against misuse with a separating no-op. *)
+            invalid_arg "Equivalence.characterization_set: machine not minimal")
+  done;
+  !w
+
+(* All input words of length <= k, shortest first. *)
+let words_up_to n_inputs k =
+  let rec level ws acc = function
+    | 0 -> List.rev acc
+    | remaining ->
+        let ws' =
+          List.concat_map (fun w -> List.init n_inputs (fun i -> w @ [ i ])) ws
+        in
+        level ws' (List.rev_append ws' acc) (remaining - 1)
+  in
+  [] :: level [ [] ] [] k
+
+(* W-method test suite for hypothesis [h] with depth [k]:
+   { access(s) · i · m · w  |  s state, i input, m ∈ I^{<=k}, w ∈ W ∪ {ε} }.
+   Returned lazily as a Seq so the caller can stop at the first failure. *)
+let w_method_suite ~depth h =
+  let n_inputs = Cq_automata.Mealy.n_inputs h in
+  let access = Cq_automata.Mealy.access_sequences h in
+  let w_set = [] :: characterization_set h in
+  let middles = words_up_to n_inputs depth in
+  let states = List.init (Cq_automata.Mealy.n_states h) (fun s -> s) in
+  (* Order tests roughly by length: iterate middles outermost (they grow),
+     then states, inputs, and suffixes. *)
+  List.to_seq middles
+  |> Seq.concat_map (fun m ->
+         List.to_seq states
+         |> Seq.concat_map (fun s ->
+                let acc = Option.value (access.(s)) ~default:[] in
+                Seq.init n_inputs (fun i ->
+                    List.to_seq w_set |> Seq.map (fun w -> acc @ (i :: m) @ w))
+                |> Seq.concat))
+
+(* Run a test word against the oracle and the hypothesis. *)
+let run_test (oracle : 'o Moracle.t) h word =
+  let o = oracle.Moracle.query word in
+  let hh = Cq_automata.Mealy.run h word in
+  o <> hh
+
+let w_method ?(depth = 1) (oracle : 'o Moracle.t) : 'o t =
+ fun h ->
+  let suite = w_method_suite ~depth h in
+  Seq.find (fun word -> run_test oracle h word) suite
+
+
+(* The Wp-method [Fujiwara et al. 1991], the suite the paper actually uses
+   (§3.4): phase 1 tests the state cover against the full characterization
+   set W; phase 2 tests the transition cover against the *state
+   identification set* W_s of the state each test word reaches — a subset
+   of W sufficient to tell s apart from every other state.  Same
+   (|H|+k)-completeness as the W-method, usually far fewer symbols. *)
+
+(* For each state, a minimal-ish subset of W distinguishing it from every
+   other state: greedily pick words that split off the remaining
+   confusable states. *)
+let identification_sets m w_set =
+  let n = Cq_automata.Mealy.n_states m in
+  let response s w = Cq_automata.Mealy.run_from m s w in
+  Array.init n (fun s ->
+      let confusable = ref (List.filter (fun t -> t <> s) (List.init n Fun.id)) in
+      let chosen = ref [] in
+      List.iter
+        (fun w ->
+          if !confusable <> [] then begin
+            let rs = response s w in
+            let still = List.filter (fun t -> response t w = rs) !confusable in
+            if List.length still < List.length !confusable then begin
+              chosen := w :: !chosen;
+              confusable := still
+            end
+          end)
+        w_set;
+      (* W separates all pairs, so nothing remains confusable. *)
+      assert (!confusable = []);
+      List.rev !chosen)
+
+let wp_method_suite ~depth h =
+  let n_inputs = Cq_automata.Mealy.n_inputs h in
+  let access = Cq_automata.Mealy.access_sequences h in
+  let w_set = characterization_set h in
+  let w_all = [] :: w_set in
+  let wp = identification_sets h w_set in
+  let middles = words_up_to n_inputs depth in
+  let states = List.init (Cq_automata.Mealy.n_states h) (fun s -> s) in
+  let phase1 =
+    (* state cover x I^{<=k} x (W ∪ {ε}) *)
+    List.to_seq states
+    |> Seq.concat_map (fun s ->
+           let acc = Option.value access.(s) ~default:[] in
+           List.to_seq middles
+           |> Seq.concat_map (fun m ->
+                  List.to_seq w_all |> Seq.map (fun w -> acc @ m @ w)))
+  in
+  let phase2 =
+    (* transition cover x I^{<=k} x Wp(reached state) *)
+    List.to_seq states
+    |> Seq.concat_map (fun s ->
+           let acc = Option.value access.(s) ~default:[] in
+           Seq.init n_inputs (fun i ->
+               List.to_seq middles
+               |> Seq.concat_map (fun m ->
+                      let reached =
+                        Cq_automata.Mealy.state_after h (acc @ (i :: m))
+                      in
+                      let ws = match wp.(reached) with [] -> [ [] ] | ws -> ws in
+                      List.to_seq ws |> Seq.map (fun w -> acc @ (i :: m) @ w)))
+           |> Seq.concat)
+  in
+  Seq.append phase1 phase2
+
+(* Random walks: [max_tests] random words of length up to [max_len]. *)
+let random_walk ~prng ?(max_tests = 10_000) ?(max_len = 30)
+    (oracle : 'o Moracle.t) : 'o t =
+ fun h ->
+  let n_inputs = oracle.Moracle.n_inputs in
+  let rec go t =
+    if t >= max_tests then None
+    else
+      let len = 1 + Cq_util.Prng.int prng max_len in
+      let word = List.init len (fun _ -> Cq_util.Prng.int prng n_inputs) in
+      if run_test oracle h word then Some word else go (t + 1)
+  in
+  go 0
+
+(* Ground truth available: exact equivalence via product BFS. *)
+let perfect (truth : 'o Cq_automata.Mealy.t) : 'o t =
+ fun h -> Cq_automata.Mealy.find_counterexample truth h
+let wp_method ?(depth = 1) (oracle : 'o Moracle.t) : 'o t =
+ fun h ->
+  let suite = wp_method_suite ~depth h in
+  Seq.find (fun word -> run_test oracle h word) suite
+
+(* Total number of input symbols in a suite — the cost metric for the
+   W-vs-Wp ablation. *)
+let suite_symbols suite =
+  Seq.fold_left (fun acc w -> acc + List.length w) 0 suite

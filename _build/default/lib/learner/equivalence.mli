@@ -1,0 +1,48 @@
+(** Equivalence oracles: conformance-testing approximations of the
+    teacher's equivalence query (§3.3 of the paper).
+
+    The W-method suite with depth [k] is [(|H| + k)]-complete, yielding
+    the guarantee of Theorem 3.3 / Corollary 3.4: if the suite passes, the
+    system under learning is equivalent to the hypothesis or has more than
+    [|H| + k] states. *)
+
+type 'o t = 'o Cq_automata.Mealy.t -> int list option
+(** An equivalence oracle maps a hypothesis to a counterexample word, or
+    [None] when no disagreement is found. *)
+
+val characterization_set : 'o Cq_automata.Mealy.t -> int list list
+(** A set of input words separating every pair of states of a minimal
+    machine.  Raises [Invalid_argument] on non-minimal machines. *)
+
+val words_up_to : int -> int -> int list list
+(** [words_up_to n_inputs k]: all input words of length [<= k], shortest
+    first (including the empty word). *)
+
+val w_method_suite : depth:int -> 'o Cq_automata.Mealy.t -> int list Seq.t
+(** The (|H|+depth)-complete test suite, lazily. *)
+
+val w_method : ?depth:int -> 'o Moracle.t -> 'o t
+(** Conformance testing with the W-method; [depth] defaults to 1 (the
+    paper's k). *)
+
+val identification_sets :
+  'o Cq_automata.Mealy.t -> int list list -> int list list array
+(** Per-state identification sets: for each state, a subset of the given
+    characterization set distinguishing it from every other state. *)
+
+val wp_method_suite : depth:int -> 'o Cq_automata.Mealy.t -> int list Seq.t
+(** The Wp-method suite [Fujiwara et al. 1991] — the suite the paper's
+    implementation uses; same (|H|+depth)-completeness as the W-method
+    with (usually far) fewer symbols. *)
+
+val wp_method : ?depth:int -> 'o Moracle.t -> 'o t
+
+val suite_symbols : int list Seq.t -> int
+(** Total input symbols in a suite (the W-vs-Wp ablation metric). *)
+
+val random_walk :
+  prng:Cq_util.Prng.t -> ?max_tests:int -> ?max_len:int -> 'o Moracle.t -> 'o t
+(** The cheaper random-testing heuristic the paper mentions (§6). *)
+
+val perfect : 'o Cq_automata.Mealy.t -> 'o t
+(** Exact equivalence against a known ground truth (tests/ablations). *)

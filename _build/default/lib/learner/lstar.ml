@@ -1,0 +1,225 @@
+(* Active learning of Mealy machines: Angluin's L* in its Mealy variant
+   (Niese), with Rivest–Schapire counterexample processing.
+
+   The learner maintains a reduced observation table:
+   - S: access words, one per discovered state, with pairwise distinct rows;
+   - E: distinguishing suffixes, always containing every single-input word
+     (so transition outputs can be read off the table directly);
+   - row(u): for each e in E, the output word the system produces for the
+     suffix e after executing u.
+
+   Counterexamples from the equivalence oracle are processed by binary
+   search (Rivest–Schapire), adding a single distinguishing suffix to E per
+   round, which keeps the table narrow even for machines with thousands of
+   states. *)
+
+type 'o result = {
+  machine : 'o Cq_automata.Mealy.t;
+  rounds : int;
+  suffixes_added : int;
+}
+
+exception Diverged of string
+
+let learn ?(max_states = 1_000_000) ~(oracle : 'o Moracle.t)
+    ~(find_cex : 'o Cq_automata.Mealy.t -> int list option) () =
+  let k = oracle.Moracle.n_inputs in
+  if k < 1 then invalid_arg "Lstar.learn: empty input alphabet";
+  (* E always contains the singleton suffixes, in input order. *)
+  let suffixes : int list list ref = ref (List.init k (fun i -> [ i ])) in
+  let suffixes_added = ref 0 in
+  let rounds = ref 0 in
+
+  (* The output word of suffix [e] after access word [u]. *)
+  let suffix_outputs u e =
+    let outputs = oracle.Moracle.query (u @ e) in
+    let drop = List.length u in
+    List.filteri (fun i _ -> i >= drop) outputs
+  in
+  (* Row cache: rows of the same word are requested many times (closure
+     checks, hypothesis construction).  E only ever grows by appending, so
+     a cached row is extended in place with the missing columns instead of
+     being recomputed. *)
+  let row_cache : (int list Cq_util.Deep.t, 'o list list) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  let row u =
+    let key = Cq_util.Deep.pack u in
+    let n_suffixes = List.length !suffixes in
+    match Hashtbl.find_opt row_cache key with
+    | Some r when List.length r = n_suffixes -> r
+    | cached ->
+        let have = match cached with Some r -> List.length r | None -> 0 in
+        let missing =
+          List.filteri (fun i _ -> i >= have) !suffixes
+          |> List.map (suffix_outputs u)
+        in
+        let r = (match cached with Some r -> r | None -> []) @ missing in
+        Hashtbl.replace row_cache key r;
+        r
+  in
+
+  (* S: representatives (access words) with pairwise distinct rows. *)
+  let reps : int list array ref = ref [||] in
+  let rep_rows : ('o list list Cq_util.Deep.t, int) Hashtbl.t = Hashtbl.create 97 in
+
+  let add_rep u r =
+    let idx = Array.length !reps in
+    if idx >= max_states then raise (Diverged "state budget exhausted");
+    reps := Array.append !reps [| u |];
+    Hashtbl.add rep_rows (Cq_util.Deep.pack r) idx;
+    idx
+  in
+
+  let rebuild_table () =
+    Hashtbl.reset rep_rows;
+    let old = !reps in
+    reps := [||];
+    Array.iter
+      (fun u ->
+        let r = row u in
+        (* Distinct representatives may collapse after E changes only if the
+           oracle is inconsistent; with a growing E rows can only get finer,
+           so a collision indicates divergence. *)
+        if Hashtbl.mem rep_rows (Cq_util.Deep.pack r) then
+          raise (Diverged "representative rows collapsed")
+        else ignore (add_rep u r))
+      old
+  in
+
+  (* Close the table: every one-step extension of a representative must have
+     the row of some representative.  A single pass over the growing
+     representative array suffices: appended representatives are themselves
+     processed before the loop ends. *)
+  let close () =
+    let s = ref 0 in
+    while !s < Array.length !reps do
+      let u = !reps.(!s) in
+      for i = 0 to k - 1 do
+        let r = row (u @ [ i ]) in
+        if not (Hashtbl.mem rep_rows (Cq_util.Deep.pack r)) then
+          ignore (add_rep (u @ [ i ]) r)
+      done;
+      incr s
+    done
+  in
+
+  let build_hypothesis () =
+    let n = Array.length !reps in
+    let next = Array.make_matrix n k 0 in
+    (* Outputs: entry of suffix [i] (singleton suffixes are the first k
+       columns of the table, in input order). *)
+    let out =
+      Array.init n (fun s ->
+          let u = !reps.(s) in
+          Array.init k (fun i ->
+              match suffix_outputs u [ i ] with
+              | [ o ] -> o
+              | _ -> assert false))
+    in
+    for s = 0 to n - 1 do
+      let u = !reps.(s) in
+      for i = 0 to k - 1 do
+        let r = row (u @ [ i ]) in
+        match Hashtbl.find_opt rep_rows (Cq_util.Deep.pack r) with
+        | Some s' -> next.(s).(i) <- s'
+        | None -> assert false (* table is closed *)
+      done
+    done;
+    Cq_automata.Mealy.make ~init:0 ~n_inputs:k ~next ~out
+  in
+
+  (* Rivest–Schapire: find a distinguishing suffix from counterexample [w]
+     and add it to E. *)
+  let process_cex hyp w =
+    (* Truncate w at the first output mismatch. *)
+    let o_out = oracle.Moracle.query w in
+    let h_out = Cq_automata.Mealy.run hyp w in
+    let rec first_diff i os hs =
+      match (os, hs) with
+      | o :: os', h :: hs' -> if o <> h then Some i else first_diff (i + 1) os' hs'
+      | _ -> None
+    in
+    match first_diff 0 o_out h_out with
+    | None -> false (* not actually a counterexample *)
+    | Some idx ->
+        let w = List.filteri (fun i _ -> i <= idx) w in
+        let m = List.length w in
+        let prefix j = List.filteri (fun i _ -> i < j) w in
+        let suffix_from j = List.filteri (fun i _ -> i >= j) w in
+        let access j =
+          !reps.(Cq_automata.Mealy.state_after hyp (prefix j))
+        in
+        (* A(j): the oracle agrees with the hypothesis when the length-j
+           prefix is replaced by the access word of the state it reaches. *)
+        let agrees j =
+          let a = access j in
+          let v = suffix_from j in
+          let o = suffix_outputs a v in
+          let h =
+            Cq_automata.Mealy.run_from hyp
+              (Cq_automata.Mealy.state_after hyp (prefix j))
+              v
+          in
+          o = h
+        in
+        (* A(0) = false (genuine cex), A(m) = true (empty suffix).  Binary
+           search for a crossing ¬A(j) ∧ A(j+1). *)
+        let lo = ref 0 and hi = ref m in
+        (* invariant: ¬A(lo), A(hi) *)
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if agrees mid then hi := mid else lo := mid
+        done;
+        let j = !lo in
+        let v = suffix_from (j + 1) in
+        if v = [] then raise (Diverged "empty distinguishing suffix");
+        if List.mem v !suffixes then
+          raise (Diverged "distinguishing suffix already in E")
+        else begin
+          suffixes := !suffixes @ [ v ];
+          incr suffixes_added;
+          true
+        end
+  in
+
+  (* Main loop.  A counterexample is re-processed against every refined
+     hypothesis until the hypothesis agrees with it; only then do we pay
+     for another conformance-testing round. *)
+  ignore (add_rep [] (row []));
+  close ();
+  let result = ref None in
+  let pending = ref None in
+  while !result = None do
+    let hyp = build_hypothesis () in
+    let progressed =
+      match !pending with
+      | Some w when process_cex hyp w ->
+          rebuild_table ();
+          close ();
+          true
+      | _ ->
+          pending := None;
+          false
+    in
+    if not progressed then begin
+      incr rounds;
+      match find_cex hyp with
+      | None -> result := Some hyp
+      | Some w ->
+          if not (process_cex hyp w) then
+            raise
+              (Diverged "equivalence oracle returned a spurious counterexample");
+          pending := Some w;
+          rebuild_table ();
+          close ()
+    end
+  done;
+  match !result with
+  | Some machine ->
+      {
+        machine;
+        rounds = !rounds;
+        suffixes_added = !suffixes_added;
+      }
+  | None -> assert false

@@ -1,0 +1,25 @@
+(** Active learning of Mealy machines: L* (Angluin/Niese) with
+    Rivest–Schapire counterexample processing — the role LearnLib plays in
+    the paper (§3.1/§3.4). *)
+
+type 'o result = {
+  machine : 'o Cq_automata.Mealy.t;
+  rounds : int;  (** equivalence queries issued *)
+  suffixes_added : int;  (** distinguishing suffixes added to E *)
+}
+
+exception Diverged of string
+(** The observation table could not be stabilised: the system under
+    learning is nondeterministic, the equivalence oracle returned a
+    spurious counterexample, or the state budget was exhausted. *)
+
+val learn :
+  ?max_states:int ->
+  oracle:'o Moracle.t ->
+  find_cex:('o Cq_automata.Mealy.t -> int list option) ->
+  unit ->
+  'o result
+(** Learn the machine behind [oracle].  [find_cex] is the equivalence
+    oracle (e.g. {!Equivalence.w_method}); learning terminates when it
+    returns [None].  [max_states] (default 1,000,000) bounds the number of
+    discovered states. *)

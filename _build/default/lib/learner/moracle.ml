@@ -1,0 +1,104 @@
+(* Membership oracle for Mealy-machine learning: answers *output queries*,
+   i.e. maps an input word to the output word produced from the (fixed)
+   initial state of the system under learning.
+
+   This is the interface between the L* learner and Polca: Polca implements
+   [query] by translating policy inputs into cache probes (Algorithm 1). *)
+
+type 'o t = {
+  n_inputs : int;
+  query : int list -> 'o list;
+}
+
+type stats = {
+  mutable queries : int;      (* queries reaching the underlying system *)
+  mutable symbols : int;      (* total input symbols of those queries *)
+  mutable cache_hits : int;   (* queries answered by the prefix cache *)
+}
+
+let fresh_stats () = { queries = 0; symbols = 0; cache_hits = 0 }
+
+let counting stats t =
+  {
+    t with
+    query =
+      (fun w ->
+        stats.queries <- stats.queries + 1;
+        stats.symbols <- stats.symbols + List.length w;
+        t.query w);
+  }
+
+(* Prefix-tree cache.  Output queries are prefix-closed (the outputs of a
+   prefix are a prefix of the outputs), so a trie lets us answer any query
+   whose whole path is known, and to extend partial knowledge cheaply. *)
+module Trie = struct
+  type 'o node = {
+    mutable out : 'o option; (* output on the edge leading here *)
+    children : (int, 'o node) Hashtbl.t;
+  }
+
+  let create () = { out = None; children = Hashtbl.create 4 }
+
+  let rec lookup node = function
+    | [] -> Some []
+    | i :: rest -> (
+        match Hashtbl.find_opt node.children i with
+        | None -> None
+        | Some child -> (
+            match child.out with
+            | None -> None
+            | Some o -> (
+                match lookup child rest with
+                | None -> None
+                | Some os -> Some (o :: os))))
+
+  let insert node word outputs =
+    let rec go node word outputs =
+      match (word, outputs) with
+      | [], [] -> ()
+      | i :: wrest, o :: orest ->
+          let child =
+            match Hashtbl.find_opt node.children i with
+            | Some c -> c
+            | None ->
+                let c = create () in
+                Hashtbl.add node.children i c;
+                c
+          in
+          (match child.out with
+          | None -> child.out <- Some o
+          | Some o' ->
+              if o' <> o then
+                failwith
+                  "Moracle: inconsistent outputs for the same input word \
+                   (the system under learning is nondeterministic)");
+          go child wrest orest
+      | _ -> invalid_arg "Moracle.Trie.insert: length mismatch"
+    in
+    go node word outputs
+end
+
+let cached ?stats t =
+  let root = Trie.create () in
+  {
+    t with
+    query =
+      (fun w ->
+        match Trie.lookup root w with
+        | Some outputs ->
+            (match stats with
+            | Some s -> s.cache_hits <- s.cache_hits + 1
+            | None -> ());
+            outputs
+        | None ->
+            let outputs = t.query w in
+            if List.length outputs <> List.length w then
+              failwith "Moracle: output word length mismatch";
+            Trie.insert root w outputs;
+            outputs);
+  }
+
+(* Oracle backed by an explicit Mealy machine — ground truth in tests and
+   the "perfect teacher" ablation. *)
+let of_mealy m =
+  { n_inputs = Cq_automata.Mealy.n_inputs m; query = Cq_automata.Mealy.run m }

@@ -1,0 +1,27 @@
+(** Membership oracle for Mealy-machine learning: answers output queries
+    (input word -> output word from the fixed initial state of the system
+    under learning).  Polca implements this interface over a cache
+    (Algorithm 1 of the paper). *)
+
+type 'o t = {
+  n_inputs : int;
+  query : int list -> 'o list;
+}
+
+type stats = {
+  mutable queries : int;  (** queries reaching the underlying system *)
+  mutable symbols : int;
+  mutable cache_hits : int;  (** queries answered by the prefix cache *)
+}
+
+val fresh_stats : unit -> stats
+
+val counting : stats -> 'o t -> 'o t
+
+val cached : ?stats:stats -> 'o t -> 'o t
+(** Prefix-tree cache: a query whose whole path is known is answered
+    locally.  Raises [Failure _] when the underlying system returns
+    inconsistent outputs for the same word (nondeterminism detection). *)
+
+val of_mealy : 'o Cq_automata.Mealy.t -> 'o t
+(** Oracle backed by an explicit machine (ground truth in tests). *)

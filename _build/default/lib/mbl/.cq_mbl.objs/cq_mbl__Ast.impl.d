@@ -1,0 +1,1 @@
+lib/mbl/ast.ml: Fmt

@@ -1,0 +1,1 @@
+lib/mbl/expand.ml: Ast Cq_cache Fmt Format List Parser

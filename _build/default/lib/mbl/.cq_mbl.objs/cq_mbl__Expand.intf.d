@@ -1,0 +1,1 @@
+lib/mbl/expand.mli: Ast Cq_cache Format

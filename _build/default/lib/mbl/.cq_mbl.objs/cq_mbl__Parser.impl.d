@@ -1,0 +1,1 @@
+lib/mbl/parser.ml: Ast Format List String

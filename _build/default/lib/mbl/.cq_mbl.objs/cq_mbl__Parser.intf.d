@@ -1,0 +1,1 @@
+lib/mbl/parser.mli: Ast

@@ -1,0 +1,41 @@
+(* Abstract syntax of MemBlockLang (§4.1, Appendix A).
+
+   Concrete syntax notes (the paper's notation, ASCII-ised):
+   - concatenation (the paper's ∘) is juxtaposition: [A B C];
+   - the expansion macro [@] and wildcard [_] are literal;
+   - tags are postfix [?] (profile) and [!] (flush);
+   - the power operator is a postfix integer: [(A B C)3];
+   - extension is a postfix bracket: [(A B C D)[E F]];
+   - sets are brace-enclosed, comma-separated: [{A B, C}]. *)
+
+type tag = Profile | Flush
+
+type t =
+  | Block of string (* a named block, resolved at expansion time *)
+  | Seq of t list (* juxtaposition: query-set concatenation product *)
+  | Set of t list (* {q1, ..., ql} *)
+  | At (* '@' — associativity-many blocks in order *)
+  | Wildcard (* '_' — associativity-many single-block queries *)
+  | Tagged of t * tag (* (s)? or (s)! *)
+  | Extend of t * t (* s1[s2] *)
+  | Power of t * int (* (s)^k *)
+
+let rec pp ppf = function
+  | Block name -> Fmt.string ppf name
+  | Seq items -> Fmt.(list ~sep:(any " ") pp_atom) ppf items
+  | Set items -> Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp) items
+  | At -> Fmt.string ppf "@"
+  | Wildcard -> Fmt.string ppf "_"
+  | Tagged (e, Profile) -> Fmt.pf ppf "%a?" pp_atom e
+  | Tagged (e, Flush) -> Fmt.pf ppf "%a!" pp_atom e
+  | Extend (e1, e2) -> Fmt.pf ppf "%a[%a]" pp_atom e1 pp e2
+  | Power (e, k) -> Fmt.pf ppf "%a%d" pp_atom e k
+
+and pp_atom ppf e =
+  match e with
+  (* Power must be parenthesized as a base: 'D2' followed by another power
+     would otherwise print as 'D22' and re-parse as D^22. *)
+  | Seq _ | Extend _ | Power _ -> Fmt.pf ppf "(%a)" pp e
+  | _ -> pp ppf e
+
+let to_string e = Fmt.str "%a" pp e

@@ -1,0 +1,107 @@
+(* Expansion of MBL expressions into sets of concrete queries — the formal
+   semantics of Appendix A.
+
+   A query is a sequence of memory operations: a block plus an optional tag
+   ('?' profile, '!' flush).  Expansion is compositional; the size of the
+   result is guarded by [max_queries] since concatenation and power multiply
+   query counts. *)
+
+type element = { block : Cq_cache.Block.t; tag : Ast.tag option }
+type query = element list
+
+exception Expansion_error of string
+
+let error fmt = Format.kasprintf (fun msg -> raise (Expansion_error msg)) fmt
+
+(* Block-name resolution.  Uppercase names are spreadsheet-style indices
+   (A=0, B=1, ..., Z=25, AA=26, ...), matching the order the '@' and '_'
+   macros draw from.  Lowercase names denote an auxiliary pool of blocks
+   guaranteed disjoint from any realistic '@' expansion (offset 100000);
+   Appendix B's thrashing query '@ M a M?' uses such a block. *)
+let resolve name =
+  match Cq_cache.Block.of_string name with
+  | b -> b
+  | exception Invalid_argument _ -> error "bad block name %S" name
+
+let untagged block = { block; tag = None }
+
+let rec expand_expr ~assoc ~max_queries (e : Ast.t) : query list =
+  let guard qs =
+    if List.length qs > max_queries then
+      error "expansion exceeds %d queries" max_queries
+    else qs
+  in
+  match e with
+  | Ast.Block name -> [ [ untagged (resolve name) ] ]
+  | Ast.At -> [ List.map untagged (Cq_cache.Block.first assoc) ]
+  | Ast.Wildcard ->
+      List.map (fun b -> [ untagged b ]) (Cq_cache.Block.first assoc)
+  | Ast.Seq items ->
+      List.fold_left
+        (fun acc item ->
+          let qs = expand_expr ~assoc ~max_queries item in
+          guard
+            (List.concat_map (fun q1 -> List.map (fun q2 -> q1 @ q2) qs) acc))
+        [ [] ] items
+  | Ast.Set items ->
+      guard (List.concat_map (expand_expr ~assoc ~max_queries) items)
+  | Ast.Tagged (inner, tag) ->
+      let qs = expand_expr ~assoc ~max_queries inner in
+      List.map
+        (List.map (fun el ->
+             match el.tag with
+             | None -> { el with tag = Some tag }
+             | Some _ -> error "tag applied to an already-tagged query"))
+        qs
+  | Ast.Extend (base, ext) ->
+      let base_qs = expand_expr ~assoc ~max_queries base in
+      let ext_qs = expand_expr ~assoc ~max_queries ext in
+      (* Collect the distinct blocks of the extension, in order of first
+         appearance, then extend every base query with each of them. *)
+      let blocks =
+        List.fold_left
+          (fun acc q ->
+            List.fold_left
+              (fun acc el ->
+                if List.exists (Cq_cache.Block.equal el.block) acc then acc
+                else el.block :: acc)
+              acc q)
+          [] ext_qs
+        |> List.rev
+      in
+      guard
+        (List.concat_map
+           (fun q -> List.map (fun b -> q @ [ untagged b ]) blocks)
+           base_qs)
+  | Ast.Power (inner, k) ->
+      if k < 0 then error "negative power"
+      else
+        expand_expr ~assoc ~max_queries
+          (Ast.Seq (List.init k (fun _ -> inner)))
+
+let expand ?(max_queries = 65536) ~assoc e =
+  if assoc < 1 then invalid_arg "Expand.expand: associativity must be >= 1";
+  expand_expr ~assoc ~max_queries e
+
+let expand_string ?max_queries ~assoc input =
+  expand ?max_queries ~assoc (Parser.parse input)
+
+(* Pretty-printing of expanded queries, for the REPL and for tests. *)
+let pp_element ppf el =
+  Cq_cache.Block.pp ppf el.block;
+  match el.tag with
+  | None -> ()
+  | Some Ast.Profile -> Fmt.string ppf "?"
+  | Some Ast.Flush -> Fmt.string ppf "!"
+
+let pp_query ppf q = Fmt.(list ~sep:(any " ") pp_element) ppf q
+
+let query_to_string q = Fmt.str "%a" pp_query q
+
+(* Blocks of a query in access order (tags stripped). *)
+let blocks q = List.map (fun el -> el.block) q
+
+(* Indices (within the query) of profiled accesses. *)
+let profiled_indices q =
+  List.mapi (fun i el -> (i, el.tag)) q
+  |> List.filter_map (fun (i, tag) -> if tag = Some Ast.Profile then Some i else None)

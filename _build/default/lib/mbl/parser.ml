@@ -1,0 +1,174 @@
+(* Hand-written lexer and recursive-descent parser for MemBlockLang.
+
+   The language is small enough that a generated parser would be overkill
+   (and menhir is not available in this environment).  Grammar:
+
+     expr    ::= seq
+     seq     ::= item+                        (juxtaposition = concatenation)
+     item    ::= atom postfix*
+     postfix ::= '?' | '!' | INT | '^' INT | '[' expr ']'
+     atom    ::= IDENT | '@' | '_' | '(' expr ')'
+               | '{' expr (',' expr)* '}' | '[' expr ']'
+
+   A leading '[ ... ]' (extension of the empty query) denotes the set of
+   single-block queries over the bracketed expression's blocks. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | AT
+  | UNDERSCORE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | QUESTION
+  | BANG
+  | CARET
+  | EOF
+
+exception Parse_error of string
+
+let error fmt = Format.kasprintf (fun msg -> raise (Parse_error msg)) fmt
+
+let is_letter c = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let pos = ref 0 in
+  let emit t = tokens := t :: !tokens in
+  while !pos < n do
+    let c = input.[!pos] in
+    (match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr pos
+    | '@' -> emit AT; incr pos
+    | '_' -> emit UNDERSCORE; incr pos
+    | '(' -> emit LPAREN; incr pos
+    | ')' -> emit RPAREN; incr pos
+    | '{' -> emit LBRACE; incr pos
+    | '}' -> emit RBRACE; incr pos
+    | '[' -> emit LBRACKET; incr pos
+    | ']' -> emit RBRACKET; incr pos
+    | ',' -> emit COMMA; incr pos
+    | '?' -> emit QUESTION; incr pos
+    | '!' -> emit BANG; incr pos
+    | '^' -> emit CARET; incr pos
+    | c when is_letter c ->
+        let start = !pos in
+        while !pos < n && is_letter input.[!pos] do incr pos done;
+        emit (IDENT (String.sub input start (!pos - start)))
+    | c when is_digit c ->
+        let start = !pos in
+        while !pos < n && is_digit input.[!pos] do incr pos done;
+        emit (INT (int_of_string (String.sub input start (!pos - start))))
+    | c -> error "unexpected character %C" c)
+  done;
+  emit EOF;
+  List.rev !tokens
+
+type state = { mutable tokens : token list }
+
+let peek st = match st.tokens with [] -> EOF | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: tl -> st.tokens <- tl
+
+let expect st t name =
+  if peek st = t then advance st else error "expected %s" name
+
+let rec parse_expr st = parse_seq st
+
+and parse_seq st =
+  (* Left fold over juxtaposed items.  An extension bracket '[ ... ]'
+     applies to everything parsed so far in the sequence (cf. the paper's
+     '@ X _?' expanding to '(A B C D) o X o [A B C D]?'). *)
+  let acc = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | LBRACKET ->
+        advance st;
+        let inner = parse_expr st in
+        expect st RBRACKET "']'";
+        let base =
+          match List.rev !acc with
+          | [] -> Ast.Seq []
+          | [ x ] -> x
+          | xs -> Ast.Seq xs
+        in
+        let ext = parse_postfix st (Ast.Extend (base, inner)) in
+        acc := [ ext ]
+    | IDENT _ | AT | UNDERSCORE | LPAREN | LBRACE ->
+        let item = parse_postfix st (parse_atom st) in
+        acc := item :: !acc
+    | _ -> continue := false
+  done;
+  match List.rev !acc with
+  | [] -> error "empty expression"
+  | [ x ] -> x
+  | xs -> Ast.Seq xs
+
+and parse_atom st =
+  match peek st with
+  | IDENT name -> advance st; Ast.Block name
+  | AT -> advance st; Ast.At
+  | UNDERSCORE -> advance st; Ast.Wildcard
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN "')'";
+      e
+  | LBRACE ->
+      advance st;
+      let rec elements acc =
+        let e = parse_expr st in
+        match peek st with
+        | COMMA -> advance st; elements (e :: acc)
+        | _ -> List.rev (e :: acc)
+      in
+      let es = elements [] in
+      expect st RBRACE "'}'";
+      Ast.Set es
+  | t ->
+      error "unexpected token %s"
+        (match t with
+        | EOF -> "end of input"
+        | RPAREN -> "')'"
+        | RBRACE -> "'}'"
+        | RBRACKET -> "']'"
+        | COMMA -> "','"
+        | QUESTION -> "'?'"
+        | BANG -> "'!'"
+        | CARET -> "'^'"
+        | INT k -> string_of_int k
+        | _ -> "?")
+
+and parse_postfix st e =
+  match peek st with
+  | QUESTION -> advance st; parse_postfix st (Ast.Tagged (e, Ast.Profile))
+  | BANG -> advance st; parse_postfix st (Ast.Tagged (e, Ast.Flush))
+  | INT k -> advance st; parse_postfix st (Ast.Power (e, k))
+  | CARET -> (
+      advance st;
+      match peek st with
+      | INT k -> advance st; parse_postfix st (Ast.Power (e, k))
+      | _ -> error "expected an integer after '^'")
+  | _ -> e
+
+let parse input =
+  let st = { tokens = tokenize input } in
+  let e = parse_expr st in
+  (match peek st with
+  | EOF -> ()
+  | _ -> error "trailing input after expression");
+  e
+
+let parse_result input =
+  match parse input with
+  | e -> Ok e
+  | exception Parse_error msg -> Error msg

@@ -1,0 +1,19 @@
+(** Hand-written lexer and recursive-descent parser for MemBlockLang.
+
+    Grammar (ASCII rendering of §4.1):
+    {v
+    expr    ::= seq
+    seq     ::= item+                       (juxtaposition = concatenation)
+    item    ::= atom postfix*
+    postfix ::= '?' | '!' | INT | '^' INT | '[' expr ']'
+    atom    ::= IDENT | '@' | '_' | '(' expr ')' | '{' expr (',' expr)* '}'
+    v}
+    An extension bracket ['[ ... ]'] applies to everything parsed so far in
+    the current sequence, matching the paper's ['@ X _?'] examples. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.t
+(** Raises [Parse_error] on malformed input. *)
+
+val parse_result : string -> (Ast.t, string) result

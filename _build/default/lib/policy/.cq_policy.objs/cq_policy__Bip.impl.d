@@ -1,0 +1,1 @@
+lib/policy/bip.ml: Lru Policy Printf Types

@@ -1,0 +1,1 @@
+lib/policy/fifo.ml: Policy Types

@@ -1,0 +1,1 @@
+lib/policy/instance.mli: Policy Types

@@ -1,0 +1,1 @@
+lib/policy/lip.ml: Lru Policy Types

@@ -1,0 +1,1 @@
+lib/policy/lru.ml: List Policy Types

@@ -1,0 +1,1 @@
+lib/policy/mru.ml: Policy Types

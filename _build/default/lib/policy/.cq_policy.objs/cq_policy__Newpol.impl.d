@@ -1,0 +1,1 @@
+lib/policy/newpol.ml: List Policy Types

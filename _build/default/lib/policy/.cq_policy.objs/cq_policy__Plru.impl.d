@@ -1,0 +1,1 @@
+lib/policy/plru.ml: Policy Types

@@ -1,0 +1,1 @@
+lib/policy/policy.ml: Cq_automata List Types

@@ -1,0 +1,1 @@
+lib/policy/policy.mli: Cq_automata Types

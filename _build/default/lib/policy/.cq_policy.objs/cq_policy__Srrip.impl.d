@@ -1,0 +1,1 @@
+lib/policy/srrip.ml: List Policy Printf Types

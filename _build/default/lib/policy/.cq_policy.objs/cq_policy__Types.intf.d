@@ -1,0 +1,1 @@
+lib/policy/types.mli: Format

@@ -1,0 +1,1 @@
+lib/policy/zoo.ml: Array Bip Cq_automata Fifo Lip List Lru Mru Newpol Plru Policy Printf Srrip String Types

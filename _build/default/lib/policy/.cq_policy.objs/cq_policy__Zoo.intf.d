@@ -1,0 +1,1 @@
+lib/policy/zoo.mli: Cq_automata Policy Types

@@ -1,0 +1,24 @@
+(* Bimodal Insertion Policy [Qureshi et al., ISCA'07].  BIP behaves like LIP
+   but inserts at the MRU position for a small fraction of the misses.  The
+   original proposal throttles with a random source; to stay inside the
+   paper's deterministic-policy model we use the standard deterministic
+   variant with a modulo-[throttle] miss counter: every [throttle]-th miss
+   inserts at MRU.  The counter is part of the control state. *)
+
+let make ?(throttle = 4) assoc =
+  if throttle < 1 then invalid_arg "Bip.make: throttle must be >= 1";
+  Policy.v
+    ~name:(Printf.sprintf "BIP(1/%d)" throttle)
+    ~assoc
+    ~init:(Lru.init_order assoc, 0)
+    ~step:(fun (order, count) -> function
+      | Types.Line i -> ((Lru.promote i order, count), None)
+      | Types.Evct ->
+          let victim = Lru.last order in
+          let mru_insert = count = throttle - 1 in
+          let order' = if mru_insert then Lru.promote victim order else order in
+          ((order', (count + 1) mod throttle), Some victim))
+    ~describe:
+      "LIP that promotes the incoming block to MRU on every k-th miss \
+       (deterministic bimodal throttle)."
+    ()

@@ -1,0 +1,11 @@
+(* First In First Out: evicts lines in round-robin insertion order; hits do
+   not modify the control state.  Reachable control states: exactly the
+   associativity (one per position of the round-robin pointer). *)
+
+let make assoc =
+  Policy.v ~name:"FIFO" ~assoc ~init:0
+    ~step:(fun ptr -> function
+      | Types.Line _ -> (ptr, None)
+      | Types.Evct -> ((ptr + 1) mod assoc, Some ptr))
+    ~describe:"Evict lines in insertion order (round-robin); hits are ignored."
+    ()

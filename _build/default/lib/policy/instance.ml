@@ -1,0 +1,41 @@
+(* A running instance of a policy: mutable wrapper around the pure Mealy
+   step function, with reset and snapshot/restore.  Cache simulators keep
+   one instance per cache set. *)
+
+type t =
+  | Instance : {
+      policy : Policy.t;
+      init : 's;
+      mutable state : 's;
+      step_fn : 's -> Types.input -> 's * Types.output;
+      mutable saved : 's option;
+    }
+      -> t
+
+let create (Policy.Policy p as policy) =
+  Instance { policy; init = p.init; state = p.init; step_fn = p.step; saved = None }
+
+let policy (Instance i) = i.policy
+let assoc (Instance i) = Policy.assoc i.policy
+
+let step (Instance i) input =
+  let s', out = i.step_fn i.state input in
+  i.state <- s';
+  out
+
+let reset (Instance i) = i.state <- i.init
+
+let save (Instance i) = i.saved <- Some i.state
+
+let restore (Instance i) =
+  match i.saved with
+  | None -> invalid_arg "Instance.restore: no saved state"
+  | Some s -> i.state <- s
+
+(* Convenience wrappers used by the cache-set logic. *)
+let touch t line = ignore (step t (Types.Line line))
+
+let evict t =
+  match step t Types.Evct with
+  | Some victim -> victim
+  | None -> invalid_arg "Instance.evict: policy returned ⊥ on Evct"

@@ -1,0 +1,24 @@
+(** A running instance of a policy: a mutable wrapper around the pure step
+    function.  Cache simulators keep one instance per cache set. *)
+
+type t
+
+val create : Policy.t -> t
+val policy : t -> Policy.t
+val assoc : t -> int
+
+val step : t -> Types.input -> Types.output
+(** Advance the instance by one input, returning the output. *)
+
+val reset : t -> unit
+(** Return to the policy's initial control state. *)
+
+val save : t -> unit
+val restore : t -> unit
+(** Snapshot / restore the current control state (single slot). *)
+
+val touch : t -> int -> unit
+(** [step] with [Line i], discarding the (⊥) output. *)
+
+val evict : t -> int
+(** [step] with [Evct], returning the victim line. *)

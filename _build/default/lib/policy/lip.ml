@@ -1,0 +1,16 @@
+(* LRU Insertion Policy [Qureshi et al., ISCA'07]: identical to LRU except
+   that incoming blocks are inserted in the LRU position instead of the MRU
+   position, so a block must be re-referenced to be retained.  Same control
+   state space as LRU (n! recency orders). *)
+
+let make assoc =
+  Policy.v ~name:"LIP" ~assoc ~init:(Lru.init_order assoc)
+    ~step:(fun order -> function
+      | Types.Line i -> (Lru.promote i order, None)
+      | Types.Evct ->
+          (* Evict the LRU line; the incoming block stays in the LRU
+             position, hence the recency order is unchanged. *)
+          (order, Some (Lru.last order)))
+    ~describe:
+      "LRU with LRU-position insertion: blocks are promoted only on a hit."
+    ()

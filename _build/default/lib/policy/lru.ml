@@ -1,0 +1,24 @@
+(* Least Recently Used.  The control state is the recency order of the
+   lines: a permutation of [0 .. n-1] with the most recently used line at
+   the head.  n! control states. *)
+
+let promote line order = line :: List.filter (fun l -> l <> line) order
+
+let init_order assoc = List.init assoc (fun i -> i)
+
+let rec last = function
+  | [] -> invalid_arg "Lru.last: empty order"
+  | [ x ] -> x
+  | _ :: tl -> last tl
+
+let make assoc =
+  Policy.v ~name:"LRU" ~assoc ~init:(init_order assoc)
+    ~step:(fun order -> function
+      | Types.Line i -> (promote i order, None)
+      | Types.Evct ->
+          let victim = last order in
+          (* The incoming block lands in the victim's line and becomes the
+             most recently used. *)
+          (promote victim order, Some victim))
+    ~describe:"Evict the least recently used line; promote on hit and insert."
+    ()

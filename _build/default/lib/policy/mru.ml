@@ -1,0 +1,37 @@
+(* Bit-PLRU, called "MRU" in the paper after the Malamy et al. patent
+   [US5353425A]: one MRU-bit per line.  Touching a line sets its bit; when
+   all bits would be set, every other bit is cleared.  The victim is the
+   leftmost line whose bit is clear.
+
+   The reachable, behaviourally distinct control states are the masks with
+   at least one set and one clear bit: 2^n - 2 states, matching Table 2
+   (14 for n=4, 62 for n=6, ...).  The initial state marks line 0 as most
+   recently used: the all-zero mask is a transient state that no access
+   sequence can revisit, and the reference simulators of the paper start
+   inside the recurrent class (Table 2 reports 2^n - 2, not 2^n - 1). *)
+
+let all_ones assoc = (1 lsl assoc) - 1
+
+let touch ~assoc mask i =
+  let mask = mask lor (1 lsl i) in
+  if mask = all_ones assoc then 1 lsl i else mask
+
+let victim ~assoc mask =
+  let rec go i =
+    if i >= assoc then invalid_arg "Mru.victim: all MRU bits set"
+    else if (mask lsr i) land 1 = 0 then i
+    else go (i + 1)
+  in
+  go 0
+
+let make assoc =
+  Policy.v ~name:"MRU" ~assoc ~init:1
+    ~step:(fun mask -> function
+      | Types.Line i -> (touch ~assoc mask i, None)
+      | Types.Evct ->
+          let v = victim ~assoc mask in
+          (touch ~assoc mask v, Some v))
+    ~describe:
+      "Bit-PLRU: per-line MRU bits; evict the leftmost line with a clear \
+       bit; clear all other bits when the last one is set."
+    ()

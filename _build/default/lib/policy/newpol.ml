@@ -1,0 +1,78 @@
+(* The two previously undocumented Intel policies uncovered by the paper
+   (§7/§8 and Appendix C), as synthesized by Sketch in Figure 5:
+
+   - New1 (Skylake / Kaby Lake L2): SRRIP-HP-like, but normalization runs
+     after *both* hits and misses and skips the just-touched line; incoming
+     blocks are inserted with age 1 and the initial state is {3,3,3,0}.
+
+   - New2 (Skylake / Kaby Lake L3 leader sets): like New1, but promotion
+     moves a line of age 1 to age 0 and any older line only to age 1, and
+     normalization ages *every* line (including the touched one); initial
+     state {3,3,3,3}.
+
+   Both maintain the invariant that some line has age 3 after every step,
+   so eviction (leftmost line of age 3) never needs a fallback.  We
+   generalise the paper's associativity-4 definitions to arbitrary
+   associativity >= 2 by keeping the 2-bit ages. *)
+
+let max_age = 3
+
+let rec normalize_except pos ages =
+  if List.exists (fun a -> a = max_age) ages then ages
+  else
+    normalize_except pos
+      (List.mapi (fun i a -> if i = pos then a else a + 1) ages)
+
+let rec normalize_all ages =
+  if List.exists (fun a -> a = max_age) ages then ages
+  else normalize_all (List.map (fun a -> a + 1) ages)
+
+let victim ages =
+  let rec go i = function
+    | [] -> invalid_arg "Newpol.victim: no line with age 3"
+    | a :: _ when a = max_age -> i
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 ages
+
+let set_age ages i v = List.mapi (fun j a -> if j = i then v else a) ages
+
+let make_new1 assoc =
+  if assoc < 2 then invalid_arg "Newpol.make_new1: associativity must be >= 2";
+  let init = List.init assoc (fun i -> if i = assoc - 1 then 0 else max_age) in
+  Policy.v ~name:"New1" ~assoc ~init
+    ~step:(fun ages -> function
+      | Types.Line i ->
+          let ages = set_age ages i 0 in
+          (normalize_except i ages, None)
+      | Types.Evct ->
+          let v = victim ages in
+          let ages = set_age ages v 1 in
+          (normalize_except v ages, Some v))
+    ~describe:
+      "Skylake/Kaby Lake L2: promote to age 0; evict leftmost age-3 line; \
+       insert with age 1; after every access, age all other lines until \
+       some line has age 3."
+    ()
+
+let promote_new2 ages i =
+  let a = List.nth ages i in
+  if a = 1 then set_age ages i 0 else if a > 1 then set_age ages i 1 else ages
+
+let make_new2 assoc =
+  if assoc < 2 then invalid_arg "Newpol.make_new2: associativity must be >= 2";
+  let init = List.init assoc (fun _ -> max_age) in
+  Policy.v ~name:"New2" ~assoc ~init
+    ~step:(fun ages -> function
+      | Types.Line i ->
+          let ages = promote_new2 ages i in
+          (normalize_all ages, None)
+      | Types.Evct ->
+          let v = victim ages in
+          let ages = set_age ages v 1 in
+          (normalize_all ages, Some v))
+    ~describe:
+      "Skylake/Kaby Lake L3 leader sets: two-step promotion (age 1 -> 0, \
+       older -> 1); evict leftmost age-3 line; insert with age 1; age all \
+       lines until some line has age 3."
+    ()

@@ -1,0 +1,55 @@
+(* Tree-based Pseudo-LRU [Handy 1993], the policy of Intel L1 caches (and
+   Haswell's L2).  The control state is one bit per internal node of a
+   complete binary tree over the lines; each bit points towards the
+   pseudo-least-recently-used subtree.  2^(n-1) control states.
+
+   Node numbering is heap style: root is node 1, node [v] has children
+   [2v] (left) and [2v+1] (right); leaves [n .. 2n-1] are lines
+   [0 .. n-1].  Bit for node [v] is stored at position [v - 1] of the
+   mask.  Bit = 0 means "the pseudo-LRU line is in the left subtree". *)
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec loop acc m = if m <= 1 then acc else loop (acc + 1) (m / 2) in
+  loop 0 n
+
+let bit mask v = (mask lsr (v - 1)) land 1
+let set_bit mask v b =
+  if b = 1 then mask lor (1 lsl (v - 1)) else mask land lnot (1 lsl (v - 1))
+
+(* Walk from root towards the pseudo-LRU leaf. *)
+let victim ~assoc mask =
+  let rec go v = if v >= assoc then v - assoc else go ((2 * v) + bit mask v) in
+  go 1
+
+(* Point every bit on the path to leaf [i] away from it. *)
+let touch ~assoc mask i =
+  let levels = log2 assoc in
+  let rec go mask v k =
+    if k < 0 then mask
+    else
+      let dir = (i lsr k) land 1 in
+      let mask = set_bit mask v (1 - dir) in
+      go mask ((2 * v) + dir) (k - 1)
+  in
+  go mask 1 (levels - 1)
+
+let make assoc =
+  if not (is_power_of_two assoc) then
+    invalid_arg "Plru.make: associativity must be a power of two";
+  if assoc = 1 then
+    Policy.v ~name:"PLRU" ~assoc ~init:0
+      ~step:(fun s -> function Types.Line _ -> (s, None) | Types.Evct -> (s, Some 0))
+      ()
+  else
+    Policy.v ~name:"PLRU" ~assoc ~init:0
+      ~step:(fun mask -> function
+        | Types.Line i -> (touch ~assoc mask i, None)
+        | Types.Evct ->
+            let v = victim ~assoc mask in
+            (touch ~assoc mask v, Some v))
+      ~describe:
+        "Tree-based pseudo-LRU: one bit per tree node pointing at the \
+         pseudo-LRU subtree; accesses flip the path away from the line."
+      ()

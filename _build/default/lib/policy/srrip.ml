@@ -1,0 +1,88 @@
+(* Static Re-reference Interval Prediction [Jaleel et al., ISCA'10].
+
+   Each line carries an M-bit re-reference prediction value (an "age" in
+   0 .. 2^M - 1; the paper's experiments use M = 2, i.e. 4 ages).  On a
+   miss, ages are incremented until some line holds the maximum age; the
+   leftmost such line is evicted and the incoming block is inserted with
+   age max-1 ("long re-reference interval").  The two variants differ in
+   the promotion rule:
+
+   - Hit Priority (HP): a hit sets the line's age to 0;
+   - Frequency Priority (FP): a hit decrements the line's age.
+
+   BRRIP (bimodal RRIP) mostly inserts with the maximum age and only every
+   k-th miss with max-1; as with BIP we use the deterministic counter
+   variant. *)
+
+type variant = Hit_priority | Frequency_priority
+
+let variant_name = function
+  | Hit_priority -> "SRRIP-HP"
+  | Frequency_priority -> "SRRIP-FP"
+
+let init_ages ~assoc ~max_age = List.init assoc (fun _ -> max_age)
+
+(* Increment every age until some line reaches [max_age].  Each round adds
+   one to all ages, so at most [max_age] rounds are needed. *)
+let rec normalize ~max_age ages =
+  if List.exists (fun a -> a = max_age) ages then ages
+  else normalize ~max_age (List.map (fun a -> a + 1) ages)
+
+let victim ~max_age ages =
+  let rec go i = function
+    | [] -> invalid_arg "Srrip.victim: no line with maximum age"
+    | a :: _ when a = max_age -> i
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 ages
+
+let set_age ages i v = List.mapi (fun j a -> if j = i then v else a) ages
+
+let promote variant ~max_age:_ ages i =
+  match variant with
+  | Hit_priority -> set_age ages i 0
+  | Frequency_priority -> set_age ages i (max 0 (List.nth ages i - 1))
+
+let make ?(ages = 4) variant assoc =
+  if ages < 2 then invalid_arg "Srrip.make: need at least 2 ages";
+  let max_age = ages - 1 in
+  Policy.v
+    ~name:(variant_name variant)
+    ~assoc
+    ~init:(init_ages ~assoc ~max_age)
+    ~step:(fun st -> function
+      | Types.Line i -> (promote variant ~max_age st i, None)
+      | Types.Evct ->
+          (* SRRIP normalizes only before a miss (cf. §8 of the paper). *)
+          let st = normalize ~max_age st in
+          let v = victim ~max_age st in
+          (set_age st v (max_age - 1), Some v))
+    ~describe:
+      (Printf.sprintf
+         "%s with %d ages: miss evicts the leftmost line of maximum age \
+          (aging all lines first if needed), inserts with age %d; hits %s."
+         (variant_name variant) ages (max_age - 1)
+         (match variant with
+         | Hit_priority -> "reset the age to 0"
+         | Frequency_priority -> "decrement the age"))
+    ()
+
+let make_brrip ?(ages = 4) ?(throttle = 4) assoc =
+  if ages < 2 then invalid_arg "Srrip.make_brrip: need at least 2 ages";
+  if throttle < 1 then invalid_arg "Srrip.make_brrip: throttle must be >= 1";
+  let max_age = ages - 1 in
+  Policy.v
+    ~name:(Printf.sprintf "BRRIP(1/%d)" throttle)
+    ~assoc
+    ~init:(init_ages ~assoc ~max_age, 0)
+    ~step:(fun (st, count) -> function
+      | Types.Line i -> ((promote Hit_priority ~max_age st i, count), None)
+      | Types.Evct ->
+          let st = normalize ~max_age st in
+          let v = victim ~max_age st in
+          let insert_age = if count = throttle - 1 then max_age - 1 else max_age in
+          ((set_age st v insert_age, (count + 1) mod throttle), Some v))
+    ~describe:
+      "Bimodal RRIP: inserts with the maximum age except on every k-th miss \
+       (deterministic throttle); hits reset the age."
+    ()

@@ -1,0 +1,1 @@
+lib/synth/rules.ml: Array Buffer Cq_policy Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/synth/search.ml: Array Cq_automata Cq_util Hashtbl List Rules

@@ -1,0 +1,1 @@
+lib/synth/search.mli: Cq_automata Cq_policy Rules

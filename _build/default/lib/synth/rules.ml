@@ -1,0 +1,292 @@
+(* The explanation template of §5: replacement policies as small programs
+   over per-line ages, structured into promotion, eviction, insertion and
+   normalization rules (the vocabulary of the hardware community, cf.
+   RRIP [Jaleel et al.]).
+
+   A control state is an age vector (one age in [0 .. max_age] per line).
+   The template's two entry points are
+
+     hit  : state -> line -> state                 (promote; normalize)
+     miss : state -> state * line   (normalize(pre); evict; insert; normalize)
+
+   exactly as in the paper's program template.  The normalization rule
+   receives the touched line (or none, before eviction), so a synthesized
+   normalization can act differently before a miss than after an access —
+   that distinction separates SRRIP (ages only before a miss) from New1 and
+   New2 (age after every access). *)
+
+let max_age = 3
+
+(* --- Expressions -------------------------------------------------------- *)
+
+(* Conditions over the touched line's age. *)
+type cond = Always | Eq of int | Gt of int | Lt of int
+
+(* Conditions over another line's age, possibly relative to the touched
+   line's (original) age — the paper's boolExpr(state[pos], state[i]). *)
+type cond2 =
+  | O_always
+  | O_eq of int
+  | O_lt_self (* state[i] < state[pos] *)
+  | O_gt_self
+  | O_ne_self
+
+(* Age updates; Dec saturates at 0, Inc at max_age. *)
+type upd = Const of int | Keep | Inc | Dec
+
+let eval_cond c age =
+  match c with
+  | Always -> true
+  | Eq k -> age = k
+  | Gt k -> age > k
+  | Lt k -> age < k
+
+let eval_cond2 c ~self ~other =
+  match c with
+  | O_always -> true
+  | O_eq k -> other = k
+  | O_lt_self -> other < self
+  | O_gt_self -> other > self
+  | O_ne_self -> other <> self
+
+let eval_upd u age =
+  match u with
+  | Const k -> k
+  | Keep -> age
+  | Inc -> min max_age (age + 1)
+  | Dec -> max 0 (age - 1)
+
+(* --- Rules -------------------------------------------------------------- *)
+
+(* Promotion: a small decision list on the accessed line's age, plus an
+   optional conditional update of every other line (conditions read the
+   *original* state, as in the paper's generator). *)
+type promote = {
+  p_self : (cond * upd) list; (* first matching branch applies *)
+  p_others : (cond2 * upd) option;
+}
+
+(* Eviction: which line to free. *)
+type evict =
+  | First_with_age of int (* leftmost line with this age *)
+  | First_max (* leftmost line with the maximal age *)
+  | First_min
+
+(* Insertion: the evicted line's new age, plus an optional update of the
+   other lines (what rotates the FIFO/LRU ranks). *)
+type insert = {
+  i_self : upd;
+  i_others : (cond2 * upd) option;
+}
+
+(* Normalization actions. *)
+type norm_action =
+  | N_nop
+  | N_aging of { except_touched : bool }
+      (* while no line has age max_age: increment every line (except the
+         touched one when [except_touched]) *)
+  | N_reset_full of { full : int; reset_to : int }
+      (* if every line has age [full]: set all lines except the touched one
+         to [reset_to] (bit-PLRU-style) *)
+
+(* Site-sensitive normalization: the template passes the touched line after
+   a hit or an insertion, and "no line" before eviction. *)
+type normalize = {
+  n_touched : norm_action; (* after promote / after insert *)
+  n_pre_miss : norm_action; (* before evict (touched line = none) *)
+}
+
+type program = {
+  init : int array;
+  promote : promote;
+  evict : evict;
+  insert : insert;
+  normalize : normalize;
+}
+
+(* --- Semantics ---------------------------------------------------------- *)
+
+exception Stuck (* eviction found no line; the candidate is not total *)
+
+let apply_promote p state pos =
+  let self = state.(pos) in
+  let final = Array.copy state in
+  (match List.find_opt (fun (c, _) -> eval_cond c self) p.p_self with
+  | Some (_, u) -> final.(pos) <- eval_upd u self
+  | None -> ());
+  (match p.p_others with
+  | None -> ()
+  | Some (c, u) ->
+      Array.iteri
+        (fun i age ->
+          if i <> pos && eval_cond2 c ~self ~other:age then
+            final.(i) <- eval_upd u age)
+        state);
+  final
+
+let apply_evict e state =
+  let n = Array.length state in
+  let target =
+    match e with
+    | First_with_age k -> Some k
+    | First_max ->
+        let m = Array.fold_left max 0 state in
+        Some m
+    | First_min ->
+        let m = Array.fold_left min max_int state in
+        Some m
+  in
+  match target with
+  | None -> raise Stuck
+  | Some k ->
+      let rec go i =
+        if i >= n then raise Stuck
+        else if state.(i) = k then i
+        else go (i + 1)
+      in
+      go 0
+
+let apply_insert ins state victim =
+  let self = state.(victim) in
+  let final = Array.copy state in
+  final.(victim) <- eval_upd ins.i_self self;
+  (match ins.i_others with
+  | None -> ()
+  | Some (c, u) ->
+      Array.iteri
+        (fun i age ->
+          if i <> victim && eval_cond2 c ~self ~other:age then
+            final.(i) <- eval_upd u age)
+        state);
+  final
+
+let apply_norm_action action state ~touched =
+  match action with
+  | N_nop -> state
+  | N_aging { except_touched } ->
+      let final = Array.copy state in
+      let except = if except_touched then touched else None in
+      let has_max () = Array.exists (fun a -> a = max_age) final in
+      (* Bounded by max_age rounds: each round raises every aged line. *)
+      let rounds = ref 0 in
+      while (not (has_max ())) && !rounds <= max_age + 1 do
+        Array.iteri
+          (fun i a -> if Some i <> except then final.(i) <- min max_age (a + 1))
+          (Array.copy final);
+        incr rounds
+      done;
+      if not (has_max ()) then raise Stuck else final
+  | N_reset_full { full; reset_to } ->
+      if Array.for_all (fun a -> a = full) state then
+        Array.mapi
+          (fun i a -> if Some i = touched then a else reset_to)
+          state
+      else state
+
+(* The template's entry points. *)
+let hit prog state pos =
+  let state = apply_promote prog.promote state pos in
+  apply_norm_action prog.normalize.n_touched state ~touched:(Some pos)
+
+let miss prog state =
+  let state = apply_norm_action prog.normalize.n_pre_miss state ~touched:None in
+  let victim = apply_evict prog.evict state in
+  let state = apply_insert prog.insert state victim in
+  let state =
+    apply_norm_action prog.normalize.n_touched state ~touched:(Some victim)
+  in
+  (state, victim)
+
+(* A program as a policy (Definition 2.1), for validation and reuse. *)
+let to_policy ?(name = "synthesized") prog =
+  let assoc = Array.length prog.init in
+  Cq_policy.Policy.v ~name ~assoc
+    ~init:(Array.to_list prog.init)
+    ~step:(fun ages input ->
+      let state = Array.of_list ages in
+      match input with
+      | Cq_policy.Types.Line i -> (Array.to_list (hit prog state i), None)
+      | Cq_policy.Types.Evct ->
+          let state', victim = miss prog state in
+          (Array.to_list state', Some victim))
+    ()
+
+(* --- Pretty-printing (Figure 5 style) ----------------------------------- *)
+
+let cond_to_string = function
+  | Always -> "true"
+  | Eq k -> Printf.sprintf "state[pos] == %d" k
+  | Gt k -> Printf.sprintf "state[pos] > %d" k
+  | Lt k -> Printf.sprintf "state[pos] < %d" k
+
+let cond2_to_string = function
+  | O_always -> "true"
+  | O_eq k -> Printf.sprintf "state[i] == %d" k
+  | O_lt_self -> "state[i] < state[pos]"
+  | O_gt_self -> "state[i] > state[pos]"
+  | O_ne_self -> "state[i] != state[pos]"
+
+let upd_to_string target = function
+  | Const k -> Printf.sprintf "%s = %d" target k
+  | Keep -> Printf.sprintf "%s unchanged" target
+  | Inc -> Printf.sprintf "%s = min(%d, %s + 1)" target max_age target
+  | Dec -> Printf.sprintf "%s = max(0, %s - 1)" target target
+
+let norm_to_string site = function
+  | N_nop -> Printf.sprintf "// %s: no normalization" site
+  | N_aging { except_touched } ->
+      Printf.sprintf
+        "// %s: while no line has age %d, increase all ages by 1%s" site
+        max_age
+        (if except_touched then " except the touched line" else "")
+  | N_reset_full { full; reset_to } ->
+      Printf.sprintf
+        "// %s: if all lines have age %d, set all except the touched line \
+         to %d"
+        site full reset_to
+
+let pp ppf prog =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "int[%d] s0 = {%s};\n\n" (Array.length prog.init)
+       (String.concat ","
+          (Array.to_list (Array.map string_of_int prog.init))));
+  Buffer.add_string buf "hit(state, pos):\n";
+  List.iter
+    (fun (c, u) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  if (%s) %s   // promotion\n" (cond_to_string c)
+           (upd_to_string "state[pos]" u)))
+    prog.promote.p_self;
+  (match prog.promote.p_others with
+  | None -> ()
+  | Some (c, u) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  for i != pos: if (%s) %s\n" (cond2_to_string c)
+           (upd_to_string "state[i]" u)));
+  Buffer.add_string buf
+    ("  " ^ norm_to_string "normalize" prog.normalize.n_touched ^ "\n\n");
+  Buffer.add_string buf "miss(state):\n";
+  Buffer.add_string buf
+    ("  " ^ norm_to_string "pre-normalize" prog.normalize.n_pre_miss ^ "\n");
+  Buffer.add_string buf
+    (match prog.evict with
+    | First_with_age k ->
+        Printf.sprintf "  idx = leftmost line with age %d   // eviction\n" k
+    | First_max -> "  idx = leftmost line with maximal age   // eviction\n"
+    | First_min -> "  idx = leftmost line with minimal age   // eviction\n");
+  Buffer.add_string buf
+    (Printf.sprintf "  %s   // insertion\n" (upd_to_string "state[idx]" prog.insert.i_self));
+  (match prog.insert.i_others with
+  | None -> ()
+  | Some (c, u) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  for i != idx: if (%s) %s\n"
+           (cond2_to_string (match c with O_lt_self -> O_lt_self | x -> x))
+           (upd_to_string "state[i]" u)));
+  Buffer.add_string buf
+    ("  " ^ norm_to_string "normalize" prog.normalize.n_touched ^ "\n");
+  Buffer.add_string buf "  return (state, idx)\n";
+  Fmt.string ppf (Buffer.contents buf)
+
+let to_string prog = Fmt.str "%a" pp prog

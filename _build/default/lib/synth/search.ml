@@ -1,0 +1,331 @@
+(* Template-based synthesis of policy explanations (§5, §8).
+
+   Sketch solves the constraint φP with an SMT-backed counterexample-guided
+   search over the template's holes.  We implement the same search
+   enumeratively: candidate programs are drawn from the generator grammars
+   (bounded ages, bounded branch counts), screened against a growing test
+   suite of input/output traces of the learned machine (cheap, fail-fast),
+   and survivors are validated by an exact bisimulation check — our
+   decision procedure for φP, i.e. for ⟦P⟧ = ⟦Prg⟧.  A validated program
+   is therefore correct by construction (the paper's soundness argument
+   carries over directly).
+
+   The search is staged to keep the candidate stream tractable:
+   1. (init, evict, insert, normalize) tuples are screened against the
+      machine's miss-only behaviour (Evct^k traces), which does not involve
+      promotion at all;
+   2. surviving tuples are paired with every promotion rule and screened
+      against the full test suite;
+   3. survivors of the screen get the exact check; failures contribute a
+      new distinguishing trace to the test suite (CEGIS). *)
+
+type outcome =
+  | Found of Rules.program
+  | Not_expressible (* search space exhausted *)
+  | Timeout
+
+type report = {
+  outcome : outcome;
+  template : string; (* "Simple" or "Extended" *)
+  candidates_tried : int;
+  seconds : float;
+}
+
+(* --- Candidate spaces ---------------------------------------------------- *)
+
+let ages = List.init (Rules.max_age + 1) (fun i -> i)
+
+let conds : Rules.cond list =
+  Rules.Always
+  :: List.concat_map (fun k -> [ Rules.Eq k; Rules.Gt k; Rules.Lt k ]) ages
+
+let conds2 : Rules.cond2 list =
+  [ Rules.O_always; Rules.O_lt_self; Rules.O_gt_self; Rules.O_ne_self ]
+  @ List.map (fun k -> Rules.O_eq k) ages
+
+let upds : Rules.upd list =
+  List.map (fun k -> Rules.Const k) ages @ [ Rules.Keep; Rules.Inc; Rules.Dec ]
+
+(* Promotion rules: one unconditional branch, or a two-branch decision list
+   (New2 style), optionally with an others-update.  Ordered simplest
+   first. *)
+let promotes ?(with_others = true) ~extended () =
+  let single =
+    List.map (fun u -> [ (Rules.Always, u) ]) upds
+  in
+  let double =
+    List.concat_map
+      (fun c1 ->
+        if c1 = Rules.Always then []
+        else
+          List.concat_map
+            (fun u1 ->
+              List.concat_map
+                (fun c2 ->
+                  List.filter_map
+                    (fun u2 ->
+                      if c2 = Rules.Always && u1 = u2 then None
+                      else Some [ (c1, u1); (c2, u2) ])
+                    upds)
+                [ Rules.Always; Rules.Gt 1; Rules.Lt 2 ])
+            upds)
+      conds
+  in
+  let selves = single @ if extended then double else [] in
+  let others =
+    None
+    ::
+    (if with_others then
+       List.concat_map (fun c -> List.map (fun u -> Some (c, u)) upds) conds2
+     else [])
+  in
+  (* others = None first: most policies don't touch the other lines. *)
+  List.concat_map
+    (fun o -> List.map (fun s -> { Rules.p_self = s; p_others = o }) selves)
+    others
+
+let evicts : Rules.evict list =
+  List.map (fun k -> Rules.First_with_age k) ages
+  @ [ Rules.First_max; Rules.First_min ]
+
+let inserts =
+  let others =
+    None
+    :: List.concat_map
+         (fun c -> List.map (fun u -> Some (c, u)) upds)
+         [ Rules.O_always; Rules.O_lt_self; Rules.O_gt_self ]
+  in
+  List.concat_map
+    (fun o -> List.map (fun s -> { Rules.i_self = s; i_others = o }) upds)
+    others
+
+let norm_actions ~extended =
+  if not extended then [ Rules.N_nop ]
+  else
+    [
+      Rules.N_nop;
+      Rules.N_aging { except_touched = false };
+      Rules.N_aging { except_touched = true };
+    ]
+    @ List.concat_map
+        (fun full ->
+          List.filter_map
+            (fun reset_to ->
+              if reset_to = full then None
+              else Some (Rules.N_reset_full { full; reset_to }))
+            ages)
+        [ 1; Rules.max_age ]
+
+let normalizes ~extended =
+  let actions = norm_actions ~extended in
+  let pre_actions =
+    (* [except_touched] is meaningless before a miss (no touched line). *)
+    List.filter
+      (function Rules.N_aging { except_touched = true } -> false | _ -> true)
+      actions
+  in
+  List.concat_map
+    (fun pre ->
+      List.map
+        (fun touched -> { Rules.n_touched = touched; n_pre_miss = pre })
+        actions)
+    pre_actions
+
+(* Initial age vectors, likeliest first: constant vectors, then vectors
+   that are constant except one line (New1's {3,3,3,0}), then everything
+   else. *)
+let inits assoc =
+  let all = ref [] in
+  let rec enum prefix = function
+    | 0 -> all := Array.of_list (List.rev prefix) :: !all
+    | k -> List.iter (fun a -> enum (a :: prefix) (k - 1)) ages
+  in
+  enum [] assoc;
+  (* Constant vectors first (highest constants leading: aging policies
+     start "everything distant"), then near-constant ones like New1's
+     {3,3,3,0}, then the rest. *)
+  let score v =
+    let distinct = List.sort_uniq compare (Array.to_list v) in
+    let shape = match List.length distinct with 1 -> 0 | 2 -> 1 | _ -> 2 in
+    (shape, -v.(0))
+  in
+  List.stable_sort (fun a b -> compare (score a) (score b)) !all
+
+(* --- Checking ------------------------------------------------------------ *)
+
+(* Exact check: bisimulation between the learned machine and the program.
+   Returns None on success or a distinguishing input word. *)
+let check_exact machine prog =
+  let assoc = Cq_automata.Mealy.n_inputs machine - 1 in
+  let seen = Hashtbl.create 997 in
+  let exception Cex of int list in
+  let rec go mstate pstate path depth =
+    let key = (mstate, Array.to_list pstate) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      for i = 0 to assoc do
+        let mnext, mout = Cq_automata.Mealy.step machine mstate i in
+        let presult =
+          if i < assoc then
+            match Rules.hit prog pstate i with
+            | s -> Some (s, None)
+            | exception Rules.Stuck -> None
+          else
+            match Rules.miss prog pstate with
+            | s, v -> Some (s, Some v)
+            | exception Rules.Stuck -> None
+        in
+        match presult with
+        | None -> raise (Cex (List.rev (i :: path)))
+        | Some (pnext, pout) ->
+            if pout <> mout then raise (Cex (List.rev (i :: path)))
+            else go mnext pnext (i :: path) (depth + 1)
+      done
+    end
+  in
+  match go (Cq_automata.Mealy.init machine) prog.Rules.init [] 0 with
+  | () -> None
+  | exception Cex w -> Some w
+
+(* Cheap screen: does the program reproduce the machine's outputs on a
+   fixed trace?  The expected outputs are precomputed once per trace. *)
+let passes_trace ~assoc prog (word, expected) =
+  let rec go state word expected =
+    match (word, expected) with
+    | [], [] -> true
+    | i :: ws, o :: os -> (
+        if i < assoc then
+          match Rules.hit prog state i with
+          | s -> o = None && go s ws os
+          | exception Rules.Stuck -> false
+        else
+          match Rules.miss prog state with
+          | s, v -> o = Some v && go s ws os
+          | exception Rules.Stuck -> false)
+    | _ -> false
+  in
+  go prog.Rules.init word expected
+
+(* --- The search ----------------------------------------------------------- *)
+
+let synthesize_with ?(with_others = true) ~extended ?(deadline = infinity)
+    machine =
+  let assoc = Cq_automata.Mealy.n_inputs machine - 1 in
+  let t0 = Cq_util.Clock.now () in
+  let tried = ref 0 in
+  let timeout () = Cq_util.Clock.now () -. t0 > deadline in
+  (* Test suite (CEGIS): seeded with miss-heavy and short mixed traces.
+     Expected outputs are precomputed so that screening a candidate is a
+     pure program run. *)
+  let evct = assoc in
+  let suite = ref [] in
+  let add_trace w = suite := (w, Cq_automata.Mealy.run machine w) :: !suite in
+  add_trace (List.init (3 * assoc) (fun _ -> evct));
+  for i = 0 to assoc - 1 do
+    add_trace [ evct; i; evct; evct; i; evct; i; i; evct ];
+    add_trace [ i; evct; i; evct ]
+  done;
+  add_trace (List.concat (List.init assoc (fun i -> [ i; evct ])));
+  let miss_trace =
+    let w = List.init (4 * assoc) (fun _ -> evct) in
+    (w, Cq_automata.Mealy.run machine w)
+  in
+  let exception Done of Rules.program in
+  let exception Timed_out in
+  let promotes = promotes ~with_others ~extended () in
+  let normalizes = normalizes ~extended in
+  let nop_promote = { Rules.p_self = [ (Rules.Always, Rules.Keep) ]; p_others = None } in
+  try
+    List.iter
+      (fun init ->
+        if timeout () then raise Timed_out;
+        List.iter
+          (fun evict ->
+            List.iter
+              (fun insert ->
+                List.iter
+                  (fun normalize ->
+                    (* Stage 1: miss-only behaviour (promotion-free). *)
+                    let skeleton =
+                      {
+                        Rules.init;
+                        promote = nop_promote;
+                        evict;
+                        insert;
+                        normalize;
+                      }
+                    in
+                    if passes_trace ~assoc skeleton miss_trace then
+                      (* Stage 2: full candidates over this skeleton. *)
+                      List.iter
+                        (fun promote ->
+                          incr tried;
+                          if !tried land 0xFFF = 0 && timeout () then
+                            raise Timed_out;
+                          let prog = { skeleton with Rules.promote } in
+                          if List.for_all (passes_trace ~assoc prog) !suite
+                          then
+                            match check_exact machine prog with
+                            | None -> raise (Done prog)
+                            | Some cex -> add_trace cex)
+                        promotes)
+                  normalizes)
+              inserts)
+          evicts)
+      (inits assoc);
+    {
+      outcome = Not_expressible;
+      template = (if extended then "Extended" else "Simple");
+      candidates_tried = !tried;
+      seconds = Cq_util.Clock.now () -. t0;
+    }
+  with
+  | Done prog ->
+      {
+        outcome = Found prog;
+        template = (if extended then "Extended" else "Simple");
+        candidates_tried = !tried;
+        seconds = Cq_util.Clock.now () -. t0;
+      }
+  | Timed_out ->
+      {
+        outcome = Timeout;
+        template = (if extended then "Extended" else "Simple");
+        candidates_tried = !tried;
+        seconds = Cq_util.Clock.now () -. t0;
+      }
+
+(* The paper's workflow (§8.1): try the Simple template first, fall back to
+   the Extended one.  The Extended search runs in two phases — promotion
+   rules without cross-line updates first (every Extended-template policy
+   in the paper's evaluation lives there), then the full grammar. *)
+let synthesize ?(deadline = infinity) machine =
+  let phases =
+    [ (false, true); (true, false); (true, true) ]
+    (* (extended, with_others) — Simple always keeps the full grammar,
+       since LRU-style policies need cross-line promotion updates. *)
+  in
+  let rec go spent tried = function
+    | [] ->
+        {
+          outcome = Not_expressible;
+          template = "Extended";
+          candidates_tried = tried;
+          seconds = spent;
+        }
+    | (extended, with_others) :: rest ->
+        let remaining =
+          if deadline = infinity then infinity else max 0.0 (deadline -. spent)
+        in
+        let r =
+          synthesize_with ~with_others ~extended ~deadline:remaining machine
+        in
+        let spent = spent +. r.seconds in
+        let tried = tried + r.candidates_tried in
+        (match r.outcome with
+        | Found _ -> { r with seconds = spent; candidates_tried = tried }
+        | Timeout when rest = [] || remaining <= 0.0 ->
+            { r with outcome = Timeout; seconds = spent; candidates_tried = tried }
+        | _ -> go spent tried rest)
+  in
+  go 0.0 0 phases

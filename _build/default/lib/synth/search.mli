@@ -1,0 +1,44 @@
+(** Template-based synthesis of policy explanations (§5/§8 of the paper).
+
+    Where the paper hands the constraint φP to Sketch, we search the same
+    generator grammars enumeratively: candidates are screened against a
+    growing test suite of traces of the learned machine (CEGIS) and
+    validated by an exact bisimulation check, which *decides*
+    ⟦P⟧ = ⟦Prg⟧ — so a returned program is correct by construction. *)
+
+type outcome =
+  | Found of Rules.program
+  | Not_expressible  (** the search space was exhausted *)
+  | Timeout
+
+type report = {
+  outcome : outcome;
+  template : string;  (** "Simple" or "Extended" (Table 5's column) *)
+  candidates_tried : int;
+  seconds : float;
+}
+
+val check_exact :
+  Cq_policy.Types.output Cq_automata.Mealy.t -> Rules.program -> int list option
+(** Bisimulation between a learned machine and a candidate program:
+    [None] on equivalence, or a distinguishing input word.  Programs whose
+    eviction gets stuck on a reachable state are rejected with the word
+    that reaches the stuck state. *)
+
+val synthesize_with :
+  ?with_others:bool ->
+  extended:bool ->
+  ?deadline:float ->
+  Cq_policy.Types.output Cq_automata.Mealy.t ->
+  report
+(** One search phase over a fixed template.  [extended:false] is the
+    paper's Simple template (normalization fixed to the identity);
+    [with_others:false] drops cross-line promotion updates (an
+    intermediate phase — every Extended-template policy in the paper's
+    evaluation lives there). *)
+
+val synthesize :
+  ?deadline:float -> Cq_policy.Types.output Cq_automata.Mealy.t -> report
+(** The paper's workflow (§8.1): Simple template first, then the Extended
+    one (in two phases).  [deadline] is in seconds, and spans the whole
+    search. *)

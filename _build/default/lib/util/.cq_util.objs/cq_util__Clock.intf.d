@@ -1,0 +1,1 @@
+lib/util/clock.mli: Format

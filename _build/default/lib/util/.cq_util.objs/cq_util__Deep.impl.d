@@ -1,0 +1,1 @@
+lib/util/deep.ml: Hashtbl

@@ -1,0 +1,21 @@
+(* Wall-clock timing helpers and the paper's "H h M m S s" duration format
+   (cf. Table 2 / Table 5). *)
+
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let result = f () in
+  (result, now () -. t0)
+
+let pp_duration ppf seconds =
+  if seconds < 0.0 then Fmt.string ppf "-"
+  else begin
+    let h = int_of_float (seconds /. 3600.0) in
+    let rem = seconds -. (float_of_int h *. 3600.0) in
+    let m = int_of_float (rem /. 60.0) in
+    let s = rem -. (float_of_int m *. 60.0) in
+    Fmt.pf ppf "%d h %d m %.2f s" h m s
+  end
+
+let to_string seconds = Fmt.str "%a" pp_duration seconds

@@ -1,0 +1,11 @@
+(** Wall-clock timing and duration formatting in the paper's
+    ["H h M m S s"] style. *)
+
+val now : unit -> float
+(** Seconds since the epoch. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed seconds. *)
+
+val pp_duration : Format.formatter -> float -> unit
+val to_string : float -> string

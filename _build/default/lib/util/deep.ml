@@ -1,0 +1,20 @@
+(* Deep-hash key packing for polymorphic hash tables.
+
+   [Hashtbl.hash] only samples a bounded prefix (about 10 meaningful words)
+   of a structured key.  Most hot keys in this code base are *lists with
+   long shared prefixes* — block traces, Evct^k access words, observation
+   rows — so the default hash collapses them into a single bucket and hash
+   tables degrade to linked-list scans.
+
+   [pack k] pairs the key with a deep hash (sampling up to 512 nodes);
+   polymorphic hashing of the pair then distributes on the precomputed
+   integer while equality remains structural.  Use [pack] on every key of
+   tables whose keys are traces or rows. *)
+
+type 'a t = int * 'a
+
+let hash_depth = 512
+
+let pack (k : 'a) : 'a t = (Hashtbl.hash_param hash_depth hash_depth k, k)
+
+let unpack ((_, k) : 'a t) : 'a = k

@@ -1,0 +1,63 @@
+(* Deterministic pseudo-random number generation based on splitmix64.
+
+   Everything in this repository that needs randomness (timing jitter in the
+   hardware simulator, random-walk equivalence testing, property-based test
+   generators with fixed seeds) goes through this module so that whole
+   experiments are reproducible from a single seed. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let of_int seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec go () =
+    let r = bits62 t in
+    let v = r mod bound in
+    if r - v > (max_int lsr 1) - bound then go () else v
+  in
+  go ()
+
+let float t =
+  (* 53 uniform bits mapped to [0, 1). *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int r /. 9007199254740992.0
+
+let bool t p = float t < p
+
+(* Box-Muller; one value per call is plenty for jitter modelling. *)
+let gaussian t ~mu ~sigma =
+  let u1 = max (float t) 1e-12 in
+  let u2 = float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let split t = create (next_int64 t)
+
+let shuffle_in_place t arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t lst =
+  match lst with
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | _ -> List.nth lst (int t (List.length lst))

@@ -1,0 +1,38 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    All stochastic behaviour in the repository (simulator timing jitter,
+    random-walk equivalence testing, workload generation) is driven by this
+    generator so that experiments replay exactly from a seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. *)
+
+val of_int : int -> t
+(** [of_int seed] is [create (Int64.of_int seed)]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] when
+    [bound <= 0]. Unbiased (rejection sampling). *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** One draw from a normal distribution (Box–Muller). *)
+
+val split : t -> t
+(** Derive an independent generator (for parallel subsystems). *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)

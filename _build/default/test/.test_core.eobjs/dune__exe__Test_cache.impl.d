@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Cq_cache Cq_policy Cq_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cachequery.ml: Alcotest Array Cq_cache Cq_cachequery Cq_core Cq_hwsim Cq_mbl Fun List Option Printf

@@ -1,0 +1,1 @@
+test/test_eviction.ml: Alcotest Cq_automata Cq_cache Cq_cachequery Cq_core Cq_hwsim Cq_policy List Printf QCheck QCheck_alcotest

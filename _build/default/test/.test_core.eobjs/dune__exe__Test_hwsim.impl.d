@@ -1,0 +1,1 @@
+test/test_hwsim.ml: Alcotest Cq_hwsim List QCheck QCheck_alcotest

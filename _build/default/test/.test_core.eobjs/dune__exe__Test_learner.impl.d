@@ -1,0 +1,1 @@
+test/test_learner.ml: Alcotest Array Cq_automata Cq_learner Cq_policy Cq_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mbl.ml: Alcotest Cq_cache Cq_mbl List Printf QCheck QCheck_alcotest

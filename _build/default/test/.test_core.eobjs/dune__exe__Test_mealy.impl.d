@@ -1,0 +1,1 @@
+test/test_mealy.ml: Alcotest Array Cq_automata Fun List QCheck QCheck_alcotest String

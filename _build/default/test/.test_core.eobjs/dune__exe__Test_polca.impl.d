@@ -1,0 +1,1 @@
+test/test_polca.ml: Alcotest Cq_automata Cq_cache Cq_core Cq_learner Cq_policy List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Cq_policy Fun List Printf QCheck QCheck_alcotest

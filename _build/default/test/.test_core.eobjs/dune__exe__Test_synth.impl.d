@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Cq_automata Cq_policy Cq_synth List QCheck QCheck_alcotest String

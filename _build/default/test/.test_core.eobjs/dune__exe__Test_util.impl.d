@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cq_util Float Gen Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,138 @@
+(* Integration tests for cq_core: reset-sequence discovery and validation,
+   the hardware-learning driver on the toy CPU, and leader-set detection.
+   This module is also the test-suite entry point. *)
+
+module M = Cq_hwsim.Machine
+module CM = Cq_hwsim.Cpu_model
+module FE = Cq_cachequery.Frontend
+module BE = Cq_cachequery.Backend
+
+let quiet model = M.create ~noise:M.quiet_noise model
+
+let frontend_for machine level set =
+  let be = BE.create machine { BE.level; slice = 0; set } in
+  ignore (BE.calibrate be);
+  FE.create be
+
+let test_reset_candidates_cover_paper () =
+  let cands = Cq_core.Reset.candidates 4 in
+  let strings = List.map FE.reset_to_string cands in
+  Alcotest.(check bool) "includes F+R" true (List.mem "F+R" strings);
+  Alcotest.(check bool) "includes @ @" true (List.mem "@ @" strings);
+  Alcotest.(check bool) "includes D C B A @" true (List.mem "D C B A @" strings)
+
+let test_validate_rejects_no_reset () =
+  (* Without a reset sequence, the toy L1 keeps state across queries. *)
+  let fe = frontend_for (quiet CM.toy) CM.L1 0 in
+  FE.set_reset fe FE.No_reset;
+  Alcotest.(check bool) "No_reset is nondeterministic" false
+    (Cq_core.Reset.validate ~prng:(Cq_util.Prng.of_int 1) fe)
+
+let test_validate_accepts_fr_on_plru () =
+  let fe = frontend_for (quiet CM.toy) CM.L1 0 in
+  FE.set_reset fe FE.Flush_refill;
+  Alcotest.(check bool) "F+R deterministic on toy L1" true
+    (Cq_core.Reset.validate ~prng:(Cq_util.Prng.of_int 1) fe)
+
+let test_find_reset_l1_vs_l2 () =
+  (* Toy L1 (PLRU, fills touch the policy): F+R works.
+     Toy L2 (New1, fills do NOT touch the policy): F+R must be rejected
+     and a touch-based reset found instead. *)
+  let fe1 = frontend_for (quiet CM.toy) CM.L1 1 in
+  (match Cq_core.Reset.find ~prng:(Cq_util.Prng.of_int 2) fe1 with
+  | Some FE.Flush_refill -> ()
+  | Some r -> Alcotest.fail ("expected F+R, got " ^ FE.reset_to_string r)
+  | None -> Alcotest.fail "no reset found for toy L1");
+  let fe2 = frontend_for (quiet CM.toy) CM.L2 1 in
+  match Cq_core.Reset.find ~prng:(Cq_util.Prng.of_int 2) fe2 with
+  | Some FE.Flush_refill -> Alcotest.fail "F+R cannot reset toy L2 (stale ages)"
+  | Some _ -> ()
+  | None -> Alcotest.fail "no reset found for toy L2"
+
+let test_learn_set_toy_l3_follower_learns_active_policy () =
+  (* In isolation, a follower set behaves like whichever fixed policy the
+     PSEL counter currently selects (the paper's followers look
+     nondeterministic only because background activity keeps moving the
+     duel).  Learning it must therefore succeed and identify *some* zoo
+     policy; adaptivity itself is detected by the scan test below. *)
+  let machine = quiet CM.toy in
+  let run =
+    Cq_core.Hardware.learn_set machine CM.L3 ~set:1 ~max_states:400
+      ~reset_trials:40
+  in
+  match run.Cq_core.Hardware.outcome with
+  | Cq_core.Hardware.Failed { reason; _ } ->
+      Alcotest.fail ("follower learning failed: " ^ reason)
+  | Cq_core.Hardware.Learned { report; _ } ->
+      Alcotest.(check bool) "identified as a fixed policy" true
+        (report.Cq_core.Learn.identified <> [])
+
+let test_learn_set_state_budget_failure () =
+  let machine = quiet CM.toy in
+  let run = Cq_core.Hardware.learn_set machine CM.L3 ~set:8 ~max_states:4 in
+  match run.Cq_core.Hardware.outcome with
+  | Cq_core.Hardware.Failed { reason; _ } ->
+      Alcotest.(check bool) "diverged on budget" true (String.length reason > 0)
+  | Cq_core.Hardware.Learned _ -> Alcotest.fail "8-state PLRU fit in 4 states?"
+
+let test_l3_leader_sets_listing () =
+  let sets = Cq_core.Hardware.l3_leader_sets CM.skylake in
+  Alcotest.(check int) "16 vulnerable leaders per slice" 16 (List.length sets);
+  Alcotest.(check bool) "0 and 33 lead the list" true
+    (match sets with 0 :: 33 :: _ -> true | _ -> false)
+
+let test_leader_scan_toy () =
+  (* Toy L3: leaders at set mod 8 = 0 (vulnerable, PLRU) and mod 8 = 4
+     (resistant, LIP). *)
+  let machine = quiet CM.toy in
+  let sets = List.init 16 Fun.id in
+  let results = Cq_core.Leader_sets.scan machine sets in
+  let class_of s =
+    (List.find (fun r -> r.Cq_core.Leader_sets.set = s) results)
+      .Cq_core.Leader_sets.classification
+  in
+  Alcotest.(check bool) "set 0 vulnerable leader" true
+    (class_of 0 = Cq_core.Leader_sets.Fixed_vulnerable);
+  Alcotest.(check bool) "set 8 vulnerable leader" true
+    (class_of 8 = Cq_core.Leader_sets.Fixed_vulnerable);
+  let detected, expected = Cq_core.Leader_sets.check_against_model CM.toy results in
+  Alcotest.(check (list int)) "formula recovered" expected detected
+
+let test_pp_outcome () =
+  let s =
+    Fmt.str "%a" Cq_core.Hardware.pp_outcome
+      (Cq_core.Hardware.Failed { reason = "nope"; reset = None })
+  in
+  Alcotest.(check string) "failure rendering" "failed: nope" s
+
+let suite =
+  ( "core",
+    [
+      Alcotest.test_case "reset candidates" `Quick test_reset_candidates_cover_paper;
+      Alcotest.test_case "validate rejects No_reset" `Quick test_validate_rejects_no_reset;
+      Alcotest.test_case "validate accepts F+R (PLRU)" `Quick test_validate_accepts_fr_on_plru;
+      Alcotest.test_case "reset discovery L1 vs L2" `Quick test_find_reset_l1_vs_l2;
+      Alcotest.test_case "follower learns active policy" `Quick
+        test_learn_set_toy_l3_follower_learns_active_policy;
+      Alcotest.test_case "state budget failure" `Quick test_learn_set_state_budget_failure;
+      Alcotest.test_case "leader set listing" `Quick test_l3_leader_sets_listing;
+      Alcotest.test_case "leader scan (toy)" `Quick test_leader_scan_toy;
+      Alcotest.test_case "outcome rendering" `Quick test_pp_outcome;
+    ] )
+
+let () =
+  Alcotest.run "cachequery"
+    [
+      Test_util.suite;
+      Test_mealy.suite;
+      Test_policy.suite;
+      Test_cache.suite;
+      Test_mbl.suite;
+      Test_hwsim.suite;
+      Test_cachequery.suite;
+      Test_learner.suite;
+      Test_polca.suite;
+      Test_synth.suite;
+      Test_eviction.suite;
+      suite;
+    ]

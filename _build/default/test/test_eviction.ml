@@ -1,0 +1,172 @@
+(* Tests for the security applications built on learned models:
+   - Eviction: optimal eviction strategies (the paper's §10 motivation);
+   - Fingerprint: nanoBench-style random-testing identification. *)
+
+module Ev = Cq_core.Eviction
+module Fp = Cq_core.Fingerprint
+module Mealy = Cq_automata.Mealy
+
+(* --- Eviction strategies -------------------------------------------------- *)
+
+let test_lru_shortest () =
+  (* LRU assoc 4, initial recency [0;1;2;3]: line 3 is LRU, evicted by one
+     miss; line 0 is MRU and needs 4 misses (or touches demoting it). *)
+  let m = Cq_policy.Policy.to_mealy (Cq_policy.Lru.make 4) in
+  (match Ev.shortest ~target:3 m (Mealy.init m) with
+  | Some s ->
+      Alcotest.(check int) "LRU line 3: one miss" 1 s.Ev.length;
+      Alcotest.(check int) "a single Evct" 1 s.Ev.misses
+  | None -> Alcotest.fail "no strategy for line 3");
+  match Ev.shortest ~target:0 m (Mealy.init m) with
+  | Some s ->
+      (* Line 0 (MRU) requires 4 misses under pure-miss strategies, but
+         the attacker cannot speed that up with touches. *)
+      Alcotest.(check int) "LRU line 0: four steps" 4 s.Ev.length
+  | None -> Alcotest.fail "no strategy for line 0"
+
+let test_strategy_really_evicts () =
+  (* Replaying the strategy on the machine must end with Evct -> target. *)
+  let check_policy name =
+    let policy = Cq_policy.Zoo.make_exn ~name ~assoc:4 in
+    let m = Cq_policy.Policy.to_mealy policy in
+    List.iter
+      (fun target ->
+        match Ev.shortest ~target m (Mealy.init m) with
+        | None -> Alcotest.fail (name ^ ": no eviction strategy")
+        | Some s ->
+            let outputs = Mealy.run m s.Ev.word in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s target %d: last step evicts" name target)
+              true
+              (match List.rev outputs with
+              | Some v :: _ -> v = target
+              | _ -> false))
+      [ 0; 1; 2; 3 ]
+  in
+  List.iter check_policy [ "LRU"; "FIFO"; "PLRU"; "MRU"; "SRRIP-HP"; "New1"; "New2" ]
+
+let test_strategy_avoids_target_line () =
+  let m = Cq_policy.Policy.to_mealy (Cq_policy.Newpol.make_new1 4) in
+  List.iter
+    (fun target ->
+      match Ev.shortest ~target m (Mealy.init m) with
+      | None -> Alcotest.fail "no strategy"
+      | Some s ->
+          Alcotest.(check bool) "never touches the victim line" false
+            (List.mem target s.Ev.word))
+    [ 0; 1; 2; 3 ]
+
+let test_universal_strategy () =
+  let m = Cq_policy.Policy.to_mealy (Cq_policy.Mru.make 4) in
+  match Ev.universal ~target:2 m with
+  | None -> Alcotest.fail "no universal strategy for MRU"
+  | Some s ->
+      Alcotest.(check (float 1e-9)) "evicts from every state" 1.0
+        (Ev.eviction_rate ~target:2 m s.Ev.word)
+
+let test_eviction_rate () =
+  let m = Cq_policy.Policy.to_mealy (Cq_policy.Lru.make 2) in
+  (* One miss evicts the LRU line: from one of the two states that is
+     line 0, from the other line 1 -> rate 0.5 for each target. *)
+  Alcotest.(check (float 1e-9)) "single miss, half the states" 0.5
+    (Ev.eviction_rate ~target:0 m [ 2 ]);
+  (* Two misses evict both lines from every state. *)
+  Alcotest.(check (float 1e-9)) "two misses, all states" 1.0
+    (Ev.eviction_rate ~target:0 m [ 2; 2 ])
+
+let test_analyze_policy () =
+  let rows = Ev.analyze_policy (Cq_policy.Lru.make 4) in
+  Alcotest.(check int) "one row per line" 4 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "init strategy exists" true (r.Ev.from_init <> None);
+      Alcotest.(check bool) "universal strategy exists" true (r.Ev.from_any <> None))
+    rows
+
+let test_lip_unevictable_without_reuse () =
+  (* Under LIP, a line that is MRU stays safe from pure misses: misses churn
+     the LRU position only.  The BFS must still find touch-based routes; but
+     the *initial* MRU line (line 0 in recency order) can only be demoted by
+     touching other lines.  Check the strategy exists and uses accesses. *)
+  let m = Cq_policy.Policy.to_mealy (Cq_policy.Lip.make 4) in
+  match Ev.shortest ~target:0 m (Mealy.init m) with
+  | None -> Alcotest.fail "no LIP strategy"
+  | Some s ->
+      Alcotest.(check bool) "needs attacker accesses" true (s.Ev.accesses > 0)
+
+(* --- qcheck: strategies from random states ------------------------------- *)
+
+let prop_shortest_is_sound =
+  QCheck.Test.make ~name:"shortest strategies evict from their start state"
+    ~count:100
+    QCheck.(pair (int_range 0 3) (QCheck.make QCheck.Gen.(list_size (0 -- 10) (0 -- 4))))
+    (fun (target, prefix) ->
+      let m = Cq_policy.Policy.to_mealy (Cq_policy.Newpol.make_new2 4) in
+      let state = Mealy.state_after m prefix in
+      match Ev.shortest ~target m state with
+      | None -> false (* New2 can always evict *)
+      | Some s -> (
+          match List.rev (Mealy.run_from m state s.Ev.word) with
+          | Some v :: _ -> v = target
+          | _ -> false))
+
+(* --- Fingerprinting -------------------------------------------------------- *)
+
+let test_fingerprint_simulated () =
+  List.iter
+    (fun name ->
+      let policy = Cq_policy.Zoo.make_exn ~name ~assoc:4 in
+      let v = Fp.identify (Cq_cache.Oracle.of_policy policy) in
+      Alcotest.(check bool)
+        (name ^ " survives its own fingerprint")
+        true
+        (List.mem name v.Fp.survivors))
+    [ "LRU"; "FIFO"; "PLRU"; "MRU"; "SRRIP-HP"; "SRRIP-FP"; "New1"; "New2" ]
+
+let test_fingerprint_separates () =
+  (* With enough sequences, New1 is told apart from SRRIP-HP (its nearest
+     relative per §8). *)
+  let v = Fp.identify ~sequences:400 (Cq_cache.Oracle.of_policy (Cq_policy.Newpol.make_new1 4)) in
+  Alcotest.(check bool) "SRRIP-HP eliminated" false (List.mem "SRRIP-HP" v.Fp.survivors);
+  Alcotest.(check bool) "New2 eliminated" false (List.mem "New2" v.Fp.survivors)
+
+let test_fingerprint_unknown_policy () =
+  (* A policy outside the pool leaves no survivors. *)
+  let weird =
+    Cq_policy.Policy.v ~name:"sticky" ~assoc:4 ~init:()
+      ~step:(fun () -> function
+        | Cq_policy.Types.Line _ -> ((), None)
+        | Cq_policy.Types.Evct -> ((), Some 1))
+      ()
+  in
+  let v = Fp.identify ~sequences:300 (Cq_cache.Oracle.of_policy weird) in
+  Alcotest.(check (list string)) "no survivors" [] v.Fp.survivors
+
+let test_fingerprint_on_hardware () =
+  (* Fingerprinting through the CacheQuery stack on the toy CPU's L1. *)
+  let machine = Cq_hwsim.Machine.create ~noise:Cq_hwsim.Machine.quiet_noise Cq_hwsim.Cpu_model.toy in
+  let be =
+    Cq_cachequery.Backend.create machine
+      { Cq_cachequery.Backend.level = Cq_hwsim.Cpu_model.L1; slice = 0; set = 2 }
+  in
+  ignore (Cq_cachequery.Backend.calibrate be);
+  let fe = Cq_cachequery.Frontend.create be in
+  let v = Fp.identify ~sequences:120 (Cq_cachequery.Frontend.oracle fe) in
+  Alcotest.(check bool) "PLRU survives" true (List.mem "PLRU" v.Fp.survivors)
+
+let suite =
+  ( "eviction+fingerprint",
+    [
+      Alcotest.test_case "LRU shortest strategies" `Quick test_lru_shortest;
+      Alcotest.test_case "strategies really evict" `Quick test_strategy_really_evicts;
+      Alcotest.test_case "strategies avoid the victim" `Quick test_strategy_avoids_target_line;
+      Alcotest.test_case "universal strategy (MRU)" `Quick test_universal_strategy;
+      Alcotest.test_case "eviction rate" `Quick test_eviction_rate;
+      Alcotest.test_case "analyze_policy" `Quick test_analyze_policy;
+      Alcotest.test_case "LIP needs accesses" `Quick test_lip_unevictable_without_reuse;
+      QCheck_alcotest.to_alcotest prop_shortest_is_sound;
+      Alcotest.test_case "fingerprint: self-identification" `Quick test_fingerprint_simulated;
+      Alcotest.test_case "fingerprint: separation" `Quick test_fingerprint_separates;
+      Alcotest.test_case "fingerprint: unknown policy" `Quick test_fingerprint_unknown_policy;
+      Alcotest.test_case "fingerprint: via CacheQuery" `Quick test_fingerprint_on_hardware;
+    ] )

@@ -1,0 +1,203 @@
+(* Tests for cq_hwsim: address mapping, hierarchy behaviour, inclusivity,
+   flushes, CAT, prefetchers, timing, adaptive sets and set dueling. *)
+
+module M = Cq_hwsim.Machine
+module CM = Cq_hwsim.Cpu_model
+
+let quiet model = M.create ~noise:M.quiet_noise model
+
+let test_set_mapping () =
+  let m = quiet CM.skylake in
+  (* L1 has 64 sets of 64-byte lines: set = addr[6..11]. *)
+  Alcotest.(check (pair int int)) "L1 set of 0" (0, 0) (M.map_addr m CM.L1 0);
+  Alcotest.(check (pair int int)) "L1 set of 64" (0, 1) (M.map_addr m CM.L1 64);
+  Alcotest.(check (pair int int)) "L1 wraps" (0, 0) (M.map_addr m CM.L1 (64 * 64));
+  (* L2: 1024 sets. *)
+  Alcotest.(check (pair int int)) "L2 set" (0, 63) (M.map_addr m CM.L2 (63 * 64))
+
+let test_slice_hash_range () =
+  let m = quiet CM.skylake in
+  for i = 0 to 999 do
+    let slice, _ = M.map_addr m CM.L3 (i * 64) in
+    Alcotest.(check bool) "slice in range" true (slice >= 0 && slice < 8)
+  done;
+  (* The hash spreads across slices. *)
+  let slices =
+    List.sort_uniq compare
+      (List.init 256 (fun i -> fst (M.map_addr m CM.L3 (i * 64))))
+  in
+  Alcotest.(check bool) "several slices used" true (List.length slices >= 4)
+
+let test_congruent_addresses () =
+  let m = quiet CM.skylake in
+  let addrs = M.congruent_addresses m CM.L3 ~slice:3 ~set:17 8 in
+  Alcotest.(check int) "count" 8 (List.length addrs);
+  List.iter
+    (fun a ->
+      Alcotest.(check (pair int int)) "congruent" (3, 17) (M.map_addr m CM.L3 a))
+    addrs;
+  Alcotest.(check int) "distinct" 8 (List.length (List.sort_uniq compare addrs))
+
+let test_hierarchy_hit_levels () =
+  let m = quiet CM.skylake in
+  M.set_prefetchers m false;
+  let addr = 4096 in
+  let miss = M.load m addr in
+  let hit = M.load m addr in
+  Alcotest.(check bool) "first load is slow (memory)" true (miss > 100);
+  Alcotest.(check int) "second load is an L1 hit" CM.skylake.CM.l1.CM.hit_latency hit
+
+let test_clflush () =
+  let m = quiet CM.skylake in
+  M.set_prefetchers m false;
+  let addr = 8192 in
+  ignore (M.load m addr);
+  M.clflush m addr;
+  Alcotest.(check bool) "flushed load misses" true (M.load m addr > 100)
+
+let test_wbinvd () =
+  let m = quiet CM.skylake in
+  M.set_prefetchers m false;
+  ignore (M.load m 0);
+  ignore (M.load m 64);
+  M.wbinvd m;
+  Alcotest.(check bool) "all flushed" true (M.load m 0 > 100 && M.load m 64 > 100)
+
+let test_inclusive_back_invalidation () =
+  (* Evicting a line from L3 must remove it from L1/L2: load L3-assoc+1
+     blocks of one L3 set; the first one must then miss everywhere. *)
+  let m = quiet CM.toy in
+  M.set_prefetchers m false;
+  let addrs = M.congruent_addresses m CM.L3 ~slice:0 ~set:1 5 in
+  (* toy L3: 4 ways *)
+  List.iter (fun a -> ignore (M.load m a)) addrs;
+  (* The 5th load evicted one of the first four from L3 and, inclusively,
+     from L1/L2: its reload must be slow again. *)
+  let evicted =
+    List.exists (fun a -> M.load m a > 100) (List.filteri (fun i _ -> i < 4) addrs)
+  in
+  Alcotest.(check bool) "some early line re-misses" true evicted
+
+let test_latency_ordering () =
+  let model = CM.skylake in
+  Alcotest.(check bool) "L1 < L2 < L3 < mem" true
+    (model.CM.l1.CM.hit_latency < model.CM.l2.CM.hit_latency
+    && model.CM.l2.CM.hit_latency < model.CM.l3.CM.hit_latency
+    && model.CM.l3.CM.hit_latency < model.CM.memory_latency)
+
+let test_cat () =
+  let m = quiet CM.skylake in
+  Alcotest.(check int) "full assoc" 12 (M.effective_assoc m CM.L3);
+  M.set_cat_ways m 4;
+  Alcotest.(check int) "reduced" 4 (M.effective_assoc m CM.L3);
+  M.reset_cat m;
+  Alcotest.(check int) "restored" 12 (M.effective_assoc m CM.L3);
+  Alcotest.check_raises "haswell has no CAT" (Failure "i7-4790 does not support CAT")
+    (fun () -> M.set_cat_ways (quiet CM.haswell) 4)
+
+let test_prefetcher_buddy () =
+  let m = quiet CM.skylake in
+  M.set_prefetchers m true;
+  let addr = 1 lsl 20 in
+  ignore (M.load m addr);
+  (* The buddy line (128-byte pair) was pulled into L2: loading it is not a
+     memory access. *)
+  let buddy = addr lxor 64 in
+  Alcotest.(check bool) "buddy prefetched" true (M.load m buddy < 100);
+  (* Without prefetchers, a fresh pair's buddy misses. *)
+  let m2 = quiet CM.skylake in
+  M.set_prefetchers m2 false;
+  ignore (M.load m2 addr);
+  Alcotest.(check bool) "no prefetch" true (M.load m2 buddy > 100)
+
+let test_noise_quiet_deterministic () =
+  let run () =
+    let m = M.create ~seed:99L ~noise:M.quiet_noise CM.skylake in
+    M.set_prefetchers m false;
+    List.init 50 (fun i -> M.load m ((i * 320) land 0xFFFF))
+  in
+  Alcotest.(check (list int)) "same seed, same latencies" (run ()) (run ())
+
+let test_noise_jitter () =
+  let m = M.create ~noise:M.default_noise CM.skylake in
+  M.set_prefetchers m false;
+  ignore (M.load m 0);
+  let hits = List.init 50 (fun _ -> M.load m 0) in
+  Alcotest.(check bool) "jitter varies latencies" true
+    (List.length (List.sort_uniq compare hits) > 1);
+  Alcotest.(check bool) "latencies stay positive" true (List.for_all (fun c -> c >= 1) hits)
+
+let test_leader_set_kinds () =
+  let m = quiet CM.skylake in
+  (* Touch sets to instantiate them, then check kinds via Cache_level. *)
+  let level3 addr = ignore (M.load m addr) in
+  List.iter (fun set ->
+      List.iter level3 (M.congruent_addresses m CM.L3 ~slice:0 ~set 1))
+    [ 0; 2; 33; 62 ];
+  (* set 0 and 33 satisfy the vulnerable-leader formula; 62 the resistant
+     one; 2 neither. *)
+  Alcotest.(check bool) "formula: set 0 leader-A" true (CM.skl_leader_a ~slice:0 ~set:0);
+  Alcotest.(check bool) "formula: set 33 leader-A" true (CM.skl_leader_a ~slice:0 ~set:33);
+  Alcotest.(check bool) "formula: set 2 not leader" false
+    (CM.skl_leader_a ~slice:0 ~set:2 || CM.skl_leader_b ~slice:0 ~set:2);
+  Alcotest.(check bool) "formula: set 62 leader-B" true (CM.skl_leader_b ~slice:0 ~set:62)
+
+let test_haswell_leader_ranges () =
+  Alcotest.(check bool) "512 vulnerable" true (CM.hsw_leader_a ~slice:0 ~set:512);
+  Alcotest.(check bool) "575 vulnerable" true (CM.hsw_leader_a ~slice:0 ~set:575);
+  Alcotest.(check bool) "576 not" false (CM.hsw_leader_a ~slice:0 ~set:576);
+  Alcotest.(check bool) "768 resistant" true (CM.hsw_leader_b ~slice:0 ~set:768);
+  Alcotest.(check bool) "only slice 0" false (CM.hsw_leader_a ~slice:1 ~set:512)
+
+let test_by_name () =
+  Alcotest.(check bool) "skylake by codename" true
+    (match CM.by_name "Skylake" with Some m -> m.CM.name = "i5-6500" | None -> false);
+  Alcotest.(check bool) "by model number" true
+    (match CM.by_name "i7-8550U" with Some m -> m.CM.codename = "Kaby Lake" | None -> false);
+  Alcotest.(check bool) "unknown" true (CM.by_name "pentium" = None)
+
+(* --- qcheck --------------------------------------------------------------- *)
+
+let prop_map_addr_line_granularity =
+  QCheck.Test.make ~name:"all bytes of a line map to the same set" ~count:200
+    QCheck.(int_range 0 1_000_000)
+    (fun line ->
+      let m = quiet CM.skylake in
+      let base = line * 64 in
+      List.for_all
+        (fun level ->
+          M.map_addr m level base = M.map_addr m level (base + 63))
+        CM.all_levels)
+
+let prop_same_seed_same_behaviour =
+  QCheck.Test.make ~name:"hierarchy is deterministic per seed" ~count:50
+    QCheck.(list_of_size QCheck.Gen.(1 -- 30) (int_range 0 100_000))
+    (fun lines ->
+      let run () =
+        let m = M.create ~seed:5L ~noise:M.quiet_noise CM.toy in
+        M.set_prefetchers m false;
+        List.map (fun l -> M.load m (l * 64)) lines
+      in
+      run () = run ())
+
+let suite =
+  ( "hwsim",
+    [
+      Alcotest.test_case "set mapping" `Quick test_set_mapping;
+      Alcotest.test_case "slice hash" `Quick test_slice_hash_range;
+      Alcotest.test_case "congruent addresses" `Quick test_congruent_addresses;
+      Alcotest.test_case "hierarchy hit levels" `Quick test_hierarchy_hit_levels;
+      Alcotest.test_case "clflush" `Quick test_clflush;
+      Alcotest.test_case "wbinvd" `Quick test_wbinvd;
+      Alcotest.test_case "inclusive back-invalidation" `Quick test_inclusive_back_invalidation;
+      Alcotest.test_case "latency ordering" `Quick test_latency_ordering;
+      Alcotest.test_case "CAT" `Quick test_cat;
+      Alcotest.test_case "prefetcher buddy" `Quick test_prefetcher_buddy;
+      Alcotest.test_case "quiet noise deterministic" `Quick test_noise_quiet_deterministic;
+      Alcotest.test_case "jitter" `Quick test_noise_jitter;
+      Alcotest.test_case "leader formulas (Skylake)" `Quick test_leader_set_kinds;
+      Alcotest.test_case "leader ranges (Haswell)" `Quick test_haswell_leader_ranges;
+      Alcotest.test_case "by_name" `Quick test_by_name;
+      QCheck_alcotest.to_alcotest prop_map_addr_line_granularity;
+      QCheck_alcotest.to_alcotest prop_same_seed_same_behaviour;
+    ] )

@@ -1,0 +1,164 @@
+(* Tests for cq_mbl: lexer/parser, the formal expansion semantics of
+   Appendix A, the paper's examples, and pretty-printing round trips. *)
+
+module A = Cq_mbl.Ast
+module E = Cq_mbl.Expand
+
+let expand ?assoc:(n = 4) s =
+  List.map E.query_to_string (E.expand_string ~assoc:n s)
+
+let check_expansion ?assoc name input expected =
+  Alcotest.(check (list string)) name expected (expand ?assoc input)
+
+let test_example_4_1 () =
+  (* '@ X _?' for associativity 4 (Example 4.1). *)
+  check_expansion "Example 4.1" "@ X _?"
+    [ "A B C D X A?"; "A B C D X B?"; "A B C D X C?"; "A B C D X D?" ]
+
+let test_at_macro () =
+  check_expansion ~assoc:8 "@ at 8" "@" [ "A B C D E F G H" ];
+  check_expansion ~assoc:2 "@ at 2" "@" [ "A B" ]
+
+let test_wildcard () =
+  check_expansion ~assoc:3 "wildcard" "_" [ "A"; "B"; "C" ]
+
+let test_extension () =
+  check_expansion "extension" "(A B C D)[E F]" [ "A B C D E"; "A B C D F" ];
+  (* Extension collects distinct blocks of the inner expansion. *)
+  check_expansion "extension dedup" "(A)[B B]" [ "A B" ]
+
+let test_power () =
+  check_expansion ~assoc:2 "power" "(A B C)3" [ "A B C A B C A B C" ];
+  check_expansion ~assoc:2 "power caret" "(A B)^2" [ "A B A B" ];
+  check_expansion ~assoc:2 "power zero" "X (A)0 Y" [ "X Y" ]
+
+let test_tags () =
+  check_expansion "group profile" "(A B)?" [ "A? B?" ];
+  check_expansion "flush tag" "A! B" [ "A! B" ];
+  check_expansion "tag distributes over set" "{A, B}? C" [ "A? C"; "B? C" ]
+
+let test_sets () =
+  check_expansion "set" "{A B, C} D" [ "A B D"; "C D" ];
+  check_expansion "nested set" "{A, {B, C}} X" [ "A X"; "B X"; "C X" ]
+
+let test_aux_blocks () =
+  (* Appendix B's thrashing query: lowercase 'a' is never captured by '@'. *)
+  check_expansion "thrash probe" "@ M a M?" [ "A B C D M a M?" ]
+
+let test_double_tag_rejected () =
+  Alcotest.check_raises "double tagging"
+    (E.Expansion_error "tag applied to an already-tagged query") (fun () ->
+      ignore (E.expand_string ~assoc:4 "(A?)?"))
+
+let test_expansion_guard () =
+  match E.expand_string ~max_queries:8 ~assoc:4 "_ _ _" with
+  | _ -> Alcotest.fail "guard not applied"
+  | exception E.Expansion_error _ -> ()
+
+let test_parse_errors () =
+  let bad input =
+    match Cq_mbl.Parser.parse_result input with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" input)
+  in
+  bad "";
+  bad "(A B";
+  bad "{A, }";
+  bad "A )";
+  bad "^3";
+  bad "A # B"
+
+let test_parse_structure () =
+  (match Cq_mbl.Parser.parse "@ X _?" with
+  | A.Seq [ A.At; A.Block "X"; A.Tagged (A.Wildcard, A.Profile) ] -> ()
+  | other ->
+      Alcotest.fail (Printf.sprintf "unexpected AST: %s" (A.to_string other)));
+  match Cq_mbl.Parser.parse "(A B C D)[E F]" with
+  | A.Extend (A.Seq _, A.Seq _) -> ()
+  | other -> Alcotest.fail (Printf.sprintf "unexpected AST: %s" (A.to_string other))
+
+let test_profiled_indices () =
+  let q = List.hd (E.expand_string ~assoc:4 "A B? C D?") in
+  Alcotest.(check (list int)) "profiled positions" [ 1; 3 ] (E.profiled_indices q);
+  Alcotest.(check (list string)) "blocks" [ "A"; "B"; "C"; "D" ]
+    (List.map Cq_cache.Block.to_string (E.blocks q))
+
+(* --- qcheck --------------------------------------------------------------- *)
+
+(* Random AST generator (untagged leaves to keep tagging well-formed). *)
+let gen_ast =
+  QCheck.Gen.(
+    sized_size (0 -- 8) @@ fix (fun self n ->
+        let block = map (fun i -> A.Block (Cq_cache.Block.to_string (Cq_cache.Block.of_index i))) (0 -- 8) in
+        if n <= 1 then oneof [ block; return A.At; return A.Wildcard ]
+        else
+          frequency
+            [
+              (3, block);
+              (1, return A.At);
+              (1, return A.Wildcard);
+              (2, map (fun l -> A.Seq l) (list_size (2 -- 3) (self (n / 3))));
+              (1, map (fun l -> A.Set l) (list_size (2 -- 3) (self (n / 3))));
+              (1, map (fun e -> A.Power (e, 2)) (self (n / 2)));
+              (1, map2 (fun a b -> A.Extend (a, b)) (self (n / 2)) (self (n / 2)));
+            ]))
+
+let arb_ast = QCheck.make ~print:A.to_string gen_ast
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"pp/parse roundtrip preserves expansion" ~count:100
+    arb_ast (fun ast ->
+      let s = A.to_string ast in
+      match Cq_mbl.Parser.parse_result s with
+      | Error _ -> false
+      | Ok ast' -> (
+          (* ASTs need not be structurally equal (Seq nesting), but their
+             expansions must coincide. *)
+          match
+            ( E.expand ~max_queries:4096 ~assoc:4 ast,
+              E.expand ~max_queries:4096 ~assoc:4 ast' )
+          with
+          | a, b -> a = b
+          | exception E.Expansion_error _ -> true))
+
+let prop_seq_concat_sizes =
+  QCheck.Test.make ~name:"|s1 s2| = |s1| * |s2|" ~count:100
+    QCheck.(pair arb_ast arb_ast)
+    (fun (a, b) ->
+      match
+        ( E.expand ~max_queries:20_000 ~assoc:4 a,
+          E.expand ~max_queries:20_000 ~assoc:4 b,
+          E.expand ~max_queries:20_000 ~assoc:4 (A.Seq [ a; b ]) )
+      with
+      | qa, qb, qs -> List.length qs = List.length qa * List.length qb
+      | exception E.Expansion_error _ -> true)
+
+let prop_power_is_repeated_concat =
+  QCheck.Test.make ~name:"(s)^2 = s o s" ~count:100 arb_ast (fun a ->
+      match
+        ( E.expand ~max_queries:20_000 ~assoc:4 (A.Power (a, 2)),
+          E.expand ~max_queries:20_000 ~assoc:4 (A.Seq [ a; a ]) )
+      with
+      | p, s -> p = s
+      | exception E.Expansion_error _ -> true)
+
+let suite =
+  ( "mbl",
+    [
+      Alcotest.test_case "Example 4.1" `Quick test_example_4_1;
+      Alcotest.test_case "@ macro" `Quick test_at_macro;
+      Alcotest.test_case "wildcard" `Quick test_wildcard;
+      Alcotest.test_case "extension" `Quick test_extension;
+      Alcotest.test_case "power" `Quick test_power;
+      Alcotest.test_case "tags" `Quick test_tags;
+      Alcotest.test_case "sets" `Quick test_sets;
+      Alcotest.test_case "aux blocks" `Quick test_aux_blocks;
+      Alcotest.test_case "double tag rejected" `Quick test_double_tag_rejected;
+      Alcotest.test_case "expansion guard" `Quick test_expansion_guard;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "parse structure" `Quick test_parse_structure;
+      Alcotest.test_case "profiled indices" `Quick test_profiled_indices;
+      QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
+      QCheck_alcotest.to_alcotest prop_seq_concat_sizes;
+      QCheck_alcotest.to_alcotest prop_power_is_repeated_concat;
+    ] )

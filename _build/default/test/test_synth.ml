@@ -1,0 +1,232 @@
+(* Tests for cq_synth: rule semantics, the Figure 5 programs, the exact
+   bisimulation check, CEGIS screening, and template coverage (Table 5's
+   Simple/Extended split and PLRU's inexpressibility). *)
+
+module R = Cq_synth.Rules
+module S = Cq_synth.Search
+
+let new1_prog =
+  {
+    R.init = [| 3; 3; 3; 0 |];
+    promote = { p_self = [ (R.Always, R.Const 0) ]; p_others = None };
+    evict = R.First_with_age 3;
+    insert = { i_self = R.Const 1; i_others = None };
+    normalize = { n_touched = R.N_aging { except_touched = true }; n_pre_miss = R.N_nop };
+  }
+
+let new2_prog =
+  {
+    R.init = [| 3; 3; 3; 3 |];
+    promote =
+      { p_self = [ (R.Eq 1, R.Const 0); (R.Gt 1, R.Const 1) ]; p_others = None };
+    evict = R.First_with_age 3;
+    insert = { i_self = R.Const 1; i_others = None };
+    normalize = { n_touched = R.N_aging { except_touched = false }; n_pre_miss = R.N_nop };
+  }
+
+let test_promote_semantics () =
+  let p = { R.p_self = [ (R.Eq 1, R.Const 0); (R.Gt 1, R.Const 1) ]; p_others = None } in
+  Alcotest.(check (array int)) "age 1 -> 0" [| 0; 2; 3; 3 |]
+    (R.apply_promote p [| 1; 2; 3; 3 |] 0);
+  Alcotest.(check (array int)) "age 3 -> 1" [| 1; 2; 1; 3 |]
+    (R.apply_promote p [| 1; 2; 3; 3 |] 2);
+  Alcotest.(check (array int)) "age 0 unchanged" [| 1; 2; 3; 0 |]
+    (R.apply_promote p [| 1; 2; 3; 0 |] 3)
+
+let test_promote_others_read_original () =
+  (* LRU-style: others with smaller age than the touched line increment;
+     the condition reads the original state. *)
+  let p =
+    { R.p_self = [ (R.Always, R.Const 0) ]; p_others = Some (R.O_lt_self, R.Inc) }
+  in
+  Alcotest.(check (array int)) "LRU promote" [| 1; 2; 0 |]
+    (R.apply_promote p [| 0; 1; 2 |] 2)
+
+let test_evict_semantics () =
+  Alcotest.(check int) "first with age" 1 (R.apply_evict (R.First_with_age 3) [| 0; 3; 3 |]);
+  Alcotest.(check int) "first max" 2 (R.apply_evict R.First_max [| 0; 1; 2 |]);
+  Alcotest.(check int) "first min" 0 (R.apply_evict R.First_min [| 0; 1; 2 |]);
+  Alcotest.check_raises "stuck when absent" R.Stuck (fun () ->
+      ignore (R.apply_evict (R.First_with_age 3) [| 0; 1; 2 |]))
+
+let test_normalize_aging () =
+  let aging = R.N_aging { except_touched = false } in
+  Alcotest.(check (array int)) "ages until a 3 exists" [| 2; 3 |]
+    (R.apply_norm_action aging [| 1; 2 |] ~touched:None);
+  Alcotest.(check (array int)) "no-op when a 3 exists" [| 0; 3 |]
+    (R.apply_norm_action aging [| 0; 3 |] ~touched:None);
+  let except = R.N_aging { except_touched = true } in
+  Alcotest.(check (array int)) "touched line spared" [| 0; 3; 3 |]
+    (R.apply_norm_action except [| 0; 1; 1 |] ~touched:(Some 0))
+
+let test_normalize_reset_full () =
+  let reset = R.N_reset_full { full = 1; reset_to = 0 } in
+  Alcotest.(check (array int)) "resets others when full" [| 0; 1; 0 |]
+    (R.apply_norm_action reset [| 1; 1; 1 |] ~touched:(Some 1));
+  Alcotest.(check (array int)) "no-op otherwise" [| 1; 0; 1 |]
+    (R.apply_norm_action reset [| 1; 0; 1 |] ~touched:(Some 1))
+
+let test_figure5_new1_matches_policy () =
+  let prog_policy = R.to_policy new1_prog in
+  let reference = Cq_policy.Newpol.make_new1 4 in
+  Alcotest.(check bool) "Figure 5a = Newpol.make_new1" true
+    (Cq_policy.Policy.equivalent prog_policy reference)
+
+let test_figure5_new2_matches_policy () =
+  let prog_policy = R.to_policy new2_prog in
+  let reference = Cq_policy.Newpol.make_new2 4 in
+  Alcotest.(check bool) "Figure 5b = Newpol.make_new2" true
+    (Cq_policy.Policy.equivalent prog_policy reference)
+
+let test_check_exact () =
+  let m = Cq_policy.Policy.to_mealy (Cq_policy.Newpol.make_new1 4) in
+  Alcotest.(check (option (list int))) "correct program passes" None
+    (S.check_exact m new1_prog);
+  (match S.check_exact m new2_prog with
+  | Some w ->
+      (* The counterexample really distinguishes them. *)
+      let p2 = R.to_policy new2_prog in
+      Alcotest.(check bool) "cex is real" false
+        (Cq_automata.Mealy.run m w
+        = Cq_automata.Mealy.run (Cq_policy.Policy.to_mealy p2) w)
+  | None -> Alcotest.fail "New2 program accepted for New1 machine")
+
+let test_stuck_program_rejected () =
+  let stuck_prog = { new1_prog with R.evict = R.First_with_age 2 } in
+  let m = Cq_policy.Policy.to_mealy (Cq_policy.Newpol.make_new1 4) in
+  Alcotest.(check bool) "non-total program rejected" true
+    (S.check_exact m stuck_prog <> None)
+
+let synthesize name ~deadline =
+  let m = Cq_policy.Policy.to_mealy (Cq_policy.Zoo.make_exn ~name ~assoc:4) in
+  (m, S.synthesize ~deadline m)
+
+let test_table5_simple_policies () =
+  List.iter
+    (fun name ->
+      let m, r = synthesize name ~deadline:60.0 in
+      match r.S.outcome with
+      | S.Found prog ->
+          Alcotest.(check string) (name ^ " uses Simple") "Simple" r.S.template;
+          Alcotest.(check bool) (name ^ " validates") true
+            (Cq_automata.Mealy.equivalent m
+               (Cq_policy.Policy.to_mealy (R.to_policy prog)))
+      | _ -> Alcotest.fail (name ^ " did not synthesize"))
+    [ "FIFO"; "LRU"; "LIP" ]
+
+let test_table5_extended_policies () =
+  List.iter
+    (fun name ->
+      let m, r = synthesize name ~deadline:120.0 in
+      match r.S.outcome with
+      | S.Found prog ->
+          Alcotest.(check string) (name ^ " uses Extended") "Extended" r.S.template;
+          Alcotest.(check bool) (name ^ " validates") true
+            (Cq_automata.Mealy.equivalent m
+               (Cq_policy.Policy.to_mealy (R.to_policy prog)))
+      | _ -> Alcotest.fail (name ^ " did not synthesize"))
+    [ "MRU"; "New1" ]
+
+let test_mru_needs_extended () =
+  let m = Cq_policy.Policy.to_mealy (Cq_policy.Zoo.make_exn ~name:"MRU" ~assoc:4) in
+  match (S.synthesize_with ~extended:false ~deadline:30.0 m).S.outcome with
+  | S.Not_expressible -> ()
+  | S.Found _ -> Alcotest.fail "MRU should not fit the Simple template"
+  | S.Timeout -> Alcotest.fail "Simple search should exhaust quickly"
+
+let test_plru_not_expressible () =
+  (* PLRU's tree state has no per-line age encoding: the search must not
+     find anything (we only run the cheap Simple phase to keep the test
+     fast; the full search times out as in Table 5). *)
+  let m = Cq_policy.Policy.to_mealy (Cq_policy.Zoo.make_exn ~name:"PLRU" ~assoc:4) in
+  match (S.synthesize_with ~extended:false ~deadline:30.0 m).S.outcome with
+  | S.Not_expressible -> ()
+  | S.Found _ -> Alcotest.fail "PLRU found in Simple template?!"
+  | S.Timeout -> Alcotest.fail "Simple search should exhaust quickly"
+
+let test_pp_program () =
+  let s = R.to_string new1_prog in
+  let contains needle =
+    let n = String.length needle and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "prints init" true (contains "s0 = {3,3,3,0}");
+  Alcotest.(check bool) "prints eviction" true (contains "leftmost line with age 3");
+  Alcotest.(check bool) "prints insertion" true (contains "state[idx] = 1")
+
+(* --- qcheck --------------------------------------------------------------- *)
+
+let arb_prog =
+  let gen =
+    QCheck.Gen.(
+      let* init = list_size (return 3) (0 -- 3) in
+      let* evict = oneofl [ R.First_with_age 3; R.First_max; R.First_min ] in
+      let* ins = oneofl [ R.Const 0; R.Const 1; R.Const 3; R.Keep ] in
+      let* promote = oneofl [ R.Const 0; R.Dec; R.Keep ] in
+      let* aging =
+        oneofl
+          [ R.N_nop; R.N_aging { except_touched = false }; R.N_aging { except_touched = true } ]
+      in
+      return
+        {
+          R.init = Array.of_list init;
+          promote = { p_self = [ (R.Always, promote) ]; p_others = None };
+          evict;
+          insert = { i_self = ins; i_others = None };
+          normalize = { n_touched = aging; n_pre_miss = R.N_nop };
+        })
+  in
+  QCheck.make gen
+
+let prop_to_policy_well_formed =
+  (* Programs whose eviction is total yield well-formed policies. *)
+  QCheck.Test.make ~name:"program policies satisfy Definition 2.1" ~count:300
+    (QCheck.pair arb_prog (QCheck.make QCheck.Gen.(list_size (1 -- 12) (0 -- 3))))
+    (fun (prog, word) ->
+      let policy = R.to_policy prog in
+      let inputs =
+        List.map (fun i -> Cq_policy.Types.input_of_int ~assoc:3 i) word
+      in
+      match Cq_policy.Policy.run policy inputs with
+      | outputs ->
+          List.for_all2
+            (fun input output ->
+              match (input, output) with
+              | Cq_policy.Types.Evct, Some v -> v >= 0 && v < 3
+              | Cq_policy.Types.Line _, None -> true
+              | _ -> false)
+            inputs outputs
+      | exception R.Stuck -> true (* non-total candidate: fine, pruned in search *))
+
+let prop_check_exact_sound =
+  (* If check_exact accepts, the program's policy is trace-equivalent. *)
+  QCheck.Test.make ~name:"check_exact acceptance implies equivalence" ~count:100
+    arb_prog (fun prog ->
+      let m = Cq_policy.Policy.to_mealy (Cq_policy.Newpol.make_new2 3) in
+      match S.check_exact m prog with
+      | Some _ -> true
+      | None ->
+          Cq_automata.Mealy.equivalent m
+            (Cq_policy.Policy.to_mealy (R.to_policy prog)))
+
+let suite =
+  ( "synth",
+    [
+      Alcotest.test_case "promote semantics" `Quick test_promote_semantics;
+      Alcotest.test_case "promote others (LRU)" `Quick test_promote_others_read_original;
+      Alcotest.test_case "evict semantics" `Quick test_evict_semantics;
+      Alcotest.test_case "normalize aging" `Quick test_normalize_aging;
+      Alcotest.test_case "normalize reset-full" `Quick test_normalize_reset_full;
+      Alcotest.test_case "Figure 5a (New1)" `Quick test_figure5_new1_matches_policy;
+      Alcotest.test_case "Figure 5b (New2)" `Quick test_figure5_new2_matches_policy;
+      Alcotest.test_case "check_exact" `Quick test_check_exact;
+      Alcotest.test_case "stuck programs rejected" `Quick test_stuck_program_rejected;
+      Alcotest.test_case "Table 5: Simple policies" `Quick test_table5_simple_policies;
+      Alcotest.test_case "Table 5: Extended policies" `Quick test_table5_extended_policies;
+      Alcotest.test_case "MRU needs Extended" `Quick test_mru_needs_extended;
+      Alcotest.test_case "PLRU not expressible" `Quick test_plru_not_expressible;
+      Alcotest.test_case "program pretty-printing" `Quick test_pp_program;
+      QCheck_alcotest.to_alcotest prop_to_policy_well_formed;
+      QCheck_alcotest.to_alcotest prop_check_exact_sound;
+    ] )
