@@ -257,8 +257,10 @@ let cost () =
   let frontend = Cq_cachequery.Frontend.create backend in
   let oracle = Cq_cachequery.Frontend.oracle frontend in
   let learn () =
-    Cq_core.Learn.learn_from_cache ~memoize:false ~identify:false
-      ~check_hits:false oracle
+    (* Sequential engine: this experiment measures the frontend's query
+       memo (cold vs warm), which session-mode execution bypasses. *)
+    Cq_core.Learn.learn_from_cache ~engine:Cq_core.Learn.Sequential
+      ~memoize:false ~identify:false ~check_hits:false oracle
   in
   let cold = learn () in
   let warm = learn () in
@@ -440,6 +442,90 @@ let ablations () =
     [ "LRU"; "FIFO"; "PLRU"; "MRU"; "LIP"; "SRRIP-HP"; "New1"; "New2" ]
 
 (* ----------------------------------------------------------------------- *)
+(* Query-engine benchmark: sequential vs batched vs parallel                 *)
+(* ----------------------------------------------------------------------- *)
+
+(* Compare the three query engines on the simulated-cache pipeline: the
+   sequential baseline (reset-and-replay, short-circuit findEvicted), the
+   prefix-sharing batched engine, and batched + pooled conformance testing.
+   All three must learn the same automaton; the speedups land in
+   BENCH_engine.json for machine consumption. *)
+let engine () =
+  header
+    "Engine: sequential vs batched vs parallel query engines (Polca + L*, \
+     Wp-method depth 1)";
+  let domains = max 2 (Domain.recommended_domain_count ()) in
+  let configs =
+    [ ("LRU", 4); ("PLRU", 4); ("FIFO", 8); ("PLRU", 8); ("FIFO", 16) ]
+  in
+  Printf.printf "%-8s %5s | %9s | %9s %7s | %9s %7s | %6s %5s\n%!" "Policy"
+    "assoc" "seq" "batched" "speedup" "par" "speedup" "saved%" "agree";
+  let rows =
+    List.map
+      (fun (name, assoc) ->
+        let policy = Cq_policy.Zoo.make_exn ~name ~assoc in
+        let run engine =
+          Cq_core.Learn.learn_simulated ~identify:false ~engine policy
+        in
+        let seq = run Cq_core.Learn.Sequential in
+        let bat = run Cq_core.Learn.Batched in
+        let par = run (Cq_core.Learn.Parallel { domains }) in
+        let states r = r.Cq_core.Learn.states in
+        let machine r = r.Cq_core.Learn.machine in
+        let seconds r = r.Cq_core.Learn.seconds in
+        let agree =
+          states seq = states bat
+          && states seq = states par
+          && Cq_automata.Mealy.equivalent (machine seq) (machine bat)
+          && Cq_automata.Mealy.equivalent (machine seq) (machine par)
+        in
+        let speedup r = seconds seq /. Float.max 1e-9 (seconds r) in
+        let saved_pct =
+          100.0
+          *. float_of_int bat.Cq_core.Learn.accesses_saved
+          /. float_of_int (max 1 bat.Cq_core.Learn.cache_accesses)
+        in
+        Printf.printf
+          "%-8s %5d | %8.3fs | %8.3fs %6.2fx | %8.3fs %6.2fx | %5.1f%% %5s\n%!"
+          name assoc (seconds seq) (seconds bat) (speedup bat) (seconds par)
+          (speedup par) saved_pct
+          (if agree then "yes" else "NO <-- MISMATCH");
+        (name, assoc, seq, bat, par, agree))
+      configs
+  in
+  (* Machine-readable output (no JSON library in the toolchain: the format
+     is simple enough to emit by hand). *)
+  let oc = open_out "BENCH_engine.json" in
+  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"results\": [\n" domains;
+  List.iteri
+    (fun i (name, assoc, seq, bat, par, agree) ->
+      let seconds (r : Cq_core.Learn.report) = r.Cq_core.Learn.seconds in
+      let engine_obj (r : Cq_core.Learn.report) =
+        Printf.sprintf
+          "{ \"seconds\": %.6f, \"speedup\": %.3f, \"cache_queries\": %d, \
+           \"cache_accesses\": %d, \"cache_batches\": %d, \
+           \"accesses_saved\": %d }"
+          (seconds r)
+          (seconds seq /. Float.max 1e-9 (seconds r))
+          r.Cq_core.Learn.cache_queries r.Cq_core.Learn.cache_accesses
+          r.Cq_core.Learn.cache_batches r.Cq_core.Learn.accesses_saved
+      in
+      Printf.fprintf oc
+        "    { \"policy\": %S, \"assoc\": %d, \"states\": %d, \
+         \"automata_identical\": %b,\n\
+        \      \"sequential\": %s,\n\
+        \      \"batched\": %s,\n\
+        \      \"parallel\": %s }%s\n"
+        name assoc seq.Cq_core.Learn.states agree (engine_obj seq)
+        (engine_obj bat) (engine_obj par)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\n(wrote BENCH_engine.json; %d worker domains for parallel)\n%!"
+    domains
+
+(* ----------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one per experiment family                      *)
 (* ----------------------------------------------------------------------- *)
 
@@ -524,6 +610,7 @@ let () =
     | "cost" -> cost ()
     | "leaders" -> leaders ~full ()
     | "ablations" -> ablations ()
+    | "engine" -> engine ()
     | "micro" -> micro ()
     | "all" ->
         figure1 ();
@@ -535,6 +622,7 @@ let () =
         cost ();
         leaders ~full ();
         ablations ();
+        engine ();
         micro ()
     | other -> Printf.printf "unknown experiment %S\n%!" other
   in

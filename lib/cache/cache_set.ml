@@ -62,6 +62,24 @@ let reset (Set c) =
   c.content <- Array.copy c.initial_content;
   c.policy_state <- c.policy_init
 
+(* Snapshot/restore of the full configuration (content + policy control
+   state), the primitive behind the prefix-sharing batch executor: a trie
+   of queries is walked DFS, restoring the branch point instead of
+   replaying the shared prefix.  Policy states are immutable values (see
+   cq_policy), so capturing the value is a complete snapshot.  The closure
+   ties the snapshot to its set, which sidesteps the existential policy
+   state type. *)
+type snapshot = unit -> unit
+
+let snapshot (Set c) =
+  let content = Array.copy c.content in
+  let policy_state = c.policy_state in
+  fun () ->
+    Array.blit content 0 c.content 0 (Array.length content);
+    c.policy_state <- policy_state
+
+let restore (s : snapshot) = s ()
+
 let find_line (Set c) block =
   let found = ref None in
   Array.iteri

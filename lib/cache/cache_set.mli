@@ -32,6 +32,17 @@ val accesses : t -> int
 val reset : t -> unit
 (** Restore the initial content and policy control state. *)
 
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture the current configuration (content + policy control state).
+    A snapshot is tied to the set it was taken from. *)
+
+val restore : snapshot -> unit
+(** Return the originating set to the captured configuration.  Accesses
+    performed in between are not forgotten by the {!accesses} counter
+    (it counts work performed, not logical position). *)
+
 val access : t -> Block.t -> result
 (** One access, following the Hit/Miss rules of Figure 2. *)
 

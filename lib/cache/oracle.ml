@@ -4,31 +4,88 @@
    initial configuration; the oracle returns the hit/miss outcome of every
    access.  Both the software-simulated cache (§6) and CacheQuery over
    hardware (§7) implement this interface, which is exactly what makes
-   Polca agnostic to where the cache lives. *)
+   Polca agnostic to where the cache lives.
+
+   [query_batch] answers several independent queries at once.  Oracles
+   built by [of_cache_set] execute batches through the prefix-sharing trie
+   executor (see Batch); [sequential] degrades a batch to per-query replay
+   (the ablation baseline), and any hand-rolled oracle can start from
+   [sequential_batch] as a correct fallback. *)
 
 type t = {
   assoc : int;
   initial_content : Block.t array; (* cc0, known to Polca *)
   query : Block.t list -> Cache_set.result list;
+  query_batch : Block.t list list -> Cache_set.result list list;
+  prefix_sharing : bool;
+      (* whether [query_batch] executes through a prefix-sharing trie;
+         drives the accesses-saved accounting in [counting] *)
+  ops : (Block.t, Cache_set.result) Batch.ops option;
+      (* direct access to the device primitives behind the executor
+         (reset / single access / checkpoint).  Consumers that build their
+         own adaptive prefix-sharing plans — Polca's session mode — drive
+         these directly instead of materialising per-query block lists.
+         [None] when the device cannot support it (sequential ablation,
+         noise models that need whole-query replay, hardware with
+         repetitions > 1). *)
 }
 
 type stats = {
   mutable queries : int;        (* oracle queries issued *)
   mutable block_accesses : int; (* total blocks across all queries *)
   mutable memo_hits : int;      (* queries answered from the memo table *)
+  mutable batches : int;        (* query_batch calls *)
+  mutable batched_queries : int; (* queries carried by those batches *)
+  mutable accesses_saved : int; (* accesses avoided by prefix sharing *)
+  mutable memo_overflows : int; (* bounded memo table clears *)
 }
 
-let fresh_stats () = { queries = 0; block_accesses = 0; memo_hits = 0 }
+let fresh_stats () =
+  {
+    queries = 0;
+    block_accesses = 0;
+    memo_hits = 0;
+    batches = 0;
+    batched_queries = 0;
+    accesses_saved = 0;
+    memo_overflows = 0;
+  }
+
+(* A correct [query_batch] for oracles without native batch support. *)
+let sequential_batch query batch = List.map query batch
 
 let of_cache_set set =
+  let ops =
+    {
+      Batch.reset = (fun () -> Cache_set.reset set);
+      access = Cache_set.access set;
+      checkpoint =
+        (fun () ->
+          let s = Cache_set.snapshot set in
+          fun () -> Cache_set.restore s);
+    }
+  in
   {
     assoc = Cache_set.assoc set;
     initial_content = Cache_set.initial_content set;
     query = Cache_set.run_from_reset set;
+    query_batch = Batch.run ops;
+    prefix_sharing = true;
+    ops = Some ops;
   }
 
 let of_policy ?initial_content policy =
   of_cache_set (Cache_set.create ?initial_content policy)
+
+(* Replace batch execution with naive per-query replay — the sequential
+   baseline of the engine benchmark. *)
+let sequential t =
+  {
+    t with
+    query_batch = sequential_batch t.query;
+    prefix_sharing = false;
+    ops = None;
+  }
 
 let counting stats t =
   {
@@ -38,16 +95,49 @@ let counting stats t =
         stats.queries <- stats.queries + 1;
         stats.block_accesses <- stats.block_accesses + List.length blocks;
         t.query blocks);
+    query_batch =
+      (fun batch ->
+        let n = List.length batch in
+        stats.batches <- stats.batches + 1;
+        stats.batched_queries <- stats.batched_queries + n;
+        stats.queries <- stats.queries + n;
+        let naive, shared = Batch.plan_cost batch in
+        (* [block_accesses] stays the logical (per-query) cost so numbers
+           remain comparable with the paper's query counts; the sharing
+           win is reported separately. *)
+        stats.block_accesses <- stats.block_accesses + naive;
+        if t.prefix_sharing then
+          stats.accesses_saved <- stats.accesses_saved + (naive - shared);
+        t.query_batch batch);
   }
 
 (* Memoization table over whole queries — the role LevelDB plays in the
    CacheQuery frontend.  Sound because queries always start from the reset
-   state, so equal block sequences yield equal results. *)
-let memoized ?stats t =
+   state, so equal block sequences yield equal results.  [max_entries]
+   bounds the table with clear-on-overflow semantics (recorded in
+   [stats.memo_overflows]) so unbounded learning runs cannot grow the memo
+   without limit. *)
+let memoized ?stats ?max_entries t =
   (* Keys are block traces with long shared prefixes: pack them with a deep
      hash or the table degenerates into one bucket. *)
   let table : (Block.t list Cq_util.Deep.t, Cache_set.result list) Hashtbl.t =
     Hashtbl.create 4096
+  in
+  (match max_entries with
+  | Some n when n < 1 -> invalid_arg "Oracle.memoized: max_entries must be >= 1"
+  | _ -> ());
+  let note_memo_hit () =
+    match stats with Some s -> s.memo_hits <- s.memo_hits + 1 | None -> ()
+  in
+  let store key r =
+    (match max_entries with
+    | Some n when Hashtbl.length table >= n ->
+        Hashtbl.reset table;
+        (match stats with
+        | Some s -> s.memo_overflows <- s.memo_overflows + 1
+        | None -> ())
+    | _ -> ());
+    Hashtbl.add table key r
   in
   {
     t with
@@ -56,53 +146,96 @@ let memoized ?stats t =
         let key = Cq_util.Deep.pack blocks in
         match Hashtbl.find_opt table key with
         | Some r ->
-            (match stats with
-            | Some s -> s.memo_hits <- s.memo_hits + 1
-            | None -> ());
+            note_memo_hit ();
             r
         | None ->
             let r = t.query blocks in
-            Hashtbl.add table key r;
+            store key r;
             r);
+    query_batch =
+      (fun batch ->
+        (* Serve memo hits locally; forward the (deduplicated) misses as
+           one batch and fill the table from its results. *)
+        let keyed = List.map (fun q -> (Cq_util.Deep.pack q, q)) batch in
+        let missing = Hashtbl.create 16 in
+        let order = ref [] in
+        List.iter
+          (fun (key, q) ->
+            if (not (Hashtbl.mem table key)) && not (Hashtbl.mem missing key)
+            then begin
+              Hashtbl.add missing key ();
+              order := q :: !order
+            end)
+          keyed;
+        let todo = List.rev !order in
+        (if todo <> [] then
+           let answers = t.query_batch todo in
+           List.iter2
+             (fun q r -> store (Cq_util.Deep.pack q) r)
+             todo answers);
+        List.map
+          (fun (key, _) ->
+            match Hashtbl.find_opt table key with
+            | Some r ->
+                if not (Hashtbl.mem missing key) then note_memo_hit ();
+                r
+            | None ->
+                (* The table was cleared by an overflow while this batch
+                   was being filled: fall back to a direct query. *)
+                t.query (Cq_util.Deep.unpack key))
+          keyed);
   }
 
 (* Artificial misclassification noise: each individual hit/miss outcome is
    flipped with probability [p].  Used to stress-test the majority-vote
    denoising in CacheQuery and the failure modes discussed in §9. *)
 let noisy ~prng ~p t =
+  let flip results =
+    List.map
+      (fun r ->
+        if Cq_util.Prng.bool prng p then
+          match r with Cache_set.Hit -> Cache_set.Miss | Cache_set.Miss -> Cache_set.Hit
+        else r)
+      results
+  in
   {
     t with
-    query =
-      (fun blocks ->
-        List.map
-          (fun r ->
-            if Cq_util.Prng.bool prng p then
-              match r with Cache_set.Hit -> Cache_set.Miss | Cache_set.Miss -> Cache_set.Hit
-            else r)
-          (t.query blocks));
+    query = (fun blocks -> flip (t.query blocks));
+    query_batch = (fun batch -> List.map flip (t.query_batch batch));
+    (* Per-outcome noise consumes PRNG draws in query order; session-style
+       checkpointed execution would desynchronise the stream, so force
+       consumers back onto the query paths. *)
+    ops = None;
   }
 
 (* Majority vote over [reps] repetitions of the query — the denoising the
    CacheQuery backend applies when executing generated code several times. *)
 let majority ~reps t =
   if reps < 1 then invalid_arg "Oracle.majority: reps must be >= 1";
+  let vote runs =
+    match runs with
+    | [] -> assert false
+    | first :: _ ->
+        List.mapi
+          (fun i _ ->
+            let hits =
+              List.fold_left
+                (fun acc run ->
+                  if Cache_set.result_is_hit (List.nth run i) then acc + 1
+                  else acc)
+                0 runs
+            in
+            if 2 * hits > reps then Cache_set.Hit else Cache_set.Miss)
+          first
+  in
   {
     t with
-    query =
-      (fun blocks ->
-        let runs = List.init reps (fun _ -> t.query blocks) in
-        match runs with
-        | [] -> assert false
-        | first :: _ ->
-            List.mapi
-              (fun i _ ->
-                let hits =
-                  List.fold_left
-                    (fun acc run ->
-                      if Cache_set.result_is_hit (List.nth run i) then acc + 1
-                      else acc)
-                    0 runs
-                in
-                if 2 * hits > reps then Cache_set.Hit else Cache_set.Miss)
-              first);
+    query = (fun blocks -> vote (List.init reps (fun _ -> t.query blocks)));
+    query_batch =
+      (fun batch ->
+        let runs = List.init reps (fun _ -> t.query_batch batch) in
+        List.mapi (fun i _ -> vote (List.map (fun run -> List.nth run i) runs)) batch);
+    (* Majority voting re-executes whole queries; single-access session
+       semantics cannot express that. *)
+    ops = None;
   }

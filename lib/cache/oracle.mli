@@ -3,31 +3,67 @@
     A query is a block trace executed from the cache's fixed initial
     configuration; the oracle returns the outcome of every access.  The
     software-simulated cache (§6 of the paper) and CacheQuery over
-    hardware (§7) both implement this interface. *)
+    hardware (§7) both implement this interface.
+
+    [query_batch] answers several independent queries at once; oracles
+    built by {!of_cache_set} execute batches through the prefix-sharing
+    trie executor ({!Batch}), making a batch cost O(trie edges) block
+    accesses instead of O(Σ |qᵢ|). *)
 
 type t = {
   assoc : int;
   initial_content : Block.t array;  (** cc0, known to Polca *)
   query : Block.t list -> Cache_set.result list;
+  query_batch : Block.t list list -> Cache_set.result list list;
+  prefix_sharing : bool;
+      (** whether [query_batch] shares prefixes (drives the accesses-saved
+          accounting in {!counting}) *)
+  ops : (Block.t, Cache_set.result) Batch.ops option;
+      (** the device primitives behind the executor, for consumers that
+          drive their own adaptive prefix-sharing plans (Polca's session
+          mode).  [None] when unsupported: the sequential ablation, noise
+          wrappers that need whole-query replay, hardware oracles with
+          repetitions > 1. *)
 }
 
 type stats = {
   mutable queries : int;
   mutable block_accesses : int;
   mutable memo_hits : int;
+  mutable batches : int;  (** [query_batch] calls *)
+  mutable batched_queries : int;  (** queries carried by those batches *)
+  mutable accesses_saved : int;
+      (** block accesses avoided by prefix sharing, relative to naive
+          per-query replay of the same batches *)
+  mutable memo_overflows : int;  (** bounded memo table clears *)
 }
 
 val fresh_stats : unit -> stats
 
+val sequential_batch :
+  (Block.t list -> Cache_set.result list) ->
+  Block.t list list ->
+  Cache_set.result list list
+(** Correct [query_batch] fallback for oracles without batch support. *)
+
 val of_cache_set : Cache_set.t -> t
 val of_policy : ?initial_content:Block.t array -> Cq_policy.Policy.t -> t
 
-val counting : stats -> t -> t
-(** Count queries and accesses into [stats]. *)
+val sequential : t -> t
+(** Replace batch execution with naive per-query replay — the sequential
+    baseline of the engine benchmark. *)
 
-val memoized : ?stats:stats -> t -> t
+val counting : stats -> t -> t
+(** Count queries and accesses into [stats].  [block_accesses] counts the
+    logical (per-query) cost even for batches; the prefix-sharing win is
+    recorded separately in [accesses_saved]. *)
+
+val memoized : ?stats:stats -> ?max_entries:int -> t -> t
 (** Memoize whole queries (the role LevelDB plays in the paper's frontend).
-    Sound because every query starts from the reset state. *)
+    Sound because every query starts from the reset state.  [max_entries]
+    bounds the table: on overflow it is cleared (recorded in
+    [stats.memo_overflows]) so long learning runs cannot grow the memo
+    without limit. *)
 
 val noisy : prng:Cq_util.Prng.t -> p:float -> t -> t
 (** Flip each individual outcome with probability [p] (fault injection). *)

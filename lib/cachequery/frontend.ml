@@ -129,9 +129,90 @@ let query_blocks t blocks =
       if t.memo_enabled then Hashtbl.add t.memo key r;
       r
 
+(* The device primitives behind the batch executor: reset via the
+   configured reset sequence, a single classified load, and a whole-machine
+   checkpoint.  Also handed to Polca (Oracle.ops) for session-mode
+   execution. *)
+let batch_ops t =
+  let machine = Backend.machine t.backend in
+  {
+    Cq_cache.Batch.reset = (fun () -> apply_reset t);
+    access =
+      (fun b -> Backend.classify t.backend (Backend.timed_load t.backend b));
+    checkpoint = (fun () -> Cq_hwsim.Machine.checkpoint machine);
+  }
+
+(* Batched Polca queries with prefix sharing: reset once, fold the batch
+   into a trie, and walk it DFS with machine checkpoints at branch points
+   (Machine.checkpoint) instead of a reset-and-replay per query.  Valid
+   under the same assumption the memo table already relies on — a
+   validated reset sequence makes query outcomes deterministic — so it is
+   only used at repetitions = 1 (majority voting over noisy hardware
+   re-executes whole queries and falls back to the sequential path). *)
+let query_blocks_batch t batches =
+  if t.repetitions <> 1 then List.map (query_blocks t) batches
+  else begin
+    let keyed = List.map (fun q -> (Cq_util.Deep.pack q, q)) batches in
+    (* Deduplicated memo misses, in batch order. *)
+    let missing = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun (key, q) ->
+        let known = t.memo_enabled && Hashtbl.mem t.memo key in
+        if (not known) && not (Hashtbl.mem missing key) then begin
+          Hashtbl.add missing key ();
+          order := q :: !order
+        end)
+      keyed;
+    let todo = List.rev !order in
+    let fresh = Hashtbl.create 16 in
+    (if todo <> [] then begin
+       (* Assign block addresses in batch order, so the block->address map
+          is independent of the trie traversal order and matches what
+          sequential execution would have produced. *)
+       List.iter
+         (List.iter (fun b -> ignore (Backend.addr_of_block t.backend b)))
+         todo;
+       let naive, shared = Cq_cache.Batch.plan_cost todo in
+       t.stats.Cq_cache.Oracle.batches <- t.stats.Cq_cache.Oracle.batches + 1;
+       t.stats.Cq_cache.Oracle.batched_queries <-
+         t.stats.Cq_cache.Oracle.batched_queries + List.length todo;
+       t.stats.Cq_cache.Oracle.queries <-
+         t.stats.Cq_cache.Oracle.queries + List.length todo;
+       t.stats.Cq_cache.Oracle.block_accesses <-
+         t.stats.Cq_cache.Oracle.block_accesses + naive;
+       t.stats.Cq_cache.Oracle.accesses_saved <-
+         t.stats.Cq_cache.Oracle.accesses_saved + (naive - shared);
+       let answers = Cq_cache.Batch.run (batch_ops t) todo in
+       List.iter2
+         (fun q r ->
+           let key = Cq_util.Deep.pack q in
+           Hashtbl.replace fresh key r;
+           if t.memo_enabled then Hashtbl.add t.memo key r)
+         todo answers
+     end);
+    List.map
+      (fun (key, q) ->
+        match Hashtbl.find_opt fresh key with
+        | Some r -> r
+        | None -> (
+            match
+              if t.memo_enabled then Hashtbl.find_opt t.memo key else None
+            with
+            | Some r ->
+                t.stats.Cq_cache.Oracle.memo_hits <-
+                  t.stats.Cq_cache.Oracle.memo_hits + 1;
+                r
+            | None -> query_blocks t q))
+      keyed
+  end
+
 let oracle t =
   {
     Cq_cache.Oracle.assoc = t.assoc;
     initial_content = Array.of_list (Cq_cache.Block.first t.assoc);
     query = query_blocks t;
+    query_batch = query_blocks_batch t;
+    prefix_sharing = t.repetitions = 1;
+    ops = (if t.repetitions = 1 then Some (batch_ops t) else None);
   }

@@ -12,6 +12,24 @@ type equivalence =
 
 let default_equivalence = Wp_method 1
 
+(* Query-engine selection:
+   - [Sequential]: one query at a time, reset-and-replay, the sequential
+     short-circuit findEvicted scan — the seed's behaviour, kept as the
+     baseline for the engine benchmark and the determinism tests.
+   - [Batched] (default): closure waves and findEvicted fan-outs go to the
+     cache as prefix-shared batches (trie executor over snapshot/restore).
+   - [Parallel]: [Batched] plus conformance testing fanned across
+     [domains] worker domains, each owning a private oracle stack built
+     from [cache_factory]. *)
+type engine = Sequential | Batched | Parallel of { domains : int }
+
+let default_engine = Batched
+
+let engine_to_string = function
+  | Sequential -> "sequential"
+  | Batched -> "batched"
+  | Parallel { domains } -> Printf.sprintf "parallel:%d" domains
+
 type report = {
   machine : Cq_policy.Types.output Cq_automata.Mealy.t;
   states : int;
@@ -22,6 +40,11 @@ type report = {
   member_symbols : int;
   cache_queries : int; (* block-trace queries reaching the cache oracle *)
   cache_accesses : int; (* total block accesses of those queries *)
+  cache_batches : int; (* query batches reaching the cache oracle *)
+  accesses_saved : int; (* block accesses avoided by prefix sharing *)
+  memo_overflows : int; (* times the bounded query memo was cleared *)
+  row_cache_overflows : int; (* times the bounded L* row cache was cleared *)
+  domains : int; (* worker domains used by the equivalence oracle *)
   identified : string list; (* known policies equivalent to the result *)
 }
 
@@ -29,36 +52,81 @@ let pp_report ppf r =
   Fmt.pf ppf
     "@[<v>states: %d@,time: %a@,equivalence rounds: %d@,suffixes added: \
      %d@,membership queries: %d (%d symbols)@,cache queries: %d (%d block \
-     accesses)@,identified as: %s@]"
+     accesses)@,cache batches: %d (%d accesses saved)@,domains: \
+     %d@,identified as: %s@]"
     r.states Cq_util.Clock.pp_duration r.seconds r.rounds r.suffixes
     r.member_queries r.member_symbols r.cache_queries r.cache_accesses
+    r.cache_batches r.accesses_saved r.domains
     (match r.identified with [] -> "(unknown policy)" | l -> String.concat ", " l)
 
 (* Learn the replacement policy behind a cache oracle. *)
-let learn_from_cache ?(equivalence = default_equivalence) ?(check_hits = true)
-    ?(memoize = true) ?(max_states = 1_000_000) ?(identify = true) cache =
+let learn_from_cache ?(equivalence = default_equivalence)
+    ?(engine = default_engine) ?cache_factory ?(check_hits = true)
+    ?(memoize = true) ?max_memo_entries ?max_row_cache
+    ?(max_states = 1_000_000) ?(identify = true) cache =
+  let batch_probes = match engine with Sequential -> false | _ -> true in
+  let cache =
+    match engine with
+    | Sequential -> Cq_cache.Oracle.sequential cache
+    | Batched | Parallel _ -> cache
+  in
   let cache_stats = Cq_cache.Oracle.fresh_stats () in
   let cache = Cq_cache.Oracle.counting cache_stats cache in
-  let cache = if memoize then Cq_cache.Oracle.memoized ~stats:cache_stats cache else cache in
-  let polca = Polca.create ~check_hits cache in
+  let cache =
+    if memoize then
+      Cq_cache.Oracle.memoized ~stats:cache_stats ?max_entries:max_memo_entries
+        cache
+    else cache
+  in
+  let polca = Polca.create ~check_hits ~batch_probes ~stats:cache_stats cache in
   let mstats = Cq_learner.Moracle.fresh_stats () in
   let oracle =
     Polca.moracle polca
     |> Cq_learner.Moracle.counting mstats
     |> Cq_learner.Moracle.cached ~stats:mstats
   in
+  let domains =
+    match engine with Parallel { domains } -> max 1 domains | _ -> 1
+  in
+  (* A worker's private oracle stack: its own cache (from the factory), its
+     own memo and prefix cache — no mutable state shared across domains.
+     Queries are independent restarts from the reset state, so a fresh
+     stack answers exactly like the main one. *)
+  let worker_oracle () =
+    match cache_factory with
+    | None -> invalid_arg "Learn: Parallel engine requires ~cache_factory"
+    | Some factory ->
+        let cache = factory () in
+        let cache =
+          if memoize then
+            Cq_cache.Oracle.memoized ?max_entries:max_memo_entries cache
+          else cache
+        in
+        Polca.moracle (Polca.create ~check_hits ~batch_probes:true cache)
+        |> Cq_learner.Moracle.cached
+  in
   let find_cex =
-    match equivalence with
-    | W_method depth -> Cq_learner.Equivalence.w_method ~depth oracle
-    | Wp_method depth -> Cq_learner.Equivalence.wp_method ~depth oracle
-    | Random_walk { max_tests; max_len; seed } ->
+    match (equivalence, engine) with
+    | W_method depth, Parallel _ when domains > 1 ->
+        if Option.is_none cache_factory then
+          invalid_arg "Learn: Parallel engine requires ~cache_factory";
+        let pool = Cq_util.Pool.create ~size:domains ~factory:worker_oracle () in
+        Cq_learner.Equivalence.w_method_pooled ~depth pool
+    | Wp_method depth, Parallel _ when domains > 1 ->
+        if Option.is_none cache_factory then
+          invalid_arg "Learn: Parallel engine requires ~cache_factory";
+        let pool = Cq_util.Pool.create ~size:domains ~factory:worker_oracle () in
+        Cq_learner.Equivalence.wp_method_pooled ~depth pool
+    | W_method depth, _ -> Cq_learner.Equivalence.w_method ~depth oracle
+    | Wp_method depth, _ -> Cq_learner.Equivalence.wp_method ~depth oracle
+    | Random_walk { max_tests; max_len; seed }, _ ->
         Cq_learner.Equivalence.random_walk
           ~prng:(Cq_util.Prng.of_int seed)
           ~max_tests ~max_len oracle
   in
   let (result : _ Cq_learner.Lstar.result), seconds =
     Cq_util.Clock.time (fun () ->
-        Cq_learner.Lstar.learn ~max_states ~oracle ~find_cex ())
+        Cq_learner.Lstar.learn ~max_states ?max_row_cache ~oracle ~find_cex ())
   in
   {
     machine = result.machine;
@@ -70,12 +138,22 @@ let learn_from_cache ?(equivalence = default_equivalence) ?(check_hits = true)
     member_symbols = mstats.Cq_learner.Moracle.symbols;
     cache_queries = cache_stats.Cq_cache.Oracle.queries;
     cache_accesses = cache_stats.Cq_cache.Oracle.block_accesses;
+    cache_batches = cache_stats.Cq_cache.Oracle.batches;
+    accesses_saved = cache_stats.Cq_cache.Oracle.accesses_saved;
+    memo_overflows = cache_stats.Cq_cache.Oracle.memo_overflows;
+    row_cache_overflows = result.row_cache_overflows;
+    domains;
     identified = (if identify then Cq_policy.Zoo.identify result.machine else []);
   }
 
-(* Case study §6: learn a policy from a software-simulated cache. *)
-let learn_simulated ?equivalence ?check_hits ?max_states ?identify policy =
-  learn_from_cache ?equivalence ?check_hits ?max_states ?identify
+(* Case study §6: learn a policy from a software-simulated cache.  The
+   simulated oracle is trivially reproducible, so the Parallel engine's
+   per-domain factory comes for free. *)
+let learn_simulated ?equivalence ?engine ?check_hits ?max_memo_entries
+    ?max_row_cache ?max_states ?identify policy =
+  learn_from_cache ?equivalence ?engine
+    ~cache_factory:(fun () -> Cq_cache.Oracle.of_policy policy)
+    ?check_hits ?max_memo_entries ?max_row_cache ?max_states ?identify
     (Cq_cache.Oracle.of_policy policy)
 
 (* Sanity check used in tests and experiments: the learned machine must be

@@ -13,6 +13,22 @@ type equivalence =
 val default_equivalence : equivalence
 (** [Wp_method 1], the paper's configuration (§3.4). *)
 
+type engine =
+  | Sequential
+      (** one query at a time, reset-and-replay, short-circuit findEvicted
+          — the baseline of the engine benchmark *)
+  | Batched
+      (** closure waves and findEvicted fan-outs reach the cache as
+          prefix-shared batches (the default) *)
+  | Parallel of { domains : int }
+      (** [Batched] plus conformance testing fanned across worker domains;
+          requires [cache_factory] *)
+
+val default_engine : engine
+(** [Batched]. *)
+
+val engine_to_string : engine -> string
+
 type report = {
   machine : Cq_policy.Types.output Cq_automata.Mealy.t;
   states : int;
@@ -22,7 +38,12 @@ type report = {
   member_queries : int;
   member_symbols : int;
   cache_queries : int;
-  cache_accesses : int;
+  cache_accesses : int;  (** logical block accesses (pre prefix-sharing) *)
+  cache_batches : int;  (** query batches reaching the cache oracle *)
+  accesses_saved : int;  (** block accesses avoided by prefix sharing *)
+  memo_overflows : int;  (** bounded-memo clears (see [max_memo_entries]) *)
+  row_cache_overflows : int;  (** bounded L* row-cache clears *)
+  domains : int;  (** worker domains used by the equivalence oracle *)
   identified : string list;
       (** known policies trace-equivalent to the result (up to reset state
           and line permutation) *)
@@ -32,25 +53,39 @@ val pp_report : Format.formatter -> report -> unit
 
 val learn_from_cache :
   ?equivalence:equivalence ->
+  ?engine:engine ->
+  ?cache_factory:(unit -> Cq_cache.Oracle.t) ->
   ?check_hits:bool ->
   ?memoize:bool ->
+  ?max_memo_entries:int ->
+  ?max_row_cache:int ->
   ?max_states:int ->
   ?identify:bool ->
   Cq_cache.Oracle.t ->
   report
 (** Learn the replacement policy behind a cache oracle.  [memoize] (default
     true) interposes a query memo — disable it when the oracle already
-    memoizes (the CacheQuery frontend does).  May raise
-    {!Cq_learner.Lstar.Diverged} or {!Polca.Non_deterministic}. *)
+    memoizes (the CacheQuery frontend does).  [engine] selects the query
+    engine (default {!Batched}); [Parallel] additionally needs
+    [cache_factory], a thunk producing a fresh, independent oracle for
+    each worker domain (raises [Invalid_argument] otherwise).
+    [max_memo_entries] / [max_row_cache] bound the query memo and the L*
+    row cache with clear-on-overflow semantics; overflows are reported.
+    May raise {!Cq_learner.Lstar.Diverged} or {!Polca.Non_deterministic}. *)
 
 val learn_simulated :
   ?equivalence:equivalence ->
+  ?engine:engine ->
   ?check_hits:bool ->
+  ?max_memo_entries:int ->
+  ?max_row_cache:int ->
   ?max_states:int ->
   ?identify:bool ->
   Cq_policy.Policy.t ->
   report
-(** Case study §6: learn a policy from a software-simulated cache. *)
+(** Case study §6: learn a policy from a software-simulated cache.  The
+    simulated oracle is reproducible, so the [Parallel] engine's
+    per-domain factory is supplied automatically. *)
 
 val verify_against : report -> Cq_policy.Policy.t -> bool
 (** Is the learned machine trace-equivalent to the policy's ground truth? *)

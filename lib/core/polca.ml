@@ -21,11 +21,26 @@ type t = {
          Those probes detect nondeterminism — e.g. a broken reset sequence
          — at the cost of extra queries; disabling them is the ablation
          discussed in the EXPERIMENTS notes. *)
+  batch_probes : bool;
+      (* Prefix-share the probes of a word instead of replaying each from
+         reset.  When the cache exposes its device primitives
+         (Oracle.ops), the whole word runs as one session: every logical
+         probe is answered by the single access extending the live trace,
+         and the [find_evicted] fan-out is a checkpoint/restore scan at
+         the trace tip.  Otherwise the fan-out alone is sent as one
+         [query_batch] (trie-shared for oracles that support it).
+         Disabling restores the per-probe reset-and-replay of the paper's
+         Algorithm 1 — the sequential engine baseline. *)
+  stats : Cq_cache.Oracle.stats option;
+      (* Session-mode probes bypass the cache oracle's query path, so the
+         counting wrapper cannot see them; Polca accounts them here
+         instead (logical cost per probe, physical accesses, savings). *)
 }
 
 exception Non_deterministic of string
 
-let create ?(check_hits = true) cache = { cache; check_hits }
+let create ?(check_hits = true) ?(batch_probes = true) ?stats cache =
+  { cache; check_hits; batch_probes; stats }
 
 let assoc t = t.cache.Cq_cache.Oracle.assoc
 
@@ -39,24 +54,147 @@ let probe_last t blocks =
 
 (* Which line was evicted by the last block of [trace]?  Probe the trace
    extended with each currently-tracked block; the one that misses is the
-   victim (Algorithm 1's findEvicted). *)
+   victim (Algorithm 1's findEvicted).
+
+   With [batch_probes] the [assoc] probe traces go to the cache as one
+   batch — they share the whole trace prefix, which a prefix-sharing
+   executor replays once.  Without it, scan sequentially and stop at the
+   first miss. *)
 let find_evicted t trace cc =
   let n = Array.length cc in
-  let rec go i =
-    if i >= n then
-      raise
-        (Non_deterministic
-           "find_evicted: no tracked block misses after an observed miss")
-    else
-      match probe_last t (List.rev (cc.(i) :: trace)) with
-      | Cq_cache.Cache_set.Miss -> i
-      | Cq_cache.Cache_set.Hit -> go (i + 1)
-  in
-  go 0
+  if t.batch_probes then begin
+    let probes =
+      List.init n (fun i -> List.rev (cc.(i) :: trace))
+    in
+    let answers = t.cache.Cq_cache.Oracle.query_batch probes in
+    let rec first_miss i = function
+      | [] ->
+          raise
+            (Non_deterministic
+               "find_evicted: no tracked block misses after an observed miss")
+      | outcomes :: rest -> (
+          match List.rev outcomes with
+          | Cq_cache.Cache_set.Miss :: _ -> i
+          | _ -> first_miss (i + 1) rest)
+    in
+    first_miss 0 answers
+  end
+  else
+    let rec go i =
+      if i >= n then
+        raise
+          (Non_deterministic
+             "find_evicted: no tracked block misses after an observed miss")
+      else
+        match probe_last t (List.rev (cc.(i) :: trace)) with
+        | Cq_cache.Cache_set.Miss -> i
+        | Cq_cache.Cache_set.Hit -> go (i + 1)
+    in
+    go 0
 
-(* Answer an output query: the policy outputs along [word] (a word over the
-   flattened input alphabet: 0..n-1 = Ln(i), n = Evct). *)
-let run t word =
+(* Session mode: run the whole word against the live device.  The word's
+   probe set is a degenerate trie — one path (the trace) with a fan of
+   [find_evicted] probes at each Evct — so instead of materialising the
+   probes and replaying their shared prefix, extend the path one access at
+   a time and scan each fan under checkpoint/restore at the trace tip.
+   A word of length L with e evictions costs L + Σ scan_i physical
+   accesses instead of the O(L²) replay cost of Algorithm 1 as written.
+   Outcomes are identical to replay whenever the device is deterministic
+   from reset — the property reset validation establishes, and the same
+   assumption the query memo already rests on. *)
+let run_session t (ops : (Cq_cache.Block.t, Cq_cache.Cache_set.result) Cq_cache.Batch.ops)
+    word =
+  let n = assoc t in
+  let cc = Array.copy t.cache.Cq_cache.Oracle.initial_content in
+  let next_fresh = ref n in
+  let depth = ref 0 in (* |trace| so far *)
+  (* Honest accounting: logical cost = what per-probe replay would have
+     paid for the probes actually issued; physical = accesses performed. *)
+  let probes = ref 0 and logical = ref 0 and physical = ref 0 in
+  let access b =
+    incr physical;
+    ops.Cq_cache.Batch.access b
+  in
+  ops.Cq_cache.Batch.reset ();
+  let outputs =
+    List.map
+      (fun input ->
+        match Cq_policy.Types.input_of_int ~assoc:n input with
+        | Cq_policy.Types.Line i ->
+            let b = cc.(i) in
+            incr depth;
+            let r = access b in
+            (* The access both advances the policy state and observes the
+               outcome, so the paper's hit probe is free here; honour the
+               check_hits ablation by only *charging* for it (and only
+               raising) when enabled. *)
+            if t.check_hits then begin
+              incr probes;
+              logical := !logical + !depth;
+              match r with
+              | Cq_cache.Cache_set.Hit -> ()
+              | Cq_cache.Cache_set.Miss ->
+                  raise
+                    (Non_deterministic
+                       "tracked block missed: reset sequence or cache \
+                        interface is unsound")
+            end;
+            None
+        | Cq_policy.Types.Evct ->
+            let b = Cq_cache.Block.of_index !next_fresh in
+            incr next_fresh;
+            incr depth;
+            incr probes;
+            logical := !logical + !depth;
+            (match access b with
+            | Cq_cache.Cache_set.Miss -> ()
+            | Cq_cache.Cache_set.Hit ->
+                raise
+                  (Non_deterministic "fresh block hit: cache interface is unsound"));
+            (* findEvicted: scan the tracked blocks at the trace tip,
+               restoring the checkpoint after every probe (including the
+               final miss, so the main trace continues from here).  Same
+               short-circuit order as the replay scan. *)
+            let restore = ops.Cq_cache.Batch.checkpoint () in
+            let rec scan i =
+              if i >= n then
+                raise
+                  (Non_deterministic
+                     "find_evicted: no tracked block misses after an \
+                      observed miss")
+              else begin
+                incr probes;
+                logical := !logical + !depth + 1;
+                let r = access cc.(i) in
+                restore ();
+                match r with
+                | Cq_cache.Cache_set.Miss -> i
+                | Cq_cache.Cache_set.Hit -> scan (i + 1)
+              end
+            in
+            let victim = scan 0 in
+            cc.(victim) <- b;
+            Some victim)
+      word
+  in
+  (match t.stats with
+  | None -> ()
+  | Some s ->
+      s.Cq_cache.Oracle.batches <- s.Cq_cache.Oracle.batches + 1;
+      s.Cq_cache.Oracle.batched_queries <-
+        s.Cq_cache.Oracle.batched_queries + !probes;
+      s.Cq_cache.Oracle.queries <- s.Cq_cache.Oracle.queries + !probes;
+      s.Cq_cache.Oracle.block_accesses <-
+        s.Cq_cache.Oracle.block_accesses + !logical;
+      s.Cq_cache.Oracle.accesses_saved <-
+        s.Cq_cache.Oracle.accesses_saved + (!logical - !physical));
+  outputs
+
+(* Answer an output query by per-probe replay: the policy outputs along
+   [word] (a word over the flattened input alphabet: 0..n-1 = Ln(i),
+   n = Evct), every probe re-executed from reset through the oracle's
+   query path — Algorithm 1 exactly as written. *)
+let run_replay t word =
   let n = assoc t in
   let cc = Array.copy t.cache.Cq_cache.Oracle.initial_content in
   (* Fresh blocks for Evct inputs, disjoint from cc0 and deterministic for
@@ -97,8 +235,21 @@ let run t word =
   in
   outputs
 
-(* The membership oracle consumed by the learner. *)
-let moracle t = { Cq_learner.Moracle.n_inputs = n_inputs t; query = run t }
+(* Dispatch: session mode whenever the cache exposes its device primitives
+   and batching is on; otherwise per-probe replay. *)
+let run t word =
+  match (if t.batch_probes then t.cache.Cq_cache.Oracle.ops else None) with
+  | Some ops -> run_session t ops word
+  | None -> run_replay t word
+
+(* The membership oracle consumed by the learner.  Words of a batch are
+   adaptive (each probe depends on previous outcomes), so the batch maps
+   over [run]; the prefix sharing happens below, in the [find_evicted]
+   fan-out and the cache-level executor. *)
+let moracle t =
+  Cq_learner.Moracle.make ~n_inputs:(n_inputs t)
+    ~query_batch:(List.map (run t))
+    (run t)
 
 (* Theorem 3.1: trace membership.  [member t tr] holds iff the input/output
    trace [tr] belongs to the policy's trace semantics. *)

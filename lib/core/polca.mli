@@ -14,11 +14,31 @@ exception Non_deterministic of string
     policy over the assumed initial content — the symptom of a broken
     reset sequence or noisy measurements (§7.1). *)
 
-val create : ?check_hits:bool -> Cq_cache.Oracle.t -> t
+val create :
+  ?check_hits:bool ->
+  ?batch_probes:bool ->
+  ?stats:Cq_cache.Oracle.stats ->
+  Cq_cache.Oracle.t ->
+  t
 (** [check_hits] (default [true]) probes the cache even for accesses that
     must hit by construction, exactly as Algorithm 1 is written; those
     probes only serve to detect nondeterminism and can be disabled for a
-    ~2x cheaper oracle (see the ablation in EXPERIMENTS.md). *)
+    ~2x cheaper oracle (see the ablation in EXPERIMENTS.md).
+
+    [batch_probes] (default [true]) prefix-shares the probes of each word.
+    When the cache exposes its device primitives ({!Cq_cache.Oracle.t.ops})
+    the whole word runs as one live session: each logical probe is answered
+    by the single access extending the trace, and the [findEvicted] fan-out
+    becomes a checkpoint/restore scan at the trace tip — a word of length L
+    costs O(L + scans) device accesses instead of the O(L²) of per-probe
+    replay.  Without [ops], the fan-out alone is sent as one [query_batch].
+    Disable to restore per-probe reset-and-replay (the sequential engine).
+
+    [stats] receives the accounting for session-mode probes, which bypass
+    the cache oracle's query path and are therefore invisible to
+    {!Cq_cache.Oracle.counting}: logical per-probe cost in
+    [block_accesses], physical accesses saved in [accesses_saved], one
+    batch per word. *)
 
 val assoc : t -> int
 val n_inputs : t -> int

@@ -157,6 +157,39 @@ let flush_content t =
     (fun _ st -> Array.iteri (fun w _ -> st.content.(w) <- None) st.content)
     t.sets
 
+(* Checkpoint the whole level: tag content, both policy instances and the
+   counters of every allocated set, plus the level PRNG position.  The
+   restore thunk also *drops* sets allocated after the checkpoint — they
+   reappear lazily in their pristine state, which is exactly the state
+   they had when the checkpoint was taken (never touched).  Used by the
+   machine-level snapshots behind prefix-sharing batch execution. *)
+let checkpoint t =
+  let saved =
+    Hashtbl.fold
+      (fun key st acc ->
+        ( key,
+          st,
+          Array.copy st.content,
+          Cq_policy.Instance.checkpoint st.inst_a,
+          Option.map Cq_policy.Instance.checkpoint st.inst_b )
+        :: acc)
+      t.sets []
+  in
+  let fills = t.fills and evictions = t.evictions in
+  let restore_prng = Cq_util.Prng.checkpoint t.prng in
+  fun () ->
+    Hashtbl.reset t.sets;
+    List.iter
+      (fun (key, st, content, restore_a, restore_b) ->
+        Array.blit content 0 st.content 0 (Array.length content);
+        restore_a ();
+        Option.iter (fun r -> r ()) restore_b;
+        Hashtbl.add t.sets key st)
+      saved;
+    t.fills <- fills;
+    t.evictions <- evictions;
+    restore_prng ()
+
 (* Test-only introspection. *)
 let peek_content t ~slice ~set = Array.copy (get_set t ~slice ~set).content
 let fills t = t.fills

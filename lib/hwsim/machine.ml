@@ -246,6 +246,31 @@ let load t addr =
   in
   max 1 (base_latency t served + jitter + outlier)
 
+(* Checkpoint the full architectural state: all three levels (content,
+   replacement metadata, lazily-allocated set population), the set-dueling
+   counter, the prefetcher state and the noise PRNG position.  The [loads]
+   counter is deliberately *not* rewound — it counts work performed, which
+   is what the engine benchmark measures.  This is the primitive that lets
+   the CacheQuery frontend execute query batches with prefix sharing. *)
+let checkpoint t =
+  let l1 = t.l1 and l2 = t.l2 and l3 = t.l3 in
+  let restore_l1 = Cache_level.checkpoint l1 in
+  let restore_l2 = Cache_level.checkpoint l2 in
+  let restore_l3 = Cache_level.checkpoint l3 in
+  let psel = t.psel and prefetchers = t.prefetchers and last_line = t.last_line in
+  let restore_prng = Cq_util.Prng.checkpoint t.prng in
+  fun () ->
+    t.l1 <- l1;
+    t.l2 <- l2;
+    t.l3 <- l3;
+    restore_l1 ();
+    restore_l2 ();
+    restore_l3 ();
+    t.psel <- psel;
+    t.prefetchers <- prefetchers;
+    t.last_line <- last_line;
+    restore_prng ()
+
 let clflush t addr =
   let line = line_of_addr t addr in
   List.iter

@@ -50,17 +50,23 @@ let characterization_set m =
   done;
   !w
 
-(* All input words of length <= k, shortest first. *)
-let words_up_to n_inputs k =
-  let rec level ws acc = function
-    | 0 -> List.rev acc
-    | remaining ->
-        let ws' =
-          List.concat_map (fun w -> List.init n_inputs (fun i -> w @ [ i ])) ws
-        in
-        level ws' (List.rev_append ws' acc) (remaining - 1)
+(* All input words of length [len], lexicographic. *)
+let words_of_length n_inputs len =
+  let rec go len =
+    if len = 0 then Seq.return []
+    else
+      Seq.concat_map
+        (fun w -> Seq.init n_inputs (fun i -> w @ [ i ]))
+        (go (len - 1))
   in
-  [] :: level [ [] ] [] k
+  go len
+
+(* All input words of length <= k, shortest first, lazily: suites built on
+   top of this never materialise the O(n_inputs^k) middle layer, and a
+   conformance-testing round that fails early only pays for the prefix it
+   actually walked. *)
+let words_up_to n_inputs k =
+  Seq.concat (Seq.init (k + 1) (fun len -> words_of_length n_inputs len))
 
 (* W-method test suite for hypothesis [h] with depth [k]:
    { access(s) · i · m · w  |  s state, i input, m ∈ I^{<=k}, w ∈ W ∪ {ε} }.
@@ -73,7 +79,7 @@ let w_method_suite ~depth h =
   let states = List.init (Cq_automata.Mealy.n_states h) (fun s -> s) in
   (* Order tests roughly by length: iterate middles outermost (they grow),
      then states, inputs, and suffixes. *)
-  List.to_seq middles
+  middles
   |> Seq.concat_map (fun m ->
          List.to_seq states
          |> Seq.concat_map (fun s ->
@@ -138,7 +144,7 @@ let wp_method_suite ~depth h =
     List.to_seq states
     |> Seq.concat_map (fun s ->
            let acc = Option.value access.(s) ~default:[] in
-           List.to_seq middles
+           middles
            |> Seq.concat_map (fun m ->
                   List.to_seq w_all |> Seq.map (fun w -> acc @ m @ w)))
   in
@@ -148,7 +154,7 @@ let wp_method_suite ~depth h =
     |> Seq.concat_map (fun s ->
            let acc = Option.value access.(s) ~default:[] in
            Seq.init n_inputs (fun i ->
-               List.to_seq middles
+               middles
                |> Seq.concat_map (fun m ->
                       let reached =
                         Cq_automata.Mealy.state_after h (acc @ (i :: m))
@@ -185,3 +191,55 @@ let wp_method ?(depth = 1) (oracle : 'o Moracle.t) : 'o t =
    W-vs-Wp ablation. *)
 let suite_symbols suite =
   Seq.fold_left (fun acc w -> acc + List.length w) 0 suite
+
+(* --- Pooled conformance testing ---------------------------------------- *)
+
+(* Split off up to [n] chunks of [chunk] words from a suite.  Chunks keep
+   suite order, so "first failing word of the earliest failing chunk" is
+   exactly the word sequential execution would have found first. *)
+let take_chunks n chunk seq =
+  let rec take_chunk k seq acc =
+    if k = 0 then (List.rev acc, seq)
+    else
+      match seq () with
+      | Seq.Nil -> (List.rev acc, Seq.empty)
+      | Seq.Cons (w, rest) -> take_chunk (k - 1) rest (w :: acc)
+  in
+  let rec go n seq acc =
+    if n = 0 then (List.rev acc, seq)
+    else
+      let c, rest = take_chunk chunk seq [] in
+      if c = [] then (List.rev acc, rest) else go (n - 1) rest (c :: acc)
+  in
+  go n seq []
+
+(* Conformance testing through a domain pool: the suite is cut into
+   in-order chunks, one round of [Pool.size] chunks is fanned out at a
+   time (each worker querying its own private oracle), and the round's
+   results are scanned in suite order.  A failing round stops the scan, so
+   the returned counterexample is identical to the sequential one; the
+   only overshoot is the tail of the round already in flight. *)
+let pooled ?(chunk = 512) ~suite (pool : 'o Moracle.t Cq_util.Pool.t) : 'o t =
+ fun h ->
+  if chunk < 1 then invalid_arg "Equivalence.pooled: chunk must be >= 1";
+  let rec rounds seq =
+    let chunks, rest = take_chunks (Cq_util.Pool.size pool) chunk seq in
+    if chunks = [] then None
+    else
+      let results =
+        Cq_util.Pool.map_list pool
+          (fun oracle words ->
+            List.find_opt (fun w -> run_test oracle h w) words)
+          chunks
+      in
+      match List.find_map Fun.id results with
+      | Some cex -> Some cex
+      | None -> rounds rest
+  in
+  rounds (suite h)
+
+let w_method_pooled ?(depth = 1) ?chunk pool =
+  pooled ?chunk ~suite:(w_method_suite ~depth) pool
+
+let wp_method_pooled ?(depth = 1) ?chunk pool =
+  pooled ?chunk ~suite:(wp_method_suite ~depth) pool

@@ -14,9 +14,15 @@ val characterization_set : 'o Cq_automata.Mealy.t -> int list list
 (** A set of input words separating every pair of states of a minimal
     machine.  Raises [Invalid_argument] on non-minimal machines. *)
 
-val words_up_to : int -> int -> int list list
+val words_of_length : int -> int -> int list Seq.t
+(** [words_of_length n_inputs len]: all input words of length [len],
+    lexicographic, lazily. *)
+
+val words_up_to : int -> int -> int list Seq.t
 (** [words_up_to n_inputs k]: all input words of length [<= k], shortest
-    first (including the empty word). *)
+    first (including the empty word), as a lazy (re-traversable)
+    sequence — the O(n_inputs^k) middle layer of a test suite is never
+    materialised. *)
 
 val w_method_suite : depth:int -> 'o Cq_automata.Mealy.t -> int list Seq.t
 (** The (|H|+depth)-complete test suite, lazily. *)
@@ -39,6 +45,24 @@ val wp_method : ?depth:int -> 'o Moracle.t -> 'o t
 
 val suite_symbols : int list Seq.t -> int
 (** Total input symbols in a suite (the W-vs-Wp ablation metric). *)
+
+val pooled :
+  ?chunk:int ->
+  suite:('o Cq_automata.Mealy.t -> int list Seq.t) ->
+  'o Moracle.t Cq_util.Pool.t ->
+  'o t
+(** Run a conformance-test suite through a domain pool: in-order chunks of
+    [chunk] (default 512) words, one pool-sized round in flight at a time,
+    each worker testing against its own private oracle from the pool's
+    factory.  Returns the same counterexample as sequential execution
+    (first failing word in suite order); a failing round only overshoots
+    by the chunks already in flight. *)
+
+val w_method_pooled :
+  ?depth:int -> ?chunk:int -> 'o Moracle.t Cq_util.Pool.t -> 'o t
+
+val wp_method_pooled :
+  ?depth:int -> ?chunk:int -> 'o Moracle.t Cq_util.Pool.t -> 'o t
 
 val random_walk :
   prng:Cq_util.Prng.t -> ?max_tests:int -> ?max_len:int -> 'o Moracle.t -> 'o t

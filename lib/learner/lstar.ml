@@ -17,11 +17,12 @@ type 'o result = {
   machine : 'o Cq_automata.Mealy.t;
   rounds : int;
   suffixes_added : int;
+  row_cache_overflows : int;
 }
 
 exception Diverged of string
 
-let learn ?(max_states = 1_000_000) ~(oracle : 'o Moracle.t)
+let learn ?(max_states = 1_000_000) ?max_row_cache ~(oracle : 'o Moracle.t)
     ~(find_cex : 'o Cq_automata.Mealy.t -> int list option) () =
   let k = oracle.Moracle.n_inputs in
   if k < 1 then invalid_arg "Lstar.learn: empty input alphabet";
@@ -39,9 +40,25 @@ let learn ?(max_states = 1_000_000) ~(oracle : 'o Moracle.t)
   (* Row cache: rows of the same word are requested many times (closure
      checks, hypothesis construction).  E only ever grows by appending, so
      a cached row is extended in place with the missing columns instead of
-     being recomputed. *)
+     being recomputed.  [max_row_cache] bounds the table with
+     clear-on-overflow semantics (dropped rows are recomputed on demand);
+     overflows are reported in the result. *)
+  (match max_row_cache with
+  | Some n when n < 1 -> invalid_arg "Lstar.learn: max_row_cache must be >= 1"
+  | _ -> ());
   let row_cache : (int list Cq_util.Deep.t, 'o list list) Hashtbl.t =
     Hashtbl.create 4096
+  in
+  let row_cache_overflows = ref 0 in
+  let store_row key r =
+    (match max_row_cache with
+    | Some n
+      when (not (Hashtbl.mem row_cache key)) && Hashtbl.length row_cache >= n
+      ->
+        Hashtbl.reset row_cache;
+        incr row_cache_overflows
+    | _ -> ());
+    Hashtbl.replace row_cache key r
   in
   let row u =
     let key = Cq_util.Deep.pack u in
@@ -55,8 +72,68 @@ let learn ?(max_states = 1_000_000) ~(oracle : 'o Moracle.t)
           |> List.map (suffix_outputs u)
         in
         let r = (match cached with Some r -> r | None -> []) @ missing in
-        Hashtbl.replace row_cache key r;
+        store_row key r;
         r
+  in
+  (* Batch-complete the rows of [us] with a single oracle batch: collect
+     every missing (access word, suffix) cell, issue one [query_batch] —
+     which the layers below prefix-share — and extend the cached rows with
+     the answers.  [row] then serves the closure pass from the cache. *)
+  let fill_rows us =
+    let n_suffixes = List.length !suffixes in
+    let seen = Hashtbl.create 64 in
+    let todo =
+      List.filter_map
+        (fun u ->
+          let key = Cq_util.Deep.pack u in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.add seen key ();
+            let have =
+              match Hashtbl.find_opt row_cache key with
+              | Some r -> List.length r
+              | None -> 0
+            in
+            if have >= n_suffixes then None else Some (u, key, have)
+          end)
+        us
+    in
+    let words =
+      List.concat_map
+        (fun (u, _, have) ->
+          List.filteri (fun i _ -> i >= have) !suffixes
+          |> List.map (fun e -> u @ e))
+        todo
+    in
+    if words <> [] then begin
+      let answers = ref (oracle.Moracle.query_batch words) in
+      let take () =
+        match !answers with
+        | a :: rest ->
+            answers := rest;
+            a
+        | [] -> assert false
+      in
+      List.iter
+        (fun (u, key, have) ->
+          let drop = List.length u in
+          let cols =
+            List.filteri (fun i _ -> i >= have) !suffixes
+            |> List.map (fun _ ->
+                   List.filteri (fun i _ -> i >= drop) (take ()))
+          in
+          let existing =
+            match Hashtbl.find_opt row_cache key with
+            | Some r -> r
+            | None -> []
+          in
+          (* An overflow clear while this batch was filling may have
+             dropped the head columns; skip the store and let [row]
+             recompute the full row on demand. *)
+          if List.length existing = have then store_row key (existing @ cols))
+        todo;
+      assert (!answers = [])
+    end
   in
 
   (* S: representatives (access words) with pairwise distinct rows. *)
@@ -75,6 +152,8 @@ let learn ?(max_states = 1_000_000) ~(oracle : 'o Moracle.t)
     Hashtbl.reset rep_rows;
     let old = !reps in
     reps := [||];
+    (* Prefetch the new column of every representative in one batch. *)
+    fill_rows (Array.to_list old);
     Array.iter
       (fun u ->
         let r = row u in
@@ -94,13 +173,26 @@ let learn ?(max_states = 1_000_000) ~(oracle : 'o Moracle.t)
   let close () =
     let s = ref 0 in
     while !s < Array.length !reps do
-      let u = !reps.(!s) in
-      for i = 0 to k - 1 do
-        let r = row (u @ [ i ]) in
-        if not (Hashtbl.mem rep_rows (Cq_util.Deep.pack r)) then
-          ignore (add_rep (u @ [ i ]) r)
+      (* One BFS wave at a time: batch-fill the rows of every one-step
+         extension of the current frontier before classifying them, so the
+         whole wave goes to the oracle as a single prefix-shared batch. *)
+      let hi = Array.length !reps in
+      let wave = ref [] in
+      for idx = hi - 1 downto !s do
+        for i = k - 1 downto 0 do
+          wave := (!reps.(idx) @ [ i ]) :: !wave
+        done
       done;
-      incr s
+      fill_rows !wave;
+      while !s < hi do
+        let u = !reps.(!s) in
+        for i = 0 to k - 1 do
+          let r = row (u @ [ i ]) in
+          if not (Hashtbl.mem rep_rows (Cq_util.Deep.pack r)) then
+            ignore (add_rep (u @ [ i ]) r)
+        done;
+        incr s
+      done
     done
   in
 
@@ -221,5 +313,6 @@ let learn ?(max_states = 1_000_000) ~(oracle : 'o Moracle.t)
         machine;
         rounds = !rounds;
         suffixes_added = !suffixes_added;
+        row_cache_overflows = !row_cache_overflows;
       }
   | None -> assert false

@@ -6,6 +6,8 @@ type 'o result = {
   machine : 'o Cq_automata.Mealy.t;
   rounds : int;  (** equivalence queries issued *)
   suffixes_added : int;  (** distinguishing suffixes added to E *)
+  row_cache_overflows : int;
+      (** times the bounded row cache was cleared (see [max_row_cache]) *)
 }
 
 exception Diverged of string
@@ -15,6 +17,7 @@ exception Diverged of string
 
 val learn :
   ?max_states:int ->
+  ?max_row_cache:int ->
   oracle:'o Moracle.t ->
   find_cex:('o Cq_automata.Mealy.t -> int list option) ->
   unit ->
@@ -22,4 +25,9 @@ val learn :
 (** Learn the machine behind [oracle].  [find_cex] is the equivalence
     oracle (e.g. {!Equivalence.w_method}); learning terminates when it
     returns [None].  [max_states] (default 1,000,000) bounds the number of
-    discovered states. *)
+    discovered states.  [max_row_cache] bounds the observation-table row
+    cache: when the bound is hit the cache is cleared (rows are recomputed
+    on demand, typically served by the oracle-level prefix cache) and the
+    overflow is counted in the result.  The missing cells of each closure
+    wave are requested through [oracle.query_batch], so the layers below
+    can prefix-share the induced traces. *)

@@ -3,20 +3,36 @@
    initial state of the system under learning.
 
    This is the interface between the L* learner and Polca: Polca implements
-   [query] by translating policy inputs into cache probes (Algorithm 1). *)
+   [query] by translating policy inputs into cache probes (Algorithm 1).
+
+   [query_batch] answers several independent words at once.  The learner
+   collects the missing observation-table cells of a closure round and
+   fills them with one batch, which lets the layers below (Polca, the
+   cache oracle) batch and prefix-share the induced block traces. *)
 
 type 'o t = {
   n_inputs : int;
   query : int list -> 'o list;
+  query_batch : int list list -> 'o list list;
 }
+
+(* Smart constructor: derives the sequential [query_batch] fallback. *)
+let make ?query_batch ~n_inputs query =
+  {
+    n_inputs;
+    query;
+    query_batch =
+      (match query_batch with Some qb -> qb | None -> List.map query);
+  }
 
 type stats = {
   mutable queries : int;      (* queries reaching the underlying system *)
   mutable symbols : int;      (* total input symbols of those queries *)
   mutable cache_hits : int;   (* queries answered by the prefix cache *)
+  mutable batches : int;      (* query_batch calls reaching the system *)
 }
 
-let fresh_stats () = { queries = 0; symbols = 0; cache_hits = 0 }
+let fresh_stats () = { queries = 0; symbols = 0; cache_hits = 0; batches = 0 }
 
 let counting stats t =
   {
@@ -26,6 +42,13 @@ let counting stats t =
         stats.queries <- stats.queries + 1;
         stats.symbols <- stats.symbols + List.length w;
         t.query w);
+    query_batch =
+      (fun ws ->
+        stats.batches <- stats.batches + 1;
+        stats.queries <- stats.queries + List.length ws;
+        stats.symbols <-
+          stats.symbols + List.fold_left (fun a w -> a + List.length w) 0 ws;
+        t.query_batch ws);
   }
 
 (* Prefix-tree cache.  Output queries are prefix-closed (the outputs of a
@@ -80,25 +103,64 @@ end
 
 let cached ?stats t =
   let root = Trie.create () in
+  let note_hit () =
+    match stats with Some s -> s.cache_hits <- s.cache_hits + 1 | None -> ()
+  in
+  let check_length w outputs =
+    if List.length outputs <> List.length w then
+      failwith "Moracle: output word length mismatch"
+  in
   {
     t with
     query =
       (fun w ->
         match Trie.lookup root w with
         | Some outputs ->
-            (match stats with
-            | Some s -> s.cache_hits <- s.cache_hits + 1
-            | None -> ());
+            note_hit ();
             outputs
         | None ->
             let outputs = t.query w in
-            if List.length outputs <> List.length w then
-              failwith "Moracle: output word length mismatch";
+            check_length w outputs;
             Trie.insert root w outputs;
             outputs);
+    query_batch =
+      (fun ws ->
+        (* Serve known words from the trie; forward the deduplicated rest
+           as one batch and grow the trie from its answers.  Duplicates
+           and prefix-of-another-miss words resolve from the trie after
+           insertion. *)
+        let missing = Hashtbl.create 16 in
+        let order = ref [] in
+        List.iter
+          (fun w ->
+            if Trie.lookup root w = None then begin
+              let key = Cq_util.Deep.pack w in
+              if not (Hashtbl.mem missing key) then begin
+                Hashtbl.add missing key ();
+                order := w :: !order
+              end
+            end)
+          ws;
+        let todo = List.rev !order in
+        (if todo <> [] then
+           let answers = t.query_batch todo in
+           List.iter2
+             (fun w outputs ->
+               check_length w outputs;
+               Trie.insert root w outputs)
+             todo answers);
+        List.map
+          (fun w ->
+            match Trie.lookup root w with
+            | Some outputs ->
+                if not (Hashtbl.mem missing (Cq_util.Deep.pack w)) then
+                  note_hit ();
+                outputs
+            | None -> assert false (* just inserted *))
+          ws);
   }
 
 (* Oracle backed by an explicit Mealy machine — ground truth in tests and
    the "perfect teacher" ablation. *)
 let of_mealy m =
-  { n_inputs = Cq_automata.Mealy.n_inputs m; query = Cq_automata.Mealy.run m }
+  make ~n_inputs:(Cq_automata.Mealy.n_inputs m) (Cq_automata.Mealy.run m)

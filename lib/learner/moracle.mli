@@ -1,17 +1,30 @@
 (** Membership oracle for Mealy-machine learning: answers output queries
     (input word -> output word from the fixed initial state of the system
     under learning).  Polca implements this interface over a cache
-    (Algorithm 1 of the paper). *)
+    (Algorithm 1 of the paper).
+
+    [query_batch] answers several independent words at once, letting the
+    layers below batch and prefix-share the induced block traces. *)
 
 type 'o t = {
   n_inputs : int;
   query : int list -> 'o list;
+  query_batch : int list list -> 'o list list;
 }
+
+val make :
+  ?query_batch:(int list list -> 'o list list) ->
+  n_inputs:int ->
+  (int list -> 'o list) ->
+  'o t
+(** Build an oracle; without [query_batch] a sequential fallback
+    ([List.map query]) is derived, so plain oracles keep working. *)
 
 type stats = {
   mutable queries : int;  (** queries reaching the underlying system *)
   mutable symbols : int;
   mutable cache_hits : int;  (** queries answered by the prefix cache *)
+  mutable batches : int;  (** [query_batch] calls reaching the system *)
 }
 
 val fresh_stats : unit -> stats
@@ -20,8 +33,9 @@ val counting : stats -> 'o t -> 'o t
 
 val cached : ?stats:stats -> 'o t -> 'o t
 (** Prefix-tree cache: a query whose whole path is known is answered
-    locally.  Raises [Failure _] when the underlying system returns
-    inconsistent outputs for the same word (nondeterminism detection). *)
+    locally; batches forward only the (deduplicated) unknown words.
+    Raises [Failure _] when the underlying system returns inconsistent
+    outputs for the same word (nondeterminism detection). *)
 
 val of_mealy : 'o Cq_automata.Mealy.t -> 'o t
 (** Oracle backed by an explicit machine (ground truth in tests). *)

@@ -32,6 +32,13 @@ let restore (Instance i) =
   | None -> invalid_arg "Instance.restore: no saved state"
   | Some s -> i.state <- s
 
+(* Unlike the single [save]/[restore] slot, checkpoints nest arbitrarily
+   (the batch executor's DFS restores branch points in stack order).
+   Policy states are immutable values, so capturing the value suffices. *)
+let checkpoint (Instance i) =
+  let s = i.state in
+  fun () -> i.state <- s
+
 (* Convenience wrappers used by the cache-set logic. *)
 let touch t line = ignore (step t (Types.Line line))
 

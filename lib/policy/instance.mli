@@ -17,6 +17,10 @@ val save : t -> unit
 val restore : t -> unit
 (** Snapshot / restore the current control state (single slot). *)
 
+val checkpoint : t -> unit -> unit
+(** Capture the current control state; the returned thunk restores it.
+    Checkpoints nest (unlike the single [save] slot). *)
+
 val touch : t -> int -> unit
 (** [step] with [Line i], discarding the (⊥) output. *)
 

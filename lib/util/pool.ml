@@ -1,0 +1,94 @@
+(* A pool of worker domains for fanning out independent queries.
+
+   Every worker owns a private context built by a user-supplied factory
+   thunk (an oracle, a simulated machine, ...), so no mutable state is
+   shared between domains: the only cross-domain traffic is the task
+   index counter, the result slots (each written by exactly one worker)
+   and the first-error slot.  Policies are deterministic, so running the
+   same tasks through a pool must produce the same results as running
+   them sequentially; tests assert exactly that.
+
+   Domains are spawned per [map] call rather than kept alive: the unit of
+   work here (a chunk of conformance tests, a batch of membership
+   queries) is orders of magnitude more expensive than a Domain.spawn.
+   Contexts, however, ARE kept alive: each worker slot lazily builds its
+   context on first use and reuses it across [map] calls, so a worker
+   oracle's memo and prefix caches stay warm from one equivalence round to
+   the next.  A slot is touched by exactly one domain per call, and calls
+   are separated by joins, so the reuse is race-free. *)
+
+type 'ctx t = {
+  size : int;
+  factory : unit -> 'ctx;
+  ctxs : 'ctx option array; (* per-slot contexts, built on first use *)
+}
+
+let create ?size ~factory () =
+  let size =
+    match size with
+    | Some n ->
+        if n < 1 then invalid_arg "Pool.create: size must be >= 1";
+        n
+    | None -> Domain.recommended_domain_count ()
+  in
+  { size; factory; ctxs = Array.make size None }
+
+let ctx_for t slot =
+  match t.ctxs.(slot) with
+  | Some ctx -> ctx
+  | None ->
+      let ctx = t.factory () in
+      t.ctxs.(slot) <- Some ctx;
+      ctx
+
+let size t = t.size
+
+let map t f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let workers = min t.size n in
+    if workers <= 1 then begin
+      let ctx = ctx_for t 0 in
+      Array.map (f ctx) items
+    end
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let error = Atomic.make None in
+      let worker slot () =
+        let ctx = ctx_for t slot in
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else
+            match f ctx items.(i) with
+            | r -> results.(i) <- Some r
+            | exception e ->
+                (* Remember the first failure and drain the queue so the
+                   other workers stop picking up new tasks. *)
+                ignore (Atomic.compare_and_set error None (Some e));
+                Atomic.set next n;
+                continue := false
+        done
+      in
+      let spawned =
+        List.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1)))
+      in
+      worker 0 ();
+      List.iter Domain.join spawned;
+      match Atomic.get error with
+      | Some e -> raise e
+      | None ->
+          Array.map
+            (function
+              | Some r -> r
+              | None ->
+                  (* Only reachable when another task failed; handled above. *)
+                  assert false)
+            results
+    end
+  end
+
+let map_list t f items = Array.to_list (map t f (Array.of_list items))

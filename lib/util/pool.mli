@@ -1,0 +1,26 @@
+(** A pool of worker domains for fanning independent queries across cores.
+
+    Each worker owns a private context built by a factory thunk, so no
+    mutable state is shared between domains.  Deterministic workloads
+    produce the same results as sequential execution (asserted by the
+    engine tests). *)
+
+type 'ctx t
+
+val create : ?size:int -> factory:(unit -> 'ctx) -> unit -> 'ctx t
+(** [create ~factory ()] builds a pool whose workers each obtain their own
+    context via [factory].  Contexts are built lazily, one per worker
+    slot, and reused across {!map} calls — a worker oracle keeps its memo
+    caches warm from one round to the next.  [size] defaults to
+    [Domain.recommended_domain_count ()]; it must be [>= 1].  A pool of
+    size 1 runs everything in the calling domain. *)
+
+val size : 'ctx t -> int
+
+val map : 'ctx t -> ('ctx -> 'a -> 'b) -> 'a array -> 'b array
+(** [map t f items] applies [f ctx item] to every item, fanning the work
+    across [min (size t) (Array.length items)] domains.  Result order
+    matches item order.  If any application raises, the first exception is
+    re-raised in the calling domain after all workers have stopped. *)
+
+val map_list : 'ctx t -> ('ctx -> 'a -> 'b) -> 'a list -> 'b list

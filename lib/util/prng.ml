@@ -48,6 +48,12 @@ let gaussian t ~mu ~sigma =
 
 let split t = create (next_int64 t)
 
+(* Capture the current stream position; the returned thunk rewinds to it.
+   Used by the hardware simulator's state checkpoints. *)
+let checkpoint t =
+  let saved = t.state in
+  fun () -> t.state <- saved
+
 let shuffle_in_place t arr =
   let n = Array.length arr in
   for i = n - 1 downto 1 do

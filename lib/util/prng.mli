@@ -31,6 +31,10 @@ val gaussian : t -> mu:float -> sigma:float -> float
 val split : t -> t
 (** Derive an independent generator (for parallel subsystems). *)
 
+val checkpoint : t -> unit -> unit
+(** [checkpoint t] captures the current stream position; calling the
+    returned thunk rewinds [t] to it (simulator state snapshots). *)
+
 val shuffle_in_place : t -> 'a array -> unit
 (** Fisher–Yates shuffle. *)
 

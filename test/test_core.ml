@@ -132,6 +132,7 @@ let () =
       Test_cachequery.suite;
       Test_learner.suite;
       Test_polca.suite;
+      Test_engine.suite;
       Test_synth.suite;
       Test_eviction.suite;
       suite;

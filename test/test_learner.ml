@@ -38,7 +38,7 @@ let test_cached_detects_nondeterminism () =
   let flip = ref 0 in
   let o =
     Mo.cached
-      { Mo.n_inputs = 1; query = (fun w -> incr flip; List.map (fun _ -> !flip) w) }
+      (Mo.make ~n_inputs:1 (fun w -> incr flip; List.map (fun _ -> !flip) w))
   in
   ignore (o.Mo.query [ 0 ]);
   (* The second query returns different outputs for the same word. *)
@@ -57,9 +57,16 @@ let test_characterization_set_separates () =
     (List.length (List.sort_uniq compare sigs))
 
 let test_words_up_to () =
-  Alcotest.(check int) "|I^{<=0}|" 1 (List.length (Eq.words_up_to 3 0));
-  Alcotest.(check int) "|I^{<=1}|" 4 (List.length (Eq.words_up_to 3 1));
-  Alcotest.(check int) "|I^{<=2}|" 13 (List.length (Eq.words_up_to 3 2))
+  let count n k = Seq.length (Eq.words_up_to n k) in
+  Alcotest.(check int) "|I^{<=0}|" 1 (count 3 0);
+  Alcotest.(check int) "|I^{<=1}|" 4 (count 3 1);
+  Alcotest.(check int) "|I^{<=2}|" 13 (count 3 2);
+  (* Shortest first, and re-traversable (same result twice). *)
+  let words = List.of_seq (Eq.words_up_to 2 2) in
+  Alcotest.(check bool) "shortest first" true
+    (List.map List.length words = List.sort compare (List.map List.length words));
+  Alcotest.(check bool) "re-traversable" true
+    (List.of_seq (Eq.words_up_to 2 2) = words)
 
 let learn_with_wmethod truth =
   let oracle = Mo.cached (Mo.of_mealy truth) in
