@@ -526,6 +526,148 @@ let engine () =
     domains
 
 (* ----------------------------------------------------------------------- *)
+(* Noise: learning under measurement noise                                   *)
+(* ----------------------------------------------------------------------- *)
+
+(* Learn real targets under injected measurement noise at several voting
+   settings.  Correctness: the learned automaton must be identical to the
+   quiet run's.  Cost: timed loads — adaptive voting must beat fixed
+   repetitions by only re-measuring disputed accesses.  Results land in
+   BENCH_noise.json so the robustness trajectory is tracked across PRs. *)
+let noise ~full () =
+  header
+    "Noise: learning under measurement noise (adaptive voting, bounded \
+     retry, drift recalibration)";
+  let module M = Cq_hwsim.Machine in
+  let module FE = Cq_cachequery.Frontend in
+  let targets =
+    [ (Cq_hwsim.Cpu_model.haswell, Cq_hwsim.Cpu_model.L1, "i7-4790", "L1") ]
+    @
+    if full then
+      [ (Cq_hwsim.Cpu_model.skylake, Cq_hwsim.Cpu_model.L2, "i5-6500", "L2") ]
+    else []
+  in
+  let settings =
+    [
+      ("fixed reps=1", "default", M.default_noise, FE.Fixed 1, 0);
+      ("fixed reps=5", "default", M.default_noise, FE.Fixed 5, 3);
+      ("adaptive <=5", "default", M.default_noise, FE.Adaptive { max = 5 }, 3);
+      ("adaptive <=3", "default", M.default_noise, FE.Adaptive { max = 3 }, 3);
+      ("adaptive <=5", "burst", M.burst_noise, FE.Adaptive { max = 5 }, 3);
+      ("adaptive <=5", "drift", M.drift_noise, FE.Adaptive { max = 5 }, 3);
+    ]
+  in
+  let all_rows =
+    List.map
+      (fun (model, level, cpu, level_name) ->
+        Printf.printf "\n%s %s:\n%!" cpu level_name;
+        Printf.printf "%-14s %-8s | %6s %5s | %10s %9s %6s %4s %6s | %8s\n%!"
+          "voting" "noise" "states" "same" "timedloads" "voteruns" "flips"
+          "rcal" "retry" "time";
+        let quiet_machine = M.create ~noise:M.quiet_noise model in
+        let t0 = Cq_util.Clock.now () in
+        let quiet =
+          Cq_core.Hardware.learn_set ~check_hits:false quiet_machine level
+        in
+        let quiet_dt = Cq_util.Clock.now () -. t0 in
+        let quiet_report =
+          match quiet.Cq_core.Hardware.outcome with
+          | Cq_core.Hardware.Learned { report; _ } -> report
+          | Cq_core.Hardware.Failed { reason; _ } ->
+              failwith ("noise bench: quiet run failed: " ^ reason)
+        in
+        Printf.printf
+          "%-14s %-8s | %6d %5s | %10d %9s %6s %4s %6s | %7.1fs\n%!" "(none)"
+          "quiet" quiet_report.Cq_core.Learn.states "-"
+          quiet.Cq_core.Hardware.timed_loads "-" "-" "-" "-" quiet_dt;
+        let rows =
+          List.map
+            (fun (vlabel, nlabel, noise_cfg, voting, retries) ->
+              let machine = M.create ~noise:noise_cfg model in
+              let t0 = Cq_util.Clock.now () in
+              let run =
+                Cq_core.Hardware.learn_set ~check_hits:false ~voting ~retries
+                  machine level
+              in
+              let dt = Cq_util.Clock.now () -. t0 in
+              let row =
+                match run.Cq_core.Hardware.outcome with
+                | Cq_core.Hardware.Learned { report; _ } ->
+                    let identical =
+                      Cq_automata.Mealy.equivalent
+                        report.Cq_core.Learn.machine
+                        quiet_report.Cq_core.Learn.machine
+                    in
+                    Printf.printf
+                      "%-14s %-8s | %6d %5s | %10d %9d %6d %4d %6d | %7.1fs%s\n%!"
+                      vlabel nlabel report.Cq_core.Learn.states
+                      (if identical then "yes" else "NO")
+                      run.Cq_core.Hardware.timed_loads
+                      report.Cq_core.Learn.vote_runs
+                      report.Cq_core.Learn.transient_flips
+                      run.Cq_core.Hardware.recalibrations
+                      report.Cq_core.Learn.retry_attempts dt
+                      (if identical then "" else "  <-- MISMATCH");
+                    `Learned (report, identical)
+                | Cq_core.Hardware.Failed { reason; _ } ->
+                    Printf.printf "%-14s %-8s | %6s %5s | %10d %9s %6s %4d %6s | %7.1fs  (failed: %s)\n%!"
+                      vlabel nlabel "-" "-" run.Cq_core.Hardware.timed_loads "-"
+                      "-" run.Cq_core.Hardware.recalibrations "-" dt
+                      (String.sub reason 0 (min 60 (String.length reason)));
+                    `Failed reason
+              in
+              (vlabel, nlabel, voting, retries, run, dt, row))
+            settings
+        in
+        (cpu, level_name, quiet, quiet_report, quiet_dt, rows))
+      targets
+  in
+  let oc = open_out "BENCH_noise.json" in
+  Printf.fprintf oc "{\n  \"targets\": [\n";
+  List.iteri
+    (fun ti (cpu, level_name, quiet, quiet_report, quiet_dt, rows) ->
+      Printf.fprintf oc
+        "    { \"cpu\": %S, \"level\": %S,\n\
+        \      \"quiet\": { \"states\": %d, \"timed_loads\": %d, \
+         \"seconds\": %.3f },\n\
+        \      \"runs\": [\n"
+        cpu level_name quiet_report.Cq_core.Learn.states
+        quiet.Cq_core.Hardware.timed_loads quiet_dt;
+      List.iteri
+        (fun i (vlabel, nlabel, _voting, retries, run, dt, row) ->
+          let common =
+            Printf.sprintf
+              "\"voting\": %S, \"noise\": %S, \"retries\": %d, \
+               \"timed_loads\": %d, \"recalibrations\": %d, \"seconds\": %.3f"
+              vlabel nlabel retries run.Cq_core.Hardware.timed_loads
+              run.Cq_core.Hardware.recalibrations dt
+          in
+          (match row with
+          | `Learned ((report : Cq_core.Learn.report), identical) ->
+              Printf.fprintf oc
+                "        { %s, \"learned\": true, \"states\": %d, \
+                 \"identical_to_quiet\": %b, \"vote_runs\": %d, \
+                 \"transient_flips\": %d, \"retry_attempts\": %d }"
+                common report.Cq_core.Learn.states identical
+                report.Cq_core.Learn.vote_runs
+                report.Cq_core.Learn.transient_flips
+                report.Cq_core.Learn.retry_attempts
+          | `Failed reason ->
+              Printf.fprintf oc
+                "        { %s, \"learned\": false, \"reason\": %S }" common
+                reason);
+          Printf.fprintf oc "%s\n" (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "      ] }%s\n"
+        (if ti = List.length all_rows - 1 then "" else ","))
+    all_rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf
+    "\n(wrote BENCH_noise.json; Skylake L2 %s)\n%!"
+    (if full then "included" else "skipped, use --full")
+
+(* ----------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one per experiment family                      *)
 (* ----------------------------------------------------------------------- *)
 
@@ -611,6 +753,7 @@ let () =
     | "leaders" -> leaders ~full ()
     | "ablations" -> ablations ()
     | "engine" -> engine ()
+    | "noise" -> noise ~full ()
     | "micro" -> micro ()
     | "all" ->
         figure1 ();
@@ -623,6 +766,7 @@ let () =
         leaders ~full ();
         ablations ();
         engine ();
+        noise ~full ();
         micro ()
     | other -> Printf.printf "unknown experiment %S\n%!" other
   in

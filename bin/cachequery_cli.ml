@@ -101,10 +101,16 @@ let handle_command session line =
       invalidate session;
       true
   | [ "reps"; n ] ->
-      session.reps <- int_of_string n;
-      Option.iter
-        (fun fe -> Cq_cachequery.Frontend.set_repetitions fe session.reps)
-        session.frontend;
+      (* Even counts can tie the majority vote; the frontend rejects them. *)
+      (match int_of_string n with
+      | n when n >= 1 && (n = 1 || n mod 2 = 1) ->
+          session.reps <- n;
+          Option.iter
+            (fun fe -> Cq_cachequery.Frontend.set_repetitions fe session.reps)
+            session.frontend
+      | n ->
+          Printf.printf
+            "error: repetitions must be 1 or an odd count >= 3 (got %d)\n%!" n);
       true
   | [ "cat"; n ] ->
       (match Cq_hwsim.Machine.set_cat_ways session.machine (int_of_string n) with
@@ -192,6 +198,11 @@ let parse_sets spec =
          | None -> [ int_of_string part ])
 
 let main cpu level set slice reps noise seed query sets =
+  if reps < 1 || (reps <> 1 && reps mod 2 = 0) then
+    `Error
+      (false,
+       Printf.sprintf "repetitions must be 1 or an odd count >= 3 (got %d)" reps)
+  else
   match Cq_hwsim.Cpu_model.by_name cpu with
   | None -> `Error (false, Printf.sprintf "unknown CPU %S" cpu)
   | Some model -> (

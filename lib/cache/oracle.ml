@@ -38,6 +38,11 @@ type stats = {
   mutable batched_queries : int; (* queries carried by those batches *)
   mutable accesses_saved : int; (* accesses avoided by prefix sharing *)
   mutable memo_overflows : int; (* bounded memo table clears *)
+  (* Noise-layer accounting: *)
+  mutable timed_loads : int;    (* physical timed loads (hardware backends) *)
+  mutable vote_runs : int;      (* extra executions spent on majority voting *)
+  mutable transient_flips : int; (* Non_deterministic words absorbed by retry *)
+  mutable retry_attempts : int; (* word re-executions the retry layer issued *)
 }
 
 let fresh_stats () =
@@ -49,6 +54,10 @@ let fresh_stats () =
     batched_queries = 0;
     accesses_saved = 0;
     memo_overflows = 0;
+    timed_loads = 0;
+    vote_runs = 0;
+    transient_flips = 0;
+    retry_attempts = 0;
   }
 
 (* A correct [query_batch] for oracles without native batch support. *)
@@ -212,21 +221,27 @@ let noisy ~prng ~p t =
    CacheQuery backend applies when executing generated code several times. *)
 let majority ~reps t =
   if reps < 1 then invalid_arg "Oracle.majority: reps must be >= 1";
+  if reps mod 2 = 0 then
+    (* An even repetition count can tie, and any fixed tie-break silently
+       biases the vote (the old code defaulted ties to Miss). *)
+    invalid_arg "Oracle.majority: reps must be odd";
   let vote runs =
     match runs with
     | [] -> assert false
     | first :: _ ->
-        List.mapi
-          (fun i _ ->
-            let hits =
-              List.fold_left
-                (fun acc run ->
-                  if Cache_set.result_is_hit (List.nth run i) then acc + 1
-                  else acc)
-                0 runs
-            in
-            if 2 * hits > reps then Cache_set.Hit else Cache_set.Miss)
-          first
+        (* One pass per run over per-position hit counters, instead of the
+           former O(L²) [List.nth run i] inside [List.mapi]. *)
+        let len = List.length first in
+        let hits = Array.make len 0 in
+        List.iter
+          (fun run ->
+            List.iteri
+              (fun i r ->
+                if Cache_set.result_is_hit r then hits.(i) <- hits.(i) + 1)
+              run)
+          runs;
+        List.init len (fun i ->
+            if 2 * hits.(i) > reps then Cache_set.Hit else Cache_set.Miss)
   in
   {
     t with

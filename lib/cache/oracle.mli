@@ -36,6 +36,15 @@ type stats = {
       (** block accesses avoided by prefix sharing, relative to naive
           per-query replay of the same batches *)
   mutable memo_overflows : int;  (** bounded memo table clears *)
+  mutable timed_loads : int;
+      (** physical timed loads issued (hardware backends; counts every
+          repetition, unlike the logical [block_accesses]) *)
+  mutable vote_runs : int;
+      (** extra query/access executions spent on majority voting *)
+  mutable transient_flips : int;
+      (** [Polca.Non_deterministic] words that a retry absorbed *)
+  mutable retry_attempts : int;
+      (** word re-executions issued by the bounded-retry layer *)
 }
 
 val fresh_stats : unit -> stats
@@ -69,4 +78,6 @@ val noisy : prng:Cq_util.Prng.t -> p:float -> t -> t
 (** Flip each individual outcome with probability [p] (fault injection). *)
 
 val majority : reps:int -> t -> t
-(** Majority vote over [reps] repetitions of each query. *)
+(** Majority vote over [reps] repetitions of each query.  [reps] must be
+    odd: even counts can tie, and a fixed tie-break would silently bias
+    the vote.  Raises [Invalid_argument] otherwise. *)

@@ -38,13 +38,66 @@ type t = {
   mutable calib_dirty : bool; (* calibration touched the target set *)
   mutable timed_loads : int;
   mutable filter_loads : int;
+  (* Noise layer (§4.3 hardening): [margin] is the half-width of the
+     "suspicious" latency band around the threshold.  A latency at most
+     [threshold - margin] is a confident hit (outlier spikes only push
+     latencies *up*, so low readings are trustworthy); latencies inside
+     the band feed the drift detector below. *)
+  mutable margin : int;
+  (* Drift detector: over a sliding window of classifications, count how
+     many fell within [margin] of the threshold.  When the crowded
+     fraction exceeds [drift_fraction] the hit/miss populations have
+     drifted towards the threshold and a recalibration is requested; the
+     frontend honours it at the next reset boundary (recalibrating
+     mid-query would perturb the state under measurement). *)
+  mutable window_classified : int;
+  mutable window_near : int;
+  (* Direct drift estimator: exponential moving averages of the observed
+     hit and miss latency populations (outlier-range readings excluded).
+     Noise sources shift both populations together, so when the EWMA
+     midpoint departs from the calibrated threshold by more than half the
+     margin, the populations have drifted and the threshold is going
+     stale — request a recalibration long before misclassifications set
+     in.  (The window counters above remain as a coarser backstop that
+     also catches variance growth.) *)
+  mutable ewma_hit : float;
+  mutable ewma_miss : float;
+  mutable recalibrate_due : bool;
+  mutable recalibrations : int;
+  (* Upper bound of the confident-miss band: a latency above
+     [threshold + margin] but at most [miss_ceiling] sits inside the
+     next-level population and cannot be an outlier-spiked hit (spikes add
+     far more than the level gap), so a single sample suffices.  Beyond the
+     ceiling the reading is suspicious — an interrupt-style spike on either
+     population — and must be voted. *)
+  mutable miss_ceiling : int;
+  (* A non-interfering address (different set at every level) used to let
+     transient common-mode noise bursts expire between vote re-measurements
+     without touching the state under measurement. *)
+  settle_addr : int;
 }
+
+(* Window length / crowding fraction for the drift detector.  256 profiled
+   loads is a handful of queries; >25% of them inside the margin band never
+   happens when the populations are where calibration left them. *)
+let drift_window = 256
+let drift_fraction = 0.25
+
+(* EWMA smoothing for the population trackers.  1/alpha ~ 100 samples:
+   enough smoothing that jitter cannot fire the detector spuriously
+   (midpoint sigma ~ 0.08 cycles at jitter sigma 1.5), short enough that
+   the estimate lags real drift by a fraction of a cycle. *)
+let ewma_alpha = 0.01
 
 let machine t = t.machine
 let target t = t.target
 let threshold t = t.threshold
 let timed_loads t = t.timed_loads
 let filter_loads t = t.filter_loads
+let margin t = t.margin
+let miss_ceiling t = t.miss_ceiling
+let recalibrations t = t.recalibrations
+let recalibrate_due t = t.recalibrate_due
 
 let line_size t = (Cq_hwsim.Machine.model t.machine).Cq_hwsim.Cpu_model.line_size
 
@@ -135,6 +188,34 @@ let build_calib_sweep machine (target : target) =
         ~set:target.set ~filter
         (2 * spec.Cq_hwsim.Cpu_model.assoc)
 
+(* Model-derived margin: a quarter of the gap between the target level's
+   hit latency and the next level's, mirroring how [calibrate] derives the
+   margin from the measured medians. *)
+let default_margin machine level =
+  let model = Cq_hwsim.Machine.model machine in
+  let gap =
+    match level with
+    | Cq_hwsim.Cpu_model.L1 ->
+        model.Cq_hwsim.Cpu_model.l2.hit_latency
+        - model.Cq_hwsim.Cpu_model.l1.hit_latency
+    | Cq_hwsim.Cpu_model.L2 ->
+        model.Cq_hwsim.Cpu_model.l3.hit_latency
+        - model.Cq_hwsim.Cpu_model.l2.hit_latency
+    | Cq_hwsim.Cpu_model.L3 ->
+        model.Cq_hwsim.Cpu_model.memory_latency
+        - model.Cq_hwsim.Cpu_model.l3.hit_latency
+  in
+  max 1 (gap / 4)
+
+(* The latency a miss is served at: the next level's hit latency (memory
+   for the last level). *)
+let next_level_latency machine level =
+  let model = Cq_hwsim.Machine.model machine in
+  match level with
+  | Cq_hwsim.Cpu_model.L1 -> model.Cq_hwsim.Cpu_model.l2.hit_latency
+  | Cq_hwsim.Cpu_model.L2 -> model.Cq_hwsim.Cpu_model.l3.hit_latency
+  | Cq_hwsim.Cpu_model.L3 -> model.Cq_hwsim.Cpu_model.memory_latency
+
 let default_threshold machine level =
   let model = Cq_hwsim.Machine.model machine in
   match level with
@@ -159,6 +240,13 @@ let create ?(disable_prefetchers = true) machine (target : target) =
   if target.set < 0 || target.set >= spec.Cq_hwsim.Cpu_model.sets_per_slice then
     invalid_arg "Backend.create: set out of range";
   if disable_prefetchers then Cq_hwsim.Machine.set_prefetchers machine false;
+  let sample_addr =
+    List.hd
+      (Cq_hwsim.Machine.congruent_addresses machine target.level
+         ~slice:target.slice ~set:target.set 1)
+  in
+  let threshold = default_threshold machine target.level in
+  let next_latency = next_level_latency machine target.level in
   {
     machine;
     target;
@@ -166,12 +254,27 @@ let create ?(disable_prefetchers = true) machine (target : target) =
     pool = [];
     pool_cursor = 0;
     (* model-derived default; refined by [calibrate] *)
-    threshold = default_threshold machine target.level;
+    threshold;
     filter_sets = build_filter_sets machine target;
     calib_sweep = build_calib_sweep machine target;
     calib_dirty = false;
     timed_loads = 0;
     filter_loads = 0;
+    margin = default_margin machine target.level;
+    window_classified = 0;
+    window_near = 0;
+    (* model-derived population centres; re-seeded by [calibrate] *)
+    ewma_hit = float_of_int ((2 * threshold) - next_latency);
+    ewma_miss = float_of_int next_latency;
+    recalibrate_due = false;
+    recalibrations = 0;
+    (* mirrors the [calibrate] update with model medians *)
+    miss_ceiling = (2 * next_latency) - threshold;
+    (* one line further: a different set index at every cache level, so
+       loading it never disturbs the target set *)
+    settle_addr =
+      sample_addr
+      + (Cq_hwsim.Machine.model machine).Cq_hwsim.Cpu_model.line_size;
   }
 
 (* Address of a block, allocating a fresh congruent address on first use. *)
@@ -226,7 +329,57 @@ let timed_load t block =
   filter_higher_levels t;
   cycles
 
-let classify t cycles = if cycles <= t.threshold then Cq_cache.Cache_set.Hit else Cq_cache.Cache_set.Miss
+let classify t cycles =
+  (* Feed the population trackers (outlier-range readings excluded: a
+     spiked latency says nothing about where the population sits). *)
+  if cycles <= t.threshold then
+    t.ewma_hit <- t.ewma_hit +. (ewma_alpha *. (float_of_int cycles -. t.ewma_hit))
+  else if cycles <= t.miss_ceiling then
+    t.ewma_miss <-
+      t.ewma_miss +. (ewma_alpha *. (float_of_int cycles -. t.ewma_miss));
+  let midpoint = (t.ewma_hit +. t.ewma_miss) /. 2.0 in
+  if Float.abs (midpoint -. float_of_int t.threshold) > float_of_int t.margin /. 2.0
+  then t.recalibrate_due <- true;
+  (* Coarser backstop: latencies crowding the threshold mean the
+     populations have moved (or widened) since calibration. *)
+  t.window_classified <- t.window_classified + 1;
+  if abs (cycles - t.threshold) <= t.margin then
+    t.window_near <- t.window_near + 1;
+  if t.window_classified >= drift_window then begin
+    if
+      float_of_int t.window_near
+      > drift_fraction *. float_of_int t.window_classified
+    then t.recalibrate_due <- true;
+    t.window_classified <- 0;
+    t.window_near <- 0
+  end;
+  if cycles <= t.threshold then Cq_cache.Cache_set.Hit else Cq_cache.Cache_set.Miss
+
+(* A latency this far below the threshold cannot be a disguised miss:
+   simulated (and real) noise sources — jitter, interrupt outliers, bursts,
+   drift — only *add* cycles, so the frontend's voting layer may accept a
+   single confident-hit sample without re-measuring. *)
+let confident_hit t cycles = cycles <= t.threshold - t.margin
+
+(* A latency clearly above the threshold but inside the next-level
+   population is a confident miss: an outlier-spiked *hit* would land far
+   beyond the ceiling (spikes add much more than the level gap), so the
+   only reading that needs a vote on the miss side is one above the
+   ceiling.  Only sound when spikes are large relative to the gap — which
+   is what interrupt/SMI-style outliers look like. *)
+let confident_miss t cycles =
+  cycles > t.threshold + t.margin && cycles <= t.miss_ceiling
+
+(* Let transient common-mode noise (an interrupt-storm burst) expire
+   between vote re-measurements: issue untimed loads to a non-interfering
+   address (different set at every level).  Without this, consecutive
+   re-measurements of a disputed access can all land inside the same burst
+   and outvote the truth. *)
+let settle ?(loads = 8) t =
+  for _ = 1 to loads do
+    t.filter_loads <- t.filter_loads + 1;
+    ignore (Cq_hwsim.Machine.load t.machine t.settle_addr)
+  done
 
 let flush_block t block =
   let addr = addr_of_block t block in
@@ -310,7 +463,29 @@ let calibrate ?(samples = 64) t =
      would otherwise dominate a variance-based split like Otsu's. *)
   let med xs = Cq_util.Stats.median (List.map float_of_int xs) in
   let hit_med = med !hit_samples and miss_med = med !miss_samples in
-  if miss_med > hit_med +. 1.0 then
+  if miss_med > hit_med +. 1.0 then begin
     t.threshold <- int_of_float (Float.round ((hit_med +. miss_med) /. 2.0));
+    t.margin <-
+      max 1 (int_of_float (Float.round ((miss_med -. hit_med) /. 4.0)));
+    t.miss_ceiling <- (2 * int_of_float (Float.round miss_med)) - t.threshold;
+    (* Re-seed the drift estimator on the freshly measured populations. *)
+    t.ewma_hit <- hit_med;
+    t.ewma_miss <- miss_med
+  end;
   (* else: populations indistinguishable; keep the model-derived default *)
   (t.threshold, !hit_samples, !miss_samples)
+
+(* Honour a pending drift-triggered recalibration.  Must only be called at
+   a reset boundary: calibration sweeps the target set, so running it
+   mid-query would corrupt the state under measurement.  Returns whether a
+   recalibration ran. *)
+let maybe_recalibrate ?samples t =
+  if not t.recalibrate_due then false
+  else begin
+    t.recalibrate_due <- false;
+    t.window_classified <- 0;
+    t.window_near <- 0;
+    ignore (calibrate ?samples t);
+    t.recalibrations <- t.recalibrations + 1;
+    true
+  end

@@ -25,6 +25,18 @@ val threshold : t -> int
 val timed_loads : t -> int
 val filter_loads : t -> int
 
+val margin : t -> int
+(** Half-width (cycles) of the suspicious latency band around the
+    threshold: readings at most [threshold - margin] are confident hits,
+    readings within [margin] of the threshold feed the drift detector. *)
+
+val recalibrations : t -> int
+(** Drift-triggered recalibrations performed so far. *)
+
+val recalibrate_due : t -> bool
+(** Whether the drift detector has requested a recalibration (honoured by
+    {!maybe_recalibrate} at the next reset boundary). *)
+
 val addr_of_block : t -> Cq_cache.Block.t -> int
 (** The physical address backing an abstract block (allocated on first
     use, always congruent with the target set). *)
@@ -35,7 +47,27 @@ val timed_load : t -> Cq_cache.Block.t -> int
     cycles. *)
 
 val classify : t -> int -> Cq_cache.Cache_set.result
-(** Cycles -> Hit/Miss at the target level, via the threshold. *)
+(** Cycles -> Hit/Miss at the target level, via the threshold.  Also feeds
+    the drift detector: when too many classified latencies crowd the
+    threshold (the populations drifted since calibration), a recalibration
+    is flagged for {!maybe_recalibrate}. *)
+
+val confident_hit : t -> int -> bool
+(** [cycles <= threshold - margin]: noise sources only add latency, so a
+    reading this low cannot be a disguised miss and a single sample
+    suffices (the voting layer's fast path). *)
+
+val confident_miss : t -> int -> bool
+(** Clearly above the threshold yet inside the next-level latency
+    population (below the miss ceiling): cannot be an outlier-spiked hit —
+    spikes overshoot the level gap — so a single sample suffices. *)
+
+val miss_ceiling : t -> int
+(** Upper bound of the confident-miss band (refined by calibration). *)
+
+val settle : ?loads:int -> t -> unit
+(** Issue untimed loads to a non-interfering address so a transient
+    common-mode noise burst can expire between vote re-measurements. *)
 
 val flush_block : t -> Cq_cache.Block.t -> unit
 val flush_all_known : t -> unit
@@ -51,5 +83,11 @@ val run_query_timed :
 
 val calibrate : ?samples:int -> t -> int * int list * int list
 (** Measure known-hit and known-miss latency populations at the target
-    level and set the threshold between their medians; returns
+    level and set the threshold between their medians (and the margin to a
+    quarter of their separation); returns
     [(threshold, hit_samples, miss_samples)]. *)
+
+val maybe_recalibrate : ?samples:int -> t -> bool
+(** Run {!calibrate} if the drift detector requested it; returns whether a
+    recalibration ran.  Only call at a reset boundary — calibration sweeps
+    the target set and would corrupt a query in flight. *)

@@ -10,30 +10,73 @@ type reset =
 
 val reset_to_string : reset -> string
 
+type voting =
+  | Fixed of int  (** always this many repetitions; [Fixed 1] = no voting *)
+  | Adaptive of { max : int }
+      (** early-stopping vote: stop re-measuring once the
+          majority-of-[max] outcome is decided for every profiled
+          position; never exceed [max] repetitions *)
+
+(** Repetition counts other than 1 must be odd — an even cap can tie, and
+    any fixed tie-break silently biases the vote.  Constructors and
+    setters raise [Invalid_argument] on even counts. *)
+
+val voting_to_string : voting -> string
+
 type t
 
-val create : ?reset:reset -> ?repetitions:int -> Backend.t -> t
+val create :
+  ?reset:reset ->
+  ?repetitions:int ->
+  ?voting:voting ->
+  ?max_memo_entries:int ->
+  Backend.t ->
+  t
+(** [voting] takes precedence over [repetitions] (which is shorthand for
+    [Fixed n]).  [max_memo_entries] bounds the query memo with
+    clear-on-overflow semantics (clears recorded in
+    [stats.memo_overflows]). *)
+
 val backend : t -> Backend.t
 
 val assoc : t -> int
 (** Effective associativity of the target level (CAT-aware). *)
 
 val stats : t -> Cq_cache.Oracle.stats
+(** Under voting, [block_accesses] and [timed_loads] count *actual*
+    executions including vote re-measurements; [vote_runs] isolates the
+    re-measurement overhead. *)
+
 val set_reset : t -> reset -> unit
 val reset_sequence : t -> reset
+
+val set_voting : t -> voting -> unit
+val voting : t -> voting
+
 val set_repetitions : t -> int -> unit
+(** Shorthand for [set_voting t (Fixed n)]. *)
+
+val max_repetitions : t -> int
+(** The voting cap: [n] for [Fixed n], [max] for [Adaptive]. *)
+
 val set_memo : t -> bool -> unit
 val clear_memo : t -> unit
+
+val memo_size : t -> int
+(** Number of memoized queries ([Hashtbl.length] of the memo table). *)
 
 val expand : t -> string -> Cq_mbl.Expand.query list
 (** Parse and expand an MBL expression at the target's associativity. *)
 
 val run_mbl :
   t -> string -> (Cq_mbl.Expand.query * Cq_cache.Cache_set.result list) list
-(** Run an MBL expression: each expanded query executes from reset (with
-    majority voting over [repetitions]); profiled accesses' outcomes are
-    returned. *)
+(** Run an MBL expression: each expanded query executes from reset, with
+    whole-query majority voting per the voting discipline; profiled
+    accesses' outcomes are returned. *)
 
 val oracle : t -> Cq_cache.Oracle.t
 (** The cache oracle Polca talks to: every access profiled, queries
-    memoized. *)
+    memoized.  The batched path and the session-mode [ops] stay available
+    at every voting setting — voting happens inside the access primitive,
+    re-running only disputed accesses from a pre-access machine
+    checkpoint. *)

@@ -21,6 +21,8 @@ type run = {
   assoc : int; (* effective associativity (CAT-reduced if requested) *)
   cat : bool;
   outcome : outcome;
+  timed_loads : int; (* physical timed loads issued by the whole workflow *)
+  recalibrations : int; (* drift-triggered threshold recalibrations *)
 }
 
 let pp_outcome ppf = function
@@ -33,9 +35,20 @@ let pp_outcome ppf = function
         | l -> String.concat ", " l)
   | Failed { reason; _ } -> Fmt.pf ppf "failed: %s" reason
 
+(* Voting escalation used by the retry backoff: once a flip slipped
+   through the current voting setting, raise the cap (sticky — the
+   environment has proven noisier than assumed).  Escalates into adaptive
+   voting so the extra repetitions are only paid for disputed accesses. *)
+let escalate_voting = function
+  | Cq_cachequery.Frontend.Fixed 1 -> Cq_cachequery.Frontend.Adaptive { max = 3 }
+  | Cq_cachequery.Frontend.Fixed n ->
+      Cq_cachequery.Frontend.Adaptive { max = min 15 (n + 2) }
+  | Cq_cachequery.Frontend.Adaptive { max } ->
+      Cq_cachequery.Frontend.Adaptive { max = min 15 (max + 2) }
+
 let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
-    ?equivalence ?check_hits ?(max_states = 100_000) ?(reset_trials = 24)
-    machine level =
+    ?voting ?(retries = 3) ?equivalence ?check_hits ?(max_states = 100_000)
+    ?(reset_trials = 24) machine level =
   let model = Cq_hwsim.Machine.model machine in
   (match cat_ways with
   | Some ways -> Cq_hwsim.Machine.set_cat_ways machine ways
@@ -45,9 +58,20 @@ let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
       { Cq_cachequery.Backend.level; slice; set }
   in
   let threshold, _, _ = Cq_cachequery.Backend.calibrate backend in
-  let frontend = Cq_cachequery.Frontend.create ~repetitions backend in
+  let frontend =
+    Cq_cachequery.Frontend.create ~repetitions ?voting backend
+  in
   let assoc = Cq_cachequery.Frontend.assoc frontend in
   let prng = Cq_util.Prng.of_int seed in
+  (* Retry backoff: the answer that raised Non_deterministic may sit
+     corrupted in the frontend memo, where a plain re-run would just read
+     it back — drop the memo, and escalate voting so the re-run is also
+     less likely to flip again. *)
+  let on_retry _k =
+    Cq_cachequery.Frontend.clear_memo frontend;
+    Cq_cachequery.Frontend.set_voting frontend
+      (escalate_voting (Cq_cachequery.Frontend.voting frontend))
+  in
   let outcome =
     match Reset.find ~trials:reset_trials ~prng frontend with
     | None ->
@@ -62,12 +86,16 @@ let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
         let oracle = Cq_cachequery.Frontend.oracle frontend in
         match
           Learn.learn_from_cache ?equivalence ?check_hits ~memoize:false
-            ~max_states oracle
+            ~max_states ~retries ~on_retry
+            ~device_stats:(Cq_cachequery.Frontend.stats frontend)
+            oracle
         with
         | report -> Learned { report; reset; threshold }
         | exception Cq_learner.Lstar.Diverged msg ->
             Failed { reason = "learning diverged: " ^ msg; reset = Some reset }
         | exception Polca.Non_deterministic msg ->
+            Failed { reason = "non-deterministic responses: " ^ msg; reset = Some reset }
+        | exception Cq_learner.Moracle.Inconsistent msg ->
             Failed { reason = "non-deterministic responses: " ^ msg; reset = Some reset })
   in
   {
@@ -78,6 +106,8 @@ let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
     assoc;
     cat = cat_ways <> None;
     outcome;
+    timed_loads = Cq_cachequery.Backend.timed_loads backend;
+    recalibrations = Cq_cachequery.Backend.recalibrations backend;
   }
 
 (* Leader-A sets of a CPU's L3 (the learnable ones), per the Appendix B

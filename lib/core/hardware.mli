@@ -20,6 +20,10 @@ type run = {
   assoc : int;  (** effective associativity (CAT-reduced if requested) *)
   cat : bool;
   outcome : outcome;
+  timed_loads : int;
+      (** physical timed loads issued by the whole workflow (calibration,
+          reset discovery, learning, vote re-measurements) *)
+  recalibrations : int;  (** drift-triggered threshold recalibrations *)
 }
 
 val pp_outcome : Format.formatter -> outcome -> unit
@@ -30,6 +34,8 @@ val learn_set :
   ?slice:int ->
   ?set:int ->
   ?repetitions:int ->
+  ?voting:Cq_cachequery.Frontend.voting ->
+  ?retries:int ->
   ?equivalence:Learn.equivalence ->
   ?check_hits:bool ->
   ?max_states:int ->
@@ -41,7 +47,14 @@ val learn_set :
     associativity via Intel CAT (fails on CPUs without CAT support).
     Failure modes mirror the paper's: no deterministic reset sequence
     (nondeterministic sets), diverging observations, state budget
-    exhausted. *)
+    exhausted.
+
+    [voting] (overrides [repetitions]) selects the frontend's majority
+    voting discipline.  [retries] (default 3) bounds the retry loop around
+    {!Polca.Non_deterministic}; on each retry the frontend memo is cleared
+    (the corrupted answer may be memoized) and voting escalates to the
+    next adaptive cap, so transiently flipped words are absorbed while
+    structural nondeterminism still fails. *)
 
 val l3_leader_sets : ?slice:int -> Cq_hwsim.Cpu_model.t -> int list
 (** The vulnerable-leader set indices of a CPU's L3 per the Appendix B

@@ -46,6 +46,11 @@ type report = {
   row_cache_overflows : int; (* times the bounded L* row cache was cleared *)
   domains : int; (* worker domains used by the equivalence oracle *)
   identified : string list; (* known policies equivalent to the result *)
+  (* Noise-layer accounting (0 for quiet software oracles): *)
+  timed_loads : int; (* physical timed loads, incl. vote re-measurements *)
+  vote_runs : int; (* extra executions spent on majority voting *)
+  transient_flips : int; (* Non_deterministic words absorbed by retry *)
+  retry_attempts : int; (* word re-executions the retry layer issued *)
 }
 
 let pp_report ppf r =
@@ -57,13 +62,30 @@ let pp_report ppf r =
     r.states Cq_util.Clock.pp_duration r.seconds r.rounds r.suffixes
     r.member_queries r.member_symbols r.cache_queries r.cache_accesses
     r.cache_batches r.accesses_saved r.domains
-    (match r.identified with [] -> "(unknown policy)" | l -> String.concat ", " l)
+    (match r.identified with [] -> "(unknown policy)" | l -> String.concat ", " l);
+  if r.vote_runs > 0 || r.retry_attempts > 0 || r.timed_loads > 0 then
+    Fmt.pf ppf
+      "@,timed loads: %d@,vote re-runs: %d@,retries: %d (%d transient flips \
+       absorbed)"
+      r.timed_loads r.vote_runs r.retry_attempts r.transient_flips
 
 (* Learn the replacement policy behind a cache oracle. *)
 let learn_from_cache ?(equivalence = default_equivalence)
     ?(engine = default_engine) ?cache_factory ?(check_hits = true)
     ?(memoize = true) ?max_memo_entries ?max_row_cache
-    ?(max_states = 1_000_000) ?(identify = true) cache =
+    ?(max_states = 1_000_000) ?(identify = true) ?(retries = 0) ?on_retry
+    ?device_stats cache =
+  (* [device_stats]: the device layer's own stats record (the CacheQuery
+     frontend's), whose voting/timed-load counters are invisible to the
+     wrappers below; its deltas over the learning run are folded into the
+     report. *)
+  let dev_snapshot () =
+    match device_stats with
+    | None -> (0, 0)
+    | Some d ->
+        (d.Cq_cache.Oracle.timed_loads, d.Cq_cache.Oracle.vote_runs)
+  in
+  let dev_loads0, dev_votes0 = dev_snapshot () in
   let batch_probes = match engine with Sequential -> false | _ -> true in
   let cache =
     match engine with
@@ -78,12 +100,15 @@ let learn_from_cache ?(equivalence = default_equivalence)
         cache
     else cache
   in
-  let polca = Polca.create ~check_hits ~batch_probes ~stats:cache_stats cache in
+  let polca =
+    Polca.create ~check_hits ~batch_probes ~retries ?backoff:on_retry
+      ~stats:cache_stats cache
+  in
   let mstats = Cq_learner.Moracle.fresh_stats () in
-  let oracle =
+  let oracle, refresh_word =
     Polca.moracle polca
     |> Cq_learner.Moracle.counting mstats
-    |> Cq_learner.Moracle.cached ~stats:mstats
+    |> Cq_learner.Moracle.cached_refresh ~stats:mstats ~conflict_retries:retries
   in
   let domains =
     match engine with Parallel { domains } -> max 1 domains | _ -> 1
@@ -124,6 +149,25 @@ let learn_from_cache ?(equivalence = default_equivalence)
           ~prng:(Cq_util.Prng.of_int seed)
           ~max_tests ~max_len oracle
   in
+  (* Counterexample verification (noise hardening): a transient measurement
+     flip during conformance testing fabricates a counterexample the
+     learner cannot process (no genuine distinguishing suffix exists).
+     Re-execute the candidate fresh — repairing the prefix cache in
+     passing — and only hand the learner a disagreement that reproduces;
+     a spurious one costs a bounded re-run of the (mostly cached) suite. *)
+  let find_cex =
+    if retries = 0 then find_cex
+    else fun h ->
+      let rec verified budget =
+        match find_cex h with
+        | None -> None
+        | Some w ->
+            if refresh_word w <> Cq_automata.Mealy.run h w then Some w
+            else if budget = 0 then None
+            else verified (budget - 1)
+      in
+      verified retries
+  in
   let (result : _ Cq_learner.Lstar.result), seconds =
     Cq_util.Clock.time (fun () ->
         Cq_learner.Lstar.learn ~max_states ?max_row_cache ~oracle ~find_cex ())
@@ -144,6 +188,16 @@ let learn_from_cache ?(equivalence = default_equivalence)
     row_cache_overflows = result.row_cache_overflows;
     domains;
     identified = (if identify then Cq_policy.Zoo.identify result.machine else []);
+    timed_loads =
+      (let dev_loads, _ = dev_snapshot () in
+       cache_stats.Cq_cache.Oracle.timed_loads + (dev_loads - dev_loads0));
+    vote_runs =
+      (let _, dev_votes = dev_snapshot () in
+       cache_stats.Cq_cache.Oracle.vote_runs + (dev_votes - dev_votes0));
+    transient_flips =
+      cache_stats.Cq_cache.Oracle.transient_flips
+      + mstats.Cq_learner.Moracle.conflicts;
+    retry_attempts = cache_stats.Cq_cache.Oracle.retry_attempts;
   }
 
 (* Case study §6: learn a policy from a software-simulated cache.  The

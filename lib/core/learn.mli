@@ -47,6 +47,13 @@ type report = {
   identified : string list;
       (** known policies trace-equivalent to the result (up to reset state
           and line permutation) *)
+  timed_loads : int;
+      (** physical timed loads including vote re-measurements (0 for quiet
+          software oracles without a [device_stats] record) *)
+  vote_runs : int;  (** extra executions spent on majority voting *)
+  transient_flips : int;
+      (** [Polca.Non_deterministic] words absorbed by the retry layer *)
+  retry_attempts : int;  (** word re-executions the retry layer issued *)
 }
 
 val pp_report : Format.formatter -> report -> unit
@@ -61,6 +68,9 @@ val learn_from_cache :
   ?max_row_cache:int ->
   ?max_states:int ->
   ?identify:bool ->
+  ?retries:int ->
+  ?on_retry:(int -> unit) ->
+  ?device_stats:Cq_cache.Oracle.stats ->
   Cq_cache.Oracle.t ->
   report
 (** Learn the replacement policy behind a cache oracle.  [memoize] (default
@@ -71,6 +81,13 @@ val learn_from_cache :
     each worker domain (raises [Invalid_argument] otherwise).
     [max_memo_entries] / [max_row_cache] bound the query memo and the L*
     row cache with clear-on-overflow semantics; overflows are reported.
+
+    [retries] / [on_retry] plumb the bounded {!Polca.Non_deterministic}
+    retry layer (see {!Polca.create}).  [device_stats] is the device
+    layer's own stats record (e.g. {!Cq_cachequery.Frontend.stats}), whose
+    timed-load / vote counters bypass the learning-side wrappers; their
+    deltas over the run are folded into the report.
+
     May raise {!Cq_learner.Lstar.Diverged} or {!Polca.Non_deterministic}. *)
 
 val learn_simulated :

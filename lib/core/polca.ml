@@ -31,16 +31,28 @@ type t = {
          [query_batch] (trie-shared for oracles that support it).
          Disabling restores the per-probe reset-and-replay of the paper's
          Algorithm 1 — the sequential engine baseline. *)
+  retries : int;
+      (* On Non_deterministic, re-run the offending word up to this many
+         extra times before giving up: a transient latency flip (noise)
+         will not repeat, a structural problem (broken reset sequence,
+         unsound interface) will.  0 restores fail-fast. *)
+  backoff : (int -> unit) option;
+      (* Called before retry k (1-based) — the hook where the hardware
+         layer clears suspect memo entries and escalates voting. *)
   stats : Cq_cache.Oracle.stats option;
       (* Session-mode probes bypass the cache oracle's query path, so the
          counting wrapper cannot see them; Polca accounts them here
-         instead (logical cost per probe, physical accesses, savings). *)
+         instead (logical cost per probe, physical accesses, savings).
+         Retries are accounted here too ([retry_attempts],
+         [transient_flips]). *)
 }
 
 exception Non_deterministic of string
 
-let create ?(check_hits = true) ?(batch_probes = true) ?stats cache =
-  { cache; check_hits; batch_probes; stats }
+let create ?(check_hits = true) ?(batch_probes = true) ?(retries = 0) ?backoff
+    ?stats cache =
+  if retries < 0 then invalid_arg "Polca.create: retries must be >= 0";
+  { cache; check_hits; batch_probes; retries; backoff; stats }
 
 let assoc t = t.cache.Cq_cache.Oracle.assoc
 
@@ -237,10 +249,48 @@ let run_replay t word =
 
 (* Dispatch: session mode whenever the cache exposes its device primitives
    and batching is on; otherwise per-probe replay. *)
-let run t word =
+let run_once t word =
   match (if t.batch_probes then t.cache.Cq_cache.Oracle.ops else None) with
   | Some ops -> run_session t ops word
   | None -> run_replay t word
+
+(* Bounded retry around Non_deterministic: a transient measurement flip
+   (an outlier latency that survived voting) will not repeat when the word
+   is re-executed from reset, whereas structural nondeterminism — a broken
+   reset sequence, an unsound interface — fails on every attempt and is
+   re-raised with the retry history attached. *)
+let run t word =
+  if t.retries = 0 then run_once t word
+  else
+    let rec attempt k history =
+      match run_once t word with
+      | outputs ->
+          if k > 0 then begin
+            match t.stats with
+            | Some s ->
+                s.Cq_cache.Oracle.transient_flips <-
+                  s.Cq_cache.Oracle.transient_flips + 1
+            | None -> ()
+          end;
+          outputs
+      | exception Non_deterministic msg ->
+          if k >= t.retries then
+            raise
+              (Non_deterministic
+                 (Printf.sprintf
+                    "%s (persisted after %d retries; attempts: %s)" msg k
+                    (String.concat " | " (List.rev (msg :: history)))))
+          else begin
+            (match t.stats with
+            | Some s ->
+                s.Cq_cache.Oracle.retry_attempts <-
+                  s.Cq_cache.Oracle.retry_attempts + 1
+            | None -> ());
+            (match t.backoff with Some f -> f (k + 1) | None -> ());
+            attempt (k + 1) (msg :: history)
+          end
+    in
+    attempt 0 []
 
 (* The membership oracle consumed by the learner.  Words of a batch are
    adaptive (each probe depends on previous outcomes), so the batch maps

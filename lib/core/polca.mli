@@ -17,6 +17,8 @@ exception Non_deterministic of string
 val create :
   ?check_hits:bool ->
   ?batch_probes:bool ->
+  ?retries:int ->
+  ?backoff:(int -> unit) ->
   ?stats:Cq_cache.Oracle.stats ->
   Cq_cache.Oracle.t ->
   t
@@ -34,11 +36,21 @@ val create :
     replay.  Without [ops], the fan-out alone is sent as one [query_batch].
     Disable to restore per-probe reset-and-replay (the sequential engine).
 
+    [retries] (default 0) bounds a retry loop around {!Non_deterministic}:
+    the offending word is re-executed from reset up to [retries] extra
+    times, distinguishing transient measurement flips (the retry succeeds;
+    counted in [stats.transient_flips]) from structural nondeterminism
+    such as a broken reset sequence (every attempt fails; re-raised with
+    the retry history in the message).  [backoff] is invoked before retry
+    [k] (1-based) — the hook where the hardware layer clears suspect memo
+    entries and escalates voting.
+
     [stats] receives the accounting for session-mode probes, which bypass
     the cache oracle's query path and are therefore invisible to
     {!Cq_cache.Oracle.counting}: logical per-probe cost in
     [block_accesses], physical accesses saved in [accesses_saved], one
-    batch per word. *)
+    batch per word.  Retries land in [retry_attempts] /
+    [transient_flips]. *)
 
 val assoc : t -> int
 val n_inputs : t -> int

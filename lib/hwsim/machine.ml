@@ -12,12 +12,37 @@ type noise_config = {
   jitter_sigma : float; (* per-load gaussian jitter, cycles *)
   outlier_prob : float; (* probability of an interrupt/TLB-style spike *)
   outlier_cycles : int; (* magnitude of a spike *)
+  (* Fault injection for the noise-robustness layer: *)
+  burst_prob : float; (* probability per load that a noise burst starts *)
+  burst_len : int; (* loads a burst lasts once started *)
+  burst_cycles : int; (* extra cycles added to every load during a burst *)
+  drift_rate : float; (* slow common-mode latency drift, cycles per load *)
 }
 
-let quiet_noise = { jitter_sigma = 0.0; outlier_prob = 0.0; outlier_cycles = 0 }
+let quiet_noise =
+  {
+    jitter_sigma = 0.0;
+    outlier_prob = 0.0;
+    outlier_cycles = 0;
+    burst_prob = 0.0;
+    burst_len = 0;
+    burst_cycles = 0;
+    drift_rate = 0.0;
+  }
 
 let default_noise =
-  { jitter_sigma = 1.5; outlier_prob = 0.002; outlier_cycles = 250 }
+  { quiet_noise with jitter_sigma = 1.5; outlier_prob = 0.002; outlier_cycles = 250 }
+
+(* Interrupt-storm-style bursts on top of the default noise: for a short
+   run of loads, every latency is inflated by an amount large enough to
+   flip hit classifications — transient, unlike structural nondeterminism. *)
+let burst_noise =
+  { default_noise with burst_prob = 0.0004; burst_len = 8; burst_cycles = 180 }
+
+(* DVFS/thermal-style drift on top of the default noise: all latencies
+   creep upward as the run progresses, so a threshold calibrated once
+   eventually sits inside the hit population. *)
+let drift_noise = { default_noise with drift_rate = 0.0002 }
 
 type t = {
   model : Cpu_model.t;
@@ -30,6 +55,7 @@ type t = {
   mutable prefetchers : bool;
   mutable loads : int;
   mutable last_line : int; (* for the adjacent-line prefetcher *)
+  mutable burst_remaining : int; (* loads left in the active noise burst *)
 }
 
 let psel_max = 1023
@@ -48,6 +74,7 @@ let create ?(seed = 0xC0FFEEL) ?(noise = quiet_noise) model =
     prefetchers = true;
     loads = 0;
     last_line = -1;
+    burst_remaining = 0;
   }
 
 let model t = t.model
@@ -229,7 +256,11 @@ let base_latency t = function
   | `Memory -> t.model.Cpu_model.memory_latency
 
 (* Timed load: returns the measured latency in cycles, as rdtsc-style
-   profiling would observe it. *)
+   profiling would observe it.  On top of the per-load jitter and outlier
+   spikes, noise bursts inflate a short run of consecutive loads, and
+   drift adds a slowly growing common-mode offset (a function of the
+   [loads] work counter, so it behaves like wall-clock thermal drift and
+   is deliberately not rewound by checkpoints). *)
 let load t addr =
   let served = load_raw t addr in
   let noise = !(t.noise) in
@@ -244,21 +275,45 @@ let load t addr =
       noise.outlier_cycles
     else 0
   in
-  max 1 (base_latency t served + jitter + outlier)
+  let burst =
+    if t.burst_remaining > 0 then begin
+      t.burst_remaining <- t.burst_remaining - 1;
+      noise.burst_cycles
+    end
+    else if noise.burst_prob > 0.0 && Cq_util.Prng.bool t.prng noise.burst_prob
+    then begin
+      t.burst_remaining <- max 0 (noise.burst_len - 1);
+      noise.burst_cycles
+    end
+    else 0
+  in
+  let drift =
+    if noise.drift_rate <= 0.0 then 0
+    else int_of_float (noise.drift_rate *. float_of_int t.loads)
+  in
+  max 1 (base_latency t served + jitter + outlier + burst + drift)
 
 (* Checkpoint the full architectural state: all three levels (content,
    replacement metadata, lazily-allocated set population), the set-dueling
-   counter, the prefetcher state and the noise PRNG position.  The [loads]
-   counter is deliberately *not* rewound — it counts work performed, which
-   is what the engine benchmark measures.  This is the primitive that lets
-   the CacheQuery frontend execute query batches with prefix sharing. *)
-let checkpoint t =
+   counter, the prefetcher state and the noise state (PRNG position and
+   the active burst).  The [loads] counter is deliberately *not* rewound —
+   it counts work performed, which is what the engine benchmark measures
+   (and what latency drift keys on).  This is the primitive that lets the
+   CacheQuery frontend execute query batches with prefix sharing.
+
+   [rewind_noise:false] restores the architectural state but leaves the
+   noise stream where it is, so re-executing the same access draws an
+   *independent* measurement — exactly what re-measuring a disputed load
+   on silicon does.  The voting layer uses this; batch executors keep the
+   default so batched and sequential runs replay identical noise. *)
+let checkpoint ?(rewind_noise = true) t =
   let l1 = t.l1 and l2 = t.l2 and l3 = t.l3 in
   let restore_l1 = Cache_level.checkpoint l1 in
   let restore_l2 = Cache_level.checkpoint l2 in
   let restore_l3 = Cache_level.checkpoint l3 in
   let psel = t.psel and prefetchers = t.prefetchers and last_line = t.last_line in
   let restore_prng = Cq_util.Prng.checkpoint t.prng in
+  let burst_remaining = t.burst_remaining in
   fun () ->
     t.l1 <- l1;
     t.l2 <- l2;
@@ -269,7 +324,10 @@ let checkpoint t =
     t.psel <- psel;
     t.prefetchers <- prefetchers;
     t.last_line <- last_line;
-    restore_prng ()
+    if rewind_noise then begin
+      restore_prng ();
+      t.burst_remaining <- burst_remaining
+    end
 
 let clflush t addr =
   let line = line_of_addr t addr in

@@ -21,16 +21,25 @@ let characterization_set m =
   let signature s =
     List.map (fun word -> Cq_automata.Mealy.run_from m s word) !w
   in
+  (* Pairs of states no input word separates.  An honest L* hypothesis has
+     none (rows are distinct), but a transient measurement flip can corrupt
+     a table cell into distinguishing two rows whose machine states are
+     equivalent.  Aborting here would kill the whole learn; instead leave
+     such pairs unseparated — the conformance suite built from the partial
+     set still exercises the corrupt hypothesis and surfaces a
+     counterexample, which lets the learner repair its table. *)
+  let unseparable : (int * int, unit) Hashtbl.t = Hashtbl.create 4 in
   let finished = ref false in
   while not !finished do
     let groups : ('a, int) Hashtbl.t = Hashtbl.create 97 in
     let clash = ref None in
-    (* Find two states with equal signatures. *)
+    (* Find two states with equal signatures (ignoring unseparable pairs). *)
     let s = ref 0 in
     while !clash = None && !s < n do
       let sg = Cq_util.Deep.pack (signature !s) in
       (match Hashtbl.find_opt groups sg with
-      | Some s' -> clash := Some (s', !s)
+      | Some s' ->
+          if not (Hashtbl.mem unseparable (s', !s)) then clash := Some (s', !s)
       | None -> Hashtbl.add groups sg !s);
       incr s
     done;
@@ -42,11 +51,7 @@ let characterization_set m =
             ~from_b:(Some q) m m
         with
         | Some word -> w := word :: !w
-        | None ->
-            (* Unminimized hypothesis: p and q are genuinely equivalent.
-               Cannot happen for L* hypotheses (rows are distinct), but
-               guard against misuse with a separating no-op. *)
-            invalid_arg "Equivalence.characterization_set: machine not minimal")
+        | None -> Hashtbl.replace unseparable (p, q) ())
   done;
   !w
 
@@ -127,8 +132,9 @@ let identification_sets m w_set =
             end
           end)
         w_set;
-      (* W separates all pairs, so nothing remains confusable. *)
-      assert (!confusable = []);
+      (* W separates every separable pair; states that survive are
+         genuinely equivalent in a corrupt (non-minimal) hypothesis — see
+         [characterization_set] — and no identification word can help. *)
       List.rev !chosen)
 
 let wp_method_suite ~depth h =

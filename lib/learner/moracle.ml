@@ -16,6 +16,8 @@ type 'o t = {
   query_batch : int list list -> 'o list list;
 }
 
+exception Inconsistent of string
+
 (* Smart constructor: derives the sequential [query_batch] fallback. *)
 let make ?query_batch ~n_inputs query =
   {
@@ -30,9 +32,11 @@ type stats = {
   mutable symbols : int;      (* total input symbols of those queries *)
   mutable cache_hits : int;   (* queries answered by the prefix cache *)
   mutable batches : int;      (* query_batch calls reaching the system *)
+  mutable conflicts : int;    (* prefix-cache conflicts hit (and arbitrated) *)
 }
 
-let fresh_stats () = { queries = 0; symbols = 0; cache_hits = 0; batches = 0 }
+let fresh_stats () =
+  { queries = 0; symbols = 0; cache_hits = 0; batches = 0; conflicts = 0 }
 
 let counting stats t =
   {
@@ -92,37 +96,114 @@ module Trie = struct
           | None -> child.out <- Some o
           | Some o' ->
               if o' <> o then
-                failwith
-                  "Moracle: inconsistent outputs for the same input word \
-                   (the system under learning is nondeterministic)");
+                raise
+                  (Inconsistent
+                     "Moracle: inconsistent outputs for the same input word \
+                      (the system under learning is nondeterministic)"));
           go child wrest orest
       | _ -> invalid_arg "Moracle.Trie.insert: length mismatch"
     in
     go node word outputs
+
+  (* Overwrite the outputs along [word] unconditionally — used when
+     arbitration decided a previously cached answer was the corrupt one. *)
+  let insert_force node word outputs =
+    let rec go node word outputs =
+      match (word, outputs) with
+      | [], [] -> ()
+      | i :: wrest, o :: orest ->
+          let child =
+            match Hashtbl.find_opt node.children i with
+            | Some c -> c
+            | None ->
+                let c = create () in
+                Hashtbl.add node.children i c;
+                c
+          in
+          child.out <- Some o;
+          go child wrest orest
+      | _ -> invalid_arg "Moracle.Trie.insert_force: length mismatch"
+    in
+    go node word outputs
 end
 
-let cached ?stats t =
+let cached_refresh ?stats ?(conflict_retries = 0) t =
+  if conflict_retries < 0 then
+    invalid_arg "Moracle.cached: conflict_retries must be >= 0";
   let root = Trie.create () in
   let note_hit () =
     match stats with Some s -> s.cache_hits <- s.cache_hits + 1 | None -> ()
+  in
+  let note_conflict () =
+    match stats with Some s -> s.conflicts <- s.conflicts + 1 | None -> ()
   in
   let check_length w outputs =
     if List.length outputs <> List.length w then
       failwith "Moracle: output word length mismatch"
   in
-  {
-    t with
-    query =
+  (* [outputs] for [w] conflicted with a cached prefix.  One of the two
+     executions carried a transient measurement flip; arbitrate by
+     re-executing.  A fresh run that agrees with the trie exonerates the
+     cache (insert succeeds); two fresh runs agreeing with each other
+     outvote the single cached execution, which is overwritten.  Only a
+     system that keeps answering differently is reported nondeterministic. *)
+  let arbitrate w first_outputs msg =
+    note_conflict ();
+    if conflict_retries = 0 then raise (Inconsistent msg);
+    let rec go k prev =
+      if k > conflict_retries then
+        raise
+          (Inconsistent
+             (Printf.sprintf "%s (persisted through %d re-executions)" msg
+                conflict_retries))
+      else begin
+        let outputs = t.query w in
+        check_length w outputs;
+        match Trie.insert root w outputs with
+        | () -> outputs
+        | exception Inconsistent _ ->
+            if prev = outputs then begin
+              Trie.insert_force root w outputs;
+              outputs
+            end
+            else go (k + 1) outputs
+      end
+    in
+    go 1 first_outputs
+  in
+  (* Bypass the cache: re-execute [w] on the system (until two consecutive
+     runs agree, bounded by [conflict_retries]) and overwrite the cached
+     path with the fresh answer.  This is how a caller who *suspects* a
+     cached entry (e.g. a counterexample that may stem from a transient
+     measurement flip) repairs the cache and gets a trustworthy answer. *)
+  let refresh w =
+    let rec settle k prev =
+      let outputs = t.query w in
+      check_length w outputs;
+      if prev = Some outputs || k >= conflict_retries then outputs
+      else settle (k + 1) (Some outputs)
+    in
+    let outputs = settle 0 None in
+    (match Trie.lookup root w with
+    | Some old when old <> outputs -> note_conflict ()
+    | _ -> ());
+    Trie.insert_force root w outputs;
+    outputs
+  in
+  ( {
+      t with
+      query =
       (fun w ->
         match Trie.lookup root w with
         | Some outputs ->
             note_hit ();
             outputs
-        | None ->
+        | None -> (
             let outputs = t.query w in
             check_length w outputs;
-            Trie.insert root w outputs;
-            outputs);
+            match Trie.insert root w outputs with
+            | () -> outputs
+            | exception Inconsistent msg -> arbitrate w outputs msg));
     query_batch =
       (fun ws ->
         (* Serve known words from the trie; forward the deduplicated rest
@@ -147,7 +228,9 @@ let cached ?stats t =
            List.iter2
              (fun w outputs ->
                check_length w outputs;
-               Trie.insert root w outputs)
+               match Trie.insert root w outputs with
+               | () -> ()
+               | exception Inconsistent msg -> ignore (arbitrate w outputs msg))
              todo answers);
         List.map
           (fun w ->
@@ -158,7 +241,11 @@ let cached ?stats t =
                 outputs
             | None -> assert false (* just inserted *))
           ws);
-  }
+    },
+    refresh )
+
+let cached ?stats ?conflict_retries t =
+  fst (cached_refresh ?stats ?conflict_retries t)
 
 (* Oracle backed by an explicit Mealy machine — ground truth in tests and
    the "perfect teacher" ablation. *)

@@ -12,6 +12,11 @@ type 'o t = {
   query_batch : int list list -> 'o list list;
 }
 
+exception Inconsistent of string
+(** Raised by {!cached} when the underlying system returns conflicting
+    outputs for the same input word and arbitration (if enabled) could not
+    resolve the conflict — the system looks genuinely nondeterministic. *)
+
 val make :
   ?query_batch:(int list list -> 'o list list) ->
   n_inputs:int ->
@@ -25,17 +30,36 @@ type stats = {
   mutable symbols : int;
   mutable cache_hits : int;  (** queries answered by the prefix cache *)
   mutable batches : int;  (** [query_batch] calls reaching the system *)
+  mutable conflicts : int;
+      (** prefix-cache conflicts observed (each one is a transient
+          measurement flip somewhere, unless it escalates to
+          {!Inconsistent}) *)
 }
 
 val fresh_stats : unit -> stats
 
 val counting : stats -> 'o t -> 'o t
 
-val cached : ?stats:stats -> 'o t -> 'o t
+val cached : ?stats:stats -> ?conflict_retries:int -> 'o t -> 'o t
 (** Prefix-tree cache: a query whose whole path is known is answered
     locally; batches forward only the (deduplicated) unknown words.
-    Raises [Failure _] when the underlying system returns inconsistent
-    outputs for the same word (nondeterminism detection). *)
+
+    When the underlying system returns outputs for a word that conflict
+    with a cached prefix, the word is re-executed up to [conflict_retries]
+    times (default 0) to arbitrate: a fresh run agreeing with the cache
+    exonerates it (the conflicting run carried a transient measurement
+    flip); two fresh runs agreeing with each other outvote the single
+    cached execution, whose entry is overwritten.  Conflicts that persist
+    raise {!Inconsistent} — the system looks genuinely nondeterministic. *)
+
+val cached_refresh :
+  ?stats:stats -> ?conflict_retries:int -> 'o t -> 'o t * (int list -> 'o list)
+(** As {!cached}, but also returns a [refresh] handle that bypasses the
+    cache: it re-executes a word on the underlying system (until two
+    consecutive runs agree, bounded by [conflict_retries]), overwrites the
+    cached path with the fresh answer and returns it.  Callers use it to
+    repair entries they suspect of holding a transient measurement flip —
+    e.g. before trusting a counterexample from conformance testing. *)
 
 val of_mealy : 'o Cq_automata.Mealy.t -> 'o t
 (** Oracle backed by an explicit machine (ground truth in tests). *)

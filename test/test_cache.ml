@@ -114,7 +114,11 @@ let test_noisy_majority () =
 
 let test_majority_validation () =
   Alcotest.check_raises "reps >= 1" (Invalid_argument "Oracle.majority: reps must be >= 1")
-    (fun () -> ignore (O.majority ~reps:0 (O.of_policy (Cq_policy.Lru.make 2))))
+    (fun () -> ignore (O.majority ~reps:0 (O.of_policy (Cq_policy.Lru.make 2))));
+  (* Even counts can tie, and any fixed tie-break silently biases the vote. *)
+  Alcotest.check_raises "even reps rejected"
+    (Invalid_argument "Oracle.majority: reps must be odd") (fun () ->
+      ignore (O.majority ~reps:4 (O.of_policy (Cq_policy.Lru.make 2))))
 
 (* --- qcheck --------------------------------------------------------------- *)
 

@@ -141,7 +141,9 @@ let test_repetitions_denoise () =
   in
   let quiet_fe = mk M.quiet_noise 1 in
   let noisy_fe =
-    mk { M.jitter_sigma = 3.0; outlier_prob = 0.02; outlier_cycles = 300 } 9
+    mk
+      { M.default_noise with jitter_sigma = 3.0; outlier_prob = 0.02; outlier_cycles = 300 }
+      9
   in
   let q = List.map B.of_index [ 0; 1; 8; 0; 9; 3 ] in
   Alcotest.(check (list cres)) "majority vote agrees with quiet"

@@ -135,5 +135,6 @@ let () =
       Test_engine.suite;
       Test_synth.suite;
       Test_eviction.suite;
+      Test_noise.suite;
       suite;
     ]

@@ -170,6 +170,33 @@ let test_engines_agree () =
   Alcotest.(check int) "parallel reports its domains" 2
     par.Cq_core.Learn.domains
 
+(* Acceptance for the noise-hardened layer: with voting enabled the
+   frontend still exposes the batched/session path, and it must answer
+   exactly like per-query sequential execution on an equally-noisy
+   machine. *)
+let test_batch_matches_sequential_under_noise () =
+  let module FE = Cq_cachequery.Frontend in
+  let module BE = Cq_cachequery.Backend in
+  let module CM = Cq_hwsim.Cpu_model in
+  let mk () =
+    let machine = M.create ~noise:M.default_noise CM.toy in
+    let be = BE.create machine { BE.level = CM.L1; slice = 0; set = 0 } in
+    ignore (BE.calibrate be);
+    FE.create ~voting:(FE.Adaptive { max = 5 }) be
+  in
+  let words =
+    List.map
+      (List.map B.of_index)
+      [ [ 0; 1; 0; 2 ]; [ 1; 1; 0 ]; [ 2; 0; 1; 2 ]; [ 0 ]; [ 2; 2; 1; 0; 1 ] ]
+  in
+  let fe_seq = mk () and fe_bat = mk () in
+  Alcotest.(check bool) "voting keeps the session path available" true
+    (Option.is_some (FE.oracle fe_bat).O.ops
+    && (FE.oracle fe_bat).O.prefix_sharing);
+  let seq = List.map (FE.oracle fe_seq).O.query words in
+  let bat = (FE.oracle fe_bat).O.query_batch words in
+  Alcotest.(check bool) "batched = sequential under noise" true (seq = bat)
+
 let suite =
   ( "engine",
     [
@@ -187,4 +214,6 @@ let suite =
         test_pool_contexts_persist;
       Alcotest.test_case "bounded memo overflow" `Quick test_memo_overflow;
       Alcotest.test_case "engines agree" `Quick test_engines_agree;
+      Alcotest.test_case "batched = sequential under noise" `Quick
+        test_batch_matches_sequential_under_noise;
     ] )

@@ -44,7 +44,7 @@ let test_cached_detects_nondeterminism () =
   (* The second query returns different outputs for the same word. *)
   match o.Mo.query [ 0; 0 ] with
   | _ -> Alcotest.fail "nondeterminism not detected"
-  | exception Failure _ -> ()
+  | exception Mo.Inconsistent _ -> ()
 
 let test_characterization_set_separates () =
   let m = Mealy.minimize (Cq_policy.Policy.to_mealy (Cq_policy.Lru.make 3)) in
