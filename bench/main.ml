@@ -147,6 +147,8 @@ let table4 ~full () =
                 | [] -> "undocumented"
                 | l -> String.concat "/" l)
                 (Cq_cachequery.Frontend.reset_to_string reset)
+          | Cq_core.Hardware.Partial { failure; _ } ->
+              Fmt.str "- (partial: %a)" Cq_core.Learn.pp_failure failure
           | Cq_core.Hardware.Failed { reason; _ } ->
               Printf.sprintf "- (%s)" reason
         in
@@ -470,9 +472,9 @@ let engine () =
         let seq = run Cq_core.Learn.Sequential in
         let bat = run Cq_core.Learn.Batched in
         let par = run (Cq_core.Learn.Parallel { domains }) in
-        let states r = r.Cq_core.Learn.states in
-        let machine r = r.Cq_core.Learn.machine in
-        let seconds r = r.Cq_core.Learn.seconds in
+        let states (r : Cq_core.Learn.report) = r.Cq_core.Learn.states in
+        let machine (r : Cq_core.Learn.report) = r.Cq_core.Learn.machine in
+        let seconds (r : Cq_core.Learn.report) = r.Cq_core.Learn.seconds in
         let agree =
           states seq = states bat
           && states seq = states par
@@ -494,9 +496,12 @@ let engine () =
       configs
   in
   (* Machine-readable output (no JSON library in the toolchain: the format
-     is simple enough to emit by hand). *)
-  let oc = open_out "BENCH_engine.json" in
-  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"results\": [\n" domains;
+     is simple enough to emit by hand).  Rendered into a buffer and written
+     atomically, so a crash mid-bench never leaves a truncated file behind
+     for the next run to choke on. *)
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n  \"domains\": %d,\n  \"results\": [\n" domains;
   List.iteri
     (fun i (name, assoc, seq, bat, par, agree) ->
       let seconds (r : Cq_core.Learn.report) = r.Cq_core.Learn.seconds in
@@ -510,7 +515,7 @@ let engine () =
           r.Cq_core.Learn.cache_queries r.Cq_core.Learn.cache_accesses
           r.Cq_core.Learn.cache_batches r.Cq_core.Learn.accesses_saved
       in
-      Printf.fprintf oc
+      out
         "    { \"policy\": %S, \"assoc\": %d, \"states\": %d, \
          \"automata_identical\": %b,\n\
         \      \"sequential\": %s,\n\
@@ -520,8 +525,8 @@ let engine () =
         (engine_obj bat) (engine_obj par)
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
+  out "  ]\n}\n";
+  Cq_util.Atomic_file.write ~path:"BENCH_engine.json" (Buffer.contents buf);
   Printf.printf "\n(wrote BENCH_engine.json; %d worker domains for parallel)\n%!"
     domains
 
@@ -573,6 +578,10 @@ let noise ~full () =
         let quiet_report =
           match quiet.Cq_core.Hardware.outcome with
           | Cq_core.Hardware.Learned { report; _ } -> report
+          | Cq_core.Hardware.Partial { failure; _ } ->
+              failwith
+                (Fmt.str "noise bench: quiet run partial: %a"
+                   Cq_core.Learn.pp_failure failure)
           | Cq_core.Hardware.Failed { reason; _ } ->
               failwith ("noise bench: quiet run failed: " ^ reason)
         in
@@ -609,6 +618,15 @@ let noise ~full () =
                       report.Cq_core.Learn.retry_attempts dt
                       (if identical then "" else "  <-- MISMATCH");
                     `Learned (report, identical)
+                | Cq_core.Hardware.Partial { failure; _ } ->
+                    let reason =
+                      Fmt.str "partial: %a" Cq_core.Learn.pp_failure failure
+                    in
+                    Printf.printf "%-14s %-8s | %6s %5s | %10d %9s %6s %4d %6s | %7.1fs  (%s)\n%!"
+                      vlabel nlabel "-" "-" run.Cq_core.Hardware.timed_loads "-"
+                      "-" run.Cq_core.Hardware.recalibrations "-" dt
+                      (String.sub reason 0 (min 60 (String.length reason)));
+                    `Failed reason
                 | Cq_core.Hardware.Failed { reason; _ } ->
                     Printf.printf "%-14s %-8s | %6s %5s | %10d %9s %6s %4d %6s | %7.1fs  (failed: %s)\n%!"
                       vlabel nlabel "-" "-" run.Cq_core.Hardware.timed_loads "-"
@@ -622,11 +640,12 @@ let noise ~full () =
         (cpu, level_name, quiet, quiet_report, quiet_dt, rows))
       targets
   in
-  let oc = open_out "BENCH_noise.json" in
-  Printf.fprintf oc "{\n  \"targets\": [\n";
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n  \"targets\": [\n";
   List.iteri
     (fun ti (cpu, level_name, quiet, quiet_report, quiet_dt, rows) ->
-      Printf.fprintf oc
+      out
         "    { \"cpu\": %S, \"level\": %S,\n\
         \      \"quiet\": { \"states\": %d, \"timed_loads\": %d, \
          \"seconds\": %.3f },\n\
@@ -644,7 +663,7 @@ let noise ~full () =
           in
           (match row with
           | `Learned ((report : Cq_core.Learn.report), identical) ->
-              Printf.fprintf oc
+              out
                 "        { %s, \"learned\": true, \"states\": %d, \
                  \"identical_to_quiet\": %b, \"vote_runs\": %d, \
                  \"transient_flips\": %d, \"retry_attempts\": %d }"
@@ -653,19 +672,195 @@ let noise ~full () =
                 report.Cq_core.Learn.transient_flips
                 report.Cq_core.Learn.retry_attempts
           | `Failed reason ->
-              Printf.fprintf oc
+              out
                 "        { %s, \"learned\": false, \"reason\": %S }" common
                 reason);
-          Printf.fprintf oc "%s\n" (if i = List.length rows - 1 then "" else ","))
+          out "%s\n" (if i = List.length rows - 1 then "" else ","))
         rows;
-      Printf.fprintf oc "      ] }%s\n"
+      out "      ] }%s\n"
         (if ti = List.length all_rows - 1 then "" else ","))
     all_rows;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
+  out "  ]\n}\n";
+  Cq_util.Atomic_file.write ~path:"BENCH_noise.json" (Buffer.contents buf);
   Printf.printf
     "\n(wrote BENCH_noise.json; Skylake L2 %s)\n%!"
     (if full then "included" else "skipped, use --full")
+
+(* ----------------------------------------------------------------------- *)
+(* Recovery: durable sessions — snapshot overhead and crash/resume cost     *)
+(* ----------------------------------------------------------------------- *)
+
+(* Minimal tolerant scan for ["field": <int>] in a hand-emitted JSON file.
+   Prior BENCH_*.json may be missing, truncated by a crashed bench, or from
+   an older schema; any of those must read as [None], never abort the run. *)
+let json_int_field json field =
+  try
+    let needle = Printf.sprintf "\"%s\":" field in
+    let nlen = String.length needle in
+    let len = String.length json in
+    let rec find i =
+      if i + nlen > len then None
+      else if String.sub json i nlen = needle then begin
+        let j = ref (i + nlen) in
+        while !j < len && json.[!j] = ' ' do incr j done;
+        let k = ref !j in
+        while
+          !k < len
+          && (match json.[!k] with '0' .. '9' | '-' -> true | _ -> false)
+        do
+          incr k
+        done;
+        if !k > !j then int_of_string_opt (String.sub json !j (!k - !j))
+        else None
+      end
+      else find (i + 1)
+    in
+    find 0
+  with _ -> None
+
+(* Durability must be near-free and resuming must beat starting over.
+   Learn Haswell L1 (quiet) three ways — plain, with snapshotting enabled,
+   and killed mid-run by a query budget then resumed from the snapshot —
+   and compare timed loads.  The resumed automaton must be identical to the
+   baseline's.  Results land in BENCH_recovery.json (atomically); a prior
+   file is read tolerantly for a trend line. *)
+let recovery () =
+  header
+    "Recovery: snapshot overhead and crash/resume cost (durable sessions)";
+  let model = Cq_hwsim.Cpu_model.haswell in
+  let learn ?snapshot ?resume ?query_budget () =
+    let machine =
+      Cq_hwsim.Machine.create ~noise:Cq_hwsim.Machine.quiet_noise model
+    in
+    let t0 = Cq_util.Clock.now () in
+    let run =
+      Cq_core.Hardware.learn_set ~check_hits:false ?snapshot ?resume
+        ?query_budget machine Cq_hwsim.Cpu_model.L1
+    in
+    (run, Cq_util.Clock.now () -. t0)
+  in
+  let report_of label (run : Cq_core.Hardware.run) =
+    match run.Cq_core.Hardware.outcome with
+    | Cq_core.Hardware.Learned { report; _ } -> report
+    | Cq_core.Hardware.Partial { failure; _ } ->
+        failwith
+          (Fmt.str "recovery bench: %s run partial: %a" label
+             Cq_core.Learn.pp_failure failure)
+    | Cq_core.Hardware.Failed { reason; _ } ->
+        failwith ("recovery bench: " ^ label ^ " run failed: " ^ reason)
+  in
+  (* 1. Baseline: no durability machinery at all. *)
+  let base_run, base_dt = learn () in
+  let base = report_of "baseline" base_run in
+  let base_loads = base_run.Cq_core.Hardware.timed_loads in
+  Printf.printf "baseline:     %4d states, %8d timed loads, %5.1fs\n%!"
+    base.Cq_core.Learn.states base_loads base_dt;
+  (* 2. Snapshots on: written between queries, off the hardware path, so
+     the timed-load overhead must stay within 5% (it should be 0). *)
+  let snap_path = Filename.temp_file "cq_bench_snap" ".snap" in
+  let snap_run, snap_dt =
+    (* Default cadence (500 queries / 30 s) — what a real campaign runs. *)
+    learn ~snapshot:(Cq_core.Learn.snapshot_policy snap_path) ()
+  in
+  let snap = report_of "snapshotted" snap_run in
+  let snap_loads = snap_run.Cq_core.Hardware.timed_loads in
+  let overhead_pct =
+    100.0
+    *. float_of_int (snap_loads - base_loads)
+    /. float_of_int (max 1 base_loads)
+  in
+  let snap_identical =
+    Cq_automata.Mealy.equivalent base.Cq_core.Learn.machine
+      snap.Cq_core.Learn.machine
+  in
+  Printf.printf
+    "snapshotting: %4d states, %8d timed loads, %5.1fs  (overhead %+.2f%%%s, \
+     automaton %s)\n%!"
+    snap.Cq_core.Learn.states snap_loads snap_dt overhead_pct
+    (if Float.abs overhead_pct <= 5.0 then "" else "  <-- OVER 5% BUDGET")
+    (if snap_identical then "identical" else "DIFFERS <-- MISMATCH");
+  (* 3. Crash mid-run: a query budget at half the baseline's hardware
+     queries stops the run as Partial Budget_exhausted with a final
+     snapshot; resuming replays the answered prefix for free and must
+     finish with the identical automaton for less than a fresh run. *)
+  let crash_path = Filename.temp_file "cq_bench_crash" ".snap" in
+  let budget = max 1 (base.Cq_core.Learn.member_queries / 2) in
+  let crash_run, _ =
+    learn
+      ~snapshot:(Cq_core.Learn.snapshot_policy ~every_queries:100 crash_path)
+      ~query_budget:budget ()
+  in
+  let crash_loads = crash_run.Cq_core.Hardware.timed_loads in
+  let resume_from =
+    match crash_run.Cq_core.Hardware.outcome with
+    | Cq_core.Hardware.Partial
+        { failure = Cq_core.Learn.Budget_exhausted _; snapshot = Some s; _ } ->
+        s
+    | _ ->
+        failwith
+          "recovery bench: budgeted run did not end as Partial \
+           Budget_exhausted with a snapshot"
+  in
+  Printf.printf "crashed:      (query budget %d) %8d timed loads, snapshot %s\n%!"
+    budget crash_loads resume_from;
+  let resume_run, resume_dt = learn ~resume:resume_from () in
+  let resumed = report_of "resumed" resume_run in
+  let resume_loads = resume_run.Cq_core.Hardware.timed_loads in
+  let resume_identical =
+    Cq_automata.Mealy.equivalent base.Cq_core.Learn.machine
+      resumed.Cq_core.Learn.machine
+  in
+  let saved_pct =
+    100.0
+    *. float_of_int (base_loads - resume_loads)
+    /. float_of_int (max 1 base_loads)
+  in
+  Printf.printf
+    "resumed:      %4d states, %8d timed loads, %5.1fs  (%.1f%% of a fresh \
+     run's loads saved, automaton %s)\n%!"
+    resumed.Cq_core.Learn.states resume_loads resume_dt saved_pct
+    (if resume_identical then "identical" else "DIFFERS <-- MISMATCH");
+  (* Trend line against the previous bench run, if one left a readable file. *)
+  (match Cq_util.Atomic_file.read_opt ~path:"BENCH_recovery.json" with
+  | None -> ()
+  | Some prior -> (
+      match json_int_field prior "resume_timed_loads" with
+      | Some prev ->
+          Printf.printf "previous resume cost: %d timed loads (now %d)\n%!"
+            prev resume_loads
+      | None ->
+          Printf.printf
+            "(prior BENCH_recovery.json unreadable or partial -- ignored)\n%!"));
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n  \"target\": { \"cpu\": %S, \"level\": \"L1\" },\n"
+    model.Cq_hwsim.Cpu_model.name;
+  out
+    "  \"baseline\": { \"states\": %d, \"timed_loads\": %d, \"seconds\": %.3f \
+     },\n"
+    base.Cq_core.Learn.states base_loads base_dt;
+  out
+    "  \"snapshotting\": { \"states\": %d, \"timed_loads\": %d, \"seconds\": \
+     %.3f,\n\
+    \    \"overhead_pct\": %.3f, \"within_budget\": %b, \"identical\": %b },\n"
+    snap.Cq_core.Learn.states snap_loads snap_dt overhead_pct
+    (Float.abs overhead_pct <= 5.0)
+    snap_identical;
+  out "  \"crash\": { \"query_budget\": %d, \"timed_loads\": %d },\n" budget
+    crash_loads;
+  out
+    "  \"resume\": { \"states\": %d, \"resume_timed_loads\": %d, \"seconds\": \
+     %.3f,\n\
+    \    \"loads_saved_pct\": %.3f, \"identical\": %b }\n}\n"
+    resumed.Cq_core.Learn.states resume_loads resume_dt saved_pct
+    resume_identical;
+  Cq_util.Atomic_file.write ~path:"BENCH_recovery.json" (Buffer.contents buf);
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ snap_path; crash_path ];
+  Printf.printf "\n(wrote BENCH_recovery.json)\n%!";
+  if not (snap_identical && resume_identical) then
+    failwith "recovery bench: learned automata diverged from the baseline"
 
 (* ----------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one per experiment family                      *)
@@ -754,20 +949,32 @@ let () =
     | "ablations" -> ablations ()
     | "engine" -> engine ()
     | "noise" -> noise ~full ()
+    | "recovery" -> recovery ()
     | "micro" -> micro ()
     | "all" ->
-        figure1 ();
-        table3 ();
-        table2 ~full ();
-        table4 ~full ();
-        table5 ~full ();
-        figure5 ();
-        cost ();
-        leaders ~full ();
-        ablations ();
-        engine ();
-        noise ~full ();
-        micro ()
+        (* One crashing experiment must not take the rest of the run (or
+           its already-written BENCH_*.json files) down with it. *)
+        List.iter
+          (fun (name, f) ->
+            try f ()
+            with exn ->
+              Printf.printf "\n(%s failed: %s -- continuing)\n%!" name
+                (Printexc.to_string exn))
+          [
+            ("figure1", figure1);
+            ("table3", table3);
+            ("table2", table2 ~full);
+            ("table4", table4 ~full);
+            ("table5", table5 ~full);
+            ("figure5", figure5);
+            ("cost", cost);
+            ("leaders", leaders ~full);
+            ("ablations", ablations);
+            ("engine", engine);
+            ("noise", noise ~full);
+            ("recovery", recovery);
+            ("micro", micro);
+          ]
     | other -> Printf.printf "unknown experiment %S\n%!" other
   in
   List.iter run cmds;

@@ -54,6 +54,8 @@ let invalidate session = session.frontend <- None
 let result_to_string r =
   if Cq_cache.Cache_set.result_is_hit r then "Hit" else "Miss"
 
+(* Returns whether the query executed; the REPL ignores the result (it
+   prints and carries on), batch mode folds it into the exit code. *)
 let run_query session input =
   match Cq_cachequery.Frontend.run_mbl (frontend session) input with
   | results ->
@@ -64,10 +66,14 @@ let run_query session input =
             (match rs with
             | [] -> "(no profiled access)"
             | rs -> String.concat " " (List.map result_to_string rs)))
-        results
-  | exception Cq_mbl.Parser.Parse_error msg -> Printf.printf "parse error: %s\n%!" msg
+        results;
+      true
+  | exception Cq_mbl.Parser.Parse_error msg ->
+      Printf.printf "parse error: %s\n%!" msg;
+      false
   | exception Cq_mbl.Expand.Expansion_error msg ->
-      Printf.printf "expansion error: %s\n%!" msg
+      Printf.printf "expansion error: %s\n%!" msg;
+      false
 
 let handle_command session line =
   match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
@@ -131,7 +137,7 @@ let handle_command session line =
         session.frontend;
       true
   | _ ->
-      run_query session line;
+      ignore (run_query session line);
       true
 
 let interactive session =
@@ -147,14 +153,19 @@ let interactive session =
     | Some line -> continue := handle_command session line
   done
 
+(* Batch mode is scripted: a query that cannot run must not exit 0.
+   Exit 2 mirrors the usual usage-error convention (the learning CLIs
+   reserve 10-13 for the supervisor's failure taxonomy). *)
 let batch session sets query =
+  let ok = ref true in
   List.iter
     (fun set ->
       session.set <- set;
       invalidate session;
       Printf.printf "--- set %d ---\n%!" set;
-      run_query session query)
-    sets
+      if not (run_query session query) then ok := false)
+    sets;
+  !ok
 
 (* --- Command line --------------------------------------------------------- *)
 
@@ -228,8 +239,9 @@ let main cpu level set slice reps noise seed query sets =
             }
           in
           (match (query, sets) with
-          | Some q, Some ss -> batch session (parse_sets ss) q
-          | Some q, None -> run_query session q
+          | Some q, Some ss ->
+              if not (batch session (parse_sets ss) q) then exit 2
+          | Some q, None -> if not (run_query session q) then exit 2
           | None, _ -> interactive session);
           `Ok ())
 

@@ -5,28 +5,51 @@
 
 open Cmdliner
 
-let learn_simulated policy assoc depth dot =
+(* Failures in the supervisor's taxonomy exit with distinct codes
+   (Transient 10, Diverged 11, Budget_exhausted 12, Worker_lost 13), so
+   campaign scripts can branch without parsing stderr. *)
+let exit_partial failure =
+  Fmt.epr "polca: %a@." Cq_core.Learn.pp_failure failure;
+  exit (Cq_core.Learn.failure_exit_code failure)
+
+let snapshot_policy_of snapshot snapshot_every =
+  Option.map
+    (fun path ->
+      Cq_core.Learn.snapshot_policy ?every_queries:snapshot_every path)
+    snapshot
+
+let learn_simulated policy assoc depth dot snapshot snapshot_every resume
+    deadline query_budget =
   match Cq_policy.Zoo.make ~name:policy ~assoc with
   | Error msg -> `Error (false, msg)
-  | Ok p ->
-      let report =
-        Cq_core.Learn.learn_simulated
-          ~equivalence:(Cq_core.Learn.W_method depth) p
-      in
-      Fmt.pr "%a@." Cq_core.Learn.pp_report report;
-      Option.iter
-        (fun path ->
-          Out_channel.with_open_text path (fun oc ->
-              Out_channel.output_string oc
-                (Cq_automata.Mealy.to_dot
-                   ~input_label:(Cq_policy.Types.input_label ~assoc)
-                   ~output_label:Cq_policy.Types.output_label
-                   report.Cq_core.Learn.machine));
-          Fmt.pr "wrote %s@." path)
-        dot;
-      `Ok ()
+  | Ok p -> (
+      match
+        Cq_core.Learn.run_simulated
+          ~equivalence:(Cq_core.Learn.W_method depth)
+          ?snapshot:(snapshot_policy_of snapshot snapshot_every)
+          ?resume
+          ~deadline:(Cq_util.Clock.deadline_of deadline)
+          ?query_budget p
+      with
+      | Cq_core.Learn.Partial { failure; snapshot = snap; _ } ->
+          Option.iter (fun s -> Fmt.epr "polca: snapshot at %s@." s) snap;
+          exit_partial failure
+      | Cq_core.Learn.Complete report ->
+          Fmt.pr "%a@." Cq_core.Learn.pp_report report;
+          Option.iter
+            (fun path ->
+              Out_channel.with_open_text path (fun oc ->
+                  Out_channel.output_string oc
+                    (Cq_automata.Mealy.to_dot
+                       ~input_label:(Cq_policy.Types.input_label ~assoc)
+                       ~output_label:Cq_policy.Types.output_label
+                       report.Cq_core.Learn.machine));
+              Fmt.pr "wrote %s@." path)
+            dot;
+          `Ok ())
 
-let learn_hardware cpu level set slice cat depth noise dot =
+let learn_hardware cpu level set slice cat depth noise dot snapshot
+    snapshot_every resume deadline query_budget =
   match Cq_hwsim.Cpu_model.by_name cpu with
   | None -> `Error (false, Printf.sprintf "unknown CPU %S" cpu)
   | Some model ->
@@ -40,6 +63,8 @@ let learn_hardware cpu level set slice cat depth noise dot =
           ~equivalence:(Cq_core.Learn.W_method depth)
           ~check_hits:false
           ~repetitions:(if noise then 5 else 1)
+          ?snapshot:(snapshot_policy_of snapshot snapshot_every)
+          ?resume ?deadline ?query_budget
       in
       Fmt.pr "%s %s slice %d set %d (assoc %d%s): %a@." run.Cq_core.Hardware.cpu
         (Cq_hwsim.Cpu_model.level_to_string run.Cq_core.Hardware.level)
@@ -62,7 +87,10 @@ let learn_hardware cpu level set slice cat depth noise dot =
                        report.Cq_core.Learn.machine));
               Fmt.pr "wrote %s@." path)
             dot
-      | Cq_core.Hardware.Failed _ -> ());
+      | Cq_core.Hardware.Partial { failure; snapshot = snap; _ } ->
+          Option.iter (fun s -> Fmt.epr "polca: snapshot at %s@." s) snap;
+          exit_partial failure
+      | Cq_core.Hardware.Failed _ -> exit 1);
       `Ok ()
 
 let policy_arg =
@@ -95,10 +123,60 @@ let cat_arg = Arg.(value & opt (some int) None & info [ "cat" ] ~doc:"Reduce L3 
 let noise_arg = Arg.(value & flag & info [ "noise" ] ~doc:"Enable simulator noise (adds repetitions).")
 let dot_arg = Arg.(value & opt (some string) None & info [ "dot" ] ~doc:"Write learned automaton to this DOT file.")
 
-let main policy assoc cpu level set slice cat depth noise dot =
-  match policy with
-  | Some name -> learn_simulated name assoc depth dot
-  | None -> learn_hardware cpu level set slice cat depth noise dot
+let snapshot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ]
+        ~doc:
+          "Write learning-session snapshots to this file (atomically), so a \
+           crashed or killed run can be resumed with $(b,--resume).")
+
+let snapshot_every_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "snapshot-every" ]
+        ~doc:"Snapshot after this many hardware queries (default 500).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ]
+        ~doc:
+          "Resume a crashed run from this snapshot file; the resumed run \
+           replays deterministically and produces the identical automaton.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ]
+        ~doc:
+          "Wall-clock budget in seconds for the whole run; exceeding it \
+           exits 12 after writing a final snapshot.")
+
+let query_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "query-budget" ]
+        ~doc:
+          "Maximum hardware queries; exceeding it exits 12 after writing a \
+           final snapshot.")
+
+let main policy assoc cpu level set slice cat depth noise dot snapshot
+    snapshot_every resume deadline query_budget =
+  try
+    match policy with
+    | Some name ->
+        learn_simulated name assoc depth dot snapshot snapshot_every resume
+          deadline query_budget
+    | None ->
+        learn_hardware cpu level set slice cat depth noise dot snapshot
+          snapshot_every resume deadline query_budget
+  with Cq_core.Session.Corrupt msg -> `Error (false, msg)
 
 let cmd =
   let doc = "learn cache replacement policies (Polca + LearnLib-style L*)" in
@@ -107,6 +185,7 @@ let cmd =
     Term.(
       ret
         (const main $ policy_arg $ assoc_arg $ cpu_arg $ level_arg $ set_arg
-       $ slice_arg $ cat_arg $ depth_arg $ noise_arg $ dot_arg))
+       $ slice_arg $ cat_arg $ depth_arg $ noise_arg $ dot_arg $ snapshot_arg
+       $ snapshot_every_arg $ resume_arg $ deadline_arg $ query_budget_arg))
 
 let () = exit (Cmd.eval cmd)

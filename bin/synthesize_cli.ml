@@ -41,7 +41,12 @@ let main policy assoc deadline learn_first =
             r.Cq_synth.Search.seconds
       | Cq_synth.Search.Timeout ->
           Fmt.pr "timeout after %a (%d candidates)@." Cq_util.Clock.pp_duration
-            r.Cq_synth.Search.seconds r.Cq_synth.Search.candidates_tried);
+            r.Cq_synth.Search.seconds r.Cq_synth.Search.candidates_tried;
+          (* Same exit code as the learning tools' Budget_exhausted, so
+             campaign scripts treat all deadline trips alike. *)
+          exit
+            (Cq_core.Learn.failure_exit_code
+               (Cq_core.Learn.Budget_exhausted "synthesis deadline")));
       `Ok ()
 
 let policy_arg =

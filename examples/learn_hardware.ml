@@ -27,4 +27,6 @@ let () =
   match run.Cq_core.Hardware.outcome with
   | Cq_core.Hardware.Learned { report; _ } ->
       Fmt.pr "%a@." Cq_core.Learn.pp_report report
+  | Cq_core.Hardware.Partial { failure; _ } ->
+      exit (Cq_core.Learn.failure_exit_code failure)
   | Cq_core.Hardware.Failed _ -> exit 1

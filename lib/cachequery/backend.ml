@@ -475,6 +475,36 @@ let calibrate ?(samples = 64) t =
   (* else: populations indistinguishable; keep the model-derived default *)
   (t.threshold, !hit_samples, !miss_samples)
 
+(* Portable calibration state, for session snapshots: a resumed run
+   restores it instead of re-measuring, so it classifies exactly like the
+   crashed one. *)
+type calibration = {
+  cal_threshold : int;
+  cal_margin : int;
+  cal_miss_ceiling : int;
+  cal_ewma_hit : float;
+  cal_ewma_miss : float;
+}
+
+let calibration t =
+  {
+    cal_threshold = t.threshold;
+    cal_margin = t.margin;
+    cal_miss_ceiling = t.miss_ceiling;
+    cal_ewma_hit = t.ewma_hit;
+    cal_ewma_miss = t.ewma_miss;
+  }
+
+let restore_calibration t cal =
+  t.threshold <- cal.cal_threshold;
+  t.margin <- cal.cal_margin;
+  t.miss_ceiling <- cal.cal_miss_ceiling;
+  t.ewma_hit <- cal.cal_ewma_hit;
+  t.ewma_miss <- cal.cal_ewma_miss;
+  t.window_classified <- 0;
+  t.window_near <- 0;
+  t.recalibrate_due <- false
+
 (* Honour a pending drift-triggered recalibration.  Must only be called at
    a reset boundary: calibration sweeps the target set, so running it
    mid-query would corrupt the state under measurement.  Returns whether a

@@ -87,6 +87,25 @@ val calibrate : ?samples:int -> t -> int * int list * int list
     quarter of their separation); returns
     [(threshold, hit_samples, miss_samples)]. *)
 
+type calibration = {
+  cal_threshold : int;
+  cal_margin : int;
+  cal_miss_ceiling : int;
+  cal_ewma_hit : float;
+  cal_ewma_miss : float;
+}
+(** The portable calibration state: threshold, margin, miss ceiling and
+    the drift estimator's population centres.  Marshal-safe — learning
+    sessions persist it in snapshots so a resumed run classifies exactly
+    like the crashed one without re-measuring. *)
+
+val calibration : t -> calibration
+(** Snapshot the current calibration state. *)
+
+val restore_calibration : t -> calibration -> unit
+(** Restore a previously captured calibration state (in place of a fresh
+    {!calibrate}); also resets the drift-detector window. *)
+
 val maybe_recalibrate : ?samples:int -> t -> bool
 (** Run {!calibrate} if the drift detector requested it; returns whether a
     recalibration ran.  Only call at a reset boundary — calibration sweeps

@@ -11,6 +11,14 @@ type outcome =
       reset : Cq_cachequery.Frontend.reset;
       threshold : int;
     }
+  | Partial of {
+      failure : Learn.failure;
+      hypothesis : Cq_policy.Types.output Cq_automata.Mealy.t option;
+      snapshot : string option;
+      reset : Cq_cachequery.Frontend.reset option;
+      member_queries : int;
+      seconds : float;
+    }
   | Failed of { reason : string; reset : Cq_cachequery.Frontend.reset option }
 
 type run = {
@@ -33,6 +41,15 @@ let pp_outcome ppf = function
         (match report.Learn.identified with
         | [] -> "previously undocumented policy"
         | l -> String.concat ", " l)
+  | Partial { failure; hypothesis; snapshot; _ } ->
+      Fmt.pf ppf "partial (%a)" Learn.pp_failure failure;
+      (match hypothesis with
+      | Some h ->
+          Fmt.pf ppf ", last hypothesis: %d states" (Cq_automata.Mealy.n_states h)
+      | None -> ());
+      (match snapshot with
+      | Some p -> Fmt.pf ppf ", resume from %s" p
+      | None -> ())
   | Failed { reason; _ } -> Fmt.pf ppf "failed: %s" reason
 
 (* Voting escalation used by the retry backoff: once a flip slipped
@@ -46,23 +63,59 @@ let escalate_voting = function
   | Cq_cachequery.Frontend.Adaptive { max } ->
       Cq_cachequery.Frontend.Adaptive { max = min 15 (max + 2) }
 
+let level_to_string = function
+  | Cq_hwsim.Cpu_model.L1 -> "L1"
+  | Cq_hwsim.Cpu_model.L2 -> "L2"
+  | Cq_hwsim.Cpu_model.L3 -> "L3"
+
 let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
     ?voting ?(retries = 3) ?equivalence ?check_hits ?(max_states = 100_000)
-    ?(reset_trials = 24) machine level =
+    ?(reset_trials = 24) ?snapshot ?resume ?deadline ?query_budget
+    ?(supervise_retries = 2) machine level =
   let model = Cq_hwsim.Machine.model machine in
   (match cat_ways with
   | Some ways -> Cq_hwsim.Machine.set_cat_ways machine ways
   | None -> ());
+  (* Resuming?  Load the snapshot's metadata up front: the crashed run's
+     PRNG seed must drive reset discovery again (same candidate order,
+     same validation traces → same reset sequence) and its calibration
+     state replaces a fresh measurement (same latency classification). *)
+  let resumed_meta =
+    match resume with
+    | None -> None
+    | Some path ->
+        let snap : Cq_policy.Types.output Session.snapshot =
+          Session.load ~path
+        in
+        Some snap.Session.meta
+  in
+  let seed =
+    match resumed_meta with
+    | Some { Session.seed = Some s; _ } -> s
+    | _ -> seed
+  in
   let backend =
     Cq_cachequery.Backend.create machine
       { Cq_cachequery.Backend.level; slice; set }
   in
-  let threshold, _, _ = Cq_cachequery.Backend.calibrate backend in
+  let threshold =
+    match resumed_meta with
+    | Some { Session.calibration = Some cal; _ } ->
+        Cq_cachequery.Backend.restore_calibration backend cal;
+        cal.Cq_cachequery.Backend.cal_threshold
+    | _ ->
+        let t, _, _ = Cq_cachequery.Backend.calibrate backend in
+        t
+  in
   let frontend =
     Cq_cachequery.Frontend.create ~repetitions ?voting backend
   in
   let assoc = Cq_cachequery.Frontend.assoc frontend in
   let prng = Cq_util.Prng.of_int seed in
+  (* One wall clock for the whole workflow: reset discovery and learning
+     draw down the same deadline (Cq_util.Clock), mirroring the synthesis
+     search's budget handling. *)
+  let dl = Cq_util.Clock.deadline_of deadline in
   (* Retry backoff: the answer that raised Non_deterministic may sit
      corrupted in the frontend memo, where a plain re-run would just read
      it back — drop the memo, and escalate voting so the re-run is also
@@ -72,8 +125,29 @@ let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
     Cq_cachequery.Frontend.set_voting frontend
       (escalate_voting (Cq_cachequery.Frontend.voting frontend))
   in
+  let label =
+    Printf.sprintf "%s %s slice %d set %d" model.Cq_hwsim.Cpu_model.name
+      (level_to_string level) slice set
+  in
+  let snapshot_meta () =
+    Session.make_meta ~label ~seed
+      ~calibration:(Cq_cachequery.Backend.calibration backend)
+      ~queries:0 ()
+  in
   let outcome =
-    match Reset.find ~trials:reset_trials ~prng frontend with
+    match Reset.find ~trials:reset_trials ~deadline:dl ~prng frontend with
+    | None when Cq_util.Clock.expired dl ->
+        Partial
+          {
+            failure =
+              Learn.Budget_exhausted
+                "wall-clock deadline exceeded during reset discovery";
+            hypothesis = None;
+            snapshot = None;
+            reset = None;
+            member_queries = 0;
+            seconds = 0.;
+          }
     | None ->
         Failed
           {
@@ -82,21 +156,48 @@ let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
                behaviour)";
             reset = None;
           }
-    | Some reset -> (
+    | Some reset ->
         let oracle = Cq_cachequery.Frontend.oracle frontend in
-        match
-          Learn.learn_from_cache ?equivalence ?check_hits ~memoize:false
-            ~max_states ~retries ~on_retry
-            ~device_stats:(Cq_cachequery.Frontend.stats frontend)
-            oracle
-        with
-        | report -> Learned { report; reset; threshold }
-        | exception Cq_learner.Lstar.Diverged msg ->
-            Failed { reason = "learning diverged: " ^ msg; reset = Some reset }
-        | exception Polca.Non_deterministic msg ->
-            Failed { reason = "non-deterministic responses: " ^ msg; reset = Some reset }
-        | exception Cq_learner.Moracle.Inconsistent msg ->
-            Failed { reason = "non-deterministic responses: " ^ msg; reset = Some reset })
+        (* Supervisor: run the learner; a [Transient] failure (a noise
+           flip that survived voting and retries) gets a bounded number of
+           fresh attempts with escalated voting, each resuming from the
+           latest snapshot so already-paid queries are not re-measured.
+           The other failure classes are structural — retrying verbatim
+           cannot help — and surface as a [Partial] report carrying the
+           last hypothesis and the snapshot path. *)
+        let rec supervise attempt resume =
+          match
+            Learn.run ?equivalence ?check_hits ~memoize:false ~max_states
+              ~retries ~on_retry
+              ~device_stats:(Cq_cachequery.Frontend.stats frontend)
+              ?snapshot ?resume ~snapshot_meta ~deadline:dl ?query_budget
+              oracle
+          with
+          | Learn.Complete report -> Learned { report; reset; threshold }
+          | Learn.Partial p -> (
+              match p.Learn.failure with
+              | Learn.Transient _ when attempt < supervise_retries ->
+                  on_retry 0;
+                  let resume =
+                    match p.Learn.snapshot with
+                    | Some _ as s -> s
+                    | None -> resume
+                  in
+                  supervise (attempt + 1) resume
+              | Learn.Transient reason ->
+                  Failed { reason; reset = Some reset }
+              | failure ->
+                  Partial
+                    {
+                      failure;
+                      hypothesis = p.Learn.hypothesis;
+                      snapshot = p.Learn.snapshot;
+                      reset = Some reset;
+                      member_queries = p.Learn.member_queries;
+                      seconds = p.Learn.seconds;
+                    })
+        in
+        supervise 0 resume
   in
   {
     cpu = model.Cq_hwsim.Cpu_model.name;
@@ -109,6 +210,9 @@ let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
     timed_loads = Cq_cachequery.Backend.timed_loads backend;
     recalibrations = Cq_cachequery.Backend.recalibrations backend;
   }
+
+(* [run] is [learn_set] under the supervision-era name; both stay. *)
+let run = learn_set
 
 (* Leader-A sets of a CPU's L3 (the learnable ones), per the Appendix B
    index formulas baked into the CPU model. *)

@@ -10,6 +10,17 @@ type outcome =
       reset : Cq_cachequery.Frontend.reset;
       threshold : int;
     }
+  | Partial of {
+      failure : Learn.failure;
+      hypothesis : Cq_policy.Types.output Cq_automata.Mealy.t option;
+          (** last hypothesis submitted to the equivalence oracle *)
+      snapshot : string option;  (** resume from here to continue the run *)
+      reset : Cq_cachequery.Frontend.reset option;
+      member_queries : int;
+      seconds : float;
+    }
+      (** The supervised run could not complete (diverged, out of budget,
+          or lost its workers) but salvaged its progress. *)
   | Failed of { reason : string; reset : Cq_cachequery.Frontend.reset option }
 
 type run = {
@@ -40,6 +51,11 @@ val learn_set :
   ?check_hits:bool ->
   ?max_states:int ->
   ?reset_trials:int ->
+  ?snapshot:Learn.snapshot_policy ->
+  ?resume:string ->
+  ?deadline:float ->
+  ?query_budget:int ->
+  ?supervise_retries:int ->
   Cq_hwsim.Machine.t ->
   Cq_hwsim.Cpu_model.level ->
   run
@@ -54,7 +70,42 @@ val learn_set :
     {!Polca.Non_deterministic}; on each retry the frontend memo is cleared
     (the corrupted answer may be memoized) and voting escalates to the
     next adaptive cap, so transiently flipped words are absorbed while
-    structural nondeterminism still fails. *)
+    structural nondeterminism still fails.
+
+    Supervision: [deadline] (seconds) is one wall clock for the whole
+    workflow — reset discovery and learning draw it down together —
+    and [query_budget] bounds the hardware queries; either tripping turns
+    the run into a [Partial] outcome instead of an open-ended hang.
+    [snapshot] makes the session durable (see {!Learn.snapshot_policy});
+    [resume] continues a crashed run from its snapshot, restoring the
+    crashed run's PRNG seed and calibration state so the resumed run
+    re-derives the same reset sequence, classifies latencies identically
+    and produces the {e identical} automaton.  A [Transient] failure is
+    retried up to [supervise_retries] (default 2) times with escalated
+    voting, each attempt resuming from the latest snapshot; the other
+    failure classes surface immediately as [Partial]. *)
+
+val run :
+  ?seed:int ->
+  ?cat_ways:int ->
+  ?slice:int ->
+  ?set:int ->
+  ?repetitions:int ->
+  ?voting:Cq_cachequery.Frontend.voting ->
+  ?retries:int ->
+  ?equivalence:Learn.equivalence ->
+  ?check_hits:bool ->
+  ?max_states:int ->
+  ?reset_trials:int ->
+  ?snapshot:Learn.snapshot_policy ->
+  ?resume:string ->
+  ?deadline:float ->
+  ?query_budget:int ->
+  ?supervise_retries:int ->
+  Cq_hwsim.Machine.t ->
+  Cq_hwsim.Cpu_model.level ->
+  run
+(** Alias of {!learn_set}. *)
 
 val l3_leader_sets : ?slice:int -> Cq_hwsim.Cpu_model.t -> int list
 (** The vulnerable-leader set indices of a CPU's L3 per the Appendix B

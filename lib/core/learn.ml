@@ -30,6 +30,51 @@ let engine_to_string = function
   | Batched -> "batched"
   | Parallel { domains } -> Printf.sprintf "parallel:%d" domains
 
+(* Snapshot cadence for durable sessions: write at most every
+   [every_queries] hardware queries AND at least every [every_seconds]
+   seconds of wall clock (whichever trips first). *)
+type snapshot_policy = {
+  path : string;
+  every_queries : int;
+  every_seconds : float;
+}
+
+let snapshot_policy ?(every_queries = 500) ?(every_seconds = 30.) path =
+  if every_queries < 1 then
+    invalid_arg "Learn.snapshot_policy: every_queries must be >= 1";
+  if every_seconds <= 0. then
+    invalid_arg "Learn.snapshot_policy: every_seconds must be > 0";
+  { path; every_queries; every_seconds }
+
+(* The supervisor's failure taxonomy.  Everything a learning run can die
+   of maps onto one of these; anything else is a programming error and
+   propagates as the raw exception. *)
+type failure =
+  | Transient of string
+      (* noise-induced: Polca.Non_deterministic / Moracle.Inconsistent;
+         a retry (with escalated voting) can succeed *)
+  | Diverged of Cq_learner.Lstar.divergence (* the table never stabilised *)
+  | Budget_exhausted of string (* wall-clock deadline or query budget *)
+  | Worker_lost of string (* a pooled task failed every retry *)
+
+let pp_failure ppf = function
+  | Transient m -> Fmt.pf ppf "transient: %s" m
+  | Diverged d -> Fmt.pf ppf "diverged: %a" Cq_learner.Lstar.pp_divergence d
+  | Budget_exhausted m -> Fmt.pf ppf "budget exhausted: %s" m
+  | Worker_lost m -> Fmt.pf ppf "worker lost: %s" m
+
+(* Distinct non-zero exit codes, so scripted campaigns can branch on the
+   failure class without parsing stderr. *)
+let failure_exit_code = function
+  | Transient _ -> 10
+  | Diverged _ -> 11
+  | Budget_exhausted _ -> 12
+  | Worker_lost _ -> 13
+
+exception Out_of_budget of string
+(* raised inside the oracle stack when the deadline or query budget trips;
+   classified as [Budget_exhausted] by [run] *)
+
 type report = {
   machine : Cq_policy.Types.output Cq_automata.Mealy.t;
   states : int;
@@ -45,6 +90,7 @@ type report = {
   memo_overflows : int; (* times the bounded query memo was cleared *)
   row_cache_overflows : int; (* times the bounded L* row cache was cleared *)
   domains : int; (* worker domains used by the equivalence oracle *)
+  worker_restarts : int; (* pooled worker contexts poisoned and rebuilt *)
   identified : string list; (* known policies equivalent to the result *)
   (* Noise-layer accounting (0 for quiet software oracles): *)
   timed_loads : int; (* physical timed loads, incl. vote re-measurements *)
@@ -67,14 +113,35 @@ let pp_report ppf r =
     Fmt.pf ppf
       "@,timed loads: %d@,vote re-runs: %d@,retries: %d (%d transient flips \
        absorbed)"
-      r.timed_loads r.vote_runs r.retry_attempts r.transient_flips
+      r.timed_loads r.vote_runs r.retry_attempts r.transient_flips;
+  if r.worker_restarts > 0 then
+    Fmt.pf ppf "@,worker restarts: %d" r.worker_restarts
 
-(* Learn the replacement policy behind a cache oracle. *)
-let learn_from_cache ?(equivalence = default_equivalence)
+(* What a supervised run salvaged when it could not complete: the failure
+   class, the last hypothesis submitted to the equivalence oracle, and the
+   snapshot a follow-up run can resume from. *)
+type partial = {
+  failure : failure;
+  hypothesis : Cq_policy.Types.output Cq_automata.Mealy.t option;
+  snapshot : string option;
+  member_queries : int;
+  seconds : float;
+}
+
+type outcome = Complete of report | Partial of partial
+
+let default_meta () = Session.make_meta ~queries:0 ()
+
+(* Learn the replacement policy behind a cache oracle.  [learn_core] is
+   the one implementation; [learn_from_cache] re-raises the original
+   exception on failure (the historical API), [run] classifies it into
+   the failure taxonomy and returns a [Partial] instead. *)
+let learn_core ?(equivalence = default_equivalence)
     ?(engine = default_engine) ?cache_factory ?(check_hits = true)
     ?(memoize = true) ?max_memo_entries ?max_row_cache
     ?(max_states = 1_000_000) ?(identify = true) ?(retries = 0) ?on_retry
-    ?device_stats cache =
+    ?device_stats ?snapshot ?resume ?snapshot_meta
+    ?(deadline = Cq_util.Clock.no_deadline) ?query_budget ?probe cache =
   (* [device_stats]: the device layer's own stats record (the CacheQuery
      frontend's), whose voting/timed-load counters are invisible to the
      wrappers below; its deltas over the learning run are folded into the
@@ -86,6 +153,13 @@ let learn_from_cache ?(equivalence = default_equivalence)
         (d.Cq_cache.Oracle.timed_loads, d.Cq_cache.Oracle.vote_runs)
   in
   let dev_loads0, dev_votes0 = dev_snapshot () in
+  let t0 = Cq_util.Clock.now () in
+  (* Resume: load the snapshot up front so a damaged file fails fast,
+     before any hardware traffic. *)
+  let resumed : Cq_policy.Types.output Session.snapshot option =
+    Option.map (fun path -> Session.load ~path) resume
+  in
+  let pool_stats = Cq_util.Pool.fresh_stats () in
   let batch_probes = match engine with Sequential -> false | _ -> true in
   let cache =
     match engine with
@@ -105,10 +179,99 @@ let learn_from_cache ?(equivalence = default_equivalence)
       ~stats:cache_stats cache
   in
   let mstats = Cq_learner.Moracle.fresh_stats () in
-  let oracle, refresh_word =
+  let oracle, handle =
     Polca.moracle polca
     |> Cq_learner.Moracle.counting mstats
-    |> Cq_learner.Moracle.cached_refresh ~stats:mstats ~conflict_retries:retries
+    |> Cq_learner.Moracle.cached_session ~stats:mstats ~conflict_retries:retries
+  in
+  let refresh_word = handle.Cq_learner.Moracle.refresh in
+  (* Preload the prefix trie from the snapshot: every query the crashed
+     run ever answered is now served locally, so the deterministic learner
+     replays to the crash point at zero hardware cost and then continues —
+     reaching the identical automaton a crash-free run would have. *)
+  (match resumed with
+  | Some snap -> handle.Cq_learner.Moracle.preload snap.Session.knowledge
+  | None -> ());
+  let seed_rows =
+    Option.bind resumed (fun snap ->
+        Option.map
+          (fun t -> t.Cq_learner.Lstar.rows)
+          snap.Session.table)
+  in
+  (* Durability and supervision hooks around the cached oracle: [guard]
+     runs before each top-level query (crash probe, deadline, budget);
+     [maybe_snapshot] after it, when the trie is consistent.  Queries
+     served by the trie never reach the hardware, so [mstats.queries] —
+     the budget currency — only counts real traffic. *)
+  let table_getter = ref None in
+  let last_hypothesis = ref None in
+  let snapshot_written = ref false in
+  let last_snap_queries = ref 0 in
+  let last_snap_time = ref t0 in
+  let write_snapshot () =
+    match snapshot with
+    | None -> ()
+    | Some p ->
+        let meta =
+          let m =
+            match snapshot_meta with
+            | Some f -> f ()
+            | None -> default_meta ()
+          in
+          { m with Session.queries = mstats.Cq_learner.Moracle.queries }
+        in
+        Session.save ~path:p.path
+          {
+            Session.meta;
+            knowledge = handle.Cq_learner.Moracle.export ();
+            table = Option.map (fun g -> g ()) !table_getter;
+          };
+        snapshot_written := true;
+        last_snap_queries := mstats.Cq_learner.Moracle.queries;
+        last_snap_time := Cq_util.Clock.now ()
+  in
+  let guard () =
+    (match probe with
+    | Some f -> f mstats.Cq_learner.Moracle.queries
+    | None -> ());
+    if Cq_util.Clock.expired deadline then
+      raise
+        (Out_of_budget
+           (Printf.sprintf "wall-clock deadline exceeded after %d hardware \
+                            queries"
+              mstats.Cq_learner.Moracle.queries));
+    match query_budget with
+    | Some b when mstats.Cq_learner.Moracle.queries >= b ->
+        raise
+          (Out_of_budget (Printf.sprintf "query budget of %d exhausted" b))
+    | _ -> ()
+  in
+  let maybe_snapshot () =
+    match snapshot with
+    | None -> ()
+    | Some p ->
+        if
+          mstats.Cq_learner.Moracle.queries - !last_snap_queries
+          >= p.every_queries
+          || Cq_util.Clock.now () -. !last_snap_time >= p.every_seconds
+        then write_snapshot ()
+  in
+  let oracle =
+    {
+      oracle with
+      Cq_learner.Moracle.query =
+        (fun w ->
+          guard ();
+          let r = oracle.Cq_learner.Moracle.query w in
+          maybe_snapshot ();
+          r);
+      query_batch =
+        (fun ws ->
+          guard ();
+          let r = oracle.Cq_learner.Moracle.query_batch ws in
+          maybe_snapshot ();
+          r);
+    }
   in
   let domains =
     match engine with Parallel { domains } -> max 1 domains | _ -> 1
@@ -135,12 +298,18 @@ let learn_from_cache ?(equivalence = default_equivalence)
     | W_method depth, Parallel _ when domains > 1 ->
         if Option.is_none cache_factory then
           invalid_arg "Learn: Parallel engine requires ~cache_factory";
-        let pool = Cq_util.Pool.create ~size:domains ~factory:worker_oracle () in
+        let pool =
+          Cq_util.Pool.create ~size:domains ~stats:pool_stats
+            ~factory:worker_oracle ()
+        in
         Cq_learner.Equivalence.w_method_pooled ~depth pool
     | Wp_method depth, Parallel _ when domains > 1 ->
         if Option.is_none cache_factory then
           invalid_arg "Learn: Parallel engine requires ~cache_factory";
-        let pool = Cq_util.Pool.create ~size:domains ~factory:worker_oracle () in
+        let pool =
+          Cq_util.Pool.create ~size:domains ~stats:pool_stats
+            ~factory:worker_oracle ()
+        in
         Cq_learner.Equivalence.wp_method_pooled ~depth pool
     | W_method depth, _ -> Cq_learner.Equivalence.w_method ~depth oracle
     | Wp_method depth, _ -> Cq_learner.Equivalence.wp_method ~depth oracle
@@ -168,11 +337,7 @@ let learn_from_cache ?(equivalence = default_equivalence)
       in
       verified retries
   in
-  let (result : _ Cq_learner.Lstar.result), seconds =
-    Cq_util.Clock.time (fun () ->
-        Cq_learner.Lstar.learn ~max_states ?max_row_cache ~oracle ~find_cex ())
-  in
-  {
+  let finish (result : _ Cq_learner.Lstar.result) seconds = {
     machine = result.machine;
     states = Cq_automata.Mealy.n_states result.machine;
     seconds;
@@ -187,6 +352,7 @@ let learn_from_cache ?(equivalence = default_equivalence)
     memo_overflows = cache_stats.Cq_cache.Oracle.memo_overflows;
     row_cache_overflows = result.row_cache_overflows;
     domains;
+    worker_restarts = pool_stats.Cq_util.Pool.worker_restarts;
     identified = (if identify then Cq_policy.Zoo.identify result.machine else []);
     timed_loads =
       (let dev_loads, _ = dev_snapshot () in
@@ -199,15 +365,94 @@ let learn_from_cache ?(equivalence = default_equivalence)
       + mstats.Cq_learner.Moracle.conflicts;
     retry_attempts = cache_stats.Cq_cache.Oracle.retry_attempts;
   }
+  in
+  match
+    Cq_util.Clock.time (fun () ->
+        Cq_learner.Lstar.learn ~max_states ?max_row_cache ?seed_rows
+          ~expose_table:(fun g -> table_getter := Some g)
+          ~on_hypothesis:(fun h -> last_hypothesis := Some h)
+          ~oracle ~find_cex ())
+  with
+  | result, seconds -> Ok (finish result seconds)
+  | exception e -> (
+      let seconds = Cq_util.Clock.now () -. t0 in
+      (* Preserve whatever was learned: the failure path writes a final
+         snapshot, so a follow-up run resumes instead of starting over.
+         A failing write must not mask the original failure. *)
+      (try write_snapshot () with _ -> ());
+      let failure =
+        match e with
+        | Cq_learner.Lstar.Diverged d -> Some (Diverged d)
+        | Polca.Non_deterministic m ->
+            Some (Transient ("non-deterministic responses: " ^ m))
+        | Cq_learner.Moracle.Inconsistent m ->
+            Some (Transient ("non-deterministic responses: " ^ m))
+        | Cq_util.Pool.Worker_lost m -> Some (Worker_lost m)
+        | Out_of_budget m -> Some (Budget_exhausted m)
+        | _ -> None
+      in
+      match failure with
+      | None -> raise e (* outside the taxonomy: a programming error *)
+      | Some failure ->
+          Error
+            ( e,
+              {
+                failure;
+                hypothesis = !last_hypothesis;
+                snapshot =
+                  (if !snapshot_written then
+                     Option.map (fun p -> p.path) snapshot
+                   else None);
+                member_queries = mstats.Cq_learner.Moracle.queries;
+                seconds;
+              } ))
+
+let learn_from_cache ?equivalence ?engine ?cache_factory ?check_hits ?memoize
+    ?max_memo_entries ?max_row_cache ?max_states ?identify ?retries ?on_retry
+    ?device_stats ?snapshot ?resume ?snapshot_meta ?deadline ?query_budget
+    ?probe cache =
+  match
+    learn_core ?equivalence ?engine ?cache_factory ?check_hits ?memoize
+      ?max_memo_entries ?max_row_cache ?max_states ?identify ?retries
+      ?on_retry ?device_stats ?snapshot ?resume ?snapshot_meta ?deadline
+      ?query_budget ?probe cache
+  with
+  | Ok report -> report
+  | Error (e, _) -> raise e
+
+let run ?equivalence ?engine ?cache_factory ?check_hits ?memoize
+    ?max_memo_entries ?max_row_cache ?max_states ?identify ?retries ?on_retry
+    ?device_stats ?snapshot ?resume ?snapshot_meta ?deadline ?query_budget
+    ?probe cache =
+  match
+    learn_core ?equivalence ?engine ?cache_factory ?check_hits ?memoize
+      ?max_memo_entries ?max_row_cache ?max_states ?identify ?retries
+      ?on_retry ?device_stats ?snapshot ?resume ?snapshot_meta ?deadline
+      ?query_budget ?probe cache
+  with
+  | Ok report -> Complete report
+  | Error (_, partial) -> Partial partial
 
 (* Case study §6: learn a policy from a software-simulated cache.  The
    simulated oracle is trivially reproducible, so the Parallel engine's
    per-domain factory comes for free. *)
 let learn_simulated ?equivalence ?engine ?check_hits ?max_memo_entries
-    ?max_row_cache ?max_states ?identify policy =
+    ?max_row_cache ?max_states ?identify ?snapshot ?resume ?deadline
+    ?query_budget ?probe policy =
   learn_from_cache ?equivalence ?engine
     ~cache_factory:(fun () -> Cq_cache.Oracle.of_policy policy)
     ?check_hits ?max_memo_entries ?max_row_cache ?max_states ?identify
+    ?snapshot ?resume ?deadline ?query_budget ?probe
+    (Cq_cache.Oracle.of_policy policy)
+
+(* As [learn_simulated] but through the supervised [run] API. *)
+let run_simulated ?equivalence ?engine ?check_hits ?max_memo_entries
+    ?max_row_cache ?max_states ?identify ?snapshot ?resume ?deadline
+    ?query_budget ?probe policy =
+  run ?equivalence ?engine
+    ~cache_factory:(fun () -> Cq_cache.Oracle.of_policy policy)
+    ?check_hits ?max_memo_entries ?max_row_cache ?max_states ?identify
+    ?snapshot ?resume ?deadline ?query_budget ?probe
     (Cq_cache.Oracle.of_policy policy)
 
 (* Sanity check used in tests and experiments: the learned machine must be

@@ -29,6 +29,42 @@ val default_engine : engine
 
 val engine_to_string : engine -> string
 
+type snapshot_policy = {
+  path : string;  (** snapshot file, written atomically *)
+  every_queries : int;  (** write after this many new hardware queries *)
+  every_seconds : float;  (** ... or after this much wall clock *)
+}
+(** Snapshot cadence for durable sessions: a write happens whenever either
+    trigger trips, always between top-level oracle queries (when the
+    prefix trie is consistent). *)
+
+val snapshot_policy :
+  ?every_queries:int -> ?every_seconds:float -> string -> snapshot_policy
+(** [snapshot_policy path] with defaults [every_queries = 500],
+    [every_seconds = 30.]. *)
+
+type failure =
+  | Transient of string
+      (** noise-induced ({!Polca.Non_deterministic} /
+          {!Cq_learner.Moracle.Inconsistent}); a retry with escalated
+          voting can succeed *)
+  | Diverged of Cq_learner.Lstar.divergence
+      (** the observation table never stabilised *)
+  | Budget_exhausted of string
+      (** the wall-clock deadline or the query budget tripped *)
+  | Worker_lost of string  (** a pooled task failed every bounded retry *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val failure_exit_code : failure -> int
+(** Distinct non-zero exit codes for scripted campaigns:
+    [Transient] → 10, [Diverged] → 11, [Budget_exhausted] → 12,
+    [Worker_lost] → 13. *)
+
+exception Out_of_budget of string
+(** Raised (from inside the oracle stack) when the deadline or query
+    budget trips; {!run} classifies it as [Budget_exhausted]. *)
+
 type report = {
   machine : Cq_policy.Types.output Cq_automata.Mealy.t;
   states : int;
@@ -44,6 +80,9 @@ type report = {
   memo_overflows : int;  (** bounded-memo clears (see [max_memo_entries]) *)
   row_cache_overflows : int;  (** bounded L* row-cache clears *)
   domains : int;  (** worker domains used by the equivalence oracle *)
+  worker_restarts : int;
+      (** pooled worker contexts poisoned (and rebuilt) after task
+          exceptions — 0 on a healthy run *)
   identified : string list;
       (** known policies trace-equivalent to the result (up to reset state
           and line permutation) *)
@@ -58,6 +97,20 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+type partial = {
+  failure : failure;
+  hypothesis : Cq_policy.Types.output Cq_automata.Mealy.t option;
+      (** the last hypothesis submitted to the equivalence oracle *)
+  snapshot : string option;
+      (** path of the snapshot written on the way down, if any — a
+          follow-up run resumes from it instead of starting over *)
+  member_queries : int;  (** hardware queries spent before failing *)
+  seconds : float;
+}
+(** What a supervised run salvaged when it could not complete. *)
+
+type outcome = Complete of report | Partial of partial
+
 val learn_from_cache :
   ?equivalence:equivalence ->
   ?engine:engine ->
@@ -71,6 +124,12 @@ val learn_from_cache :
   ?retries:int ->
   ?on_retry:(int -> unit) ->
   ?device_stats:Cq_cache.Oracle.stats ->
+  ?snapshot:snapshot_policy ->
+  ?resume:string ->
+  ?snapshot_meta:(unit -> Session.meta) ->
+  ?deadline:Cq_util.Clock.deadline ->
+  ?query_budget:int ->
+  ?probe:(int -> unit) ->
   Cq_cache.Oracle.t ->
   report
 (** Learn the replacement policy behind a cache oracle.  [memoize] (default
@@ -88,7 +147,48 @@ val learn_from_cache :
     timed-load / vote counters bypass the learning-side wrappers; their
     deltas over the run are folded into the report.
 
-    May raise {!Cq_learner.Lstar.Diverged} or {!Polca.Non_deterministic}. *)
+    Durability: [snapshot] writes the session state ({!Session.snapshot})
+    to disk on the given cadence, and once more on any failure; [resume]
+    preloads the prefix trie and observation table from a snapshot, after
+    which the learner replays deterministically — previously answered
+    queries cost nothing and the final automaton is identical to a
+    crash-free run's.  [snapshot_meta] supplies the run metadata embedded
+    in each snapshot (label, seed, calibration); [deadline] and
+    [query_budget] bound the run ({!Out_of_budget} past the limit;
+    budgeted queries are the {e hardware} queries, so a resumed replay is
+    free).  [probe] is called with the current hardware-query count
+    before each top-level oracle call — fault-injection hooks (tests, the
+    recovery benchmark) raise from it to simulate a crash.
+
+    May raise {!Cq_learner.Lstar.Diverged}, {!Polca.Non_deterministic},
+    {!Cq_util.Pool.Worker_lost}, {!Out_of_budget} or {!Session.Corrupt};
+    {!run} is the non-raising variant. *)
+
+val run :
+  ?equivalence:equivalence ->
+  ?engine:engine ->
+  ?cache_factory:(unit -> Cq_cache.Oracle.t) ->
+  ?check_hits:bool ->
+  ?memoize:bool ->
+  ?max_memo_entries:int ->
+  ?max_row_cache:int ->
+  ?max_states:int ->
+  ?identify:bool ->
+  ?retries:int ->
+  ?on_retry:(int -> unit) ->
+  ?device_stats:Cq_cache.Oracle.stats ->
+  ?snapshot:snapshot_policy ->
+  ?resume:string ->
+  ?snapshot_meta:(unit -> Session.meta) ->
+  ?deadline:Cq_util.Clock.deadline ->
+  ?query_budget:int ->
+  ?probe:(int -> unit) ->
+  Cq_cache.Oracle.t ->
+  outcome
+(** As {!learn_from_cache}, but failures in the taxonomy come back as
+    [Partial] (with the last hypothesis and the failure-time snapshot)
+    instead of exceptions.  Exceptions outside the taxonomy — programming
+    errors, a corrupt [resume] file — still raise. *)
 
 val learn_simulated :
   ?equivalence:equivalence ->
@@ -98,11 +198,33 @@ val learn_simulated :
   ?max_row_cache:int ->
   ?max_states:int ->
   ?identify:bool ->
+  ?snapshot:snapshot_policy ->
+  ?resume:string ->
+  ?deadline:Cq_util.Clock.deadline ->
+  ?query_budget:int ->
+  ?probe:(int -> unit) ->
   Cq_policy.Policy.t ->
   report
 (** Case study §6: learn a policy from a software-simulated cache.  The
     simulated oracle is reproducible, so the [Parallel] engine's
     per-domain factory is supplied automatically. *)
+
+val run_simulated :
+  ?equivalence:equivalence ->
+  ?engine:engine ->
+  ?check_hits:bool ->
+  ?max_memo_entries:int ->
+  ?max_row_cache:int ->
+  ?max_states:int ->
+  ?identify:bool ->
+  ?snapshot:snapshot_policy ->
+  ?resume:string ->
+  ?deadline:Cq_util.Clock.deadline ->
+  ?query_budget:int ->
+  ?probe:(int -> unit) ->
+  Cq_policy.Policy.t ->
+  outcome
+(** As {!learn_simulated}, through the supervised {!run} API. *)
 
 val verify_against : report -> Cq_policy.Policy.t -> bool
 (** Is the learned machine trace-equivalent to the policy's ground truth? *)

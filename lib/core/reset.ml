@@ -44,13 +44,18 @@ let random_trace prng assoc len =
 (* Determinism check: every query, repeated, must give identical answers,
    and answers must be prefix-consistent (outputs of a prefix of a query
    are a prefix of the outputs). *)
-let validate ?(trials = 24) ?(max_len = 24) ~prng frontend =
+let validate ?(trials = 24) ?(max_len = 24)
+    ?(deadline = Cq_util.Clock.no_deadline) ~prng frontend =
   let assoc = Cq_cachequery.Frontend.assoc frontend in
   let oracle = Cq_cachequery.Frontend.oracle frontend in
   Cq_cachequery.Frontend.set_memo frontend false;
   let ok = ref true in
   let t = ref 0 in
   while !ok && !t < trials do
+    (* A candidate that cannot finish its trials before the deadline is
+       not validated — fail it rather than accept it half-checked. *)
+    if Cq_util.Clock.expired deadline then ok := false
+    else begin
     let len = 2 + Cq_util.Prng.int prng (max_len - 2) in
     let trace = random_trace prng assoc len in
     let r1 = oracle.Cq_cache.Oracle.query trace in
@@ -65,6 +70,7 @@ let validate ?(trials = 24) ?(max_len = 24) ~prng frontend =
       if rp <> r1p then ok := false
     end;
     incr t
+    end
   done;
   Cq_cachequery.Frontend.set_memo frontend true;
   Cq_cachequery.Frontend.clear_memo frontend;
@@ -72,13 +78,16 @@ let validate ?(trials = 24) ?(max_len = 24) ~prng frontend =
 
 (* Try candidates in order; configure the frontend with the first reset
    sequence that validates. *)
-let find ?(trials = 24) ?(max_len = 24) ~prng frontend =
+let find ?(trials = 24) ?(max_len = 24) ?(deadline = Cq_util.Clock.no_deadline)
+    ~prng frontend =
   let assoc = Cq_cachequery.Frontend.assoc frontend in
   let rec go = function
     | [] -> None
+    | _ when Cq_util.Clock.expired deadline -> None
     | reset :: rest ->
         Cq_cachequery.Frontend.set_reset frontend reset;
         Cq_cachequery.Frontend.clear_memo frontend;
-        if validate ~trials ~max_len ~prng frontend then Some reset else go rest
+        if validate ~trials ~max_len ~deadline ~prng frontend then Some reset
+        else go rest
   in
   go (candidates assoc)

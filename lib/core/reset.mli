@@ -12,17 +12,27 @@ val candidates : int -> Cq_cachequery.Frontend.reset list
     [D C B A @]), then flush-prefixed and repeated variants. *)
 
 val validate :
-  ?trials:int -> ?max_len:int -> prng:Cq_util.Prng.t -> Cq_cachequery.Frontend.t -> bool
+  ?trials:int ->
+  ?max_len:int ->
+  ?deadline:Cq_util.Clock.deadline ->
+  prng:Cq_util.Prng.t ->
+  Cq_cachequery.Frontend.t ->
+  bool
 (** Determinism check under the frontend's current reset sequence: random
     block traces run twice must agree, and outputs must be
-    prefix-consistent.  Temporarily disables the query memo. *)
+    prefix-consistent.  Temporarily disables the query memo.  A candidate
+    whose trials cannot finish before [deadline] fails validation rather
+    than passing half-checked. *)
 
 val find :
   ?trials:int ->
   ?max_len:int ->
+  ?deadline:Cq_util.Clock.deadline ->
   prng:Cq_util.Prng.t ->
   Cq_cachequery.Frontend.t ->
   Cq_cachequery.Frontend.reset option
 (** Try the candidates in order and configure the frontend with the first
     that validates; [None] when the set behaves nondeterministically under
-    all of them (e.g. follower sets, Haswell's noisy leaders). *)
+    all of them (e.g. follower sets, Haswell's noisy leaders) or when
+    [deadline] expires first (callers distinguish the two by checking the
+    deadline). *)

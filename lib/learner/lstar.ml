@@ -20,12 +20,55 @@ type 'o result = {
   row_cache_overflows : int;
 }
 
-exception Diverged of string
+(* What the learner had achieved when the table failed to stabilise —
+   enough for a supervisor (or a scripted campaign) to decide between
+   "retry with a bigger budget" and "give up". *)
+type divergence = {
+  reason : string;
+  states : int; (* representatives discovered so far *)
+  queries : int; (* membership queries this learn issued *)
+  elapsed : float; (* seconds since the learn started *)
+}
 
-let learn ?(max_states = 1_000_000) ?max_row_cache ~(oracle : 'o Moracle.t)
+exception Diverged of divergence
+
+let pp_divergence ppf d =
+  Fmt.pf ppf "%s (%d states, %d queries, %a)" d.reason d.states d.queries
+    Cq_util.Clock.pp_duration d.elapsed
+
+(* The serializable view of the observation table: E, S and the cached
+   rows.  Sessions persist it in snapshots; on resume the rows re-seed the
+   row cache (they are a pure function of the oracle, so seeding never
+   changes what is learned — it only skips recomputation). *)
+type 'o table_state = {
+  suffixes : int list list; (* E *)
+  reps : int list array; (* S *)
+  rows : (int list * 'o list list) list;
+}
+
+let learn ?(max_states = 1_000_000) ?max_row_cache ?expose_table ?seed_rows
+    ?on_hypothesis ~(oracle : 'o Moracle.t)
     ~(find_cex : 'o Cq_automata.Mealy.t -> int list option) () =
   let k = oracle.Moracle.n_inputs in
   if k < 1 then invalid_arg "Lstar.learn: empty input alphabet";
+  let t0 = Cq_util.Clock.now () in
+  (* Count the membership queries this learn issues, for the divergence
+     payload (the conformance suite's queries go through [find_cex] and
+     are not ours to count). *)
+  let queries = ref 0 in
+  let oracle =
+    {
+      oracle with
+      Moracle.query =
+        (fun w ->
+          incr queries;
+          oracle.Moracle.query w);
+      query_batch =
+        (fun ws ->
+          queries := !queries + List.length ws;
+          oracle.Moracle.query_batch ws);
+    }
+  in
   (* E always contains the singleton suffixes, in input order. *)
   let suffixes : int list list ref = ref (List.init k (fun i -> [ i ])) in
   let suffixes_added = ref 0 in
@@ -49,6 +92,17 @@ let learn ?(max_states = 1_000_000) ?max_row_cache ~(oracle : 'o Moracle.t)
   let row_cache : (int list Cq_util.Deep.t, 'o list list) Hashtbl.t =
     Hashtbl.create 4096
   in
+  (* Rows restored from a session snapshot.  They may carry more columns
+     than the current E (they were taken against the crash-time E, which a
+     deterministic replay re-derives suffix by suffix); [row] truncates to
+     the live column count, so a seeded row is indistinguishable from a
+     recomputed one. *)
+  (match seed_rows with
+  | Some rows ->
+      List.iter
+        (fun (u, r) -> Hashtbl.replace row_cache (Cq_util.Deep.pack u) r)
+        rows
+  | None -> ());
   let row_cache_overflows = ref 0 in
   let store_row key r =
     (match max_row_cache with
@@ -65,6 +119,9 @@ let learn ?(max_states = 1_000_000) ?max_row_cache ~(oracle : 'o Moracle.t)
     let n_suffixes = List.length !suffixes in
     match Hashtbl.find_opt row_cache key with
     | Some r when List.length r = n_suffixes -> r
+    | Some r when List.length r > n_suffixes ->
+        (* Seeded from a snapshot taken against a larger E. *)
+        List.filteri (fun i _ -> i < n_suffixes) r
     | cached ->
         let have = match cached with Some r -> List.length r | None -> 0 in
         let missing =
@@ -140,9 +197,35 @@ let learn ?(max_states = 1_000_000) ?max_row_cache ~(oracle : 'o Moracle.t)
   let reps : int list array ref = ref [||] in
   let rep_rows : ('o list list Cq_util.Deep.t, int) Hashtbl.t = Hashtbl.create 97 in
 
+  let diverge reason =
+    raise
+      (Diverged
+         {
+           reason;
+           states = Array.length !reps;
+           queries = !queries;
+           elapsed = Cq_util.Clock.now () -. t0;
+         })
+  in
+  (* Hand the caller a live view of the observation table for session
+     snapshots.  The getter copies mutable pieces, so a snapshot taken
+     between oracle queries is a consistent value. *)
+  (match expose_table with
+  | Some f ->
+      f (fun () ->
+          {
+            suffixes = !suffixes;
+            reps = Array.copy !reps;
+            rows =
+              Hashtbl.fold
+                (fun key r acc -> (Cq_util.Deep.unpack key, r) :: acc)
+                row_cache [];
+          })
+  | None -> ());
+
   let add_rep u r =
     let idx = Array.length !reps in
-    if idx >= max_states then raise (Diverged "state budget exhausted");
+    if idx >= max_states then diverge "state budget exhausted";
     reps := Array.append !reps [| u |];
     Hashtbl.add rep_rows (Cq_util.Deep.pack r) idx;
     idx
@@ -161,7 +244,7 @@ let learn ?(max_states = 1_000_000) ?max_row_cache ~(oracle : 'o Moracle.t)
            oracle is inconsistent; with a growing E rows can only get finer,
            so a collision indicates divergence. *)
         if Hashtbl.mem rep_rows (Cq_util.Deep.pack r) then
-          raise (Diverged "representative rows collapsed")
+          diverge "representative rows collapsed"
         else ignore (add_rep u r))
       old
   in
@@ -265,9 +348,9 @@ let learn ?(max_states = 1_000_000) ?max_row_cache ~(oracle : 'o Moracle.t)
         done;
         let j = !lo in
         let v = suffix_from (j + 1) in
-        if v = [] then raise (Diverged "empty distinguishing suffix");
+        if v = [] then diverge "empty distinguishing suffix";
         if List.mem v !suffixes then
-          raise (Diverged "distinguishing suffix already in E")
+          diverge "distinguishing suffix already in E"
         else begin
           suffixes := !suffixes @ [ v ];
           incr suffixes_added;
@@ -284,6 +367,7 @@ let learn ?(max_states = 1_000_000) ?max_row_cache ~(oracle : 'o Moracle.t)
   let pending = ref None in
   while !result = None do
     let hyp = build_hypothesis () in
+    (match on_hypothesis with Some f -> f hyp | None -> ());
     let progressed =
       match !pending with
       | Some w when process_cex hyp w ->
@@ -300,8 +384,7 @@ let learn ?(max_states = 1_000_000) ?max_row_cache ~(oracle : 'o Moracle.t)
       | None -> result := Some hyp
       | Some w ->
           if not (process_cex hyp w) then
-            raise
-              (Diverged "equivalence oracle returned a spurious counterexample");
+            diverge "equivalence oracle returned a spurious counterexample";
           pending := Some w;
           rebuild_table ();
           close ()

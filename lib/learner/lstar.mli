@@ -10,14 +10,39 @@ type 'o result = {
       (** times the bounded row cache was cleared (see [max_row_cache]) *)
 }
 
-exception Diverged of string
+type divergence = {
+  reason : string;
+  states : int;  (** representatives discovered when learning gave up *)
+  queries : int;  (** membership queries this learn issued *)
+  elapsed : float;  (** seconds since the learn started *)
+}
+(** What the learner had achieved when the table failed to stabilise —
+    enough for a supervisor to decide between "retry with a bigger budget"
+    and "give up". *)
+
+exception Diverged of divergence
 (** The observation table could not be stabilised: the system under
     learning is nondeterministic, the equivalence oracle returned a
     spurious counterexample, or the state budget was exhausted. *)
 
+val pp_divergence : Format.formatter -> divergence -> unit
+
+type 'o table_state = {
+  suffixes : int list list;  (** E, in insertion order *)
+  reps : int list array;  (** S: one access word per discovered state *)
+  rows : (int list * 'o list list) list;  (** cached observation rows *)
+}
+(** A serializable view of the observation table, for session snapshots.
+    On resume, [rows] re-seed the learner's row cache via [seed_rows] —
+    rows are a pure function of the oracle, so seeding never changes what
+    is learned, it only skips recomputation. *)
+
 val learn :
   ?max_states:int ->
   ?max_row_cache:int ->
+  ?expose_table:((unit -> 'o table_state) -> unit) ->
+  ?seed_rows:(int list * 'o list list) list ->
+  ?on_hypothesis:('o Cq_automata.Mealy.t -> unit) ->
   oracle:'o Moracle.t ->
   find_cex:('o Cq_automata.Mealy.t -> int list option) ->
   unit ->
@@ -30,4 +55,12 @@ val learn :
     on demand, typically served by the oracle-level prefix cache) and the
     overflow is counted in the result.  The missing cells of each closure
     wave are requested through [oracle.query_batch], so the layers below
-    can prefix-share the induced traces. *)
+    can prefix-share the induced traces.
+
+    [expose_table] is called once, early, with a getter that returns a
+    consistent copy of the live observation table — the session layer
+    captures it for snapshots.  [seed_rows] pre-populates the row cache
+    from a snapshot (rows longer than the current E are truncated).
+    [on_hypothesis] observes every intermediate hypothesis before it is
+    submitted to the equivalence oracle — supervisors keep the latest one
+    for [Partial] reports. *)

@@ -125,9 +125,46 @@ module Trie = struct
       | _ -> invalid_arg "Moracle.Trie.insert_force: length mismatch"
     in
     go node word outputs
+
+  (* Maximal known paths: the trie is prefix-closed (every non-root node
+     carries an output), so the root-to-leaf words reconstruct the entire
+     trie under [insert_force].  This is the session-snapshot dump. *)
+  let export root =
+    let acc = ref [] in
+    let n = ref 0 in
+    let rec go node rev_word rev_out =
+      if Hashtbl.length node.children = 0 then begin
+        if rev_word <> [] then begin
+          acc := (List.rev rev_word, List.rev rev_out) :: !acc;
+          incr n
+        end
+      end
+      else
+        Hashtbl.iter
+          (fun i child ->
+            match child.out with
+            | Some o -> go child (i :: rev_word) (o :: rev_out)
+            | None -> () (* unreachable for tries built by insert *))
+          node.children
+    in
+    go root [] [];
+    !acc
 end
 
-let cached_refresh ?stats ?(conflict_retries = 0) t =
+(* The portable form of a prefix-trie's contents: maximal (word, outputs)
+   paths.  Abstract in the interface; sessions Marshal it into snapshots
+   and feed it back through [preload] on resume. *)
+type 'o knowledge = (int list * 'o list) list
+
+let knowledge_size k = List.length k
+
+type 'o handle = {
+  refresh : int list -> 'o list;
+  export : unit -> 'o knowledge;
+  preload : 'o knowledge -> unit;
+}
+
+let cached_session ?stats ?(conflict_retries = 0) t =
   if conflict_retries < 0 then
     invalid_arg "Moracle.cached: conflict_retries must be >= 0";
   let root = Trie.create () in
@@ -190,6 +227,13 @@ let cached_refresh ?stats ?(conflict_retries = 0) t =
     Trie.insert_force root w outputs;
     outputs
   in
+  (* [preload]: trust the snapshot unconditionally — it was digested at
+     write time, and on resume the trie is empty anyway.  [insert_force]
+     keeps a later entry authoritative if paths overlap. *)
+  let preload knowledge =
+    List.iter (fun (w, outputs) -> Trie.insert_force root w outputs) knowledge
+  in
+  let export () = Trie.export root in
   ( {
       t with
       query =
@@ -242,7 +286,11 @@ let cached_refresh ?stats ?(conflict_retries = 0) t =
             | None -> assert false (* just inserted *))
           ws);
     },
-    refresh )
+    { refresh; export; preload } )
+
+let cached_refresh ?stats ?conflict_retries t =
+  let oracle, handle = cached_session ?stats ?conflict_retries t in
+  (oracle, handle.refresh)
 
 let cached ?stats ?conflict_retries t =
   fst (cached_refresh ?stats ?conflict_retries t)

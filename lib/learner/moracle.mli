@@ -61,5 +61,27 @@ val cached_refresh :
     repair entries they suspect of holding a transient measurement flip —
     e.g. before trusting a counterexample from conformance testing. *)
 
+type 'o knowledge
+(** A portable dump of a prefix-trie cache's contents (the maximal known
+    (word, outputs) paths).  Marshal-safe: sessions persist it in
+    snapshots and feed it back through [preload] on resume, after which
+    every previously answered query is served locally — the foundation of
+    crash-resumable learning. *)
+
+val knowledge_size : 'o knowledge -> int
+(** Number of maximal paths in the dump. *)
+
+type 'o handle = {
+  refresh : int list -> 'o list;  (** as returned by {!cached_refresh} *)
+  export : unit -> 'o knowledge;  (** dump the trie's current contents *)
+  preload : 'o knowledge -> unit;
+      (** seed the trie from a dump (overwrites overlapping paths) *)
+}
+
+val cached_session :
+  ?stats:stats -> ?conflict_retries:int -> 'o t -> 'o t * 'o handle
+(** As {!cached_refresh}, but the handle also exposes the trie for
+    session snapshot / resume. *)
+
 val of_mealy : 'o Cq_automata.Mealy.t -> 'o t
 (** Oracle backed by an explicit machine (ground truth in tests). *)

@@ -213,7 +213,11 @@ let synthesize_with ?(with_others = true) ~extended ?(deadline = infinity)
   let assoc = Cq_automata.Mealy.n_inputs machine - 1 in
   let t0 = Cq_util.Clock.now () in
   let tried = ref 0 in
-  let timeout () = Cq_util.Clock.now () -. t0 > deadline in
+  (* One deadline representation across the code base (Cq_util.Clock):
+     the same abstraction bounds the learning supervisor and reset
+     discovery. *)
+  let dl = Cq_util.Clock.after deadline in
+  let timeout () = Cq_util.Clock.expired dl in
   (* Test suite (CEGIS): seeded with miss-heavy and short mixed traces.
      Expected outputs are precomputed so that screening a candidate is a
      pure program run. *)
@@ -300,6 +304,7 @@ let synthesize_with ?(with_others = true) ~extended ?(deadline = infinity)
    rules without cross-line updates first (every Extended-template policy
    in the paper's evaluation lives there), then the full grammar. *)
 let synthesize ?(deadline = infinity) machine =
+  let dl = Cq_util.Clock.after deadline in
   let phases =
     [ (false, true); (true, false); (true, true) ]
     (* (extended, with_others) — Simple always keeps the full grammar,
@@ -314,9 +319,7 @@ let synthesize ?(deadline = infinity) machine =
           seconds = spent;
         }
     | (extended, with_others) :: rest ->
-        let remaining =
-          if deadline = infinity then infinity else max 0.0 (deadline -. spent)
-        in
+        let remaining = Cq_util.Clock.remaining_or dl infinity in
         let r =
           synthesize_with ~with_others ~extended ~deadline:remaining machine
         in

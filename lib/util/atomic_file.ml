@@ -1,0 +1,36 @@
+(* Atomic file replacement: write to a sibling temp file, fsync, rename.
+
+   Snapshots of multi-hour learning campaigns and benchmark result files
+   must never be observable half-written — a crash between [open] and the
+   final [write] would otherwise destroy the previous good copy along with
+   the new one.  POSIX [rename] over the destination is atomic, so readers
+   see either the old complete file or the new complete file, never a
+   torn one. *)
+
+let write ~path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc content;
+     flush oc;
+     (* Push the bytes to stable storage before the rename makes them the
+        authoritative copy; a metadata-only crash window would otherwise
+        leave a zero-length "snapshot". *)
+     (try Unix.fsync (Unix.descr_of_out_channel oc)
+      with Unix.Unix_error _ -> ())
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let read_opt ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | content -> Some content
+  | exception Sys_error _ -> None
+
+let read_exn ~path =
+  match read_opt ~path with
+  | Some content -> content
+  | None -> failwith (Printf.sprintf "Atomic_file.read_exn: cannot read %s" path)

@@ -1,0 +1,15 @@
+(** Atomic whole-file replacement (write temp sibling + fsync + rename) and
+    tolerant reads.  Used for learning-session snapshots and benchmark
+    result files, which must never be observable half-written. *)
+
+val write : path:string -> string -> unit
+(** Replace [path] with [content] atomically: readers observe either the
+    previous complete file or the new one.  The temp sibling
+    ([path ^ ".tmp"]) is removed on failure. *)
+
+val read_opt : path:string -> string option
+(** Whole-file read; [None] when the file is missing or unreadable (a
+    previous run was interrupted before producing it). *)
+
+val read_exn : path:string -> string
+(** As {!read_opt} but raises [Failure] when unreadable. *)

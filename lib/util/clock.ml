@@ -8,6 +8,28 @@ let time f =
   let result = f () in
   (result, now () -. t0)
 
+(* Deadlines: every layer that bounds wall-clock work (Synth's search, the
+   learning supervisor, reset discovery) shares this one representation, so
+   "remaining budget" arithmetic and expiry checks are written once. *)
+
+type deadline = { at : float option (* absolute epoch seconds *) }
+
+let no_deadline = { at = None }
+
+let after seconds =
+  if seconds < 0.0 then invalid_arg "Clock.after: negative deadline";
+  if seconds = infinity then no_deadline else { at = Some (now () +. seconds) }
+
+let deadline_of = function None -> no_deadline | Some s -> after s
+
+let expired d = match d.at with None -> false | Some at -> now () > at
+
+let remaining d =
+  match d.at with None -> None | Some at -> Some (Float.max 0.0 (at -. now ()))
+
+let remaining_or d default =
+  match remaining d with None -> default | Some s -> s
+
 let pp_duration ppf seconds =
   if seconds < 0.0 then Fmt.string ppf "-"
   else begin

@@ -7,5 +7,27 @@ val now : unit -> float
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f] and returns its result with the elapsed seconds. *)
 
+type deadline
+(** A wall-clock deadline (possibly absent).  The single representation
+    every bounded phase shares — Synth's search, the learning supervisor's
+    per-phase limits, reset discovery. *)
+
+val no_deadline : deadline
+
+val after : float -> deadline
+(** [after s] expires [s] seconds from now.  [after infinity] is
+    {!no_deadline}; negative spans raise [Invalid_argument]. *)
+
+val deadline_of : float option -> deadline
+(** [None] -> {!no_deadline}, [Some s] -> [after s]. *)
+
+val expired : deadline -> bool
+
+val remaining : deadline -> float option
+(** Seconds left (clamped at 0), or [None] for {!no_deadline}. *)
+
+val remaining_or : deadline -> float -> float
+(** {!remaining} with a default for the unbounded case. *)
+
 val pp_duration : Format.formatter -> float -> unit
 val to_string : float -> string

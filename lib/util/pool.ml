@@ -4,8 +4,8 @@
    thunk (an oracle, a simulated machine, ...), so no mutable state is
    shared between domains: the only cross-domain traffic is the task
    index counter, the result slots (each written by exactly one worker)
-   and the first-error slot.  Policies are deterministic, so running the
-   same tasks through a pool must produce the same results as running
+   and the per-task failure slots.  Policies are deterministic, so running
+   the same tasks through a pool must produce the same results as running
    them sequentially; tests assert exactly that.
 
    Domains are spawned per [map] call rather than kept alive: the unit of
@@ -15,15 +15,49 @@
    context on first use and reuses it across [map] calls, so a worker
    oracle's memo and prefix caches stay warm from one equivalence round to
    the next.  A slot is touched by exactly one domain per call, and calls
-   are separated by joins, so the reuse is race-free. *)
+   are separated by joins, so the reuse is race-free.
+
+   Failure handling (graceful degradation): a task that raises no longer
+   drains the queue and discards every completed result.  Instead the
+   worker records the failure, drops its context — the exception may have
+   left it half-mutated, and reusing a poisoned context would corrupt
+   later answers — rebuilds a fresh one, and keeps claiming tasks.  A
+   worker that keeps failing stops claiming (its share is drained by the
+   others).  After the parallel pass, failed tasks are retried (bounded by
+   [task_retries]) sequentially in the calling domain on a rebuilt
+   context — the fallback when worker domains keep dying.  Only a task
+   that fails every attempt raises, as {!Worker_lost}. *)
+
+exception Worker_lost of string
+
+type stats = {
+  mutable worker_restarts : int;
+      (* contexts dropped after a task exception (poisoned) and rebuilt *)
+  mutable task_retries : int; (* task re-executions after a failed attempt *)
+  mutable salvaged : int;
+      (* results completed in a batch that also saw failures *)
+  mutable sequential_fallbacks : int;
+      (* retry passes executed in the calling domain *)
+}
+
+let fresh_stats () =
+  { worker_restarts = 0; task_retries = 0; salvaged = 0; sequential_fallbacks = 0 }
+
+(* A worker that failed this many tasks within one [map] call stops
+   claiming: its environment (a wedged device, an exhausted resource) is
+   presumed broken beyond what a fresh context repairs, and the remaining
+   tasks drain through the healthy workers or the sequential fallback. *)
+let max_worker_failures = 3
 
 type 'ctx t = {
   size : int;
   factory : unit -> 'ctx;
   ctxs : 'ctx option array; (* per-slot contexts, built on first use *)
+  task_retries : int;
+  stats : stats;
 }
 
-let create ?size ~factory () =
+let create ?size ?(task_retries = 2) ?stats ~factory () =
   let size =
     match size with
     | Some n ->
@@ -31,7 +65,9 @@ let create ?size ~factory () =
         n
     | None -> Domain.recommended_domain_count ()
   in
-  { size; factory; ctxs = Array.make size None }
+  if task_retries < 0 then invalid_arg "Pool.create: task_retries must be >= 0";
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  { size; factory; ctxs = Array.make size None; task_retries; stats }
 
 let ctx_for t slot =
   match t.ctxs.(slot) with
@@ -41,36 +77,56 @@ let ctx_for t slot =
       t.ctxs.(slot) <- Some ctx;
       ctx
 
+(* The context in [slot] was live while a task raised: drop it so the next
+   use rebuilds from the factory instead of reusing half-mutated state. *)
+let poison t slot =
+  t.ctxs.(slot) <- None;
+  t.stats.worker_restarts <- t.stats.worker_restarts + 1
+
 let size t = t.size
+let stats t = t.stats
 
 let map t f items =
   let n = Array.length items in
   if n = 0 then [||]
   else begin
     let workers = min t.size n in
-    if workers <= 1 then begin
-      let ctx = ctx_for t 0 in
-      Array.map (f ctx) items
-    end
+    let results = Array.make n None in
+    let failures = Array.make n None in
+    let any_failure = ref false in
+    let run_task slot i =
+      match f (ctx_for t slot) items.(i) with
+      | r ->
+          results.(i) <- Some r;
+          failures.(i) <- None
+      | exception e ->
+          failures.(i) <- Some e;
+          poison t slot
+    in
+    if workers <= 1 then
+      for i = 0 to n - 1 do
+        run_task 0 i;
+        if failures.(i) <> None then any_failure := true
+      done
     else begin
-      let results = Array.make n None in
       let next = Atomic.make 0 in
-      let error = Atomic.make None in
+      let failed_flag = Atomic.make false in
       let worker slot () =
-        let ctx = ctx_for t slot in
+        let my_failures = ref 0 in
         let continue = ref true in
         while !continue do
           let i = Atomic.fetch_and_add next 1 in
           if i >= n then continue := false
-          else
-            match f ctx items.(i) with
-            | r -> results.(i) <- Some r
-            | exception e ->
-                (* Remember the first failure and drain the queue so the
-                   other workers stop picking up new tasks. *)
-                ignore (Atomic.compare_and_set error None (Some e));
-                Atomic.set next n;
-                continue := false
+          else begin
+            run_task slot i;
+            if failures.(i) <> None then begin
+              Atomic.set failed_flag true;
+              incr my_failures;
+              (* A worker that keeps dying stops claiming; the healthy
+                 workers (and the sequential fallback) drain the rest. *)
+              if !my_failures >= max_worker_failures then continue := false
+            end
+          end
         done
       in
       let spawned =
@@ -78,17 +134,51 @@ let map t f items =
       in
       worker 0 ();
       List.iter Domain.join spawned;
-      match Atomic.get error with
-      | Some e -> raise e
-      | None ->
-          Array.map
-            (function
-              | Some r -> r
-              | None ->
-                  (* Only reachable when another task failed; handled above. *)
-                  assert false)
-            results
-    end
+      any_failure := Atomic.get failed_flag;
+      (* Every worker may have bailed early with tasks still unclaimed;
+         pick up the stragglers in the calling domain. *)
+      for i = 0 to n - 1 do
+        if results.(i) = None && failures.(i) = None then begin
+          run_task 0 i;
+          if failures.(i) <> None then any_failure := true
+        end
+      done
+    end;
+    if !any_failure then begin
+      t.stats.salvaged <-
+        t.stats.salvaged
+        + Array.fold_left (fun a r -> if r <> None then a + 1 else a) 0 results;
+      (* Bounded retry rounds, sequentially in the calling domain on a
+         rebuilt context: the degraded mode when workers keep dying. *)
+      let round = ref 0 in
+      let still_failing () = Array.exists (fun e -> e <> None) failures in
+      while !round < t.task_retries && still_failing () do
+        incr round;
+        t.stats.sequential_fallbacks <- t.stats.sequential_fallbacks + 1;
+        for i = 0 to n - 1 do
+          if failures.(i) <> None then begin
+            t.stats.task_retries <- t.stats.task_retries + 1;
+            run_task 0 i
+          end
+        done
+      done;
+      match
+        Array.to_seq failures
+        |> Seq.zip (Seq.ints 0)
+        |> Seq.find_map (fun (i, e) -> Option.map (fun e -> (i, e)) e)
+      with
+      | Some (i, e) ->
+          raise
+            (Worker_lost
+               (Printf.sprintf "task %d failed after %d attempts: %s" i
+                  (1 + t.task_retries) (Printexc.to_string e)))
+      | None -> ()
+    end;
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false (* no failure recorded -> result present *))
+      results
   end
 
 let map_list t f items = Array.to_list (map t f (Array.of_list items))

@@ -3,24 +3,61 @@
     Each worker owns a private context built by a factory thunk, so no
     mutable state is shared between domains.  Deterministic workloads
     produce the same results as sequential execution (asserted by the
-    engine tests). *)
+    engine tests).
+
+    The pool degrades gracefully: a task that raises poisons only its
+    worker's context (dropped and rebuilt from the factory), completed
+    results are salvaged, and failed tasks are retried — first by the
+    surviving workers' drain, then sequentially in the calling domain.
+    Only a task that fails every attempt aborts the batch. *)
+
+exception Worker_lost of string
+(** A task failed its initial attempt and every bounded retry; the message
+    carries the task index, attempt count, and the last exception.  This
+    is the [Worker_lost] leg of the learning supervisor's failure
+    taxonomy. *)
+
+type stats = {
+  mutable worker_restarts : int;
+      (** poisoned contexts dropped (and lazily rebuilt) after a task
+          exception *)
+  mutable task_retries : int;  (** task re-executions after failures *)
+  mutable salvaged : int;
+      (** completed results kept from batches that also saw failures
+          (previously all were discarded) *)
+  mutable sequential_fallbacks : int;
+      (** retry passes executed sequentially in the calling domain *)
+}
+
+val fresh_stats : unit -> stats
 
 type 'ctx t
 
-val create : ?size:int -> factory:(unit -> 'ctx) -> unit -> 'ctx t
+val create :
+  ?size:int ->
+  ?task_retries:int ->
+  ?stats:stats ->
+  factory:(unit -> 'ctx) ->
+  unit ->
+  'ctx t
 (** [create ~factory ()] builds a pool whose workers each obtain their own
     context via [factory].  Contexts are built lazily, one per worker
     slot, and reused across {!map} calls — a worker oracle keeps its memo
     caches warm from one round to the next.  [size] defaults to
     [Domain.recommended_domain_count ()]; it must be [>= 1].  A pool of
-    size 1 runs everything in the calling domain. *)
+    size 1 runs everything in the calling domain.  [task_retries]
+    (default 2) bounds the sequential retry rounds for failed tasks;
+    [stats] receives the restart/retry accounting. *)
 
 val size : 'ctx t -> int
+val stats : 'ctx t -> stats
 
 val map : 'ctx t -> ('ctx -> 'a -> 'b) -> 'a array -> 'b array
 (** [map t f items] applies [f ctx item] to every item, fanning the work
     across [min (size t) (Array.length items)] domains.  Result order
-    matches item order.  If any application raises, the first exception is
-    re-raised in the calling domain after all workers have stopped. *)
+    matches item order.  A task that raises is retried (bounded) on a
+    rebuilt context while completed results are kept; if it still fails
+    after every retry, {!Worker_lost} is raised in the calling domain
+    after all workers have stopped. *)
 
 val map_list : 'ctx t -> ('ctx -> 'a -> 'b) -> 'a list -> 'b list

@@ -185,6 +185,8 @@ let test_toy_full_pipeline () =
       Alcotest.(check int) "toy L1 has 2 states" 2 report.Cq_core.Learn.states;
       Alcotest.(check bool) "identified as PLRU/LRU family" true
         (List.mem "PLRU" report.Cq_core.Learn.identified)
+  | Cq_core.Hardware.Partial { failure; _ } ->
+      Alcotest.fail (Fmt.str "%a" Cq_core.Learn.pp_failure failure)
   | Cq_core.Hardware.Failed { reason; _ } -> Alcotest.fail reason
 
 let test_toy_l2_new1 () =
@@ -197,6 +199,8 @@ let test_toy_l2_new1 () =
       Alcotest.(check bool) "reset is not plain F+R" true (reset <> FE.Flush_refill);
       Alcotest.(check bool) "New1-2 identified" true
         (List.mem "New1" report.Cq_core.Learn.identified)
+  | Cq_core.Hardware.Partial { failure; _ } ->
+      Alcotest.fail (Fmt.str "%a" Cq_core.Learn.pp_failure failure)
   | Cq_core.Hardware.Failed { reason; _ } -> Alcotest.fail reason
 
 let test_toy_l3_leader () =
@@ -210,6 +214,8 @@ let test_toy_l3_leader () =
       Alcotest.(check int) "PLRU-4 state count" 8 report.Cq_core.Learn.states;
       Alcotest.(check bool) "identified as PLRU" true
         (List.mem "PLRU" report.Cq_core.Learn.identified)
+  | Cq_core.Hardware.Partial { failure; _ } ->
+      Alcotest.fail (Fmt.str "%a" Cq_core.Learn.pp_failure failure)
   | Cq_core.Hardware.Failed { reason; _ } -> Alcotest.fail reason
 
 let suite =

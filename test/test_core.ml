@@ -63,16 +63,32 @@ let test_learn_set_toy_l3_follower_learns_active_policy () =
   match run.Cq_core.Hardware.outcome with
   | Cq_core.Hardware.Failed { reason; _ } ->
       Alcotest.fail ("follower learning failed: " ^ reason)
+  | Cq_core.Hardware.Partial { failure; _ } ->
+      Alcotest.fail
+        (Fmt.str "follower learning partial: %a" Cq_core.Learn.pp_failure
+           failure)
   | Cq_core.Hardware.Learned { report; _ } ->
       Alcotest.(check bool) "identified as a fixed policy" true
         (report.Cq_core.Learn.identified <> [])
 
 let test_learn_set_state_budget_failure () =
+  (* Exhausting the state budget is a [Diverged] failure, surfaced as a
+     [Partial] outcome carrying the divergence details. *)
   let machine = quiet CM.toy in
   let run = Cq_core.Hardware.learn_set machine CM.L3 ~set:8 ~max_states:4 in
   match run.Cq_core.Hardware.outcome with
+  | Cq_core.Hardware.Partial
+      { failure = Cq_core.Learn.Diverged d; member_queries; _ } ->
+      Alcotest.(check bool) "budget reason" true
+        (d.Cq_learner.Lstar.reason = "state budget exhausted");
+      Alcotest.(check bool) "states at the cap" true
+        (d.Cq_learner.Lstar.states >= 4);
+      Alcotest.(check bool) "queries were counted" true (member_queries > 0)
+  | Cq_core.Hardware.Partial { failure; _ } ->
+      Alcotest.fail
+        (Fmt.str "wrong failure class: %a" Cq_core.Learn.pp_failure failure)
   | Cq_core.Hardware.Failed { reason; _ } ->
-      Alcotest.(check bool) "diverged on budget" true (String.length reason > 0)
+      Alcotest.fail ("expected Partial, got Failed: " ^ reason)
   | Cq_core.Hardware.Learned _ -> Alcotest.fail "8-state PLRU fit in 4 states?"
 
 let test_l3_leader_sets_listing () =
@@ -136,5 +152,6 @@ let () =
       Test_synth.suite;
       Test_eviction.suite;
       Test_noise.suite;
+      Test_session.suite;
       suite;
     ]

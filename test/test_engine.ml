@@ -104,6 +104,9 @@ let test_pool_matches_sequential () =
     (List.map (fun x -> x * x) items)
     results
 
+(* A task that fails deterministically exhausts every bounded retry and
+   surfaces as Worker_lost (the supervisor's taxonomy), carrying the
+   original exception's message. *)
 let test_pool_propagates_exceptions () =
   let pool = Cq_util.Pool.create ~size:2 ~factory:(fun () -> ()) () in
   match
@@ -112,7 +115,45 @@ let test_pool_propagates_exceptions () =
       (List.init 10 Fun.id)
   with
   | _ -> Alcotest.fail "expected the worker failure to propagate"
-  | exception Failure msg -> Alcotest.(check string) "failure surfaced" "boom" msg
+  | exception Cq_util.Pool.Worker_lost msg ->
+      let contains s sub =
+        let n = String.length sub in
+        let found = ref false in
+        for i = 0 to String.length s - n do
+          if String.sub s i n = sub then found := true
+        done;
+        !found
+      in
+      Alcotest.(check bool) "carries the original failure" true
+        (contains msg "boom")
+
+(* A transient failure (one poisoned context) must not lose the batch:
+   completed results are salvaged, the failed task is retried on a rebuilt
+   context, and the restart is reported through the stats record. *)
+let test_pool_salvages_transient_failure () =
+  let stats = Cq_util.Pool.fresh_stats () in
+  let pool =
+    Cq_util.Pool.create ~size:2 ~stats ~factory:(fun () -> ref 0) ()
+  in
+  let failed_once = Atomic.make false in
+  let items = List.init 20 Fun.id in
+  let results =
+    Cq_util.Pool.map_list pool
+      (fun c x ->
+        incr c;
+        if x = 7 && not (Atomic.exchange failed_once true) then
+          failwith "transient glitch";
+        x * x)
+      items
+  in
+  Alcotest.(check (list int))
+    "all tasks completed despite the injected failure"
+    (List.map (fun x -> x * x) items)
+    results;
+  Alcotest.(check bool) "restart reported" true
+    (stats.Cq_util.Pool.worker_restarts >= 1);
+  Alcotest.(check bool) "retry reported" true
+    (stats.Cq_util.Pool.task_retries >= 1)
 
 (* Worker contexts are built once per slot and survive across map calls
    (that is what keeps worker oracle caches warm between rounds). *)
@@ -210,6 +251,8 @@ let suite =
       Alcotest.test_case "pool = sequential" `Quick test_pool_matches_sequential;
       Alcotest.test_case "pool propagates exceptions" `Quick
         test_pool_propagates_exceptions;
+      Alcotest.test_case "pool salvages transient failures" `Quick
+        test_pool_salvages_transient_failure;
       Alcotest.test_case "pool contexts persist" `Quick
         test_pool_contexts_persist;
       Alcotest.test_case "bounded memo overflow" `Quick test_memo_overflow;

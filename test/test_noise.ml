@@ -25,6 +25,9 @@ let backend_for ?(noise = M.quiet_noise) model level set =
 let report_of run =
   match run.Cq_core.Hardware.outcome with
   | Cq_core.Hardware.Learned { report; _ } -> report
+  | Cq_core.Hardware.Partial { failure; _ } ->
+      Alcotest.fail
+        (Fmt.str "learn_set partial: %a" Cq_core.Learn.pp_failure failure)
   | Cq_core.Hardware.Failed { reason; _ } ->
       Alcotest.fail ("learn_set failed: " ^ reason)
 
