@@ -462,6 +462,43 @@ let engine () =
   in
   Printf.printf "%-8s %5s | %9s | %9s %7s | %9s %7s | %6s %5s\n%!" "Policy"
     "assoc" "seq" "batched" "speedup" "par" "speedup" "saved%" "agree";
+  (* Observability overhead gate: the same learning run with tracing
+     enabled must issue exactly the same queries and block accesses — the
+     span instrumentation must never perturb the pipeline — and the
+     enabled run's trace lands in BENCH_engine_trace.json as a
+     Perfetto-loadable sample artifact.  Runs first so the trace only
+     contains this probe, not the whole benchmark. *)
+  let overhead_identical =
+    let probe = Cq_policy.Zoo.make_exn ~name:"PLRU" ~assoc:4 in
+    let go () =
+      Cq_core.Learn.learn_simulated ~identify:false
+        ~engine:Cq_core.Learn.Batched probe
+    in
+    let untraced = go () in
+    Cq_util.Trace.enable ();
+    let traced = go () in
+    Cq_util.Trace.export_chrome ~path:"BENCH_engine_trace.json" ();
+    Cq_util.Trace.disable ();
+    Cq_util.Trace.clear ();
+    let same =
+      untraced.Cq_core.Learn.member_queries
+      = traced.Cq_core.Learn.member_queries
+      && untraced.Cq_core.Learn.cache_queries
+         = traced.Cq_core.Learn.cache_queries
+      && untraced.Cq_core.Learn.cache_accesses
+         = traced.Cq_core.Learn.cache_accesses
+      && untraced.Cq_core.Learn.timed_loads = traced.Cq_core.Learn.timed_loads
+    in
+    Printf.printf
+      "tracing on/off: %d/%d queries, %d/%d accesses -> %s (trace in \
+       BENCH_engine_trace.json)\n\
+       %!"
+      traced.Cq_core.Learn.member_queries untraced.Cq_core.Learn.member_queries
+      traced.Cq_core.Learn.cache_accesses
+      untraced.Cq_core.Learn.cache_accesses
+      (if same then "identical" else "MISMATCH <-- instrumentation leak");
+    same
+  in
   let rows =
     List.map
       (fun (name, assoc) ->
@@ -501,7 +538,17 @@ let engine () =
      for the next run to choke on. *)
   let buf = Buffer.create 4096 in
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  out "{\n  \"domains\": %d,\n  \"results\": [\n" domains;
+  out "{\n  \"domains\": %d,\n  \"tracing_overhead_identical\": %b,\n" domains
+    overhead_identical;
+  (* The batched run's full metrics registry — histograms included — so
+     the bench JSON carries the same observability block the learning
+     reports do. *)
+  (match rows with
+  | (_, _, _, bat, _, _) :: _ ->
+      out "  \"metrics\": %s,\n"
+        (String.trim (Cq_util.Metrics.to_json bat.Cq_core.Learn.metrics))
+  | [] -> ());
+  out "  \"results\": [\n";
   List.iteri
     (fun i (name, assoc, seq, bat, par, agree) ->
       let seconds (r : Cq_core.Learn.report) = r.Cq_core.Learn.seconds in
@@ -528,7 +575,9 @@ let engine () =
   out "  ]\n}\n";
   Cq_util.Atomic_file.write ~path:"BENCH_engine.json" (Buffer.contents buf);
   Printf.printf "\n(wrote BENCH_engine.json; %d worker domains for parallel)\n%!"
-    domains
+    domains;
+  if not overhead_identical then
+    failwith "engine bench: tracing changed the pipeline's query counts"
 
 (* ----------------------------------------------------------------------- *)
 (* Noise: learning under measurement noise                                   *)

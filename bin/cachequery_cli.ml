@@ -26,6 +26,7 @@ type session = {
   mutable reps : int;
   mutable reset : Cq_cachequery.Frontend.reset;
   mutable frontend : Cq_cachequery.Frontend.t option;
+  metrics : Cq_util.Metrics.t;
 }
 
 let frontend session =
@@ -33,7 +34,7 @@ let frontend session =
   | Some fe -> fe
   | None ->
       let backend =
-        Cq_cachequery.Backend.create session.machine
+        Cq_cachequery.Backend.create ~metrics:session.metrics session.machine
           { Cq_cachequery.Backend.level = session.level;
             slice = session.slice;
             set = session.set }
@@ -44,7 +45,7 @@ let frontend session =
         threshold;
       let fe =
         Cq_cachequery.Frontend.create ~reset:session.reset
-          ~repetitions:session.reps backend
+          ~repetitions:session.reps ~metrics:session.metrics backend
       in
       session.frontend <- Some fe;
       fe
@@ -196,6 +197,20 @@ let sets_arg =
   let doc = "Comma-separated set indices (or a-b ranges) for batch mode." in
   Arg.(value & opt (some string) None & info [ "sets" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Record a structured execution trace and write it to $(docv) as Chrome \
+     trace_event JSON (load it in Perfetto or about://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write the run's metrics registry (frontend and backend counters and \
+     histograms) to $(docv) as JSON."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let parse_sets spec =
   String.split_on_char ',' spec
   |> List.concat_map (fun part ->
@@ -208,7 +223,19 @@ let parse_sets spec =
              List.init (hi - lo + 1) (fun k -> lo + k)
          | None -> [ int_of_string part ])
 
-let main cpu level set slice reps noise seed query sets =
+let main cpu level set slice reps noise seed query sets trace metrics_path =
+  (* Flush observability output on every exit path (batch mode exits 2 on
+     a failed query; at_exit still runs). *)
+  let registry = Cq_util.Metrics.create () in
+  (match trace with
+  | None -> ()
+  | Some path ->
+      Cq_util.Trace.enable ();
+      at_exit (fun () -> Cq_util.Trace.export_chrome ~path ()));
+  (match metrics_path with
+  | None -> ()
+  | Some path ->
+      at_exit (fun () -> Cq_util.Metrics.write_json ~path registry));
   if reps < 1 || (reps <> 1 && reps mod 2 = 0) then
     `Error
       (false,
@@ -236,6 +263,7 @@ let main cpu level set slice reps noise seed query sets =
               reps;
               reset = Cq_cachequery.Frontend.Flush_refill;
               frontend = None;
+              metrics = registry;
             }
           in
           (match (query, sets) with
@@ -252,6 +280,7 @@ let cmd =
     Term.(
       ret
         (const main $ cpu_arg $ level_arg $ set_arg $ slice_arg $ reps_arg
-       $ noise_arg $ seed_arg $ query_arg $ sets_arg))
+       $ noise_arg $ seed_arg $ query_arg $ sets_arg $ trace_arg
+       $ metrics_arg))
 
 let () = exit (Cmd.eval cmd)

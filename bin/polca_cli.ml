@@ -18,14 +18,29 @@ let snapshot_policy_of snapshot snapshot_every =
       Cq_core.Learn.snapshot_policy ?every_queries:snapshot_every path)
     snapshot
 
+(* Observability hooks: enable tracing up front and flush trace + metrics
+   on every exit path, including the distinct-exit-code failure paths
+   (at_exit runs on [exit 10..13] too). *)
+let setup_observability trace metrics registry =
+  (match trace with
+  | None -> ()
+  | Some path ->
+      Cq_util.Trace.enable ();
+      at_exit (fun () -> Cq_util.Trace.export_chrome ~path ()));
+  match metrics with
+  | None -> ()
+  | Some path ->
+      at_exit (fun () -> Cq_util.Metrics.write_json ~path registry)
+
 let learn_simulated policy assoc depth dot snapshot snapshot_every resume
-    deadline query_budget =
+    deadline query_budget metrics =
   match Cq_policy.Zoo.make ~name:policy ~assoc with
   | Error msg -> `Error (false, msg)
   | Ok p -> (
       match
         Cq_core.Learn.run_simulated
           ~equivalence:(Cq_core.Learn.W_method depth)
+          ~metrics
           ?snapshot:(snapshot_policy_of snapshot snapshot_every)
           ?resume
           ~deadline:(Cq_util.Clock.deadline_of deadline)
@@ -49,7 +64,7 @@ let learn_simulated policy assoc depth dot snapshot snapshot_every resume
           `Ok ())
 
 let learn_hardware cpu level set slice cat depth noise dot snapshot
-    snapshot_every resume deadline query_budget =
+    snapshot_every resume deadline query_budget metrics =
   match Cq_hwsim.Cpu_model.by_name cpu with
   | None -> `Error (false, Printf.sprintf "unknown CPU %S" cpu)
   | Some model ->
@@ -63,6 +78,7 @@ let learn_hardware cpu level set slice cat depth noise dot snapshot
           ~equivalence:(Cq_core.Learn.W_method depth)
           ~check_hits:false
           ~repetitions:(if noise then 5 else 1)
+          ~metrics
           ?snapshot:(snapshot_policy_of snapshot snapshot_every)
           ?resume ?deadline ?query_budget
       in
@@ -166,16 +182,36 @@ let query_budget_arg =
           "Maximum hardware queries; exceeding it exits 12 after writing a \
            final snapshot.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured execution trace and write it to $(docv) as \
+           Chrome trace_event JSON (load it in Perfetto or about://tracing).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics registry (counters and histograms across \
+           the whole pipeline) to $(docv) as JSON.")
+
 let main policy assoc cpu level set slice cat depth noise dot snapshot
-    snapshot_every resume deadline query_budget =
+    snapshot_every resume deadline query_budget trace metrics_path =
+  let registry = Cq_util.Metrics.create () in
+  setup_observability trace metrics_path registry;
   try
     match policy with
     | Some name ->
         learn_simulated name assoc depth dot snapshot snapshot_every resume
-          deadline query_budget
+          deadline query_budget registry
     | None ->
         learn_hardware cpu level set slice cat depth noise dot snapshot
-          snapshot_every resume deadline query_budget
+          snapshot_every resume deadline query_budget registry
   with Cq_core.Session.Corrupt msg -> `Error (false, msg)
 
 let cmd =
@@ -186,6 +222,7 @@ let cmd =
       ret
         (const main $ policy_arg $ assoc_arg $ cpu_arg $ level_arg $ set_arg
        $ slice_arg $ cat_arg $ depth_arg $ noise_arg $ dot_arg $ snapshot_arg
-       $ snapshot_every_arg $ resume_arg $ deadline_arg $ query_budget_arg))
+       $ snapshot_every_arg $ resume_arg $ deadline_arg $ query_budget_arg
+       $ trace_arg $ metrics_arg))
 
 let () = exit (Cmd.eval cmd)

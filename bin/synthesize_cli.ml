@@ -4,14 +4,28 @@
 
 open Cmdliner
 
-let main policy assoc deadline learn_first =
+let main policy assoc deadline learn_first trace metrics_path =
+  let registry = Cq_util.Metrics.create () in
+  (* Flush observability output on every exit path (the deadline path
+     exits 12; at_exit still runs). *)
+  (match trace with
+  | None -> ()
+  | Some path ->
+      Cq_util.Trace.enable ();
+      at_exit (fun () -> Cq_util.Trace.export_chrome ~path ()));
+  (match metrics_path with
+  | None -> ()
+  | Some path ->
+      at_exit (fun () -> Cq_util.Metrics.write_json ~path registry));
   match Cq_policy.Zoo.make ~name:policy ~assoc with
   | Error msg -> `Error (false, msg)
   | Ok p ->
       let machine =
         if learn_first then begin
           Fmt.pr "learning %s (associativity %d) from a simulated cache...@." policy assoc;
-          let report = Cq_core.Learn.learn_simulated ~identify:false p in
+          let report =
+            Cq_core.Learn.learn_simulated ~identify:false ~metrics:registry p
+          in
           Fmt.pr "learned %d states in %a@." report.Cq_core.Learn.states
             Cq_util.Clock.pp_duration report.Cq_core.Learn.seconds;
           report.Cq_core.Learn.machine
@@ -58,10 +72,31 @@ let deadline_arg = Arg.(value & opt float 300.0 & info [ "deadline" ] ~doc:"Sear
 let learn_arg =
   Arg.(value & flag & info [ "learn" ] ~doc:"Learn the automaton from a simulated cache first (end-to-end pipeline).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured execution trace and write it to $(docv) as \
+           Chrome trace_event JSON (load it in Perfetto or about://tracing).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics registry to $(docv) as JSON (populated by \
+           the learning pipeline when $(b,--learn) is given).")
+
 let cmd =
   let doc = "synthesize human-readable explanations of replacement policies" in
   Cmd.v
     (Cmd.info "synthesize" ~doc)
-    Term.(ret (const main $ policy_arg $ assoc_arg $ deadline_arg $ learn_arg))
+    Term.(
+      ret
+        (const main $ policy_arg $ assoc_arg $ deadline_arg $ learn_arg
+       $ trace_arg $ metrics_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -63,7 +63,7 @@ let plan_cost queries =
   let naive = List.fold_left (fun acc q -> acc + List.length q) 0 queries in
   (naive, edges root)
 
-let run ops queries =
+let run_trie ops queries =
   let root = build queries in
   let n = List.length queries in
   let results = Array.make n [] in
@@ -87,3 +87,11 @@ let run ops queries =
   ops.reset ();
   visit root [];
   Array.to_list results
+
+let run ops queries =
+  if Cq_util.Trace.enabled () then
+    Cq_util.Trace.with_span ~cat:"batch"
+      ~args:[ ("queries", string_of_int (List.length queries)) ]
+      "batch.run"
+      (fun () -> run_trie ops queries)
+  else run_trie ops queries

@@ -30,34 +30,51 @@ type t = {
          repetitions > 1). *)
 }
 
+(* Registry-backed accounting (Cq_util.Metrics): each field is a named
+   counter, so legacy report fields and their metrics-registry
+   counterparts are the same cells, and one registry shared across the
+   pipeline layers exports the whole run at once. *)
 type stats = {
-  mutable queries : int;        (* oracle queries issued *)
-  mutable block_accesses : int; (* total blocks across all queries *)
-  mutable memo_hits : int;      (* queries answered from the memo table *)
-  mutable batches : int;        (* query_batch calls *)
-  mutable batched_queries : int; (* queries carried by those batches *)
-  mutable accesses_saved : int; (* accesses avoided by prefix sharing *)
-  mutable memo_overflows : int; (* bounded memo table clears *)
+  queries : Cq_util.Metrics.counter; (* oracle queries issued *)
+  block_accesses : Cq_util.Metrics.counter; (* total blocks across queries *)
+  memo_hits : Cq_util.Metrics.counter; (* queries answered from the memo *)
+  batches : Cq_util.Metrics.counter; (* query_batch calls *)
+  batched_queries : Cq_util.Metrics.counter; (* queries carried by batches *)
+  accesses_saved : Cq_util.Metrics.counter; (* avoided by prefix sharing *)
+  memo_overflows : Cq_util.Metrics.counter; (* bounded memo table clears *)
   (* Noise-layer accounting: *)
-  mutable timed_loads : int;    (* physical timed loads (hardware backends) *)
-  mutable vote_runs : int;      (* extra executions spent on majority voting *)
-  mutable transient_flips : int; (* Non_deterministic words absorbed by retry *)
-  mutable retry_attempts : int; (* word re-executions the retry layer issued *)
+  timed_loads : Cq_util.Metrics.counter; (* physical timed loads (hardware) *)
+  vote_runs : Cq_util.Metrics.counter; (* extra runs spent on voting *)
+  transient_flips : Cq_util.Metrics.counter; (* ND words absorbed by retry *)
+  retry_attempts : Cq_util.Metrics.counter; (* word re-executions issued *)
+  (* Per-span distributions: *)
+  batch_depth : Cq_util.Metrics.histogram;
+      (* queries carried per batch (trie fan-in / session probe count) *)
+  vote_escalations : Cq_util.Metrics.histogram;
+      (* runs spent per voted access that entered the voting loop *)
 }
 
-let fresh_stats () =
+let fresh_stats ?registry ?(prefix = "oracle") () =
+  let r =
+    match registry with Some r -> r | None -> Cq_util.Metrics.create ()
+  in
+  let c field = Cq_util.Metrics.counter r (prefix ^ "." ^ field) in
   {
-    queries = 0;
-    block_accesses = 0;
-    memo_hits = 0;
-    batches = 0;
-    batched_queries = 0;
-    accesses_saved = 0;
-    memo_overflows = 0;
-    timed_loads = 0;
-    vote_runs = 0;
-    transient_flips = 0;
-    retry_attempts = 0;
+    queries = c "queries";
+    block_accesses = c "block_accesses";
+    memo_hits = c "memo_hits";
+    batches = c "batches";
+    batched_queries = c "batched_queries";
+    accesses_saved = c "accesses_saved";
+    memo_overflows = c "memo_overflows";
+    timed_loads = c "timed_loads";
+    vote_runs = c "vote_runs";
+    transient_flips = c "transient_flips";
+    retry_attempts = c "retry_attempts";
+    batch_depth =
+      Cq_util.Metrics.histogram ~buckets:16 r (prefix ^ ".batch_depth");
+    vote_escalations =
+      Cq_util.Metrics.histogram ~buckets:8 r (prefix ^ ".vote_escalations");
   }
 
 (* A correct [query_batch] for oracles without native batch support. *)
@@ -101,22 +118,23 @@ let counting stats t =
     t with
     query =
       (fun blocks ->
-        stats.queries <- stats.queries + 1;
-        stats.block_accesses <- stats.block_accesses + List.length blocks;
+        Cq_util.Metrics.incr stats.queries;
+        Cq_util.Metrics.add stats.block_accesses (List.length blocks);
         t.query blocks);
     query_batch =
       (fun batch ->
         let n = List.length batch in
-        stats.batches <- stats.batches + 1;
-        stats.batched_queries <- stats.batched_queries + n;
-        stats.queries <- stats.queries + n;
+        Cq_util.Metrics.incr stats.batches;
+        Cq_util.Metrics.add stats.batched_queries n;
+        Cq_util.Metrics.add stats.queries n;
+        Cq_util.Metrics.observe stats.batch_depth (float_of_int n);
         let naive, shared = Batch.plan_cost batch in
         (* [block_accesses] stays the logical (per-query) cost so numbers
            remain comparable with the paper's query counts; the sharing
            win is reported separately. *)
-        stats.block_accesses <- stats.block_accesses + naive;
+        Cq_util.Metrics.add stats.block_accesses naive;
         if t.prefix_sharing then
-          stats.accesses_saved <- stats.accesses_saved + (naive - shared);
+          Cq_util.Metrics.add stats.accesses_saved (naive - shared);
         t.query_batch batch);
   }
 
@@ -136,14 +154,14 @@ let memoized ?stats ?max_entries t =
   | Some n when n < 1 -> invalid_arg "Oracle.memoized: max_entries must be >= 1"
   | _ -> ());
   let note_memo_hit () =
-    match stats with Some s -> s.memo_hits <- s.memo_hits + 1 | None -> ()
+    match stats with Some s -> Cq_util.Metrics.incr s.memo_hits | None -> ()
   in
   let store key r =
     (match max_entries with
     | Some n when Hashtbl.length table >= n ->
         Hashtbl.reset table;
         (match stats with
-        | Some s -> s.memo_overflows <- s.memo_overflows + 1
+        | Some s -> Cq_util.Metrics.incr s.memo_overflows
         | None -> ())
     | _ -> ());
     Hashtbl.add table key r

@@ -27,27 +27,38 @@ type t = {
 }
 
 type stats = {
-  mutable queries : int;
-  mutable block_accesses : int;
-  mutable memo_hits : int;
-  mutable batches : int;  (** [query_batch] calls *)
-  mutable batched_queries : int;  (** queries carried by those batches *)
-  mutable accesses_saved : int;
+  queries : Cq_util.Metrics.counter;
+  block_accesses : Cq_util.Metrics.counter;
+  memo_hits : Cq_util.Metrics.counter;
+  batches : Cq_util.Metrics.counter;  (** [query_batch] calls *)
+  batched_queries : Cq_util.Metrics.counter;
+      (** queries carried by those batches *)
+  accesses_saved : Cq_util.Metrics.counter;
       (** block accesses avoided by prefix sharing, relative to naive
           per-query replay of the same batches *)
-  mutable memo_overflows : int;  (** bounded memo table clears *)
-  mutable timed_loads : int;
+  memo_overflows : Cq_util.Metrics.counter;  (** bounded memo table clears *)
+  timed_loads : Cq_util.Metrics.counter;
       (** physical timed loads issued (hardware backends; counts every
           repetition, unlike the logical [block_accesses]) *)
-  mutable vote_runs : int;
+  vote_runs : Cq_util.Metrics.counter;
       (** extra query/access executions spent on majority voting *)
-  mutable transient_flips : int;
+  transient_flips : Cq_util.Metrics.counter;
       (** [Polca.Non_deterministic] words that a retry absorbed *)
-  mutable retry_attempts : int;
+  retry_attempts : Cq_util.Metrics.counter;
       (** word re-executions issued by the bounded-retry layer *)
+  batch_depth : Cq_util.Metrics.histogram;
+      (** queries carried per batch (trie fan-in / session probe count) *)
+  vote_escalations : Cq_util.Metrics.histogram;
+      (** runs spent per voted access that entered the voting loop *)
 }
+(** Registry-backed accounting: every field is a named metric
+    ({!Cq_util.Metrics}), so report fields and registry exports cannot
+    disagree. *)
 
-val fresh_stats : unit -> stats
+val fresh_stats : ?registry:Cq_util.Metrics.t -> ?prefix:string -> unit -> stats
+(** Stats whose fields are registered as ["<prefix>.<field>"] (default
+    prefix ["oracle"]) in [registry] (default: a fresh private registry).
+    Two stats records sharing a registry must use distinct prefixes. *)
 
 val sequential_batch :
   (Block.t list -> Cache_set.result list) ->

@@ -36,8 +36,10 @@ type t = {
      a plain flush yields the memory-latency miss population. *)
   calib_sweep : int list;
   mutable calib_dirty : bool; (* calibration touched the target set *)
-  mutable timed_loads : int;
-  mutable filter_loads : int;
+  (* Registry-backed load/recalibration accounting (Cq_util.Metrics): the
+     report fields and a --metrics export read the same cells. *)
+  timed_loads : Cq_util.Metrics.counter;
+  filter_loads : Cq_util.Metrics.counter;
   (* Noise layer (§4.3 hardening): [margin] is the half-width of the
      "suspicious" latency band around the threshold.  A latency at most
      [threshold - margin] is a confident hit (outlier spikes only push
@@ -63,7 +65,7 @@ type t = {
   mutable ewma_hit : float;
   mutable ewma_miss : float;
   mutable recalibrate_due : bool;
-  mutable recalibrations : int;
+  recalibrations : Cq_util.Metrics.counter;
   (* Upper bound of the confident-miss band: a latency above
      [threshold + margin] but at most [miss_ceiling] sits inside the
      next-level population and cannot be an outlier-spiked hit (spikes add
@@ -92,11 +94,11 @@ let ewma_alpha = 0.01
 let machine t = t.machine
 let target t = t.target
 let threshold t = t.threshold
-let timed_loads t = t.timed_loads
-let filter_loads t = t.filter_loads
+let timed_loads t = Cq_util.Metrics.value t.timed_loads
+let filter_loads t = Cq_util.Metrics.value t.filter_loads
 let margin t = t.margin
 let miss_ceiling t = t.miss_ceiling
-let recalibrations t = t.recalibrations
+let recalibrations t = Cq_util.Metrics.value t.recalibrations
 let recalibrate_due t = t.recalibrate_due
 
 let line_size t = (Cq_hwsim.Machine.model t.machine).Cq_hwsim.Cpu_model.line_size
@@ -232,8 +234,11 @@ let default_threshold machine level =
       + model.Cq_hwsim.Cpu_model.memory_latency)
       / 2
 
-let create ?(disable_prefetchers = true) machine (target : target) =
+let create ?(disable_prefetchers = true) ?metrics machine (target : target) =
   let model = Cq_hwsim.Machine.model machine in
+  let registry =
+    match metrics with Some r -> r | None -> Cq_util.Metrics.create ()
+  in
   let spec = Cq_hwsim.Cpu_model.spec model target.level in
   if target.slice < 0 || target.slice >= spec.Cq_hwsim.Cpu_model.slices then
     invalid_arg "Backend.create: slice out of range";
@@ -258,8 +263,8 @@ let create ?(disable_prefetchers = true) machine (target : target) =
     filter_sets = build_filter_sets machine target;
     calib_sweep = build_calib_sweep machine target;
     calib_dirty = false;
-    timed_loads = 0;
-    filter_loads = 0;
+    timed_loads = Cq_util.Metrics.counter registry "backend.timed_loads";
+    filter_loads = Cq_util.Metrics.counter registry "backend.filter_loads";
     margin = default_margin machine target.level;
     window_classified = 0;
     window_near = 0;
@@ -267,7 +272,7 @@ let create ?(disable_prefetchers = true) machine (target : target) =
     ewma_hit = float_of_int ((2 * threshold) - next_latency);
     ewma_miss = float_of_int next_latency;
     recalibrate_due = false;
-    recalibrations = 0;
+    recalibrations = Cq_util.Metrics.counter registry "backend.recalibrations";
     (* mirrors the [calibrate] update with model medians *)
     miss_ceiling = (2 * next_latency) - threshold;
     (* one line further: a different set index at every cache level, so
@@ -315,7 +320,7 @@ let filter_higher_levels t =
     (fun (_, addrs) ->
       List.iter
         (fun a ->
-          t.filter_loads <- t.filter_loads + 1;
+          Cq_util.Metrics.incr t.filter_loads;
           ignore (Cq_hwsim.Machine.load t.machine a))
         addrs)
     t.filter_sets
@@ -325,7 +330,7 @@ let timed_load t block =
   let addr = addr_of_block t block in
   (* For L2/L3 targets the block must not be served by a higher level. *)
   let cycles = Cq_hwsim.Machine.load t.machine addr in
-  t.timed_loads <- t.timed_loads + 1;
+  Cq_util.Metrics.incr t.timed_loads;
   filter_higher_levels t;
   cycles
 
@@ -377,7 +382,7 @@ let confident_miss t cycles =
    and outvote the truth. *)
 let settle ?(loads = 8) t =
   for _ = 1 to loads do
-    t.filter_loads <- t.filter_loads + 1;
+    Cq_util.Metrics.incr t.filter_loads;
     ignore (Cq_hwsim.Machine.load t.machine t.settle_addr)
   done
 
@@ -390,6 +395,7 @@ let flush_block t block =
    calibration sweep.  This is the building block of the Flush+Refill
    reset: afterwards the target set holds no valid line. *)
 let flush_all_known t =
+  Cq_util.Trace.with_span ~cat:"backend" "backend.flush" @@ fun () ->
   Hashtbl.iter (fun _ addr -> Cq_hwsim.Machine.clflush t.machine addr) t.block_addr;
   (* The unassigned pool has never been accessed, so it cannot be cached.
      The calibration sweep only needs flushing once after calibration. *)
@@ -436,6 +442,7 @@ let run_query_timed t (q : Cq_mbl.Expand.query) =
    by the next level" and place the threshold between the two populations
    (Otsu).  Uses scratch blocks far away from the learning alphabet. *)
 let calibrate ?(samples = 64) t =
+  Cq_util.Trace.with_span ~cat:"backend" "backend.calibrate" @@ fun () ->
   t.calib_dirty <- true;
   let scratch i = Cq_cache.Block.aux (90_000 + i) in
   let hit_samples = ref [] and miss_samples = ref [] in
@@ -515,7 +522,8 @@ let maybe_recalibrate ?samples t =
     t.recalibrate_due <- false;
     t.window_classified <- 0;
     t.window_near <- 0;
+    Cq_util.Trace.instant ~cat:"backend" "backend.recalibrate";
     ignore (calibrate ?samples t);
-    t.recalibrations <- t.recalibrations + 1;
+    Cq_util.Metrics.incr t.recalibrations;
     true
   end

@@ -11,10 +11,18 @@ type target = {
 
 type t
 
-val create : ?disable_prefetchers:bool -> Cq_hwsim.Machine.t -> target -> t
+val create :
+  ?disable_prefetchers:bool ->
+  ?metrics:Cq_util.Metrics.t ->
+  Cq_hwsim.Machine.t ->
+  target ->
+  t
 (** Attach to a target set: select congruent address pools and build the
     non-interfering eviction sets used for cache filtering.  Disables the
-    machine's prefetchers by default, as the real tool does. *)
+    machine's prefetchers by default, as the real tool does.  [metrics]
+    receives the backend's counters ([backend.timed_loads],
+    [backend.filter_loads], [backend.recalibrations]); default is a
+    private registry readable through the accessors below. *)
 
 val machine : t -> Cq_hwsim.Machine.t
 val target : t -> target

@@ -54,7 +54,7 @@ type t = {
 }
 
 let create ?(reset = Flush_refill) ?repetitions ?voting ?max_memo_entries
-    backend =
+    ?metrics backend =
   let voting =
     match (voting, repetitions) with
     | Some v, _ -> v
@@ -76,7 +76,9 @@ let create ?(reset = Flush_refill) ?repetitions ?voting ?max_memo_entries
     memo_enabled = true;
     max_memo_entries;
     memo = Hashtbl.create 8192;
-    stats = Cq_cache.Oracle.fresh_stats ();
+    (* The frontend is the pipeline's *device* layer; distinct prefix so
+       it can share a registry with the learn-level oracle wrappers. *)
+    stats = Cq_cache.Oracle.fresh_stats ?registry:metrics ~prefix:"frontend" ();
   }
 
 let backend t = t.backend
@@ -108,8 +110,7 @@ let memo_store t key r =
   (match t.max_memo_entries with
   | Some n when Hashtbl.length t.memo >= n && not (Hashtbl.mem t.memo key) ->
       Hashtbl.reset t.memo;
-      t.stats.Cq_cache.Oracle.memo_overflows <-
-        t.stats.Cq_cache.Oracle.memo_overflows + 1
+      Cq_util.Metrics.incr t.stats.Cq_cache.Oracle.memo_overflows
   | _ -> ());
   Hashtbl.replace t.memo key r
 
@@ -122,6 +123,7 @@ let run_reset_ast t ast =
   | _ -> invalid_arg "Frontend: reset sequence must expand to a single query"
 
 let apply_reset t =
+  Cq_util.Trace.with_span ~cat:"frontend" "frontend.reset" @@ fun () ->
   (* A reset boundary is the only safe point to honour a drift-triggered
      recalibration: calibration sweeps the target set, and the flushing
      resets below wipe its traces before the next query starts.  Non-flush
@@ -248,11 +250,12 @@ let voted_access t b =
         while !runs < cap && not (decided ()) do
           restore ();
           Backend.settle t.backend;
-          t.stats.Cq_cache.Oracle.vote_runs <-
-            t.stats.Cq_cache.Oracle.vote_runs + 1;
+          Cq_util.Metrics.incr t.stats.Cq_cache.Oracle.vote_runs;
           sample (Backend.timed_load t.backend b);
           incr runs
         done;
+        Cq_util.Metrics.observe t.stats.Cq_cache.Oracle.vote_escalations
+          (float_of_int !runs);
         if 2 * !hits > cap then Cq_cache.Cache_set.Hit
         else Cq_cache.Cache_set.Miss
       end
@@ -278,24 +281,29 @@ let query_blocks t blocks =
   let cached = if t.memo_enabled then Hashtbl.find_opt t.memo key else None in
   match cached with
   | Some r ->
-      t.stats.Cq_cache.Oracle.memo_hits <- t.stats.Cq_cache.Oracle.memo_hits + 1;
+      Cq_util.Metrics.incr t.stats.Cq_cache.Oracle.memo_hits;
       r
   | None ->
-      t.stats.Cq_cache.Oracle.queries <- t.stats.Cq_cache.Oracle.queries + 1;
+      (fun run ->
+        if Cq_util.Trace.enabled () then
+          Cq_util.Trace.with_span ~cat:"frontend"
+            ~args:[ ("blocks", string_of_int (List.length blocks)) ]
+            "frontend.query" run
+        else run ())
+      @@ fun () ->
+      Cq_util.Metrics.incr t.stats.Cq_cache.Oracle.queries;
       let loads0 = Backend.timed_loads t.backend in
-      let votes0 = t.stats.Cq_cache.Oracle.vote_runs in
+      let votes0 = Cq_util.Metrics.value t.stats.Cq_cache.Oracle.vote_runs in
       apply_reset t;
       let r = List.map (voted_access t) blocks in
       (* Count *actual* executed accesses (base run + vote re-measurements),
          not the logical per-query length: with repetitions > 1 the old
          accounting made every cost column lie. *)
-      t.stats.Cq_cache.Oracle.block_accesses <-
-        t.stats.Cq_cache.Oracle.block_accesses
-        + List.length blocks
-        + (t.stats.Cq_cache.Oracle.vote_runs - votes0);
-      t.stats.Cq_cache.Oracle.timed_loads <-
-        t.stats.Cq_cache.Oracle.timed_loads
-        + (Backend.timed_loads t.backend - loads0);
+      Cq_util.Metrics.add t.stats.Cq_cache.Oracle.block_accesses
+        (List.length blocks
+        + (Cq_util.Metrics.value t.stats.Cq_cache.Oracle.vote_runs - votes0));
+      Cq_util.Metrics.add t.stats.Cq_cache.Oracle.timed_loads
+        (Backend.timed_loads t.backend - loads0);
       if t.memo_enabled then memo_store t key r;
       r
 
@@ -323,6 +331,13 @@ let query_blocks_batch t batches =
   let todo = List.rev !order in
   let fresh = Hashtbl.create 16 in
   (if todo <> [] then begin
+     (fun run ->
+       if Cq_util.Trace.enabled () then
+         Cq_util.Trace.with_span ~cat:"frontend"
+           ~args:[ ("queries", string_of_int (List.length todo)) ]
+           "frontend.batch" run
+       else run ())
+     @@ fun () ->
      (* Assign block addresses in batch order, so the block->address map
         is independent of the trie traversal order and matches what
         sequential execution would have produced. *)
@@ -330,24 +345,24 @@ let query_blocks_batch t batches =
        (List.iter (fun b -> ignore (Backend.addr_of_block t.backend b)))
        todo;
      let naive, shared = Cq_cache.Batch.plan_cost todo in
-     t.stats.Cq_cache.Oracle.batches <- t.stats.Cq_cache.Oracle.batches + 1;
-     t.stats.Cq_cache.Oracle.batched_queries <-
-       t.stats.Cq_cache.Oracle.batched_queries + List.length todo;
-     t.stats.Cq_cache.Oracle.queries <-
-       t.stats.Cq_cache.Oracle.queries + List.length todo;
-     t.stats.Cq_cache.Oracle.accesses_saved <-
-       t.stats.Cq_cache.Oracle.accesses_saved + (naive - shared);
+     Cq_util.Metrics.incr t.stats.Cq_cache.Oracle.batches;
+     Cq_util.Metrics.add t.stats.Cq_cache.Oracle.batched_queries
+       (List.length todo);
+     Cq_util.Metrics.add t.stats.Cq_cache.Oracle.queries (List.length todo);
+     Cq_util.Metrics.add t.stats.Cq_cache.Oracle.accesses_saved
+       (naive - shared);
+     Cq_util.Metrics.observe t.stats.Cq_cache.Oracle.batch_depth
+       (float_of_int (List.length todo));
      let loads0 = Backend.timed_loads t.backend in
-     let votes0 = t.stats.Cq_cache.Oracle.vote_runs in
+     let votes0 = Cq_util.Metrics.value t.stats.Cq_cache.Oracle.vote_runs in
      let answers = Cq_cache.Batch.run (batch_ops t) todo in
      (* Actual executed accesses: the shared trie walk plus whatever the
         voting layer re-measured. *)
-     t.stats.Cq_cache.Oracle.block_accesses <-
-       t.stats.Cq_cache.Oracle.block_accesses + shared
-       + (t.stats.Cq_cache.Oracle.vote_runs - votes0);
-     t.stats.Cq_cache.Oracle.timed_loads <-
-       t.stats.Cq_cache.Oracle.timed_loads
-       + (Backend.timed_loads t.backend - loads0);
+     Cq_util.Metrics.add t.stats.Cq_cache.Oracle.block_accesses
+       (shared
+       + (Cq_util.Metrics.value t.stats.Cq_cache.Oracle.vote_runs - votes0));
+     Cq_util.Metrics.add t.stats.Cq_cache.Oracle.timed_loads
+       (Backend.timed_loads t.backend - loads0);
      List.iter2
        (fun q r ->
          let key = Cq_util.Deep.pack q in
@@ -364,8 +379,7 @@ let query_blocks_batch t batches =
             if t.memo_enabled then Hashtbl.find_opt t.memo key else None
           with
           | Some r ->
-              t.stats.Cq_cache.Oracle.memo_hits <-
-                t.stats.Cq_cache.Oracle.memo_hits + 1;
+              Cq_util.Metrics.incr t.stats.Cq_cache.Oracle.memo_hits;
               r
           | None -> query_blocks t q))
     keyed

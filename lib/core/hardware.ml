@@ -70,8 +70,16 @@ let level_to_string = function
 
 let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
     ?voting ?(retries = 3) ?equivalence ?check_hits ?(max_states = 100_000)
-    ?(reset_trials = 24) ?snapshot ?resume ?deadline ?query_budget
+    ?(reset_trials = 24) ?metrics ?snapshot ?resume ?deadline ?query_budget
     ?(supervise_retries = 2) machine level =
+  Cq_util.Trace.with_span ~cat:"hardware" "hardware.learn_set" @@ fun () ->
+  (* One registry spans the whole stack: backend, frontend and the
+     learning loop all register their series here, so the "backend." /
+     "frontend." device counters land next to "oracle." / "member." /
+     "learn." in a single export. *)
+  let metrics =
+    match metrics with Some r -> r | None -> Cq_util.Metrics.create ()
+  in
   let model = Cq_hwsim.Machine.model machine in
   (match cat_ways with
   | Some ways -> Cq_hwsim.Machine.set_cat_ways machine ways
@@ -95,7 +103,7 @@ let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
     | _ -> seed
   in
   let backend =
-    Cq_cachequery.Backend.create machine
+    Cq_cachequery.Backend.create ~metrics machine
       { Cq_cachequery.Backend.level; slice; set }
   in
   let threshold =
@@ -108,7 +116,7 @@ let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
         t
   in
   let frontend =
-    Cq_cachequery.Frontend.create ~repetitions ?voting backend
+    Cq_cachequery.Frontend.create ~repetitions ?voting ~metrics backend
   in
   let assoc = Cq_cachequery.Frontend.assoc frontend in
   let prng = Cq_util.Prng.of_int seed in
@@ -135,7 +143,10 @@ let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
       ~queries:0 ()
   in
   let outcome =
-    match Reset.find ~trials:reset_trials ~deadline:dl ~prng frontend with
+    match
+      Cq_util.Trace.with_span ~cat:"hardware" "hardware.reset_discovery"
+        (fun () -> Reset.find ~trials:reset_trials ~deadline:dl ~prng frontend)
+    with
     | None when Cq_util.Clock.expired dl ->
         Partial
           {
@@ -170,8 +181,8 @@ let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
             Learn.run ?equivalence ?check_hits ~memoize:false ~max_states
               ~retries ~on_retry
               ~device_stats:(Cq_cachequery.Frontend.stats frontend)
-              ?snapshot ?resume ~snapshot_meta ~deadline:dl ?query_budget
-              oracle
+              ~metrics ?snapshot ?resume ~snapshot_meta ~deadline:dl
+              ?query_budget oracle
           with
           | Learn.Complete report -> Learned { report; reset; threshold }
           | Learn.Partial p -> (

@@ -51,6 +51,7 @@ val learn_set :
   ?check_hits:bool ->
   ?max_states:int ->
   ?reset_trials:int ->
+  ?metrics:Cq_util.Metrics.t ->
   ?snapshot:Learn.snapshot_policy ->
   ?resume:string ->
   ?deadline:float ->
@@ -63,7 +64,9 @@ val learn_set :
     associativity via Intel CAT (fails on CPUs without CAT support).
     Failure modes mirror the paper's: no deterministic reset sequence
     (nondeterministic sets), diverging observations, state budget
-    exhausted.
+    exhausted.  [metrics] is one registry spanning the whole stack
+    (backend, frontend, learning loop); default is a private registry
+    reachable through the report's [metrics] field.
 
     [voting] (overrides [repetitions]) selects the frontend's majority
     voting discipline.  [retries] (default 3) bounds the retry loop around
@@ -97,6 +100,7 @@ val run :
   ?check_hits:bool ->
   ?max_states:int ->
   ?reset_trials:int ->
+  ?metrics:Cq_util.Metrics.t ->
   ?snapshot:Learn.snapshot_policy ->
   ?resume:string ->
   ?deadline:float ->

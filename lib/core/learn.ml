@@ -97,6 +97,9 @@ type report = {
   vote_runs : int; (* extra executions spent on majority voting *)
   transient_flips : int; (* Non_deterministic words absorbed by retry *)
   retry_attempts : int; (* word re-executions the retry layer issued *)
+  metrics : Cq_util.Metrics.t;
+      (* the run's full metrics registry; the scalar fields above are
+         views over it (frozen at completion) *)
 }
 
 let pp_report ppf r =
@@ -140,8 +143,22 @@ let learn_core ?(equivalence = default_equivalence)
     ?(engine = default_engine) ?cache_factory ?(check_hits = true)
     ?(memoize = true) ?max_memo_entries ?max_row_cache
     ?(max_states = 1_000_000) ?(identify = true) ?(retries = 0) ?on_retry
-    ?device_stats ?snapshot ?resume ?snapshot_meta
+    ?device_stats ?metrics ?snapshot ?resume ?snapshot_meta
     ?(deadline = Cq_util.Clock.no_deadline) ?query_budget ?probe cache =
+  (* One registry for the whole run: the learn-level oracle wrappers
+     ("oracle.", "member.", "pool.", "learn." prefixes) all register here.
+     Callers pass the same registry to Backend/Frontend.create so the
+     device layer's "backend."/"frontend." series land alongside. *)
+  let registry =
+    match metrics with Some r -> r | None -> Cq_util.Metrics.create ()
+  in
+  let snapshot_write_h =
+    Cq_util.Metrics.histogram ~buckets:32 ~start:1e-6 registry
+      "learn.snapshot_write_seconds"
+  and snapshot_replay_h =
+    Cq_util.Metrics.histogram ~buckets:32 ~start:1e-6 registry
+      "learn.snapshot_replay_seconds"
+  in
   (* [device_stats]: the device layer's own stats record (the CacheQuery
      frontend's), whose voting/timed-load counters are invisible to the
      wrappers below; its deltas over the learning run are folded into the
@@ -150,23 +167,32 @@ let learn_core ?(equivalence = default_equivalence)
     match device_stats with
     | None -> (0, 0)
     | Some d ->
-        (d.Cq_cache.Oracle.timed_loads, d.Cq_cache.Oracle.vote_runs)
+        ( Cq_util.Metrics.value d.Cq_cache.Oracle.timed_loads,
+          Cq_util.Metrics.value d.Cq_cache.Oracle.vote_runs )
   in
   let dev_loads0, dev_votes0 = dev_snapshot () in
   let t0 = Cq_util.Clock.now () in
   (* Resume: load the snapshot up front so a damaged file fails fast,
      before any hardware traffic. *)
   let resumed : Cq_policy.Types.output Session.snapshot option =
-    Option.map (fun path -> Session.load ~path) resume
+    Option.map
+      (fun path ->
+        Cq_util.Trace.with_span ~cat:"learn" "learn.resume.load" @@ fun () ->
+        let snap, seconds =
+          Cq_util.Clock.time (fun () -> Session.load ~path)
+        in
+        Cq_util.Metrics.observe snapshot_replay_h seconds;
+        snap)
+      resume
   in
-  let pool_stats = Cq_util.Pool.fresh_stats () in
+  let pool_stats = Cq_util.Pool.fresh_stats ~registry () in
   let batch_probes = match engine with Sequential -> false | _ -> true in
   let cache =
     match engine with
     | Sequential -> Cq_cache.Oracle.sequential cache
     | Batched | Parallel _ -> cache
   in
-  let cache_stats = Cq_cache.Oracle.fresh_stats () in
+  let cache_stats = Cq_cache.Oracle.fresh_stats ~registry () in
   let cache = Cq_cache.Oracle.counting cache_stats cache in
   let cache =
     if memoize then
@@ -178,7 +204,7 @@ let learn_core ?(equivalence = default_equivalence)
     Polca.create ~check_hits ~batch_probes ~retries ?backoff:on_retry
       ~stats:cache_stats cache
   in
-  let mstats = Cq_learner.Moracle.fresh_stats () in
+  let mstats = Cq_learner.Moracle.fresh_stats ~registry () in
   let oracle, handle =
     Polca.moracle polca
     |> Cq_learner.Moracle.counting mstats
@@ -190,7 +216,12 @@ let learn_core ?(equivalence = default_equivalence)
      replays to the crash point at zero hardware cost and then continues —
      reaching the identical automaton a crash-free run would have. *)
   (match resumed with
-  | Some snap -> handle.Cq_learner.Moracle.preload snap.Session.knowledge
+  | Some snap ->
+      let (), seconds =
+        Cq_util.Clock.time (fun () ->
+            handle.Cq_learner.Moracle.preload snap.Session.knowledge)
+      in
+      Cq_util.Metrics.observe snapshot_replay_h seconds
   | None -> ());
   let seed_rows =
     Option.bind resumed (fun snap ->
@@ -208,40 +239,47 @@ let learn_core ?(equivalence = default_equivalence)
   let snapshot_written = ref false in
   let last_snap_queries = ref 0 in
   let last_snap_time = ref t0 in
+  let hw_queries () = Cq_util.Metrics.value mstats.Cq_learner.Moracle.queries in
   let write_snapshot () =
     match snapshot with
     | None -> ()
     | Some p ->
+        Cq_util.Trace.with_span ~cat:"learn" "learn.snapshot.write"
+        @@ fun () ->
         let meta =
           let m =
             match snapshot_meta with
             | Some f -> f ()
             | None -> default_meta ()
           in
-          { m with Session.queries = mstats.Cq_learner.Moracle.queries }
+          { m with Session.queries = hw_queries () }
         in
-        Session.save ~path:p.path
-          {
-            Session.meta;
-            knowledge = handle.Cq_learner.Moracle.export ();
-            table = Option.map (fun g -> g ()) !table_getter;
-          };
+        let (), seconds =
+          Cq_util.Clock.time (fun () ->
+              Session.save ~path:p.path
+                {
+                  Session.meta;
+                  knowledge = handle.Cq_learner.Moracle.export ();
+                  table = Option.map (fun g -> g ()) !table_getter;
+                })
+        in
+        Cq_util.Metrics.observe snapshot_write_h seconds;
         snapshot_written := true;
-        last_snap_queries := mstats.Cq_learner.Moracle.queries;
+        last_snap_queries := hw_queries ();
         last_snap_time := Cq_util.Clock.now ()
   in
   let guard () =
     (match probe with
-    | Some f -> f mstats.Cq_learner.Moracle.queries
+    | Some f -> f (hw_queries ())
     | None -> ());
     if Cq_util.Clock.expired deadline then
       raise
         (Out_of_budget
            (Printf.sprintf "wall-clock deadline exceeded after %d hardware \
                             queries"
-              mstats.Cq_learner.Moracle.queries));
+              (hw_queries ())));
     match query_budget with
-    | Some b when mstats.Cq_learner.Moracle.queries >= b ->
+    | Some b when hw_queries () >= b ->
         raise
           (Out_of_budget (Printf.sprintf "query budget of %d exhausted" b))
     | _ -> ()
@@ -251,8 +289,7 @@ let learn_core ?(equivalence = default_equivalence)
     | None -> ()
     | Some p ->
         if
-          mstats.Cq_learner.Moracle.queries - !last_snap_queries
-          >= p.every_queries
+          hw_queries () - !last_snap_queries >= p.every_queries
           || Cq_util.Clock.now () -. !last_snap_time >= p.every_seconds
         then write_snapshot ()
   in
@@ -337,37 +374,48 @@ let learn_core ?(equivalence = default_equivalence)
       in
       verified retries
   in
-  let finish (result : _ Cq_learner.Lstar.result) seconds = {
-    machine = result.machine;
-    states = Cq_automata.Mealy.n_states result.machine;
-    seconds;
-    rounds = result.rounds;
-    suffixes = result.suffixes_added;
-    member_queries = mstats.Cq_learner.Moracle.queries;
-    member_symbols = mstats.Cq_learner.Moracle.symbols;
-    cache_queries = cache_stats.Cq_cache.Oracle.queries;
-    cache_accesses = cache_stats.Cq_cache.Oracle.block_accesses;
-    cache_batches = cache_stats.Cq_cache.Oracle.batches;
-    accesses_saved = cache_stats.Cq_cache.Oracle.accesses_saved;
-    memo_overflows = cache_stats.Cq_cache.Oracle.memo_overflows;
-    row_cache_overflows = result.row_cache_overflows;
-    domains;
-    worker_restarts = pool_stats.Cq_util.Pool.worker_restarts;
-    identified = (if identify then Cq_policy.Zoo.identify result.machine else []);
-    timed_loads =
-      (let dev_loads, _ = dev_snapshot () in
-       cache_stats.Cq_cache.Oracle.timed_loads + (dev_loads - dev_loads0));
-    vote_runs =
-      (let _, dev_votes = dev_snapshot () in
-       cache_stats.Cq_cache.Oracle.vote_runs + (dev_votes - dev_votes0));
-    transient_flips =
-      cache_stats.Cq_cache.Oracle.transient_flips
-      + mstats.Cq_learner.Moracle.conflicts;
-    retry_attempts = cache_stats.Cq_cache.Oracle.retry_attempts;
-  }
+  let finish (result : _ Cq_learner.Lstar.result) seconds =
+    let v = Cq_util.Metrics.value in
+    {
+      machine = result.machine;
+      states = Cq_automata.Mealy.n_states result.machine;
+      seconds;
+      rounds = result.rounds;
+      suffixes = result.suffixes_added;
+      member_queries = v mstats.Cq_learner.Moracle.queries;
+      member_symbols = v mstats.Cq_learner.Moracle.symbols;
+      cache_queries = v cache_stats.Cq_cache.Oracle.queries;
+      cache_accesses = v cache_stats.Cq_cache.Oracle.block_accesses;
+      cache_batches = v cache_stats.Cq_cache.Oracle.batches;
+      accesses_saved = v cache_stats.Cq_cache.Oracle.accesses_saved;
+      memo_overflows = v cache_stats.Cq_cache.Oracle.memo_overflows;
+      row_cache_overflows = result.row_cache_overflows;
+      domains;
+      worker_restarts = v pool_stats.Cq_util.Pool.worker_restarts;
+      identified =
+        (if identify then Cq_policy.Zoo.identify result.machine else []);
+      timed_loads =
+        (let dev_loads, _ = dev_snapshot () in
+         v cache_stats.Cq_cache.Oracle.timed_loads + (dev_loads - dev_loads0));
+      vote_runs =
+        (let _, dev_votes = dev_snapshot () in
+         v cache_stats.Cq_cache.Oracle.vote_runs + (dev_votes - dev_votes0));
+      transient_flips =
+        v cache_stats.Cq_cache.Oracle.transient_flips
+        + v mstats.Cq_learner.Moracle.conflicts;
+      retry_attempts = v cache_stats.Cq_cache.Oracle.retry_attempts;
+      metrics = registry;
+    }
+  in
+  (* Equivalence queries are rare (one per hypothesis), so the span wrapper
+     costs nothing measurable even when tracing is off. *)
+  let find_cex h =
+    Cq_util.Trace.with_span ~cat:"learn" "learn.equivalence" (fun () ->
+        find_cex h)
   in
   match
     Cq_util.Clock.time (fun () ->
+        Cq_util.Trace.with_span ~cat:"learn" "learn.run" @@ fun () ->
         Cq_learner.Lstar.learn ~max_states ?max_row_cache ?seed_rows
           ~expose_table:(fun g -> table_getter := Some g)
           ~on_hypothesis:(fun h -> last_hypothesis := Some h)
@@ -403,32 +451,32 @@ let learn_core ?(equivalence = default_equivalence)
                   (if !snapshot_written then
                      Option.map (fun p -> p.path) snapshot
                    else None);
-                member_queries = mstats.Cq_learner.Moracle.queries;
+                member_queries = hw_queries ();
                 seconds;
               } ))
 
 let learn_from_cache ?equivalence ?engine ?cache_factory ?check_hits ?memoize
     ?max_memo_entries ?max_row_cache ?max_states ?identify ?retries ?on_retry
-    ?device_stats ?snapshot ?resume ?snapshot_meta ?deadline ?query_budget
-    ?probe cache =
+    ?device_stats ?metrics ?snapshot ?resume ?snapshot_meta ?deadline
+    ?query_budget ?probe cache =
   match
     learn_core ?equivalence ?engine ?cache_factory ?check_hits ?memoize
       ?max_memo_entries ?max_row_cache ?max_states ?identify ?retries
-      ?on_retry ?device_stats ?snapshot ?resume ?snapshot_meta ?deadline
-      ?query_budget ?probe cache
+      ?on_retry ?device_stats ?metrics ?snapshot ?resume ?snapshot_meta
+      ?deadline ?query_budget ?probe cache
   with
   | Ok report -> report
   | Error (e, _) -> raise e
 
 let run ?equivalence ?engine ?cache_factory ?check_hits ?memoize
     ?max_memo_entries ?max_row_cache ?max_states ?identify ?retries ?on_retry
-    ?device_stats ?snapshot ?resume ?snapshot_meta ?deadline ?query_budget
-    ?probe cache =
+    ?device_stats ?metrics ?snapshot ?resume ?snapshot_meta ?deadline
+    ?query_budget ?probe cache =
   match
     learn_core ?equivalence ?engine ?cache_factory ?check_hits ?memoize
       ?max_memo_entries ?max_row_cache ?max_states ?identify ?retries
-      ?on_retry ?device_stats ?snapshot ?resume ?snapshot_meta ?deadline
-      ?query_budget ?probe cache
+      ?on_retry ?device_stats ?metrics ?snapshot ?resume ?snapshot_meta
+      ?deadline ?query_budget ?probe cache
   with
   | Ok report -> Complete report
   | Error (_, partial) -> Partial partial
@@ -437,22 +485,22 @@ let run ?equivalence ?engine ?cache_factory ?check_hits ?memoize
    simulated oracle is trivially reproducible, so the Parallel engine's
    per-domain factory comes for free. *)
 let learn_simulated ?equivalence ?engine ?check_hits ?max_memo_entries
-    ?max_row_cache ?max_states ?identify ?snapshot ?resume ?deadline
+    ?max_row_cache ?max_states ?identify ?metrics ?snapshot ?resume ?deadline
     ?query_budget ?probe policy =
   learn_from_cache ?equivalence ?engine
     ~cache_factory:(fun () -> Cq_cache.Oracle.of_policy policy)
     ?check_hits ?max_memo_entries ?max_row_cache ?max_states ?identify
-    ?snapshot ?resume ?deadline ?query_budget ?probe
+    ?metrics ?snapshot ?resume ?deadline ?query_budget ?probe
     (Cq_cache.Oracle.of_policy policy)
 
 (* As [learn_simulated] but through the supervised [run] API. *)
 let run_simulated ?equivalence ?engine ?check_hits ?max_memo_entries
-    ?max_row_cache ?max_states ?identify ?snapshot ?resume ?deadline
+    ?max_row_cache ?max_states ?identify ?metrics ?snapshot ?resume ?deadline
     ?query_budget ?probe policy =
   run ?equivalence ?engine
     ~cache_factory:(fun () -> Cq_cache.Oracle.of_policy policy)
     ?check_hits ?max_memo_entries ?max_row_cache ?max_states ?identify
-    ?snapshot ?resume ?deadline ?query_budget ?probe
+    ?metrics ?snapshot ?resume ?deadline ?query_budget ?probe
     (Cq_cache.Oracle.of_policy policy)
 
 (* Sanity check used in tests and experiments: the learned machine must be

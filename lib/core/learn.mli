@@ -93,6 +93,12 @@ type report = {
   transient_flips : int;
       (** [Polca.Non_deterministic] words absorbed by the retry layer *)
   retry_attempts : int;  (** word re-executions the retry layer issued *)
+  metrics : Cq_util.Metrics.t;
+      (** the run's full metrics registry ("oracle.", "member.", "pool.",
+          "learn." series; plus the device layer's "frontend." /
+          "backend." series when the caller shared one registry across
+          the stack).  The scalar fields above are views over it, frozen
+          at completion. *)
 }
 
 val pp_report : Format.formatter -> report -> unit
@@ -124,6 +130,7 @@ val learn_from_cache :
   ?retries:int ->
   ?on_retry:(int -> unit) ->
   ?device_stats:Cq_cache.Oracle.stats ->
+  ?metrics:Cq_util.Metrics.t ->
   ?snapshot:snapshot_policy ->
   ?resume:string ->
   ?snapshot_meta:(unit -> Session.meta) ->
@@ -177,6 +184,7 @@ val run :
   ?retries:int ->
   ?on_retry:(int -> unit) ->
   ?device_stats:Cq_cache.Oracle.stats ->
+  ?metrics:Cq_util.Metrics.t ->
   ?snapshot:snapshot_policy ->
   ?resume:string ->
   ?snapshot_meta:(unit -> Session.meta) ->
@@ -198,6 +206,7 @@ val learn_simulated :
   ?max_row_cache:int ->
   ?max_states:int ->
   ?identify:bool ->
+  ?metrics:Cq_util.Metrics.t ->
   ?snapshot:snapshot_policy ->
   ?resume:string ->
   ?deadline:Cq_util.Clock.deadline ->
@@ -217,6 +226,7 @@ val run_simulated :
   ?max_row_cache:int ->
   ?max_states:int ->
   ?identify:bool ->
+  ?metrics:Cq_util.Metrics.t ->
   ?snapshot:snapshot_policy ->
   ?resume:string ->
   ?deadline:Cq_util.Clock.deadline ->

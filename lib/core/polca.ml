@@ -192,14 +192,14 @@ let run_session t (ops : (Cq_cache.Block.t, Cq_cache.Cache_set.result) Cq_cache.
   (match t.stats with
   | None -> ()
   | Some s ->
-      s.Cq_cache.Oracle.batches <- s.Cq_cache.Oracle.batches + 1;
-      s.Cq_cache.Oracle.batched_queries <-
-        s.Cq_cache.Oracle.batched_queries + !probes;
-      s.Cq_cache.Oracle.queries <- s.Cq_cache.Oracle.queries + !probes;
-      s.Cq_cache.Oracle.block_accesses <-
-        s.Cq_cache.Oracle.block_accesses + !logical;
-      s.Cq_cache.Oracle.accesses_saved <-
-        s.Cq_cache.Oracle.accesses_saved + (!logical - !physical));
+      Cq_util.Metrics.incr s.Cq_cache.Oracle.batches;
+      Cq_util.Metrics.add s.Cq_cache.Oracle.batched_queries !probes;
+      Cq_util.Metrics.add s.Cq_cache.Oracle.queries !probes;
+      Cq_util.Metrics.add s.Cq_cache.Oracle.block_accesses !logical;
+      Cq_util.Metrics.add s.Cq_cache.Oracle.accesses_saved
+        (!logical - !physical);
+      Cq_util.Metrics.observe s.Cq_cache.Oracle.batch_depth
+        (float_of_int !probes));
   outputs
 
 (* Answer an output query by per-probe replay: the policy outputs along
@@ -250,6 +250,13 @@ let run_replay t word =
 (* Dispatch: session mode whenever the cache exposes its device primitives
    and batching is on; otherwise per-probe replay. *)
 let run_once t word =
+  (fun run ->
+    if Cq_util.Trace.enabled () then
+      Cq_util.Trace.with_span ~cat:"polca"
+        ~args:[ ("len", string_of_int (List.length word)) ]
+        "polca.word" run
+    else run ())
+  @@ fun () ->
   match (if t.batch_probes then t.cache.Cq_cache.Oracle.ops else None) with
   | Some ops -> run_session t ops word
   | None -> run_replay t word
@@ -267,9 +274,7 @@ let run t word =
       | outputs ->
           if k > 0 then begin
             match t.stats with
-            | Some s ->
-                s.Cq_cache.Oracle.transient_flips <-
-                  s.Cq_cache.Oracle.transient_flips + 1
+            | Some s -> Cq_util.Metrics.incr s.Cq_cache.Oracle.transient_flips
             | None -> ()
           end;
           outputs
@@ -282,9 +287,7 @@ let run t word =
                     (String.concat " | " (List.rev (msg :: history)))))
           else begin
             (match t.stats with
-            | Some s ->
-                s.Cq_cache.Oracle.retry_attempts <-
-                  s.Cq_cache.Oracle.retry_attempts + 1
+            | Some s -> Cq_util.Metrics.incr s.Cq_cache.Oracle.retry_attempts
             | None -> ());
             (match t.backoff with Some f -> f (k + 1) | None -> ());
             attempt (k + 1) (msg :: history)

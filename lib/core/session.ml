@@ -58,7 +58,15 @@ let encode snap =
   Buffer.add_string buf payload;
   Buffer.contents buf
 
-let save ~path snap = Cq_util.Atomic_file.write ~path (encode snap)
+let save ~path snap =
+  let encoded = encode snap in
+  (fun run ->
+    if Cq_util.Trace.enabled () then
+      Cq_util.Trace.with_span ~cat:"session"
+        ~args:[ ("bytes", string_of_int (String.length encoded)) ]
+        "session.save" run
+    else run ())
+  @@ fun () -> Cq_util.Atomic_file.write ~path encoded
 
 let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
 
@@ -86,7 +94,14 @@ let decode ~path s =
 let load ~path =
   match Cq_util.Atomic_file.read_opt ~path with
   | None -> corrupt "%s: no such snapshot" path
-  | Some s -> decode ~path s
+  | Some s ->
+      (fun run ->
+        if Cq_util.Trace.enabled () then
+          Cq_util.Trace.with_span ~cat:"session"
+            ~args:[ ("bytes", string_of_int (String.length s)) ]
+            "session.load" run
+        else run ())
+      @@ fun () -> decode ~path s
 
 let load_opt ~path =
   match Cq_util.Atomic_file.read_opt ~path with

@@ -27,32 +27,55 @@ let make ?query_batch ~n_inputs query =
       (match query_batch with Some qb -> qb | None -> List.map query);
   }
 
+(* Registry-backed accounting: fields are named counters in a
+   Cq_util.Metrics registry, plus a latency histogram over the
+   membership queries that actually reach the system under learning. *)
 type stats = {
-  mutable queries : int;      (* queries reaching the underlying system *)
-  mutable symbols : int;      (* total input symbols of those queries *)
-  mutable cache_hits : int;   (* queries answered by the prefix cache *)
-  mutable batches : int;      (* query_batch calls reaching the system *)
-  mutable conflicts : int;    (* prefix-cache conflicts hit (and arbitrated) *)
+  queries : Cq_util.Metrics.counter; (* queries reaching the system *)
+  symbols : Cq_util.Metrics.counter; (* total input symbols of those *)
+  cache_hits : Cq_util.Metrics.counter; (* answered by the prefix cache *)
+  batches : Cq_util.Metrics.counter; (* query_batch calls reaching it *)
+  conflicts : Cq_util.Metrics.counter; (* prefix-cache conflicts arbitrated *)
+  latency : Cq_util.Metrics.histogram;
+      (* seconds per membership query/batch reaching the system *)
 }
 
-let fresh_stats () =
-  { queries = 0; symbols = 0; cache_hits = 0; batches = 0; conflicts = 0 }
+let fresh_stats ?registry ?(prefix = "member") () =
+  let r =
+    match registry with Some r -> r | None -> Cq_util.Metrics.create ()
+  in
+  let c field = Cq_util.Metrics.counter r (prefix ^ "." ^ field) in
+  {
+    queries = c "queries";
+    symbols = c "symbols";
+    cache_hits = c "cache_hits";
+    batches = c "batches";
+    conflicts = c "conflicts";
+    (* 1 µs .. ~1 h in factor-2 buckets *)
+    latency =
+      Cq_util.Metrics.histogram ~buckets:32 ~start:1e-6 r
+        (prefix ^ ".latency_seconds");
+  }
 
 let counting stats t =
   {
     t with
     query =
       (fun w ->
-        stats.queries <- stats.queries + 1;
-        stats.symbols <- stats.symbols + List.length w;
-        t.query w);
+        Cq_util.Metrics.incr stats.queries;
+        Cq_util.Metrics.add stats.symbols (List.length w);
+        let r, seconds = Cq_util.Clock.time (fun () -> t.query w) in
+        Cq_util.Metrics.observe stats.latency seconds;
+        r);
     query_batch =
       (fun ws ->
-        stats.batches <- stats.batches + 1;
-        stats.queries <- stats.queries + List.length ws;
-        stats.symbols <-
-          stats.symbols + List.fold_left (fun a w -> a + List.length w) 0 ws;
-        t.query_batch ws);
+        Cq_util.Metrics.incr stats.batches;
+        Cq_util.Metrics.add stats.queries (List.length ws);
+        Cq_util.Metrics.add stats.symbols
+          (List.fold_left (fun a w -> a + List.length w) 0 ws);
+        let r, seconds = Cq_util.Clock.time (fun () -> t.query_batch ws) in
+        Cq_util.Metrics.observe stats.latency seconds;
+        r);
   }
 
 (* Prefix-tree cache.  Output queries are prefix-closed (the outputs of a
@@ -169,10 +192,10 @@ let cached_session ?stats ?(conflict_retries = 0) t =
     invalid_arg "Moracle.cached: conflict_retries must be >= 0";
   let root = Trie.create () in
   let note_hit () =
-    match stats with Some s -> s.cache_hits <- s.cache_hits + 1 | None -> ()
+    match stats with Some s -> Cq_util.Metrics.incr s.cache_hits | None -> ()
   in
   let note_conflict () =
-    match stats with Some s -> s.conflicts <- s.conflicts + 1 | None -> ()
+    match stats with Some s -> Cq_util.Metrics.incr s.conflicts | None -> ()
   in
   let check_length w outputs =
     if List.length outputs <> List.length w then

@@ -26,17 +26,25 @@ val make :
     ([List.map query]) is derived, so plain oracles keep working. *)
 
 type stats = {
-  mutable queries : int;  (** queries reaching the underlying system *)
-  mutable symbols : int;
-  mutable cache_hits : int;  (** queries answered by the prefix cache *)
-  mutable batches : int;  (** [query_batch] calls reaching the system *)
-  mutable conflicts : int;
+  queries : Cq_util.Metrics.counter;
+      (** queries reaching the underlying system *)
+  symbols : Cq_util.Metrics.counter;
+  cache_hits : Cq_util.Metrics.counter;
+      (** queries answered by the prefix cache *)
+  batches : Cq_util.Metrics.counter;
+      (** [query_batch] calls reaching the system *)
+  conflicts : Cq_util.Metrics.counter;
       (** prefix-cache conflicts observed (each one is a transient
           measurement flip somewhere, unless it escalates to
           {!Inconsistent}) *)
+  latency : Cq_util.Metrics.histogram;
+      (** seconds per membership query/batch reaching the system *)
 }
+(** Registry-backed accounting ({!Cq_util.Metrics}). *)
 
-val fresh_stats : unit -> stats
+val fresh_stats : ?registry:Cq_util.Metrics.t -> ?prefix:string -> unit -> stats
+(** Stats registered as ["<prefix>.<field>"] (default prefix ["member"])
+    in [registry] (default: a fresh private registry). *)
 
 val counting : stats -> 'o t -> 'o t
 

@@ -1,0 +1,98 @@
+(** A typed metrics registry: counters, gauges, and fixed log-scale-bucket
+    histograms, addressed by name.
+
+    One registry can be shared across every pipeline layer (backend,
+    frontend, Polca, the learner, the domain pool): registration is
+    idempotent by name, so a layer asking for an already-registered
+    metric receives the existing handle.  Asking for an existing name
+    with a different metric kind — or a histogram with a different
+    bucket shape — raises [Invalid_argument].
+
+    Counters are atomic (pool workers increment shared counters from
+    several domains); gauges and histograms are single-domain mutable
+    state. *)
+
+type t
+(** A registry. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Register (or look up) the counter [name]. *)
+
+val gauge : t -> string -> gauge
+
+val histogram :
+  ?buckets:int -> ?base:float -> ?start:float -> t -> string -> histogram
+(** Register (or look up) a histogram with [buckets] (default 32)
+    log-scale buckets: bucket 0 holds values [<= start] (default 1.0),
+    bucket [i] holds values in [(start*base^(i-1), start*base^i]]
+    (default base 2.0), and the last bucket is unbounded above. *)
+
+(** {2 Counters} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val counter_name : counter -> string
+
+(** {2 Gauges} *)
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
+
+(** {2 Histograms} *)
+
+val observe : histogram -> float -> unit
+(** Record one observation.  Non-positive and NaN values land in bucket 0
+    (never dropped), so [hist_count] always equals the number of calls. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_name : histogram -> string
+
+val bucket_counts : histogram -> int array
+
+val bucket_upper_bound : histogram -> int -> float option
+(** Upper bound of bucket [i]; [None] for the (unbounded) last bucket.
+    Raises [Invalid_argument] when [i] is out of range. *)
+
+val merge_histogram : into:histogram -> histogram -> unit
+(** Bucket-wise merge.  Raises [Invalid_argument] when the shapes
+    (bucket count, base, start) differ. *)
+
+(** {2 Snapshot and export} *)
+
+type histogram_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_buckets : (float option * int) array;  (** (upper bound, count) *)
+}
+
+type value_snapshot =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of histogram_snapshot
+
+val snapshot : t -> (string * value_snapshot) list
+(** Every registered metric with its current value, sorted by name. *)
+
+val to_json : t -> string
+(** The registry as one JSON object (hand-rolled; the repo carries no
+    JSON dependency), keys sorted. *)
+
+val write_json : path:string -> t -> unit
+(** [to_json] through {!Atomic_file.write}. *)
+
+val json_string : string -> string
+(** Quote and escape [s] as a JSON string literal (shared with the
+    trace exporters). *)
+
+val json_float : float -> string
+(** Render a float as a JSON number ([nan]/[inf] are clamped: JSON has
+    no literals for them). *)

@@ -30,18 +30,36 @@
 
 exception Worker_lost of string
 
+(* Registry-backed accounting: each field is a named counter, so a report
+   field and its metrics-registry counterpart are the same cell.  Counters
+   are atomic because [poison] and task completion run inside worker
+   domains. *)
 type stats = {
-  mutable worker_restarts : int;
+  worker_restarts : Metrics.counter;
       (* contexts dropped after a task exception (poisoned) and rebuilt *)
-  mutable task_retries : int; (* task re-executions after a failed attempt *)
-  mutable salvaged : int;
+  task_retries : Metrics.counter; (* task re-executions after a failed attempt *)
+  salvaged : Metrics.counter;
       (* results completed in a batch that also saw failures *)
-  mutable sequential_fallbacks : int;
+  sequential_fallbacks : Metrics.counter;
       (* retry passes executed in the calling domain *)
+  tasks : Metrics.counter;
+      (* tasks *completed*.  Deliberately not per-attempt: a salvaged
+         slot's retry re-executes the same logical task, and counting
+         each attempt would double-count it — attempts are what
+         [task_retries] measures.  The increment therefore sits on the
+         success path of [run_task], which runs at most once per task. *)
 }
 
-let fresh_stats () =
-  { worker_restarts = 0; task_retries = 0; salvaged = 0; sequential_fallbacks = 0 }
+let fresh_stats ?registry ?(prefix = "pool") () =
+  let r = match registry with Some r -> r | None -> Metrics.create () in
+  let c field = Metrics.counter r (prefix ^ "." ^ field) in
+  {
+    worker_restarts = c "worker_restarts";
+    task_retries = c "task_retries";
+    salvaged = c "salvaged";
+    sequential_fallbacks = c "sequential_fallbacks";
+    tasks = c "tasks";
+  }
 
 (* A worker that failed this many tasks within one [map] call stops
    claiming: its environment (a wedged device, an exhausted resource) is
@@ -81,15 +99,13 @@ let ctx_for t slot =
    use rebuilds from the factory instead of reusing half-mutated state. *)
 let poison t slot =
   t.ctxs.(slot) <- None;
-  t.stats.worker_restarts <- t.stats.worker_restarts + 1
+  Metrics.incr t.stats.worker_restarts
 
 let size t = t.size
 let stats t = t.stats
 
-let map t f items =
-  let n = Array.length items in
-  if n = 0 then [||]
-  else begin
+let map_run t f items n =
+  begin
     let workers = min t.size n in
     let results = Array.make n None in
     let failures = Array.make n None in
@@ -97,6 +113,12 @@ let map t f items =
     let run_task slot i =
       match f (ctx_for t slot) items.(i) with
       | r ->
+          (* Reconcile once per task, not per attempt: a retry of a
+             salvaged slot must not count the task again.  A task's
+             success path runs at most once (a completed task is never
+             re-claimed or re-retried), so this increment cannot
+             double-fire. *)
+          Metrics.incr t.stats.tasks;
           results.(i) <- Some r;
           failures.(i) <- None
       | exception e ->
@@ -112,6 +134,7 @@ let map t f items =
       let next = Atomic.make 0 in
       let failed_flag = Atomic.make false in
       let worker slot () =
+        Trace.with_span ~cat:"pool" "pool.worker" @@ fun () ->
         let my_failures = ref 0 in
         let continue = ref true in
         while !continue do
@@ -145,19 +168,18 @@ let map t f items =
       done
     end;
     if !any_failure then begin
-      t.stats.salvaged <-
-        t.stats.salvaged
-        + Array.fold_left (fun a r -> if r <> None then a + 1 else a) 0 results;
+      Metrics.add t.stats.salvaged
+        (Array.fold_left (fun a r -> if r <> None then a + 1 else a) 0 results);
       (* Bounded retry rounds, sequentially in the calling domain on a
          rebuilt context: the degraded mode when workers keep dying. *)
       let round = ref 0 in
       let still_failing () = Array.exists (fun e -> e <> None) failures in
       while !round < t.task_retries && still_failing () do
         incr round;
-        t.stats.sequential_fallbacks <- t.stats.sequential_fallbacks + 1;
+        Metrics.incr t.stats.sequential_fallbacks;
         for i = 0 to n - 1 do
           if failures.(i) <> None then begin
-            t.stats.task_retries <- t.stats.task_retries + 1;
+            Metrics.incr t.stats.task_retries;
             run_task 0 i
           end
         done
@@ -180,5 +202,19 @@ let map t f items =
         | None -> assert false (* no failure recorded -> result present *))
       results
   end
+
+let map t f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else if Trace.enabled () then
+    Trace.with_span ~cat:"pool"
+      ~args:
+        [
+          ("tasks", string_of_int n);
+          ("workers", string_of_int (min t.size n));
+        ]
+      "pool.map"
+      (fun () -> map_run t f items n)
+  else map_run t f items n
 
 let map_list t f items = Array.to_list (map t f (Array.of_list items))

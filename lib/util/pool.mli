@@ -18,18 +18,24 @@ exception Worker_lost of string
     taxonomy. *)
 
 type stats = {
-  mutable worker_restarts : int;
+  worker_restarts : Metrics.counter;
       (** poisoned contexts dropped (and lazily rebuilt) after a task
           exception *)
-  mutable task_retries : int;  (** task re-executions after failures *)
-  mutable salvaged : int;
+  task_retries : Metrics.counter;  (** task re-executions after failures *)
+  salvaged : Metrics.counter;
       (** completed results kept from batches that also saw failures
           (previously all were discarded) *)
-  mutable sequential_fallbacks : int;
+  sequential_fallbacks : Metrics.counter;
       (** retry passes executed sequentially in the calling domain *)
+  tasks : Metrics.counter;
+      (** tasks completed — reconciled once per task, never per attempt:
+          a retried salvaged slot does not count its task twice *)
 }
 
-val fresh_stats : unit -> stats
+val fresh_stats : ?registry:Metrics.t -> ?prefix:string -> unit -> stats
+(** Stats backed by named counters (["<prefix>.worker_restarts"], ...,
+    default prefix ["pool"]) in [registry] (default: a fresh private
+    registry). *)
 
 type 'ctx t
 

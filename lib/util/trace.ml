@@ -1,0 +1,241 @@
+(* Structured tracing: cheap hierarchical spans over the whole pipeline
+   (learn → polca → frontend → backend), recorded into a bounded in-memory
+   ring buffer and exported as JSONL or Chrome trace_event JSON (loadable
+   in chrome://tracing and Perfetto).
+
+   Disabled is the default, and the disabled path is a strict no-op: one
+   read of a bool flag, no allocation.  Hot paths that want to attach
+   arguments guard on [enabled ()] before building the argument list, so
+   a run without tracing pays nothing — the engine benchmark asserts its
+   access counts are identical with the module compiled in.
+
+   The sink is global rather than threaded through every layer: spans are
+   diagnostics, not results, and a per-layer handle would force every
+   constructor in the pipeline to grow a parameter.  Recording takes a
+   mutex — pool workers trace from their own domains — and span depth is
+   tracked per domain (DLS), so nesting is correct under the domain pool.
+
+   Timestamps come from [Unix.gettimeofday] (microseconds): the stdlib
+   exposes no monotonic clock and the util library stays free of
+   third-party dependencies.  Within a trace that clock is monotonic
+   enough for profiling; spans additionally carry their nesting depth, so
+   ordering never depends on timer resolution. *)
+
+type kind = Span | Instant | Counter_sample
+
+type event = {
+  kind : kind;
+  name : string;
+  cat : string;
+  ts_us : float; (* start time, microseconds *)
+  dur_us : float; (* 0 for instants and counter samples *)
+  tid : int; (* domain id *)
+  depth : int; (* span nesting depth at record time *)
+  args : (string * string) list;
+  value : float; (* Counter_sample only *)
+}
+
+type sink = {
+  buf : event option array;
+  mutable head : int; (* next write position *)
+  mutable stored : int; (* events currently in the ring *)
+  mutable dropped : int; (* events overwritten after overflow *)
+  mutable total : int; (* events ever recorded *)
+  lock : Mutex.t;
+}
+
+let enabled_flag = ref false
+let sink : sink option ref = ref None
+
+let default_capacity = 65_536
+
+let enable ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Trace.enable: capacity must be >= 1";
+  sink :=
+    Some
+      {
+        buf = Array.make capacity None;
+        head = 0;
+        stored = 0;
+        dropped = 0;
+        total = 0;
+        lock = Mutex.create ();
+      };
+  enabled_flag := true
+
+let disable () =
+  enabled_flag := false;
+  sink := None
+
+let enabled () = !enabled_flag
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(* Per-domain span nesting depth.  Only touched when tracing is enabled. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let record ev =
+  match !sink with
+  | None -> ()
+  | Some s ->
+      Mutex.lock s.lock;
+      let cap = Array.length s.buf in
+      if s.stored = cap then s.dropped <- s.dropped + 1
+      else s.stored <- s.stored + 1;
+      s.buf.(s.head) <- Some ev;
+      s.head <- (s.head + 1) mod cap;
+      s.total <- s.total + 1;
+      Mutex.unlock s.lock
+
+let domain_id () = (Domain.self () :> int)
+
+let with_span ?(cat = "") ?(args = []) name f =
+  if not !enabled_flag then f ()
+  else begin
+    let depth = Domain.DLS.get depth_key in
+    let d = !depth in
+    depth := d + 1;
+    let t0 = now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        depth := d;
+        record
+          {
+            kind = Span;
+            name;
+            cat;
+            ts_us = t0;
+            dur_us = now_us () -. t0;
+            tid = domain_id ();
+            depth = d;
+            args;
+            value = 0.;
+          })
+      f
+  end
+
+let instant ?(cat = "") ?(args = []) name =
+  if !enabled_flag then
+    record
+      {
+        kind = Instant;
+        name;
+        cat;
+        ts_us = now_us ();
+        dur_us = 0.;
+        tid = domain_id ();
+        depth = !(Domain.DLS.get depth_key);
+        args;
+        value = 0.;
+      }
+
+let counter ?(cat = "") name value =
+  if !enabled_flag then
+    record
+      {
+        kind = Counter_sample;
+        name;
+        cat;
+        ts_us = now_us ();
+        dur_us = 0.;
+        tid = domain_id ();
+        depth = !(Domain.DLS.get depth_key);
+        args = [];
+        value;
+      }
+
+(* Ring contents in insertion order (oldest surviving event first). *)
+let events () =
+  match !sink with
+  | None -> []
+  | Some s ->
+      Mutex.lock s.lock;
+      let cap = Array.length s.buf in
+      let start = (s.head - s.stored + cap) mod cap in
+      let out = ref [] in
+      for i = s.stored - 1 downto 0 do
+        match s.buf.((start + i) mod cap) with
+        | Some ev -> out := ev :: !out
+        | None -> ()
+      done;
+      Mutex.unlock s.lock;
+      !out
+
+let recorded () = match !sink with None -> 0 | Some s -> s.total
+let dropped () = match !sink with None -> 0 | Some s -> s.dropped
+
+let clear () =
+  match !sink with
+  | None -> ()
+  | Some s ->
+      Mutex.lock s.lock;
+      Array.fill s.buf 0 (Array.length s.buf) None;
+      s.head <- 0;
+      s.stored <- 0;
+      s.dropped <- 0;
+      s.total <- 0;
+      Mutex.unlock s.lock
+
+(* --- exporters -------------------------------------------------------- *)
+
+let add_args_json buf args =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Metrics.json_string k);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (Metrics.json_string v))
+    args;
+  Buffer.add_char buf '}'
+
+(* One event as a Chrome trace_event object.  Spans are complete events
+   (ph "X"), instants ph "i" (thread scope), counter samples ph "C". *)
+let add_event_json buf ev =
+  Buffer.add_string buf "{\"name\":";
+  Buffer.add_string buf (Metrics.json_string ev.name);
+  Buffer.add_string buf ",\"cat\":";
+  Buffer.add_string buf
+    (Metrics.json_string (if ev.cat = "" then "cq" else ev.cat));
+  (match ev.kind with
+  | Span ->
+      Buffer.add_string buf ",\"ph\":\"X\",\"dur\":";
+      Buffer.add_string buf (Metrics.json_float ev.dur_us)
+  | Instant -> Buffer.add_string buf ",\"ph\":\"i\",\"s\":\"t\""
+  | Counter_sample -> Buffer.add_string buf ",\"ph\":\"C\"");
+  Buffer.add_string buf ",\"ts\":";
+  Buffer.add_string buf (Metrics.json_float ev.ts_us);
+  Buffer.add_string buf ",\"pid\":1,\"tid\":";
+  Buffer.add_string buf (string_of_int ev.tid);
+  (match ev.kind with
+  | Counter_sample ->
+      Buffer.add_string buf ",\"args\":{\"value\":";
+      Buffer.add_string buf (Metrics.json_float ev.value);
+      Buffer.add_char buf '}'
+  | Span | Instant ->
+      Buffer.add_string buf ",\"args\":";
+      add_args_json buf (("depth", string_of_int ev.depth) :: ev.args));
+  Buffer.add_char buf '}'
+
+let to_chrome_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      add_event_json buf ev)
+    (events ());
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let to_jsonl () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      add_event_json buf ev;
+      Buffer.add_char buf '\n')
+    (events ());
+  Buffer.contents buf
+
+let export_chrome ~path () = Atomic_file.write ~path (to_chrome_json ())
+let export_jsonl ~path () = Atomic_file.write ~path (to_jsonl ())

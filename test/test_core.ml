@@ -153,5 +153,7 @@ let () =
       Test_eviction.suite;
       Test_noise.suite;
       Test_session.suite;
+      Test_trace.suite;
+      Test_prop.suite;
       suite;
     ]

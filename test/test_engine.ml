@@ -151,9 +151,38 @@ let test_pool_salvages_transient_failure () =
     (List.map (fun x -> x * x) items)
     results;
   Alcotest.(check bool) "restart reported" true
-    (stats.Cq_util.Pool.worker_restarts >= 1);
+    (Cq_util.Metrics.value stats.Cq_util.Pool.worker_restarts >= 1);
   Alcotest.(check bool) "retry reported" true
-    (stats.Cq_util.Pool.task_retries >= 1)
+    (Cq_util.Metrics.value stats.Cq_util.Pool.task_retries >= 1)
+
+(* Regression: a retried (salvaged) task must be counted once in
+   [tasks] — completions, not attempts.  The old accounting summed per
+   attempt, double-counting every salvaged slot. *)
+let test_pool_task_count_reconciled_once () =
+  let stats = Cq_util.Pool.fresh_stats () in
+  let pool =
+    Cq_util.Pool.create ~size:2 ~stats ~factory:(fun () -> ref 0) ()
+  in
+  let failed_once = Atomic.make false in
+  let items = List.init 20 Fun.id in
+  let results =
+    Cq_util.Pool.map_list pool
+      (fun c x ->
+        incr c;
+        if x = 7 && not (Atomic.exchange failed_once true) then
+          failwith "transient glitch";
+        x * x)
+      items
+  in
+  Alcotest.(check (list int))
+    "all tasks completed"
+    (List.map (fun x -> x * x) items)
+    results;
+  Alcotest.(check bool) "the failure actually retried" true
+    (Cq_util.Metrics.value stats.Cq_util.Pool.task_retries >= 1);
+  Alcotest.(check int) "tasks counted once each, not per attempt"
+    (List.length items)
+    (Cq_util.Metrics.value stats.Cq_util.Pool.tasks)
 
 (* Worker contexts are built once per slot and survive across map calls
    (that is what keeps worker oracle caches warm between rounds). *)
@@ -178,7 +207,7 @@ let test_memo_overflow () =
   for i = 0 to 5 do
     ignore (oracle.O.query (q i))
   done;
-  Alcotest.(check bool) "overflows recorded" true (stats.O.memo_overflows > 0);
+  Alcotest.(check bool) "overflows recorded" true (Cq_util.Metrics.value stats.O.memo_overflows > 0);
   for i = 0 to 5 do
     Alcotest.(check bool) "answers unchanged by clears" true
       (oracle.O.query (q i) = plain.O.query (q i))
@@ -253,6 +282,8 @@ let suite =
         test_pool_propagates_exceptions;
       Alcotest.test_case "pool salvages transient failures" `Quick
         test_pool_salvages_transient_failure;
+      Alcotest.test_case "pool counts retried tasks once" `Quick
+        test_pool_task_count_reconciled_once;
       Alcotest.test_case "pool contexts persist" `Quick
         test_pool_contexts_persist;
       Alcotest.test_case "bounded memo overflow" `Quick test_memo_overflow;

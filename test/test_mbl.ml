@@ -83,6 +83,105 @@ let test_profiled_indices () =
   Alcotest.(check (list string)) "blocks" [ "A"; "B"; "C"; "D" ]
     (List.map Cq_cache.Block.to_string (E.blocks q))
 
+(* --- Corner cases ---------------------------------------------------- *)
+
+let test_empty_corner_cases () =
+  (* The concrete syntax rejects emptiness everywhere... *)
+  List.iter
+    (fun input ->
+      match Cq_mbl.Parser.parse_result input with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" input))
+    [ "()"; "{}"; "(A)[]"; "(A)[{}]"; "{A, {}}" ];
+  (* ...while AST-level emptiness has well-defined semantics: an empty
+     concatenation (and a zero power) is one empty query, an empty set
+     (and extension by one — the empty block list) is zero queries. *)
+  let count ast = List.length (E.expand ~assoc:2 ast) in
+  Alcotest.(check int) "Seq [] is one empty query" 1 (count (A.Seq []));
+  Alcotest.(check int) "zero power is one empty query" 1 (count (A.Power (A.At, 0)));
+  Alcotest.(check int) "Set [] is zero queries" 0 (count (A.Set []));
+  Alcotest.(check int) "empty block list is zero queries" 0
+    (count (A.Extend (A.Block "A", A.Set [])));
+  check_expansion ~assoc:2 "extension of the empty query" "[A]" [ "A" ]
+
+let test_nested_at_macros () =
+  (* '@' under every combinator, including '@' extended by the blocks of
+     its own expansion. *)
+  check_expansion ~assoc:2 "@ extended by @" "(@)[@]" [ "A B A"; "A B B" ];
+  check_expansion ~assoc:2 "doubly-nested extension" "((@)[@])[@]"
+    [ "A B A A"; "A B A B"; "A B B A"; "A B B B" ];
+  check_expansion ~assoc:2 "@ powered" "@2" [ "A B A B" ];
+  check_expansion ~assoc:2 "@ in sets" "{@, _}" [ "A B"; "A"; "B" ];
+  check_expansion ~assoc:2 "tag distributes into @" "@ (@)?" [ "A B A? B?" ]
+
+(* --- Parser fuzzing -------------------------------------------------- *)
+
+(* Random byte mutations of valid programs: [parse_result] must return
+   [Ok] or the typed [Error] — the parser never escapes with any other
+   exception (array bounds, [Failure] from int_of_string, stack
+   overflow...), whatever bytes it is fed. *)
+
+let fuzz_corpus =
+  [
+    "@ X _?";
+    "(A B C D)[E F]";
+    "{A B, C} D";
+    "(A B)^2 {X, Y}? Z!";
+    "@ M a M? (_)3";
+    "((A)[B C])2 {@, _} W!";
+  ]
+
+let mutate prng s =
+  let n = String.length s in
+  let structural =
+    [ '('; ')'; '['; ']'; '{'; '}'; ','; '?'; '!'; '@'; '_'; '^'; ' '; '0'; '9' ]
+  in
+  let random_byte () =
+    if Cq_util.Prng.bool prng 0.5 then Cq_util.Prng.pick prng structural
+    else Char.chr (Cq_util.Prng.int prng 256)
+  in
+  match Cq_util.Prng.int prng 3 with
+  | 0 when n > 0 ->
+      let i = Cq_util.Prng.int prng n in
+      String.mapi (fun j c -> if j = i then random_byte () else c) s
+  | 1 when n > 0 ->
+      let i = Cq_util.Prng.int prng n in
+      String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1)
+  | _ ->
+      let i = Cq_util.Prng.int prng (n + 1) in
+      String.sub s 0 i ^ String.make 1 (random_byte ()) ^ String.sub s i (n - i)
+
+let check_parse_never_crashes candidate =
+  match Cq_mbl.Parser.parse_result candidate with
+  | Ok _ | Error _ -> ()
+  | exception e ->
+      Alcotest.fail
+        (Printf.sprintf "parser escaped with %s on %S" (Printexc.to_string e)
+           candidate)
+
+let test_parser_fuzz_mutations () =
+  let prng = Cq_util.Prng.of_int 0xfab1e in
+  List.iter
+    (fun seed ->
+      let current = ref seed in
+      for _ = 1 to 500 do
+        (* A random walk from the seed, so damage accumulates: half the
+           mutations apply to the previous variant, half restart. *)
+        let base = if Cq_util.Prng.bool prng 0.5 then seed else !current in
+        let candidate = mutate prng base in
+        current := candidate;
+        check_parse_never_crashes candidate
+      done)
+    fuzz_corpus
+
+let test_parser_fuzz_raw_bytes () =
+  let prng = Cq_util.Prng.of_int 0xdead5 in
+  for _ = 1 to 2000 do
+    let len = Cq_util.Prng.int prng 48 in
+    check_parse_never_crashes
+      (String.init len (fun _ -> Char.chr (Cq_util.Prng.int prng 256)))
+  done
+
 (* --- qcheck --------------------------------------------------------------- *)
 
 (* Random AST generator (untagged leaves to keep tagging well-formed). *)
@@ -158,6 +257,10 @@ let suite =
       Alcotest.test_case "parse errors" `Quick test_parse_errors;
       Alcotest.test_case "parse structure" `Quick test_parse_structure;
       Alcotest.test_case "profiled indices" `Quick test_profiled_indices;
+      Alcotest.test_case "empty corner cases" `Quick test_empty_corner_cases;
+      Alcotest.test_case "nested @ macros" `Quick test_nested_at_macros;
+      Alcotest.test_case "parser fuzz (mutations)" `Quick test_parser_fuzz_mutations;
+      Alcotest.test_case "parser fuzz (raw bytes)" `Quick test_parser_fuzz_raw_bytes;
       QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
       QCheck_alcotest.to_alcotest prop_seq_concat_sizes;
       QCheck_alcotest.to_alcotest prop_power_is_repeated_concat;

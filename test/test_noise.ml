@@ -110,8 +110,8 @@ let test_transient_flip_absorbed () =
   let word = [ 0; 1; 2; 0 ] in
   Alcotest.(check bool) "retry recovers the true answer" true
     (Polca.run polca word = Cq_automata.Mealy.run truth word);
-  Alcotest.(check bool) "flip counted" true (stats.O.transient_flips >= 1);
-  Alcotest.(check bool) "retry counted" true (stats.O.retry_attempts >= 1);
+  Alcotest.(check bool) "flip counted" true (Cq_util.Metrics.value stats.O.transient_flips >= 1);
+  Alcotest.(check bool) "retry counted" true (Cq_util.Metrics.value stats.O.retry_attempts >= 1);
   (* The same flip is fatal without the retry layer. *)
   let polca0 = Polca.create (flipping_oracle policy) in
   match Polca.run polca0 word with
@@ -179,7 +179,7 @@ let test_memo_requery_does_not_grow () =
   Alcotest.(check int) "re-query does not grow the memo" size1
     (FE.memo_size fe);
   Alcotest.(check bool) "memo hit recorded" true
-    ((FE.stats fe).O.memo_hits >= 1)
+    (Cq_util.Metrics.value (FE.stats fe).O.memo_hits >= 1)
 
 (* --- Stats under voting: count actual executions ------------------------- *)
 
@@ -190,12 +190,14 @@ let test_stats_count_vote_executions () =
     FE.stats fe
   in
   let s1 = run (FE.Fixed 1) and s3 = run (FE.Fixed 3) in
-  Alcotest.(check int) "two extra runs per profiled access" 6 s3.O.vote_runs;
+  Alcotest.(check int) "two extra runs per profiled access" 6
+    (Cq_util.Metrics.value s3.O.vote_runs);
   Alcotest.(check int) "timed loads count every repetition"
-    (s1.O.timed_loads + s3.O.vote_runs)
-    s3.O.timed_loads;
+    (Cq_util.Metrics.value s1.O.timed_loads + Cq_util.Metrics.value s3.O.vote_runs)
+    (Cq_util.Metrics.value s3.O.timed_loads);
   Alcotest.(check bool) "logical accesses also count re-measurements" true
-    (s3.O.block_accesses > s1.O.block_accesses)
+    (Cq_util.Metrics.value s3.O.block_accesses
+    > Cq_util.Metrics.value s1.O.block_accesses)
 
 let test_frontend_rejects_even_voting () =
   let be = backend_for CM.toy CM.L1 0 in
@@ -237,7 +239,7 @@ let test_moracle_conflict_arbitration () =
   (* ...the longer word conflicts with it, and arbitration repairs both. *)
   Alcotest.(check (list int)) "conflict repaired" [ 10; 20 ] (o.Mo.query [ 1; 2 ]);
   Alcotest.(check (list int)) "cache overwritten" [ 10 ] (o.Mo.query [ 1 ]);
-  Alcotest.(check bool) "conflict counted" true (stats.Mo.conflicts >= 1)
+  Alcotest.(check bool) "conflict counted" true (Cq_util.Metrics.value stats.Mo.conflicts >= 1)
 
 let test_moracle_persistent_conflict_raises () =
   let module Mo = Cq_learner.Moracle in
