@@ -912,6 +912,64 @@ let recovery () =
     failwith "recovery bench: learned automata diverged from the baseline"
 
 (* ----------------------------------------------------------------------- *)
+(* Static analysis: what rejecting before expansion saves                    *)
+(* ----------------------------------------------------------------------- *)
+
+(* The point of Mbl_check as a server-side admission filter: its cost is
+   O(|AST|) while the expansion it predicts is O(cardinality * length).
+   Measured on programs whose cardinality spans five orders of magnitude,
+   including one the expander must build 16^4 queries for before a naive
+   bound check could reject it. *)
+let analysis () =
+  header "Static analysis: Mbl_check admission vs. full expansion";
+  let programs =
+    [
+      ("@ X _?", 8, 1 lsl 20);
+      ("@ X? X?", 8, 1 lsl 20);
+      ("_ _", 16, 1 lsl 20);
+      ("_ _ _", 16, 1 lsl 20);
+      ("_ _ _ _", 16, 1 lsl 20) (* 65536 queries: expansion hurts *);
+      ("(_)3 (_)2", 16, 16) (* rejected: over budget *);
+    ]
+  in
+  Printf.printf "%-14s %9s | %12s | %12s | %s\n%!" "program" "queries"
+    "check" "expand" "speedup";
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"programs\": [\n";
+  List.iteri
+    (fun i (input, assoc, max_queries) ->
+      let verdict, check_dt =
+        Cq_util.Clock.time (fun () ->
+            Cq_analysis.Mbl_check.check_string ~max_queries ~assoc input)
+      in
+      let expand_dt =
+        match
+          Cq_util.Clock.time (fun () ->
+              match Cq_mbl.Expand.expand_string ~max_queries ~assoc input with
+              | _ -> ()
+              | exception Cq_mbl.Expand.Expansion_error _ -> ())
+        with
+        | (), dt -> dt
+      in
+      let cardinality =
+        match verdict with
+        | Ok s -> string_of_int s.Cq_analysis.Mbl_check.cardinality
+        | Error _ -> "rejected"
+      in
+      Printf.printf "%-14s %9s | %9.1f us | %9.1f us | %6.0fx\n%!" input
+        cardinality (1e6 *. check_dt) (1e6 *. expand_dt)
+        (expand_dt /. Float.max check_dt 1e-9);
+      Printf.ksprintf (Buffer.add_string buf)
+        "    { \"program\": %S, \"queries\": %S, \"check_seconds\": %.9f, \
+         \"expand_seconds\": %.9f }%s\n"
+        input cardinality check_dt expand_dt
+        (if i = List.length programs - 1 then "" else ","))
+    programs;
+  Buffer.add_string buf "  ]\n}\n";
+  Cq_util.Atomic_file.write ~path:"BENCH_analysis.json" (Buffer.contents buf);
+  Printf.printf "\n(wrote BENCH_analysis.json)\n%!"
+
+(* ----------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one per experiment family                      *)
 (* ----------------------------------------------------------------------- *)
 
@@ -999,6 +1057,7 @@ let () =
     | "engine" -> engine ()
     | "noise" -> noise ~full ()
     | "recovery" -> recovery ()
+    | "analysis" -> analysis ()
     | "micro" -> micro ()
     | "all" ->
         (* One crashing experiment must not take the rest of the run (or
@@ -1022,6 +1081,7 @@ let () =
             ("engine", engine);
             ("noise", noise ~full);
             ("recovery", recovery);
+            ("analysis", analysis);
             ("micro", micro);
           ]
     | other -> Printf.printf "unknown experiment %S\n%!" other

@@ -8,6 +8,7 @@
      cat N               virtually reduce L3 associativity via CAT
      reps N              repetitions for majority voting
      reset F+R | <mbl>   reset sequence applied before each query
+     check <mbl>         statically analyse a query without executing it
      info                show current target and configuration
      quit                exit
    anything else is parsed as an MBL expression and executed. *)
@@ -26,6 +27,8 @@ type session = {
   mutable reps : int;
   mutable reset : Cq_cachequery.Frontend.reset;
   mutable frontend : Cq_cachequery.Frontend.t option;
+  check : bool; (* statically analyse each query before executing it *)
+  lint_only : bool; (* ... and stop there: never execute *)
   metrics : Cq_util.Metrics.t;
 }
 
@@ -55,26 +58,55 @@ let invalidate session = session.frontend <- None
 let result_to_string r =
   if Cq_cache.Cache_set.result_is_hit r then "Hit" else "Miss"
 
-(* Returns whether the query executed; the REPL ignores the result (it
-   prints and carries on), batch mode folds it into the exit code. *)
-let run_query session input =
-  match Cq_cachequery.Frontend.run_mbl (frontend session) input with
-  | results ->
-      List.iter
-        (fun (q, rs) ->
-          Printf.printf "%s -> %s\n%!"
-            (Cq_mbl.Expand.query_to_string q)
-            (match rs with
-            | [] -> "(no profiled access)"
-            | rs -> String.concat " " (List.map result_to_string rs)))
-        results;
-      true
+(* How a query fared; the REPL prints and carries on, batch mode folds the
+   status into the exit code (Rejected -> 3, Failed -> 2). *)
+type status = Ran | Rejected | Failed
+
+(* Static analysis of one query at the current target's associativity —
+   no frontend (hence no calibration traffic) is needed for this. *)
+let check_query session input =
+  let assoc = Cq_hwsim.Machine.effective_assoc session.machine session.level in
+  match
+    Cq_analysis.Mbl_check.check_string ~registry:session.metrics ~assoc input
+  with
+  | Ok summary ->
+      Printf.printf "# check: %s\n%!"
+        (Fmt.str "%a" Cq_analysis.Mbl_check.pp_summary summary);
+      Ran
+  | Error diag ->
+      Printf.printf "check error: %s\n%!"
+        (Cq_analysis.Mbl_check.diagnostic_to_string diag);
+      Rejected
   | exception Cq_mbl.Parser.Parse_error msg ->
       Printf.printf "parse error: %s\n%!" msg;
-      false
-  | exception Cq_mbl.Expand.Expansion_error msg ->
-      Printf.printf "expansion error: %s\n%!" msg;
-      false
+      Failed
+
+let run_query session input =
+  let checked =
+    if session.check || session.lint_only then check_query session input
+    else Ran
+  in
+  match checked with
+  | (Rejected | Failed) as s -> s
+  | Ran when session.lint_only -> Ran
+  | Ran -> (
+      match Cq_cachequery.Frontend.run_mbl (frontend session) input with
+      | results ->
+          List.iter
+            (fun (q, rs) ->
+              Printf.printf "%s -> %s\n%!"
+                (Cq_mbl.Expand.query_to_string q)
+                (match rs with
+                | [] -> "(no profiled access)"
+                | rs -> String.concat " " (List.map result_to_string rs)))
+            results;
+          Ran
+      | exception Cq_mbl.Parser.Parse_error msg ->
+          Printf.printf "parse error: %s\n%!" msg;
+          Failed
+      | exception Cq_mbl.Expand.Expansion_error msg ->
+          Printf.printf "expansion error: %s\n%!" msg;
+          Failed)
 
 let handle_command session line =
   match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
@@ -137,6 +169,9 @@ let handle_command session line =
         (fun fe -> Cq_cachequery.Frontend.set_reset fe session.reset)
         session.frontend;
       true
+  | "check" :: rest when rest <> [] ->
+      ignore (check_query session (String.concat " " rest));
+      true
   | _ ->
       ignore (run_query session line);
       true
@@ -144,7 +179,7 @@ let handle_command session line =
 let interactive session =
   Printf.printf
     "CacheQuery (simulated %s). MBL queries or commands (info, level, set, \
-     slice, cat, reps, reset, quit).\n%!"
+     slice, cat, reps, reset, check, quit).\n%!"
     (Cq_hwsim.Machine.model session.machine).Cq_hwsim.Cpu_model.name;
   let continue = ref true in
   while !continue do
@@ -155,18 +190,23 @@ let interactive session =
   done
 
 (* Batch mode is scripted: a query that cannot run must not exit 0.
-   Exit 2 mirrors the usual usage-error convention (the learning CLIs
-   reserve 10-13 for the supervisor's failure taxonomy). *)
+   Exit 2 mirrors the usual usage-error convention; a static rejection by
+   the analyser ($(b,--check)) exits 3, so scripts can tell "this query
+   can never run at this associativity" from a runtime failure (the
+   learning CLIs reserve 10-14 for the supervisor's failure taxonomy). *)
+let status_exit_code = function Ran -> 0 | Rejected -> 3 | Failed -> 2
+
 let batch session sets query =
-  let ok = ref true in
-  List.iter
-    (fun set ->
+  List.fold_left
+    (fun worst set ->
       session.set <- set;
       invalidate session;
       Printf.printf "--- set %d ---\n%!" set;
-      if not (run_query session query) then ok := false)
-    sets;
-  !ok
+      match run_query session query with
+      | Ran -> worst
+      | Failed -> Failed
+      | Rejected -> if worst = Failed then worst else Rejected)
+    Ran sets
 
 (* --- Command line --------------------------------------------------------- *)
 
@@ -192,6 +232,22 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulator seed.")
 let query_arg =
   let doc = "Run this MBL query in batch mode and exit (otherwise: REPL)." in
   Arg.(value & opt (some string) None & info [ "query"; "q" ] ~doc)
+
+let check_arg =
+  let doc =
+    "Statically analyse each query before executing it (exact expansion \
+     cardinality, footprint, profiled-access count); a query the analyser \
+     rejects is never executed and exits 3."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let lint_only_arg =
+  let doc =
+    "Statically analyse queries $(i,without) executing anything (implies \
+     $(b,--check)); no calibration traffic is generated.  Exit 0 if every \
+     query is accepted, 3 on a rejection."
+  in
+  Arg.(value & flag & info [ "lint-only" ] ~doc)
 
 let sets_arg =
   let doc = "Comma-separated set indices (or a-b ranges) for batch mode." in
@@ -223,7 +279,8 @@ let parse_sets spec =
              List.init (hi - lo + 1) (fun k -> lo + k)
          | None -> [ int_of_string part ])
 
-let main cpu level set slice reps noise seed query sets trace metrics_path =
+let main cpu level set slice reps noise seed query sets check lint_only trace
+    metrics_path =
   (* Flush observability output on every exit path (batch mode exits 2 on
      a failed query; at_exit still runs). *)
   let registry = Cq_util.Metrics.create () in
@@ -263,13 +320,20 @@ let main cpu level set slice reps noise seed query sets trace metrics_path =
               reps;
               reset = Cq_cachequery.Frontend.Flush_refill;
               frontend = None;
+              check = check || lint_only;
+              lint_only;
               metrics = registry;
             }
           in
           (match (query, sets) with
-          | Some q, Some ss ->
-              if not (batch session (parse_sets ss) q) then exit 2
-          | Some q, None -> if not (run_query session q) then exit 2
+          | Some q, Some ss -> (
+              match batch session (parse_sets ss) q with
+              | Ran -> ()
+              | s -> exit (status_exit_code s))
+          | Some q, None -> (
+              match run_query session q with
+              | Ran -> ()
+              | s -> exit (status_exit_code s))
           | None, _ -> interactive session);
           `Ok ())
 
@@ -280,7 +344,7 @@ let cmd =
     Term.(
       ret
         (const main $ cpu_arg $ level_arg $ set_arg $ slice_arg $ reps_arg
-       $ noise_arg $ seed_arg $ query_arg $ sets_arg $ trace_arg
-       $ metrics_arg))
+       $ noise_arg $ seed_arg $ query_arg $ sets_arg $ check_arg
+       $ lint_only_arg $ trace_arg $ metrics_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -6,8 +6,8 @@
 open Cmdliner
 
 (* Failures in the supervisor's taxonomy exit with distinct codes
-   (Transient 10, Diverged 11, Budget_exhausted 12, Worker_lost 13), so
-   campaign scripts can branch without parsing stderr. *)
+   (Transient 10, Diverged 11, Budget_exhausted 12, Worker_lost 13,
+   Invalid 14), so campaign scripts can branch without parsing stderr. *)
 let exit_partial failure =
   Fmt.epr "polca: %a@." Cq_core.Learn.pp_failure failure;
   exit (Cq_core.Learn.failure_exit_code failure)
@@ -32,15 +32,15 @@ let setup_observability trace metrics registry =
   | Some path ->
       at_exit (fun () -> Cq_util.Metrics.write_json ~path registry)
 
-let learn_simulated policy assoc depth dot snapshot snapshot_every resume
-    deadline query_budget metrics =
+let learn_simulated policy assoc depth validate dot snapshot snapshot_every
+    resume deadline query_budget metrics =
   match Cq_policy.Zoo.make ~name:policy ~assoc with
   | Error msg -> `Error (false, msg)
   | Ok p -> (
       match
         Cq_core.Learn.run_simulated
           ~equivalence:(Cq_core.Learn.W_method depth)
-          ~metrics
+          ~validate ~metrics
           ?snapshot:(snapshot_policy_of snapshot snapshot_every)
           ?resume
           ~deadline:(Cq_util.Clock.deadline_of deadline)
@@ -63,7 +63,7 @@ let learn_simulated policy assoc depth dot snapshot snapshot_every resume
             dot;
           `Ok ())
 
-let learn_hardware cpu level set slice cat depth noise dot snapshot
+let learn_hardware cpu level set slice cat depth noise validate dot snapshot
     snapshot_every resume deadline query_budget metrics =
   match Cq_hwsim.Cpu_model.by_name cpu with
   | None -> `Error (false, Printf.sprintf "unknown CPU %S" cpu)
@@ -76,7 +76,7 @@ let learn_hardware cpu level set slice cat depth noise dot snapshot
       let run =
         Cq_core.Hardware.learn_set machine level ~slice ~set ?cat_ways:cat
           ~equivalence:(Cq_core.Learn.W_method depth)
-          ~check_hits:false
+          ~check_hits:false ~validate
           ~repetitions:(if noise then 5 else 1)
           ~metrics
           ?snapshot:(snapshot_policy_of snapshot snapshot_every)
@@ -137,6 +137,17 @@ let set_arg = Arg.(value & opt int 0 & info [ "set" ] ~doc:"Target set.")
 let slice_arg = Arg.(value & opt int 0 & info [ "slice" ] ~doc:"Target slice.")
 let cat_arg = Arg.(value & opt (some int) None & info [ "cat" ] ~doc:"Reduce L3 ways via CAT.")
 let noise_arg = Arg.(value & flag & info [ "noise" ] ~doc:"Enable simulator noise (adds repetitions).")
+
+let check_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "check" ]
+        ~doc:
+          "Model-check the learned automaton against the policy axioms \
+           (hit consistency, reachability, minimality, line-permutation \
+           symmetry) before accepting it; a violation exits 14 and, in \
+           hardware mode, is first retried with escalated voting.")
 let dot_arg = Arg.(value & opt (some string) None & info [ "dot" ] ~doc:"Write learned automaton to this DOT file.")
 
 let snapshot_arg =
@@ -200,17 +211,17 @@ let metrics_arg =
           "Write the run's metrics registry (counters and histograms across \
            the whole pipeline) to $(docv) as JSON.")
 
-let main policy assoc cpu level set slice cat depth noise dot snapshot
+let main policy assoc cpu level set slice cat depth noise check dot snapshot
     snapshot_every resume deadline query_budget trace metrics_path =
   let registry = Cq_util.Metrics.create () in
   setup_observability trace metrics_path registry;
   try
     match policy with
     | Some name ->
-        learn_simulated name assoc depth dot snapshot snapshot_every resume
-          deadline query_budget registry
+        learn_simulated name assoc depth check dot snapshot snapshot_every
+          resume deadline query_budget registry
     | None ->
-        learn_hardware cpu level set slice cat depth noise dot snapshot
+        learn_hardware cpu level set slice cat depth noise check dot snapshot
           snapshot_every resume deadline query_budget registry
   with Cq_core.Session.Corrupt msg -> `Error (false, msg)
 
@@ -221,8 +232,8 @@ let cmd =
     Term.(
       ret
         (const main $ policy_arg $ assoc_arg $ cpu_arg $ level_arg $ set_arg
-       $ slice_arg $ cat_arg $ depth_arg $ noise_arg $ dot_arg $ snapshot_arg
-       $ snapshot_every_arg $ resume_arg $ deadline_arg $ query_budget_arg
-       $ trace_arg $ metrics_arg))
+       $ slice_arg $ cat_arg $ depth_arg $ noise_arg $ check_arg $ dot_arg
+       $ snapshot_arg $ snapshot_every_arg $ resume_arg $ deadline_arg
+       $ query_budget_arg $ trace_arg $ metrics_arg))
 
 let () = exit (Cmd.eval cmd)

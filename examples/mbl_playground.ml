@@ -5,7 +5,29 @@
    eviction-probing query of Example 4.1 and the thrashing probe of
    Appendix B.
 
-   Run with:  dune exec examples/mbl_playground.exe *)
+   Run with:  dune exec examples/mbl_playground.exe
+   With [--check], the example programs are not executed but validated by
+   the static checker (Cq_analysis.Mbl_check) instead — CI runs this mode
+   to keep the examples well-formed. *)
+
+(* (associativity, program) pairs shown in the expansion tour *)
+let expansion_programs =
+  [
+    (4, "@ X _?") (* Example 4.1: fill, miss, probe who was evicted *);
+    (4, "(A B C D)[E F]");
+    (2, "(A B C)3");
+    (4, "{A B, C} D?");
+    (4, "@ M a M?");
+  ]
+
+(* programs run against the simulated Skylake L1 set (associativity 8) *)
+let l1_programs =
+  [
+    "@ (@)?" (* fill then reprobe: all hits *);
+    "@ X _?" (* who does X evict? (PLRU: way 0 = block A) *);
+    "@ X? X?" (* a fresh block misses, then hits *);
+    "(A B)4 C D E F G H I _?" (* pin A/B by re-touching, then probe *);
+  ]
 
 let show_expansion assoc input =
   Fmt.pr "  %-22s (assoc %d) expands to:@." input assoc;
@@ -14,14 +36,35 @@ let show_expansion assoc input =
     (Cq_mbl.Expand.expand_string ~assoc input);
   Fmt.pr "@."
 
-let () =
+(* [--check]: validate every example without expanding or executing it. *)
+let check_all () =
+  let l1_assoc = Cq_hwsim.Cpu_model.skylake.Cq_hwsim.Cpu_model.l1.Cq_hwsim.Cpu_model.assoc in
+  let programs =
+    expansion_programs @ List.map (fun p -> (l1_assoc, p)) l1_programs
+  in
+  let failed =
+    List.fold_left
+      (fun failed (assoc, input) ->
+        match Cq_analysis.Mbl_check.check_string ~assoc input with
+        | Ok s ->
+            Fmt.pr "ok   %-28s %a@." input Cq_analysis.Mbl_check.pp_summary s;
+            failed
+        | Error d ->
+            Fmt.pr "FAIL %-28s %s@." input
+              (Cq_analysis.Mbl_check.diagnostic_to_string d);
+            failed + 1
+        | exception Cq_mbl.Parser.Parse_error msg ->
+            Fmt.pr "FAIL %-28s parse error: %s@." input msg;
+            failed + 1)
+      0 programs
+  in
+  if failed > 0 then (
+    Fmt.epr "%d example program(s) failed the static check@." failed;
+    exit 1)
+
+let tour () =
   Fmt.pr "--- Macro expansion ---------------------------------------@.";
-  show_expansion 4 "@ X _?";
-  (* Example 4.1: fill, miss, probe who was evicted *)
-  show_expansion 4 "(A B C D)[E F]";
-  show_expansion 2 "(A B C)3";
-  show_expansion 4 "{A B, C} D?";
-  show_expansion 4 "@ M a M?";
+  List.iter (fun (assoc, p) -> show_expansion assoc p) expansion_programs;
 
   (* the Appendix B thrashing probe *)
   Fmt.pr "--- Against a simulated Skylake L1 set --------------------@.";
@@ -49,9 +92,12 @@ let () =
                     if Cq_cache.Cache_set.result_is_hit r then "Hit" else "Miss")
                   rs)))
         (Cq_cachequery.Frontend.run_mbl frontend input))
-    [
-      "@ (@)?" (* fill then reprobe: all hits *);
-      "@ X _?" (* who does X evict? (PLRU: way 0 = block A) *);
-      "@ X? X?" (* a fresh block misses, then hits *);
-      "(A B)4 C D E F G H I _?" (* pin A/B by re-touching, then probe *);
-    ]
+    l1_programs
+
+let () =
+  match Sys.argv with
+  | [| _; "--check" |] -> check_all ()
+  | [| _ |] -> tour ()
+  | _ ->
+      Fmt.epr "usage: %s [--check]@." Sys.argv.(0);
+      exit 2

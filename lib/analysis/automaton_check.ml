@@ -1,0 +1,194 @@
+(* Model checking of replacement-policy automata against the structural
+   axioms of Definition 2.1.  See the .mli for the axiom list.
+
+   Everything here is a whole-machine pass over explicit transition
+   tables, so the costs are: O(states * inputs) for the IO-shape and
+   reachability checks, O(states^2 * inputs) for minimality, and
+   O(states^3 * inputs) per transposition for symmetry (a
+   some-start-state equivalence per candidate start).  The symmetry pass
+   is therefore bounded by [max_symmetry_states]. *)
+
+module Mealy = Cq_automata.Mealy
+
+type violation =
+  | Bad_alphabet of { n_inputs : int; expected : int }
+  | Line_evicts of { state : int; line : int; evicted : int }
+  | Evct_no_eviction of { state : int }
+  | Evct_out_of_range of { state : int; line : int }
+  | Unreachable of { states : int }
+  | Not_minimal of { states : int; minimal : int }
+  | Asymmetric of { line : int }
+
+type symmetry_level = Strict | Up_to_reset_order | Broken | Not_checked
+
+type report = {
+  assoc : int;
+  states : int;
+  symmetry : symmetry_level;
+  violations : violation list;
+}
+
+let symmetry_checked r = r.symmetry <> Not_checked
+
+let ok r = r.violations = []
+
+let pp_violation ppf = function
+  | Bad_alphabet { n_inputs; expected } ->
+      Fmt.pf ppf "alphabet has %d inputs, expected %d" n_inputs expected
+  | Line_evicts { state; line; evicted } ->
+      Fmt.pf ppf "Ln(%d) in state %d evicts line %d (hits must not evict)"
+        line state evicted
+  | Evct_no_eviction { state } ->
+      Fmt.pf ppf "Evct in state %d evicts nothing" state
+  | Evct_out_of_range { state; line } ->
+      Fmt.pf ppf "Evct in state %d evicts out-of-range line %d" state line
+  | Unreachable { states } ->
+      Fmt.pf ppf "%d state(s) unreachable from the initial state" states
+  | Not_minimal { states; minimal } ->
+      Fmt.pf ppf "not minimal: %d states, equivalent to %d" states minimal
+  | Asymmetric { line } ->
+      Fmt.pf ppf
+        "no reachable state ever evicts line %d (a hard-wired victim set)"
+        line
+
+let symmetry_note = function
+  | Strict -> ""
+  | Up_to_reset_order -> "; symmetric up to reset ordering"
+  | Broken -> "" (* the Asymmetric violations say it *)
+  | Not_checked -> "; symmetry not checked"
+
+let pp_report ppf r =
+  match r.violations with
+  | [] ->
+      Fmt.pf ppf "policy axioms hold (%d states, associativity %d%s)" r.states
+        r.assoc (symmetry_note r.symmetry)
+  | vs ->
+      let shown, rest =
+        if List.length vs <= 5 then (vs, 0)
+        else (List.filteri (fun i _ -> i < 5) vs, List.length vs - 5)
+      in
+      Fmt.pf ppf "%d axiom violation(s): %a%s" (List.length vs)
+        Fmt.(list ~sep:(any "; ") pp_violation)
+        shown
+        (if rest = 0 then "" else Fmt.str "; ... %d more" rest)
+
+let report_to_string r = Fmt.str "%a" pp_report r
+
+let bump ?(n = 1) registry name =
+  match registry with
+  | None -> ()
+  | Some r -> Cq_util.Metrics.add (Cq_util.Metrics.counter r name) n
+
+let transposition assoc i =
+  List.init assoc (fun j -> if j = i then i + 1 else if j = i + 1 then i else j)
+
+let check ?(symmetry = true) ?(max_symmetry_states = 512) ?registry ~assoc m =
+  if assoc < 1 then
+    invalid_arg "Automaton_check.check: associativity must be >= 1";
+  Cq_util.Trace.with_span ~cat:"analysis" "analysis.automaton_check"
+    ~args:[ ("states", string_of_int (Mealy.n_states m)) ]
+    (fun () ->
+      bump registry "analysis.automaton.checked";
+      let states = Mealy.n_states m in
+      let expected = assoc + 1 in
+      let finish symmetry violations =
+        bump ~n:(List.length violations) registry
+          "analysis.automaton.violations";
+        { assoc; states; symmetry; violations }
+      in
+      if Mealy.n_inputs m <> expected then
+        (* The per-state checks all assume the {Ln(i), Evct} encoding; with
+           the wrong alphabet they would be noise. *)
+        finish Not_checked
+          [ Bad_alphabet { n_inputs = Mealy.n_inputs m; expected } ]
+      else begin
+        let violations = ref [] in
+        let add v = violations := v :: !violations in
+        (* Hit consistency: output shape per (state, input). *)
+        for s = 0 to states - 1 do
+          (match Mealy.output m s assoc with
+          | None -> add (Evct_no_eviction { state = s })
+          | Some l when l < 0 || l >= assoc ->
+              add (Evct_out_of_range { state = s; line = l })
+          | Some _ -> ());
+          for i = 0 to assoc - 1 do
+            match Mealy.output m s i with
+            | None -> ()
+            | Some l -> add (Line_evicts { state = s; line = i; evicted = l })
+          done
+        done;
+        (* Conjugation and the evictability scan both assume outputs are
+           well-shaped; on an IO violation the symmetry pass is skipped
+           rather than run on garbage. *)
+        let io_ok = !violations = [] in
+        (* Reachability. *)
+        let access = Mealy.access_sequences m in
+        let unreachable =
+          Array.fold_left
+            (fun n seq -> if seq = None then n + 1 else n)
+            0 access
+        in
+        if unreachable > 0 then add (Unreachable { states = unreachable });
+        (* Minimality. *)
+        let minimal = Mealy.n_states (Mealy.minimize m) in
+        if minimal < states then add (Not_minimal { states; minimal });
+        (* Line-permutation symmetry.  Tier 1 (strict): conjugating by
+           every adjacent transposition yields a machine trace-equivalent
+           to the original from some control state (the transposition
+           generators suffice: conjugation is a group homomorphism).
+           LRU, MRU, LIP and the RRIP family are strict.
+
+           Strictness is sufficient but not necessary: a learned machine
+           only contains the states reachable from the reset state, and
+           some policies bake the reset's line ordering into that
+           component.  FIFO's minimal automaton is a round-robin pointer
+           whose (0 1)-conjugate evicts in the order 1,0,2,3 — a cycle no
+           FIFO state produces; PLRU's tree pairs lines, so a swap across
+           subtrees escapes the component.  Physically both are conjugates
+           of the same policy learned under a different reset ordering.
+
+           Tier 2 (up to reset order): when strict conjugation fails, the
+           sound necessary condition is that no line is a hard-wired
+           non-victim — every line must be evicted in some reachable
+           state.  Strictness implies this (the evicted-line set of a
+           nonempty, swap-invariant machine is full), and a machine that
+           fails it really does privilege a line (e.g. a constant-victim
+           automaton), which no renaming of the reset can explain. *)
+        let sym =
+          if
+            not (symmetry && io_ok && states <= max_symmetry_states && assoc >= 2)
+          then Not_checked
+          else if
+            let strict_swap i =
+              let perm = transposition assoc i in
+              let relabeled = Cq_policy.Zoo.relabel_lines assoc perm m in
+              Cq_policy.Zoo.matches_from_some_state m relabeled
+            in
+            List.for_all strict_swap (List.init (assoc - 1) Fun.id)
+          then Strict
+          else begin
+            let evicted = Array.make assoc false in
+            Array.iteri
+              (fun s seq ->
+                if seq <> None then
+                  match Mealy.output m s assoc with
+                  | Some l when l >= 0 && l < assoc -> evicted.(l) <- true
+                  | _ -> ())
+              access;
+            let missing = ref [] in
+            for l = assoc - 1 downto 0 do
+              if not evicted.(l) then missing := l :: !missing
+            done;
+            match !missing with
+            | [] -> Up_to_reset_order
+            | lines ->
+                List.iter (fun line -> add (Asymmetric { line })) lines;
+                Broken
+          end
+        in
+        finish sym (List.rev !violations)
+      end)
+
+let diagnose ~assoc m =
+  let r = check ~assoc m in
+  if ok r then None else Some (report_to_string r)

@@ -1,0 +1,264 @@
+(* Self-analysis: lexical hazard patterns over the repo's own sources.
+
+   The matcher works on a *stripped* copy of each file — comments, string
+   literals, char literals and quoted-string literals blanked out, line
+   structure preserved — produced by a small OCaml lexer below.  That
+   keeps the rules dumb (substring tests per line) without false
+   positives from documentation.  Suppressions are ordinary comments
+   ([cq-lint: allow <rule>] on the offending line or the one above), so
+   they survive in the raw text the stripper erased and double as
+   documentation of why the pattern is safe at that site. *)
+
+type finding = {
+  file : string;
+  line : int;
+  rule : string;
+  excerpt : string;
+  message : string;
+}
+
+let rules =
+  [
+    ( "hashtbl-add",
+      "Hashtbl.add silently stacks bindings; use Hashtbl.replace unless \
+       shadowing is intended" );
+    ( "wall-clock",
+      "direct wall-clock read; route through Cq_util.Clock so deadlines \
+       and drift share one clock" );
+    ( "marshal-unvalidated",
+      "Marshal.from_* without Digest validation anywhere in the file; \
+       stale bytes segfault" );
+    ( "domain-shared-state",
+      "mutable state in a Domain.spawn-ing file; share via Atomic or \
+       document the single-writer discipline" );
+  ]
+
+(* --- Stripping --------------------------------------------------------- *)
+
+(* Blank out comments (nested, and the strings nested inside them), string
+   literals, quoted-string literals ({id|...|id}) and char literals,
+   preserving newlines so line numbers survive. *)
+let strip src =
+  let n = String.length src in
+  let buf = Bytes.of_string src in
+  let blank i = if Bytes.get buf i <> '\n' then Bytes.set buf i ' ' in
+  let blank_range i j =
+    for k = i to min j (n - 1) do
+      blank k
+    done
+  in
+  let rec code i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | '(' when i + 1 < n && src.[i + 1] = '*' ->
+          blank_range i (i + 1);
+          comment 1 (i + 2)
+      | '"' -> string `Code (i + 1)
+      | '{' -> (
+          (* {id|...|id} quoted strings. *)
+          let j = ref (i + 1) in
+          while
+            !j < n
+            && (match src.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
+          do
+            incr j
+          done;
+          if !j < n && src.[!j] = '|' then begin
+            let id = String.sub src (i + 1) (!j - i - 1) in
+            let close = "|" ^ id ^ "}" in
+            quoted close (!j + 1) (i + 1)
+          end
+          else code (i + 1))
+      | '\'' ->
+          if i + 1 < n && src.[i + 1] = '\\' then begin
+            (* escaped char literal: find the closing quote *)
+            let j = ref (i + 2) in
+            while !j < n && !j <= i + 6 && src.[!j] <> '\'' do
+              incr j
+            done;
+            if !j < n && src.[!j] = '\'' then begin
+              blank_range i !j;
+              code (!j + 1)
+            end
+            else code (i + 1)
+          end
+          else if i + 2 < n && src.[i + 2] = '\'' then begin
+            blank_range i (i + 2);
+            code (i + 3)
+          end
+          else code (i + 1) (* type variable or post-identifier quote *)
+      | _ -> code (i + 1)
+  and comment depth i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | '(' when i + 1 < n && src.[i + 1] = '*' ->
+          blank_range i (i + 1);
+          comment (depth + 1) (i + 2)
+      | '*' when i + 1 < n && src.[i + 1] = ')' ->
+          blank_range i (i + 1);
+          if depth = 1 then code (i + 2) else comment (depth - 1) (i + 2)
+      | '"' ->
+          blank i;
+          string (`Comment depth) (i + 1)
+      | _ ->
+          blank i;
+          comment depth (i + 1)
+  and string ret i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | '\\' ->
+          blank i;
+          if i + 1 < n then blank (i + 1);
+          string ret (i + 2)
+      | '"' -> (
+          match ret with
+          | `Code -> code (i + 1)
+          | `Comment d ->
+              blank i;
+              comment d (i + 1))
+      | _ ->
+          blank i;
+          string ret (i + 1)
+  and quoted close i start =
+    (* scan for [close], blanking the body *)
+    let cn = String.length close in
+    let rec find i =
+      if i + cn > n then blank_range start (n - 1)
+      else if String.sub src i cn = close then begin
+        blank_range start (i - 1);
+        code (i + cn)
+      end
+      else find (i + 1)
+    in
+    find i
+  in
+  code 0;
+  Bytes.to_string buf
+
+(* --- Matching ---------------------------------------------------------- *)
+
+let is_ident_char = function
+  | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '\'' -> true
+  | _ -> false
+
+(* Does [line] contain [needle] not followed by an identifier character?
+   (So "Hashtbl.add" does not match "Hashtbl.add_seq".) *)
+let contains_token line needle =
+  let nl = String.length line and nn = String.length needle in
+  let rec at i =
+    if i + nn > nl then false
+    else if
+      String.sub line i nn = needle
+      && (i + nn >= nl || not (is_ident_char line.[i + nn]))
+    then true
+    else at (i + 1)
+  in
+  at 0
+
+let contains_sub line needle =
+  let nl = String.length line and nn = String.length needle in
+  let rec at i =
+    if i + nn > nl then false
+    else if String.sub line i nn = needle then true
+    else at (i + 1)
+  in
+  at 0
+
+let split_lines s = String.split_on_char '\n' s
+
+(* [cq-lint: allow <rule>] in the raw text of the finding's line or the
+   line above. *)
+let allowed raw_lines line rule =
+  let marker = "cq-lint: allow " ^ rule in
+  let check idx =
+    idx >= 1
+    && idx <= Array.length raw_lines
+    && contains_sub raw_lines.(idx - 1) marker
+  in
+  check line || check (line - 1)
+
+let message_of rule = List.assoc rule rules
+
+let lint_source ~file src =
+  let stripped = Array.of_list (split_lines (strip src)) in
+  let raw = Array.of_list (split_lines src) in
+  let findings = ref [] in
+  let emit line rule =
+    if not (allowed raw line rule) then
+      findings :=
+        {
+          file;
+          line;
+          rule;
+          excerpt = String.trim raw.(line - 1);
+          message = message_of rule;
+        }
+        :: !findings
+  in
+  let spawns_domains = ref false in
+  let has_digest = ref false in
+  Array.iter
+    (fun l ->
+      if contains_token l "Domain.spawn" then spawns_domains := true;
+      if contains_sub l "Digest." then has_digest := true)
+    stripped;
+  Array.iteri
+    (fun i l ->
+      let line = i + 1 in
+      if contains_token l "Hashtbl.add" then emit line "hashtbl-add";
+      if contains_token l "Unix.gettimeofday" || contains_token l "Sys.time"
+      then emit line "wall-clock";
+      if contains_sub l "Marshal.from_" && not !has_digest then
+        emit line "marshal-unvalidated";
+      if
+        !spawns_domains
+        && (contains_sub l "= ref " || contains_sub l "= ref("
+           || contains_token l "Hashtbl.create")
+      then emit line "domain-shared-state")
+    stripped;
+  List.rev !findings
+
+let lint_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | src -> lint_source ~file:path src
+  | exception Sys_error _ -> []
+
+let is_ml path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || entry.[0] = '.' || entry = "_build" then acc
+        else walk (Filename.concat path entry) acc)
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort compare entries;
+       entries)
+  else if is_ml path then path :: acc
+  else acc
+
+let lint_paths paths =
+  let files = List.rev (List.fold_left (fun acc p -> walk p acc) [] paths) in
+  let findings = List.concat_map lint_file files in
+  List.sort
+    (fun a b ->
+      match compare a.file b.file with 0 -> compare a.line b.line | c -> c)
+    findings
+
+let pp_finding ppf f =
+  Fmt.pf ppf "%s:%d: [%s] %s@,    %s" f.file f.line f.rule f.message f.excerpt
+
+let report_json findings =
+  let js = Cq_util.Metrics.json_string in
+  let one f =
+    Printf.sprintf
+      "{\"file\": %s, \"line\": %d, \"rule\": %s, \"message\": %s, \
+       \"excerpt\": %s}"
+      (js f.file) f.line (js f.rule) (js f.message) (js f.excerpt)
+  in
+  "[\n  " ^ String.concat ",\n  " (List.map one findings) ^ "\n]\n"

@@ -1,0 +1,54 @@
+(** A small lint pass over this repository's own OCaml sources, looking
+    for hazard patterns the project has already been bitten by:
+
+    - [hashtbl-add]: [Hashtbl.add] where [Hashtbl.replace] is almost
+      always meant — [add] silently stacks bindings, which turned the
+      frontend's query memo into a leak until PR 2 fixed it;
+    - [wall-clock]: direct [Unix.gettimeofday] / [Sys.time] reads outside
+      [Cq_util.Clock] — deadlines and drift detection must share one
+      clock so they can be reasoned about (and faked) together;
+    - [marshal-unvalidated]: a file that [Marshal.from_*]s untrusted
+      bytes without any [Digest] validation in sight — snapshots are
+      re-read across versions, and a stale marshal segfaults;
+    - [domain-shared-state]: [ref] cells and [Hashtbl.create] in files
+      that [Domain.spawn] — shared mutable state across domains belongs
+      behind [Atomic] (or a clear single-writer discipline).
+
+    Matching is over comment- and string-stripped source text, so
+    mentioning a pattern in a docstring (as this one just did, four
+    times) is fine.  A finding is suppressed by an annotation on the same
+    line or the line above:
+
+    {[ (* cq-lint: allow hashtbl-add — fresh key, guarded by mem above *) ]}
+
+    The rule name must follow [cq-lint: allow]; everything after it is
+    free-form justification (and writing one is the point). *)
+
+type finding = {
+  file : string;
+  line : int;  (** 1-based *)
+  rule : string;
+  excerpt : string;  (** the offending source line, trimmed *)
+  message : string;
+}
+
+val rules : (string * string) list
+(** Rule names with one-line descriptions. *)
+
+val lint_file : string -> finding list
+(** Lint one [.ml]/[.mli] file (read from disk).  Files that cannot be
+    read yield no findings. *)
+
+val lint_source : file:string -> string -> finding list
+(** Lint source text directly ([file] is used for reporting only). *)
+
+val lint_paths : string list -> finding list
+(** Lint every [.ml]/[.mli] under the given files/directories
+    (directories are walked recursively, skipping [_build] and
+    dot-directories), sorted by file then line. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val report_json : finding list -> string
+(** The findings as a JSON array (hand-rolled, like the metrics
+    exporter). *)

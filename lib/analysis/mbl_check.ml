@@ -1,0 +1,310 @@
+(* An abstract interpreter for MBL expressions that predicts expansion
+   without performing it.
+
+   The whole point of this module is *exactness*: it mirrors
+   [Cq_mbl.Expand.expand_expr] constructor by constructor, including the
+   placement of the [max_queries] guard (applied to the accumulator after
+   every [Seq] item, once per [Set]/[Extend], never on bare atoms) and the
+   evaluation order of subterms (a [Power (e, 0)] never evaluates [e]; a
+   [Seq] keeps evaluating items after the accumulator collapses to zero
+   queries).  Each AST node is summarised by a small exact state —
+   cardinality, element counts, footprint, taggedness — from which every
+   quantity the expander's error paths depend on can be read off.
+
+   The counts use saturating arithmetic: cardinalities beyond [max_queries]
+   are rejected anyway, and access counts beyond [max_int] only arise from
+   programs no one can run. *)
+
+module Ast = Cq_mbl.Ast
+module Block = Cq_cache.Block
+module BSet = Set.Make (Block)
+
+type code =
+  | Bad_block_name of string
+  | Double_tag
+  | Negative_power of int
+  | Cardinality_overflow of { bound : int; at_least : int }
+  | Excess_blocks of { distinct : int; capacity : int }
+
+type diagnostic = { code : code; path : int list }
+
+let pp_code ppf = function
+  | Bad_block_name name -> Fmt.pf ppf "bad block name %S" name
+  | Double_tag -> Fmt.string ppf "tag applied to an already-tagged query"
+  | Negative_power k -> Fmt.pf ppf "negative power %d" k
+  | Cardinality_overflow { bound; at_least } ->
+      Fmt.pf ppf "expansion exceeds %d queries (reaches at least %d)" bound
+        at_least
+  | Excess_blocks { distinct; capacity } ->
+      Fmt.pf ppf "%d distinct blocks exceed the capacity of %d" distinct
+        capacity
+
+let pp_path ppf = function
+  | [] -> Fmt.string ppf "at the root"
+  | path -> Fmt.pf ppf "at subterm %a" Fmt.(list ~sep:(any ".") int) path
+
+let pp_diagnostic ppf d = Fmt.pf ppf "%a %a" pp_code d.code pp_path d.path
+let diagnostic_to_string d = Fmt.str "%a" pp_diagnostic d
+
+type summary = {
+  cardinality : int;
+  total_accesses : int;
+  profiled_accesses : int;
+  max_query_len : int;
+  footprint : Block.t list;
+  main_blocks : int;
+  aux_blocks : int;
+  associativity_pressure : float;
+}
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "%d queries, %d accesses (%d profiled), longest query %d, %d blocks (%d \
+     main + %d aux), pressure %.2f"
+    s.cardinality s.total_accesses s.profiled_accesses s.max_query_len
+    (List.length s.footprint) s.main_blocks s.aux_blocks
+    s.associativity_pressure
+
+(* --- The abstract domain ---------------------------------------------- *)
+
+(* Saturating non-negative arithmetic. *)
+let sadd a b =
+  let s = a + b in
+  if s < 0 then max_int else s
+
+let smul a b = if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
+
+type state = {
+  card : int;  (* exact number of queries *)
+  elems : int;  (* total elements over all queries (saturating) *)
+  profiled : int;  (* how many carry the '?' tag (saturating) *)
+  max_len : int;  (* longest query (saturating) *)
+  has_tag : bool;  (* some query contains a tagged element *)
+  fp : BSet.t;  (* distinct blocks over all queries *)
+}
+
+(* Invariant: [card = 0] implies every other component is zero/empty/false
+   (no queries means no elements, tags or blocks). *)
+let zero =
+  { card = 0; elems = 0; profiled = 0; max_len = 0; has_tag = false; fp = BSet.empty }
+
+(* The state of [[ [] ]] — one empty query, the [Seq] fold identity. *)
+let one = { zero with card = 1 }
+
+(* Concatenation product: every query of [a] prefixes every query of [b]. *)
+let seq_product a b =
+  if a.card = 0 || b.card = 0 then zero
+  else
+    {
+      card = smul a.card b.card;
+      elems = sadd (smul b.card a.elems) (smul a.card b.elems);
+      profiled = sadd (smul b.card a.profiled) (smul a.card b.profiled);
+      max_len = sadd a.max_len b.max_len;
+      has_tag = a.has_tag || b.has_tag;
+      fp = BSet.union a.fp b.fp;
+    }
+
+(* Query-set union (list concatenation, for [Set]). *)
+let set_sum a b =
+  {
+    card = sadd a.card b.card;
+    elems = sadd a.elems b.elems;
+    profiled = sadd a.profiled b.profiled;
+    max_len = max a.max_len b.max_len;
+    has_tag = a.has_tag || b.has_tag;
+    fp = BSet.union a.fp b.fp;
+  }
+
+exception Reject of diagnostic
+
+let reject ~path code = raise (Reject { code; path = List.rev path })
+
+(* Mirror of [Expand.expand_expr]'s [guard]: rejects when the query set at
+   this node would exceed [max_queries]. *)
+let guard ~max_queries ~path st =
+  if st.card > max_queries then
+    reject ~path (Cardinality_overflow { bound = max_queries; at_least = st.card })
+  else st
+
+let rec eval ~assoc ~max_queries ~path (e : Ast.t) : state =
+  match e with
+  | Ast.Block name -> (
+      match Block.of_string name with
+      | b ->
+          { card = 1; elems = 1; profiled = 0; max_len = 1; has_tag = false;
+            fp = BSet.singleton b }
+      | exception Invalid_argument _ -> reject ~path (Bad_block_name name))
+  | Ast.At ->
+      (* One query of [assoc] blocks; never guarded by the expander. *)
+      { card = 1; elems = assoc; profiled = 0; max_len = assoc;
+        has_tag = false; fp = BSet.of_list (Block.first assoc) }
+  | Ast.Wildcard ->
+      (* [assoc] single-block queries; never guarded by the expander. *)
+      { card = assoc; elems = assoc; profiled = 0; max_len = 1;
+        has_tag = false; fp = BSet.of_list (Block.first assoc) }
+  | Ast.Seq items ->
+      (* The expander folds with the guard on the accumulator after every
+         item, and keeps evaluating items even once the accumulator is
+         empty — so must we, to surface the same errors. *)
+      let _, st =
+        List.fold_left
+          (fun (i, acc) item ->
+            let st = eval ~assoc ~max_queries ~path:(i :: path) item in
+            (i + 1, guard ~max_queries ~path (seq_product acc st)))
+          (0, one) items
+      in
+      st
+  | Ast.Set items ->
+      let _, st =
+        List.fold_left
+          (fun (i, acc) item ->
+            let st = eval ~assoc ~max_queries ~path:(i :: path) item in
+            (i + 1, set_sum acc st))
+          (0, zero) items
+      in
+      guard ~max_queries ~path st
+  | Ast.Tagged (inner, tag) ->
+      let st = eval ~assoc ~max_queries ~path:(0 :: path) inner in
+      if st.has_tag then reject ~path Double_tag
+      else
+        let tagged = st.elems > 0 in
+        let profiled = match tag with Ast.Profile -> st.elems | Ast.Flush -> 0 in
+        { st with profiled; has_tag = tagged }
+  | Ast.Extend (base, ext) ->
+      let b = eval ~assoc ~max_queries ~path:(0 :: path) base in
+      let x = eval ~assoc ~max_queries ~path:(1 :: path) ext in
+      (* The expander appends each distinct block of the extension's
+         expansion — exactly the extension's footprint — untagged. *)
+      let n = BSet.cardinal x.fp in
+      let st =
+        if b.card = 0 || n = 0 then zero
+        else
+          {
+            card = smul b.card n;
+            elems = sadd (smul n b.elems) (smul b.card n);
+            profiled = smul n b.profiled;
+            max_len = sadd b.max_len 1;
+            has_tag = b.has_tag;
+            fp = BSet.union b.fp x.fp;
+          }
+      in
+      guard ~max_queries ~path st
+  | Ast.Power (inner, k) ->
+      if k < 0 then reject ~path (Negative_power k)
+      else if k = 0 then one (* [Seq []]: the inner term is never evaluated *)
+      else
+        let st = eval ~assoc ~max_queries ~path:(0 :: path) inner in
+        (* [Seq] of [k] copies of [inner], guard after each step.  The
+           accumulator's cardinality is [st.card ^ i]: constant for
+           cardinalities 0 and 1 (closed form below keeps huge [k] cheap),
+           and geometric otherwise, so the loop trips the guard within
+           [log2 max_queries] steps. *)
+        if st.card = 0 then zero
+        else if st.card = 1 then
+          guard ~max_queries ~path
+            {
+              st with
+              elems = smul k st.elems;
+              profiled = smul k st.profiled;
+              max_len = smul k st.max_len;
+            }
+        else begin
+          let acc = ref one in
+          for _ = 1 to k do
+            acc := guard ~max_queries ~path (seq_product !acc st)
+          done;
+          !acc
+        end
+
+(* --- Checking ---------------------------------------------------------- *)
+
+let bump registry name =
+  match registry with
+  | None -> ()
+  | Some r -> Cq_util.Metrics.incr (Cq_util.Metrics.counter r name)
+
+let summarize ~assoc st =
+  let footprint = BSet.elements st.fp in
+  let aux_blocks = List.length (List.filter Block.is_aux footprint) in
+  let main_blocks = List.length footprint - aux_blocks in
+  {
+    cardinality = st.card;
+    total_accesses = st.elems;
+    profiled_accesses = st.profiled;
+    max_query_len = st.max_len;
+    footprint;
+    main_blocks;
+    aux_blocks;
+    associativity_pressure = float_of_int main_blocks /. float_of_int assoc;
+  }
+
+let check ?(max_queries = 65536) ?capacity ?registry ~assoc e =
+  if assoc < 1 then invalid_arg "Mbl_check.check: associativity must be >= 1";
+  Cq_util.Trace.with_span ~cat:"analysis" "analysis.mbl_check" (fun () ->
+      bump registry "analysis.mbl.checked";
+      match eval ~assoc ~max_queries ~path:[] e with
+      | st -> (
+          let s = summarize ~assoc st in
+          match capacity with
+          | Some capacity when s.main_blocks > capacity ->
+              bump registry "analysis.mbl.rejected";
+              Error
+                { code = Excess_blocks { distinct = s.main_blocks; capacity };
+                  path = [] }
+          | _ -> Ok s)
+      | exception Reject d ->
+          bump registry "analysis.mbl.rejected";
+          Error d)
+
+let check_string ?max_queries ?capacity ?registry ~assoc input =
+  check ?max_queries ?capacity ?registry ~assoc (Cq_mbl.Parser.parse input)
+
+(* --- Simplification ---------------------------------------------------- *)
+
+(* Rewrites that preserve the expanded query list *exactly* (same queries,
+   same order).  Concatenation products expand in lexicographic
+   accumulator-major order, so splicing nested [Seq]s (and [Set]s) is
+   order-preserving; [Power (e, k)] is [Seq] of [k] copies by definition.
+
+   Guards are another matter: flattening merges guard structure, and in a
+   program containing a zero-cardinality subterm an intermediate product
+   can exceed [max_queries] even though the original program never does
+   (the zero annihilates it before its guard).  [simplify] therefore only
+   rewrites programs [check] accepts, and re-checks the result: any rewrite
+   that would flip the verdict is discarded. *)
+
+let rec rewrite (e : Ast.t) : Ast.t =
+  match e with
+  | Ast.Block _ | Ast.At | Ast.Wildcard -> e
+  | Ast.Tagged (inner, tag) -> Ast.Tagged (rewrite inner, tag)
+  | Ast.Extend (base, ext) -> Ast.Extend (rewrite base, rewrite ext)
+  | Ast.Power (_, 0) -> Ast.Seq [] (* by definition; inner never evaluated *)
+  | Ast.Power (inner, k) -> (
+      match rewrite inner with
+      | Ast.Power (e', j) when j > 0 && j <= max_int / k ->
+          Ast.Power (e', j * k)
+      | inner' -> if k = 1 then inner' else Ast.Power (inner', k))
+  | Ast.Seq items -> (
+      let items =
+        List.concat_map
+          (fun item ->
+            match rewrite item with Ast.Seq xs -> xs | x -> [ x ])
+          items
+      in
+      match items with [ x ] -> x | xs -> Ast.Seq xs)
+  | Ast.Set items -> (
+      let items =
+        List.concat_map
+          (fun item ->
+            match rewrite item with Ast.Set xs -> xs | x -> [ x ])
+          items
+      in
+      match items with [ x ] -> x | xs -> Ast.Set xs)
+
+let simplify ?max_queries ~assoc e =
+  match check ?max_queries ~assoc e with
+  | Error _ -> e (* rejected programs pass through untouched *)
+  | Ok _ -> (
+      let e' = rewrite e in
+      (* Paranoia: a rewrite must never flip the verdict. *)
+      match check ?max_queries ~assoc e' with Ok _ -> e' | Error _ -> e)

@@ -164,7 +164,10 @@ let memoized ?stats ?max_entries t =
         | Some s -> Cq_util.Metrics.incr s.memo_overflows
         | None -> ())
     | _ -> ());
-    Hashtbl.add table key r
+    (* [replace], not [add]: re-storing a key (a query recomputed after an
+       overflow reset, or re-executed through the batch path) must not
+       stack a second binding under the first. *)
+    Hashtbl.replace table key r
   in
   {
     t with
@@ -190,6 +193,7 @@ let memoized ?stats ?max_entries t =
           (fun (key, q) ->
             if (not (Hashtbl.mem table key)) && not (Hashtbl.mem missing key)
             then begin
+              (* cq-lint: allow hashtbl-add: fresh key, guarded by the mem test above *)
               Hashtbl.add missing key ();
               order := q :: !order
             end)

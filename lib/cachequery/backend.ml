@@ -290,7 +290,7 @@ let rec addr_of_block t block =
       match t.pool with
       | a :: rest ->
           t.pool <- rest;
-          Hashtbl.add t.block_addr block a;
+          Hashtbl.add t.block_addr block a; (* cq-lint: allow hashtbl-add: find_opt miss *)
           a
       | [] ->
           (* The calibration sweep draws from the same congruent stream;

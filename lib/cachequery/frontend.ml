@@ -51,6 +51,7 @@ type t = {
     (Cq_cache.Block.t list Cq_util.Deep.t, Cq_cache.Cache_set.result list)
     Hashtbl.t;
   stats : Cq_cache.Oracle.stats;
+  metrics : Cq_util.Metrics.t option; (* for the static-analysis counters *)
 }
 
 let create ?(reset = Flush_refill) ?repetitions ?voting ?max_memo_entries
@@ -79,6 +80,7 @@ let create ?(reset = Flush_refill) ?repetitions ?voting ?max_memo_entries
     (* The frontend is the pipeline's *device* layer; distinct prefix so
        it can share a registry with the learn-level oracle wrappers. *)
     stats = Cq_cache.Oracle.fresh_stats ?registry:metrics ~prefix:"frontend" ();
+    metrics;
   }
 
 let backend t = t.backend
@@ -114,8 +116,20 @@ let memo_store t key r =
   | _ -> ());
   Hashtbl.replace t.memo key r
 
-(* Expand an MBL expression at the target's associativity. *)
-let expand t input = Cq_mbl.Expand.expand_string ~assoc:t.assoc input
+(* Statically analyse an MBL expression against the target's
+   associativity, without expanding or executing anything. *)
+let check t input =
+  Cq_analysis.Mbl_check.check_string ?registry:t.metrics ~assoc:t.assoc input
+
+(* Expand an MBL expression at the target's associativity.  The static
+   simplifier runs first: it flattens the AST when that provably preserves
+   the expansion (identical query list), and passes rejected or delicate
+   programs through untouched — so this raises exactly the
+   [Expansion_error]s it always did. *)
+let expand t input =
+  let ast = Cq_mbl.Parser.parse input in
+  let ast = Cq_analysis.Mbl_check.simplify ~assoc:t.assoc ast in
+  Cq_mbl.Expand.expand ~assoc:t.assoc ast
 
 let run_reset_ast t ast =
   match Cq_mbl.Expand.expand ~assoc:t.assoc ast with
@@ -324,6 +338,7 @@ let query_blocks_batch t batches =
     (fun (key, q) ->
       let known = t.memo_enabled && Hashtbl.mem t.memo key in
       if (not known) && not (Hashtbl.mem missing key) then begin
+        (* cq-lint: allow hashtbl-add: fresh key, guarded by the mem test above *)
         Hashtbl.add missing key ();
         order := q :: !order
       end)

@@ -68,8 +68,20 @@ val clear_memo : t -> unit
 val memo_size : t -> int
 (** Number of memoized queries ([Hashtbl.length] of the memo table). *)
 
+val check :
+  t ->
+  string ->
+  (Cq_analysis.Mbl_check.summary, Cq_analysis.Mbl_check.diagnostic) result
+(** Statically analyse an MBL expression at the target's associativity —
+    exact expansion cardinality, footprint and profiled-access counts, or
+    a typed rejection — without expanding or executing anything.  Raises
+    [Cq_mbl.Parser.Parse_error] on syntax errors. *)
+
 val expand : t -> string -> Cq_mbl.Expand.query list
-(** Parse and expand an MBL expression at the target's associativity. *)
+(** Parse and expand an MBL expression at the target's associativity,
+    after the static simplification pre-pass (see
+    {!Cq_analysis.Mbl_check.simplify}; the query list is unchanged by
+    it). *)
 
 val run_mbl :
   t -> string -> (Cq_mbl.Expand.query * Cq_cache.Cache_set.result list) list

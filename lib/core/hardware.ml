@@ -70,8 +70,8 @@ let level_to_string = function
 
 let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
     ?voting ?(retries = 3) ?equivalence ?check_hits ?(max_states = 100_000)
-    ?(reset_trials = 24) ?metrics ?snapshot ?resume ?deadline ?query_budget
-    ?(supervise_retries = 2) machine level =
+    ?validate ?(reset_trials = 24) ?metrics ?snapshot ?resume ?deadline
+    ?query_budget ?(supervise_retries = 2) machine level =
   Cq_util.Trace.with_span ~cat:"hardware" "hardware.learn_set" @@ fun () ->
   (* One registry spans the whole stack: backend, frontend and the
      learning loop all register their series here, so the "backend." /
@@ -179,7 +179,7 @@ let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
         let rec supervise attempt resume =
           match
             Learn.run ?equivalence ?check_hits ~memoize:false ~max_states
-              ~retries ~on_retry
+              ?validate ~retries ~on_retry
               ~device_stats:(Cq_cachequery.Frontend.stats frontend)
               ~metrics ?snapshot ?resume ~snapshot_meta ~deadline:dl
               ?query_budget oracle
@@ -187,7 +187,11 @@ let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
           | Learn.Complete report -> Learned { report; reset; threshold }
           | Learn.Partial p -> (
               match p.Learn.failure with
-              | Learn.Transient _ when attempt < supervise_retries ->
+              (* [Invalid] retries like [Transient]: an automaton that
+                 violates the policy axioms was built from flipped
+                 measurements, and escalated voting can repair it. *)
+              | (Learn.Transient _ | Learn.Invalid _)
+                when attempt < supervise_retries ->
                   on_retry 0;
                   let resume =
                     match p.Learn.snapshot with

@@ -50,6 +50,7 @@ val learn_set :
   ?equivalence:Learn.equivalence ->
   ?check_hits:bool ->
   ?max_states:int ->
+  ?validate:bool ->
   ?reset_trials:int ->
   ?metrics:Cq_util.Metrics.t ->
   ?snapshot:Learn.snapshot_policy ->
@@ -75,6 +76,12 @@ val learn_set :
     next adaptive cap, so transiently flipped words are absorbed while
     structural nondeterminism still fails.
 
+    [validate] (default false) model-checks the learned automaton against
+    the policy axioms before accepting it (see {!Learn.learn_from_cache});
+    a rejected automaton ([Invalid]) is retried like a [Transient]
+    failure, with escalated voting — it was built from flipped
+    measurements, which better voting can repair.
+
     Supervision: [deadline] (seconds) is one wall clock for the whole
     workflow — reset discovery and learning draw it down together —
     and [query_budget] bounds the hardware queries; either tripping turns
@@ -99,6 +106,7 @@ val run :
   ?equivalence:Learn.equivalence ->
   ?check_hits:bool ->
   ?max_states:int ->
+  ?validate:bool ->
   ?reset_trials:int ->
   ?metrics:Cq_util.Metrics.t ->
   ?snapshot:Learn.snapshot_policy ->

@@ -56,12 +56,16 @@ type failure =
   | Diverged of Cq_learner.Lstar.divergence (* the table never stabilised *)
   | Budget_exhausted of string (* wall-clock deadline or query budget *)
   | Worker_lost of string (* a pooled task failed every retry *)
+  | Invalid of string
+      (* the learned automaton violates the policy axioms (the ~validate
+         gate); like Transient, a retry with escalated voting can succeed *)
 
 let pp_failure ppf = function
   | Transient m -> Fmt.pf ppf "transient: %s" m
   | Diverged d -> Fmt.pf ppf "diverged: %a" Cq_learner.Lstar.pp_divergence d
   | Budget_exhausted m -> Fmt.pf ppf "budget exhausted: %s" m
   | Worker_lost m -> Fmt.pf ppf "worker lost: %s" m
+  | Invalid m -> Fmt.pf ppf "invalid automaton: %s" m
 
 (* Distinct non-zero exit codes, so scripted campaigns can branch on the
    failure class without parsing stderr. *)
@@ -70,10 +74,15 @@ let failure_exit_code = function
   | Diverged _ -> 11
   | Budget_exhausted _ -> 12
   | Worker_lost _ -> 13
+  | Invalid _ -> 14
 
 exception Out_of_budget of string
 (* raised inside the oracle stack when the deadline or query budget trips;
    classified as [Budget_exhausted] by [run] *)
+
+exception Invalid_automaton of string
+(* raised by the post-learning validation gate ([~validate]) when the
+   learned machine violates the policy axioms; classified as [Invalid] *)
 
 type report = {
   machine : Cq_policy.Types.output Cq_automata.Mealy.t;
@@ -97,6 +106,9 @@ type report = {
   vote_runs : int; (* extra executions spent on majority voting *)
   transient_flips : int; (* Non_deterministic words absorbed by retry *)
   retry_attempts : int; (* word re-executions the retry layer issued *)
+  validation : Cq_analysis.Automaton_check.report option;
+      (* the post-learning model-checker verdict, when [~validate] ran
+         (always a passing report here: violations abort the run) *)
   metrics : Cq_util.Metrics.t;
       (* the run's full metrics registry; the scalar fields above are
          views over it (frozen at completion) *)
@@ -142,9 +154,10 @@ let default_meta () = Session.make_meta ~queries:0 ()
 let learn_core ?(equivalence = default_equivalence)
     ?(engine = default_engine) ?cache_factory ?(check_hits = true)
     ?(memoize = true) ?max_memo_entries ?max_row_cache
-    ?(max_states = 1_000_000) ?(identify = true) ?(retries = 0) ?on_retry
-    ?device_stats ?metrics ?snapshot ?resume ?snapshot_meta
-    ?(deadline = Cq_util.Clock.no_deadline) ?query_budget ?probe cache =
+    ?(max_states = 1_000_000) ?(identify = true) ?(validate = false)
+    ?(retries = 0) ?on_retry ?device_stats ?metrics ?snapshot ?resume
+    ?snapshot_meta ?(deadline = Cq_util.Clock.no_deadline) ?query_budget
+    ?probe cache =
   (* One registry for the whole run: the learn-level oracle wrappers
      ("oracle.", "member.", "pool.", "learn." prefixes) all register here.
      Callers pass the same registry to Backend/Frontend.create so the
@@ -374,7 +387,7 @@ let learn_core ?(equivalence = default_equivalence)
       in
       verified retries
   in
-  let finish (result : _ Cq_learner.Lstar.result) seconds =
+  let finish ?validation (result : _ Cq_learner.Lstar.result) seconds =
     let v = Cq_util.Metrics.value in
     {
       machine = result.machine;
@@ -404,6 +417,7 @@ let learn_core ?(equivalence = default_equivalence)
         v cache_stats.Cq_cache.Oracle.transient_flips
         + v mstats.Cq_learner.Moracle.conflicts;
       retry_attempts = v cache_stats.Cq_cache.Oracle.retry_attempts;
+      validation;
       metrics = registry;
     }
   in
@@ -421,7 +435,37 @@ let learn_core ?(equivalence = default_equivalence)
           ~on_hypothesis:(fun h -> last_hypothesis := Some h)
           ~oracle ~find_cex ())
   with
-  | result, seconds -> Ok (finish result seconds)
+  | result, seconds -> (
+      (* Post-learning validation gate: model-check the learned machine
+         against the policy axioms (hit consistency, reachability,
+         minimality, line-permutation symmetry) before reporting success.
+         Wp conformance against the producing oracle cannot catch a
+         systematic measurement artefact; the axioms can. *)
+      let validation =
+        if validate && Cq_automata.Mealy.n_inputs result.machine >= 2 then
+          let assoc = Cq_automata.Mealy.n_inputs result.machine - 1 in
+          Some
+            (Cq_analysis.Automaton_check.check ~registry ~assoc
+               result.machine)
+        else None
+      in
+      match validation with
+      | Some v when not (Cq_analysis.Automaton_check.ok v) ->
+          let msg = Cq_analysis.Automaton_check.report_to_string v in
+          (try write_snapshot () with _ -> ());
+          Error
+            ( Invalid_automaton msg,
+              {
+                failure = Invalid msg;
+                hypothesis = Some result.machine;
+                snapshot =
+                  (if !snapshot_written then
+                     Option.map (fun p -> p.path) snapshot
+                   else None);
+                member_queries = hw_queries ();
+                seconds;
+              } )
+      | validation -> Ok (finish ?validation result seconds))
   | exception e -> (
       let seconds = Cq_util.Clock.now () -. t0 in
       (* Preserve whatever was learned: the failure path writes a final
@@ -432,7 +476,22 @@ let learn_core ?(equivalence = default_equivalence)
         match e with
         | Cq_learner.Lstar.Diverged d -> Some (Diverged d)
         | Polca.Non_deterministic m ->
-            Some (Transient ("non-deterministic responses: " ^ m))
+            (* Structured diagnosis: if the hypothesis the learner was
+               working from already violates the policy axioms, the
+               nondeterminism is structural (interference, a bad reset
+               placement), not a transient measurement flip — say so. *)
+            let diagnosis =
+              match !last_hypothesis with
+              | Some h when Cq_automata.Mealy.n_inputs h >= 2 -> (
+                  let assoc = Cq_automata.Mealy.n_inputs h - 1 in
+                  match Cq_analysis.Automaton_check.diagnose ~assoc h with
+                  | Some d ->
+                      "; current hypothesis already violates policy axioms \
+                       (" ^ d ^ ")"
+                  | None -> "")
+              | _ -> ""
+            in
+            Some (Transient ("non-deterministic responses: " ^ m ^ diagnosis))
         | Cq_learner.Moracle.Inconsistent m ->
             Some (Transient ("non-deterministic responses: " ^ m))
         | Cq_util.Pool.Worker_lost m -> Some (Worker_lost m)
@@ -456,27 +515,27 @@ let learn_core ?(equivalence = default_equivalence)
               } ))
 
 let learn_from_cache ?equivalence ?engine ?cache_factory ?check_hits ?memoize
-    ?max_memo_entries ?max_row_cache ?max_states ?identify ?retries ?on_retry
-    ?device_stats ?metrics ?snapshot ?resume ?snapshot_meta ?deadline
-    ?query_budget ?probe cache =
+    ?max_memo_entries ?max_row_cache ?max_states ?identify ?validate ?retries
+    ?on_retry ?device_stats ?metrics ?snapshot ?resume ?snapshot_meta
+    ?deadline ?query_budget ?probe cache =
   match
     learn_core ?equivalence ?engine ?cache_factory ?check_hits ?memoize
-      ?max_memo_entries ?max_row_cache ?max_states ?identify ?retries
-      ?on_retry ?device_stats ?metrics ?snapshot ?resume ?snapshot_meta
-      ?deadline ?query_budget ?probe cache
+      ?max_memo_entries ?max_row_cache ?max_states ?identify ?validate
+      ?retries ?on_retry ?device_stats ?metrics ?snapshot ?resume
+      ?snapshot_meta ?deadline ?query_budget ?probe cache
   with
   | Ok report -> report
   | Error (e, _) -> raise e
 
 let run ?equivalence ?engine ?cache_factory ?check_hits ?memoize
-    ?max_memo_entries ?max_row_cache ?max_states ?identify ?retries ?on_retry
-    ?device_stats ?metrics ?snapshot ?resume ?snapshot_meta ?deadline
-    ?query_budget ?probe cache =
+    ?max_memo_entries ?max_row_cache ?max_states ?identify ?validate ?retries
+    ?on_retry ?device_stats ?metrics ?snapshot ?resume ?snapshot_meta
+    ?deadline ?query_budget ?probe cache =
   match
     learn_core ?equivalence ?engine ?cache_factory ?check_hits ?memoize
-      ?max_memo_entries ?max_row_cache ?max_states ?identify ?retries
-      ?on_retry ?device_stats ?metrics ?snapshot ?resume ?snapshot_meta
-      ?deadline ?query_budget ?probe cache
+      ?max_memo_entries ?max_row_cache ?max_states ?identify ?validate
+      ?retries ?on_retry ?device_stats ?metrics ?snapshot ?resume
+      ?snapshot_meta ?deadline ?query_budget ?probe cache
   with
   | Ok report -> Complete report
   | Error (_, partial) -> Partial partial
@@ -485,22 +544,22 @@ let run ?equivalence ?engine ?cache_factory ?check_hits ?memoize
    simulated oracle is trivially reproducible, so the Parallel engine's
    per-domain factory comes for free. *)
 let learn_simulated ?equivalence ?engine ?check_hits ?max_memo_entries
-    ?max_row_cache ?max_states ?identify ?metrics ?snapshot ?resume ?deadline
-    ?query_budget ?probe policy =
+    ?max_row_cache ?max_states ?identify ?validate ?metrics ?snapshot ?resume
+    ?deadline ?query_budget ?probe policy =
   learn_from_cache ?equivalence ?engine
     ~cache_factory:(fun () -> Cq_cache.Oracle.of_policy policy)
     ?check_hits ?max_memo_entries ?max_row_cache ?max_states ?identify
-    ?metrics ?snapshot ?resume ?deadline ?query_budget ?probe
+    ?validate ?metrics ?snapshot ?resume ?deadline ?query_budget ?probe
     (Cq_cache.Oracle.of_policy policy)
 
 (* As [learn_simulated] but through the supervised [run] API. *)
 let run_simulated ?equivalence ?engine ?check_hits ?max_memo_entries
-    ?max_row_cache ?max_states ?identify ?metrics ?snapshot ?resume ?deadline
-    ?query_budget ?probe policy =
+    ?max_row_cache ?max_states ?identify ?validate ?metrics ?snapshot ?resume
+    ?deadline ?query_budget ?probe policy =
   run ?equivalence ?engine
     ~cache_factory:(fun () -> Cq_cache.Oracle.of_policy policy)
     ?check_hits ?max_memo_entries ?max_row_cache ?max_states ?identify
-    ?metrics ?snapshot ?resume ?deadline ?query_budget ?probe
+    ?validate ?metrics ?snapshot ?resume ?deadline ?query_budget ?probe
     (Cq_cache.Oracle.of_policy policy)
 
 (* Sanity check used in tests and experiments: the learned machine must be

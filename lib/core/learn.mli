@@ -53,17 +53,27 @@ type failure =
   | Budget_exhausted of string
       (** the wall-clock deadline or the query budget tripped *)
   | Worker_lost of string  (** a pooled task failed every bounded retry *)
+  | Invalid of string
+      (** the learned automaton violates the policy axioms — the
+          [~validate] model-checker gate rejected it; like [Transient],
+          a retry with escalated voting can succeed *)
 
 val pp_failure : Format.formatter -> failure -> unit
 
 val failure_exit_code : failure -> int
 (** Distinct non-zero exit codes for scripted campaigns:
     [Transient] → 10, [Diverged] → 11, [Budget_exhausted] → 12,
-    [Worker_lost] → 13. *)
+    [Worker_lost] → 13, [Invalid] → 14. *)
 
 exception Out_of_budget of string
 (** Raised (from inside the oracle stack) when the deadline or query
     budget trips; {!run} classifies it as [Budget_exhausted]. *)
+
+exception Invalid_automaton of string
+(** Raised by the post-learning validation gate ([~validate]) when the
+    learned machine violates the policy axioms
+    (see {!Cq_analysis.Automaton_check}); {!run} classifies it as
+    [Invalid]. *)
 
 type report = {
   machine : Cq_policy.Types.output Cq_automata.Mealy.t;
@@ -93,6 +103,10 @@ type report = {
   transient_flips : int;
       (** [Polca.Non_deterministic] words absorbed by the retry layer *)
   retry_attempts : int;  (** word re-executions the retry layer issued *)
+  validation : Cq_analysis.Automaton_check.report option;
+      (** the post-learning model-checker verdict when [~validate] ran
+          (always a passing report here — violations abort the run with
+          {!Invalid_automaton} / [Invalid]); [None] otherwise *)
   metrics : Cq_util.Metrics.t;
       (** the run's full metrics registry ("oracle.", "member.", "pool.",
           "learn." series; plus the device layer's "frontend." /
@@ -127,6 +141,7 @@ val learn_from_cache :
   ?max_row_cache:int ->
   ?max_states:int ->
   ?identify:bool ->
+  ?validate:bool ->
   ?retries:int ->
   ?on_retry:(int -> unit) ->
   ?device_stats:Cq_cache.Oracle.stats ->
@@ -147,6 +162,14 @@ val learn_from_cache :
     each worker domain (raises [Invalid_argument] otherwise).
     [max_memo_entries] / [max_row_cache] bound the query memo and the L*
     row cache with clear-on-overflow semantics; overflows are reported.
+
+    [validate] (default false) model-checks the learned machine against
+    the policy axioms ({!Cq_analysis.Automaton_check}: hit consistency,
+    reachability, minimality, line-permutation symmetry) before reporting
+    success — Wp conformance against the producing oracle cannot catch a
+    systematic measurement artefact, the axioms can.  A violation raises
+    {!Invalid_automaton} here (classified as [Invalid] by {!run}); the
+    passing verdict lands in [report.validation].
 
     [retries] / [on_retry] plumb the bounded {!Polca.Non_deterministic}
     retry layer (see {!Polca.create}).  [device_stats] is the device
@@ -181,6 +204,7 @@ val run :
   ?max_row_cache:int ->
   ?max_states:int ->
   ?identify:bool ->
+  ?validate:bool ->
   ?retries:int ->
   ?on_retry:(int -> unit) ->
   ?device_stats:Cq_cache.Oracle.stats ->
@@ -206,6 +230,7 @@ val learn_simulated :
   ?max_row_cache:int ->
   ?max_states:int ->
   ?identify:bool ->
+  ?validate:bool ->
   ?metrics:Cq_util.Metrics.t ->
   ?snapshot:snapshot_policy ->
   ?resume:string ->
@@ -226,6 +251,7 @@ val run_simulated :
   ?max_row_cache:int ->
   ?max_states:int ->
   ?identify:bool ->
+  ?validate:bool ->
   ?metrics:Cq_util.Metrics.t ->
   ?snapshot:snapshot_policy ->
   ?resume:string ->

@@ -85,7 +85,7 @@ let get_set t ~slice ~set =
   | Some s -> s
   | None ->
       let s = new_set t ~slice ~set in
-      Hashtbl.add t.sets k s;
+      Hashtbl.add t.sets k s; (* cq-lint: allow hashtbl-add: find_opt miss *)
       s
 
 let kind t ~slice ~set = (get_set t ~slice ~set).kind
@@ -184,6 +184,7 @@ let checkpoint t =
         Array.blit content 0 st.content 0 (Array.length content);
         restore_a ();
         Option.iter (fun r -> r ()) restore_b;
+        (* cq-lint: allow hashtbl-add: the table was reset just above *)
         Hashtbl.add t.sets key st)
       saved;
     t.fills <- fills;

@@ -40,7 +40,7 @@ let characterization_set m =
       (match Hashtbl.find_opt groups sg with
       | Some s' ->
           if not (Hashtbl.mem unseparable (s', !s)) then clash := Some (s', !s)
-      | None -> Hashtbl.add groups sg !s);
+      | None -> Hashtbl.add groups sg !s); (* cq-lint: allow hashtbl-add: find_opt miss *)
       incr s
     done;
     match !clash with

@@ -145,7 +145,7 @@ let learn ?(max_states = 1_000_000) ?max_row_cache ?expose_table ?seed_rows
           let key = Cq_util.Deep.pack u in
           if Hashtbl.mem seen key then None
           else begin
-            Hashtbl.add seen key ();
+            Hashtbl.add seen key (); (* cq-lint: allow hashtbl-add: guarded by the mem test above *)
             let have =
               match Hashtbl.find_opt row_cache key with
               | Some r -> List.length r
@@ -227,6 +227,7 @@ let learn ?(max_states = 1_000_000) ?max_row_cache ?expose_table ?seed_rows
     let idx = Array.length !reps in
     if idx >= max_states then diverge "state budget exhausted";
     reps := Array.append !reps [| u |];
+    (* cq-lint: allow hashtbl-add: callers only add representatives for unseen rows *)
     Hashtbl.add rep_rows (Cq_util.Deep.pack r) idx;
     idx
   in

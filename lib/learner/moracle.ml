@@ -112,7 +112,7 @@ module Trie = struct
             | Some c -> c
             | None ->
                 let c = create () in
-                Hashtbl.add node.children i c;
+                Hashtbl.add node.children i c; (* cq-lint: allow hashtbl-add: find_opt miss *)
                 c
           in
           (match child.out with
@@ -140,7 +140,7 @@ module Trie = struct
             | Some c -> c
             | None ->
                 let c = create () in
-                Hashtbl.add node.children i c;
+                Hashtbl.add node.children i c; (* cq-lint: allow hashtbl-add: find_opt miss *)
                 c
           in
           child.out <- Some o;
@@ -284,6 +284,7 @@ let cached_session ?stats ?(conflict_retries = 0) t =
             if Trie.lookup root w = None then begin
               let key = Cq_util.Deep.pack w in
               if not (Hashtbl.mem missing key) then begin
+                (* cq-lint: allow hashtbl-add: fresh key, guarded by the mem test above *)
                 Hashtbl.add missing key ();
                 order := w :: !order
               end

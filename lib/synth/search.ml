@@ -162,7 +162,7 @@ let check_exact machine prog =
   let rec go mstate pstate path depth =
     let key = (mstate, Array.to_list pstate) in
     if not (Hashtbl.mem seen key) then begin
-      Hashtbl.add seen key ();
+      Hashtbl.add seen key (); (* cq-lint: allow hashtbl-add: guarded by the mem test above *)
       for i = 0 to assoc do
         let mnext, mout = Cq_automata.Mealy.step machine mstate i in
         let presult =

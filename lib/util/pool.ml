@@ -109,6 +109,7 @@ let map_run t f items n =
     let workers = min t.size n in
     let results = Array.make n None in
     let failures = Array.make n None in
+    (* cq-lint: allow domain-shared-state: calling domain only; workers signal via the failed_flag Atomic *)
     let any_failure = ref false in
     let run_task slot i =
       match f (ctx_for t slot) items.(i) with
@@ -135,7 +136,9 @@ let map_run t f items n =
       let failed_flag = Atomic.make false in
       let worker slot () =
         Trace.with_span ~cat:"pool" "pool.worker" @@ fun () ->
+        (* cq-lint: allow domain-shared-state: worker-local, never shared *)
         let my_failures = ref 0 in
+        (* cq-lint: allow domain-shared-state: worker-local, never shared *)
         let continue = ref true in
         while !continue do
           let i = Atomic.fetch_and_add next 1 in
@@ -172,6 +175,7 @@ let map_run t f items n =
         (Array.fold_left (fun a r -> if r <> None then a + 1 else a) 0 results);
       (* Bounded retry rounds, sequentially in the calling domain on a
          rebuilt context: the degraded mode when workers keep dying. *)
+      (* cq-lint: allow domain-shared-state: retry loop runs in the calling domain only *)
       let round = ref 0 in
       let still_failing () = Array.exists (fun e -> e <> None) failures in
       while !round < t.task_retries && still_failing () do

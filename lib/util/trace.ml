@@ -69,7 +69,7 @@ let disable () =
 
 let enabled () = !enabled_flag
 
-let now_us () = Unix.gettimeofday () *. 1e6
+let now_us () = Clock.now () *. 1e6
 
 (* Per-domain span nesting depth.  Only touched when tracing is enabled. *)
 let depth_key = Domain.DLS.new_key (fun () -> ref 0)

@@ -155,5 +155,6 @@ let () =
       Test_session.suite;
       Test_trace.suite;
       Test_prop.suite;
+      Test_analysis.suite;
       suite;
     ]
