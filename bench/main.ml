@@ -464,11 +464,12 @@ let engine () =
     "assoc" "seq" "batched" "speedup" "par" "speedup" "saved%" "agree";
   (* Observability overhead gate: the same learning run with tracing
      enabled must issue exactly the same queries and block accesses — the
-     span instrumentation must never perturb the pipeline — and the
-     enabled run's trace lands in BENCH_engine_trace.json as a
-     Perfetto-loadable sample artifact.  Runs first so the trace only
-     contains this probe, not the whole benchmark. *)
-  let overhead_identical =
+     span instrumentation must never perturb the pipeline.  The enabled
+     run's event count is folded into BENCH_engine.json (the trace itself
+     is reproducible on demand via polca --trace; a second artifact file
+     only drifted out of sync).  Runs first so the counter only reflects
+     this probe, not the whole benchmark. *)
+  let overhead_identical, trace_events =
     let probe = Cq_policy.Zoo.make_exn ~name:"PLRU" ~assoc:4 in
     let go () =
       Cq_core.Learn.learn_simulated ~identify:false
@@ -477,7 +478,7 @@ let engine () =
     let untraced = go () in
     Cq_util.Trace.enable ();
     let traced = go () in
-    Cq_util.Trace.export_chrome ~path:"BENCH_engine_trace.json" ();
+    let trace_events = Cq_util.Trace.recorded () in
     Cq_util.Trace.disable ();
     Cq_util.Trace.clear ();
     let same =
@@ -490,14 +491,15 @@ let engine () =
       && untraced.Cq_core.Learn.timed_loads = traced.Cq_core.Learn.timed_loads
     in
     Printf.printf
-      "tracing on/off: %d/%d queries, %d/%d accesses -> %s (trace in \
-       BENCH_engine_trace.json)\n\
+      "tracing on/off: %d/%d queries, %d/%d accesses -> %s (%d trace \
+       events)\n\
        %!"
       traced.Cq_core.Learn.member_queries untraced.Cq_core.Learn.member_queries
       traced.Cq_core.Learn.cache_accesses
       untraced.Cq_core.Learn.cache_accesses
-      (if same then "identical" else "MISMATCH <-- instrumentation leak");
-    same
+      (if same then "identical" else "MISMATCH <-- instrumentation leak")
+      trace_events;
+    (same, trace_events)
   in
   let rows =
     List.map
@@ -538,8 +540,10 @@ let engine () =
      for the next run to choke on. *)
   let buf = Buffer.create 4096 in
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  out "{\n  \"domains\": %d,\n  \"tracing_overhead_identical\": %b,\n" domains
-    overhead_identical;
+  out
+    "{\n  \"domains\": %d,\n  \"tracing_overhead_identical\": %b,\n\
+    \  \"tracing_probe_events\": %d,\n"
+    domains overhead_identical trace_events;
   (* The batched run's full metrics registry — histograms included — so
      the bench JSON carries the same observability block the learning
      reports do. *)
@@ -970,6 +974,285 @@ let analysis () =
   Printf.printf "\n(wrote BENCH_analysis.json)\n%!"
 
 (* ----------------------------------------------------------------------- *)
+(* Assoc scaling: symmetry-quotient learning vs direct                       *)
+(* ----------------------------------------------------------------------- *)
+
+(* The associativity wall (§7 of the paper stops at 8 ways): learn the
+   scaling targets from software-simulated caches with the symmetry
+   quotient on and off, and record queries + wall-clock per associativity
+   in BENCH_assoc.json.  The headline: PLRU at 12 ways with the quotient
+   on must fit inside the direct (quotient-off) PLRU-8 query budget.
+
+   Controls: LRU is fully symmetric (maximal collapse, but n! states caps
+   its curve early) and FIFO has no verified symmetry (the quotient must
+   degrade to the identity, same queries modulo the probe cost).  New1's
+   state count explodes (~58k at 8 ways), so its curve stops where the
+   hypothesis, not the query budget, is the wall.  Whenever both runs of
+   a config learn, their automata must be identical — a quotient that
+   changes the learned machine is unsound, and [--smoke] (the CI gate)
+   fails the process on it. *)
+let assoc_bench ~full ~smoke () =
+  header
+    "Assoc scaling: symmetry-quotient learning vs direct (Polca + L*, \
+     Wp-method depth 1)";
+  let plans =
+    (* (policy, assoc, run quotient-off too, deadline seconds) *)
+    if smoke then
+      [
+        ("LRU", 4, true, None); ("FIFO", 4, true, None);
+        ("PLRU", 4, true, None); ("New1", 4, true, None);
+      ]
+    else
+      [
+        ("LRU", 4, true, None); ("LRU", 6, true, None);
+        ("FIFO", 8, true, None); ("FIFO", 12, true, None);
+        ("FIFO", 16, true, None);
+        ("New1", 4, true, None);
+        ("PLRU", 4, true, None); ("PLRU", 8, true, None);
+        ("PLRU", 12, full, None);
+      ]
+      @ (if full then
+           [
+             (* New1 has no reachable line symmetry, so its curve is pure
+                quotient overhead past assoc 4 — full-sweep only. *)
+             ("New1", 6, true, None);
+             ("PLRU", 16, false, Some 1800.); ("New1", 8, false, Some 1800.);
+           ]
+         else [])
+  in
+  let learn ~quotient ?deadline policy =
+    let outcome =
+      Cq_core.Learn.run_simulated ~identify:false ~quotient
+        ~deadline:(Cq_util.Clock.deadline_of deadline) policy
+    in
+    outcome
+  in
+  Printf.printf "%-8s %5s | %10s %8s | %10s %8s | %8s %9s %5s\n%!" "Policy"
+    "assoc" "direct q" "time" "quot q" "time" "collapse" "st/reps" "same";
+  let rows =
+    List.map
+      (fun (name, assoc, run_off, deadline) ->
+        let policy = Cq_policy.Zoo.make_exn ~name ~assoc in
+        let off = if run_off then Some (learn ~quotient:false ?deadline policy) else None in
+        let on = learn ~quotient:true ?deadline policy in
+        let queries = function
+          | Cq_core.Learn.Complete r -> string_of_int r.Cq_core.Learn.member_queries
+          | Cq_core.Learn.Partial _ -> "-"
+        in
+        let time = function
+          | Cq_core.Learn.Complete r -> Cq_util.Clock.to_string r.Cq_core.Learn.seconds
+          | Cq_core.Learn.Partial p -> Fmt.str "(%a)" Cq_core.Learn.pp_failure p.Cq_core.Learn.failure
+        in
+        let identical =
+          match (off, on) with
+          | Some (Cq_core.Learn.Complete a), Cq_core.Learn.Complete b ->
+              Some
+                (Cq_automata.Mealy.equivalent a.Cq_core.Learn.machine
+                   b.Cq_core.Learn.machine)
+          | _ -> None
+        in
+        let state_collapse =
+          match on with
+          | Cq_core.Learn.Complete { Cq_core.Learn.quotient = Some q; _ } ->
+              Printf.sprintf "%d/%d" q.Cq_learner.Quotient.states
+                q.Cq_learner.Quotient.reps
+          | _ -> "-"
+        in
+        let collapse =
+          match (off, on) with
+          | Some (Cq_core.Learn.Complete a), Cq_core.Learn.Complete b ->
+              Printf.sprintf "%.2fx"
+                (float_of_int a.Cq_core.Learn.member_queries
+                /. float_of_int (max 1 b.Cq_core.Learn.member_queries))
+          | _ -> "-"
+        in
+        Printf.printf "%-8s %5d | %10s %8s | %10s %8s | %8s %9s %5s\n%!" name
+          assoc
+          (match off with Some o -> queries o | None -> "(skip)")
+          (match off with Some o -> time o | None -> "-")
+          (queries on) (time on) collapse state_collapse
+          (match identical with
+          | Some true -> "yes"
+          | Some false -> "NO <-- MISMATCH"
+          | None -> "-");
+        (name, assoc, off, on, identical))
+      plans
+  in
+  (* The headline budget check: quotient-on PLRU-12 vs direct PLRU-8. *)
+  let find_complete name assoc pick =
+    List.find_map
+      (fun (n, a, off, on, _) ->
+        if n = name && a = assoc then
+          match pick off on with
+          | Some (Cq_core.Learn.Complete r) -> Some r
+          | _ -> None
+        else None)
+      rows
+  in
+  let budget =
+    match
+      ( find_complete "PLRU" 12 (fun _off on -> Some on),
+        find_complete "PLRU" 8 (fun off _on -> off) )
+    with
+    | Some p12, Some p8 ->
+        let within =
+          p12.Cq_core.Learn.member_queries <= p8.Cq_core.Learn.member_queries
+        in
+        Printf.printf
+          "\nPLRU-12 (quotient) vs PLRU-8 (direct): %d vs %d membership \
+           queries -> %s\n%!"
+          p12.Cq_core.Learn.member_queries p8.Cq_core.Learn.member_queries
+          (if within then "within the assoc-8 budget"
+           else "OVER BUDGET <-- the quotient is not paying for itself");
+        Some (p12.Cq_core.Learn.member_queries, p8.Cq_core.Learn.member_queries, within)
+    | _ -> None
+  in
+  (* The other half of the tentpole: hypothesis evaluation during
+     conformance testing is compiled to flattened tables with
+     dictionary-coded outputs ([Mealy.compile] / [Mealy.encode_trace] /
+     [Mealy.agrees_trace]) instead of re-walking the per-state arrays,
+     allocating an output list per word and comparing it with
+     polymorphic equality ([Mealy.run]).  Each recorded trace is encoded
+     once and evaluated [repeats] times, the shape counterexample
+     re-processing and conformance replay produce: the same (word,
+     outputs) pair is checked against every refined hypothesis.
+     Differential micro-bench: same words, same corrupted-trace mix,
+     verdicts must be identical, and the compiled path must clear 5x. *)
+  let compiled_eval =
+    let m =
+      Cq_policy.Policy.to_mealy (Cq_policy.Zoo.make_exn ~name:"PLRU" ~assoc:8)
+    in
+    let c = Cq_automata.Mealy.compile m in
+    let k = Cq_automata.Mealy.n_inputs m in
+    let prng = Cq_util.Prng.of_int 0x5eed in
+    let words =
+      Array.init 2000 (fun i ->
+          let w = List.init 64 (fun _ -> Cq_util.Prng.int prng k) in
+          let exp = Cq_automata.Mealy.run m w in
+          (* Half the traces are corrupted mid-word, so both evaluators
+             exercise their reject paths too. *)
+          let exp =
+            if i mod 2 = 0 then exp
+            else
+              List.mapi
+                (fun j o -> if j = 32 then (match o with Some l -> Some (l + 1) | None -> Some 0) else o)
+                exp
+          in
+          (w, exp))
+    in
+    (* Pre-encoding happens once per trace, outside the timed loop: the
+       evaluators below model replaying a fixed recorded trace against
+       successive hypothesis refinements. *)
+    let traces =
+      Array.map (fun (w, exp) -> Cq_automata.Mealy.encode_trace c w exp) words
+    in
+    let repeats = 50 in
+    let run_verdicts = Array.map (fun (w, exp) -> Cq_automata.Mealy.run m w = exp) words in
+    let agree_verdicts = Array.map (fun tr -> Cq_automata.Mealy.agrees_trace c tr) traces in
+    let identical = run_verdicts = agree_verdicts in
+    let (), run_s =
+      Cq_util.Clock.time (fun () ->
+          for _ = 1 to repeats do
+            Array.iter (fun (w, exp) -> ignore (Cq_automata.Mealy.run m w = exp)) words
+          done)
+    in
+    let (), agrees_s =
+      Cq_util.Clock.time (fun () ->
+          for _ = 1 to repeats do
+            Array.iter (fun tr -> ignore (Cq_automata.Mealy.agrees_trace c tr)) traces
+          done)
+    in
+    let speedup = run_s /. Float.max 1e-9 agrees_s in
+    Printf.printf
+      "\ncompiled evaluation (PLRU-8 truth, 2000 words x 64 symbols x %d \
+       reps):\n  Mealy.run %.4f s, Mealy.agrees_trace %.4f s -> %.1fx, \
+       verdicts identical: %b\n%!"
+      repeats run_s agrees_s speedup identical;
+    if not identical then
+      failwith "assoc bench: compiled evaluator verdicts differ from Mealy.run";
+    if (not smoke) && speedup < 5.0 then
+      failwith
+        (Printf.sprintf
+           "assoc bench: compiled evaluator speedup %.1fx below the 5x bar"
+           speedup);
+    (run_s, agrees_s, speedup, identical)
+  in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n  \"mode\": %S,\n"
+    (if smoke then "smoke" else if full then "full" else "default");
+  (let run_s, agrees_s, speedup, identical = compiled_eval in
+   out
+     "  \"compiled_eval\": { \"run_seconds\": %.6f, \"agrees_seconds\": \
+      %.6f, \"speedup\": %.2f, \"identical_verdicts\": %b },\n"
+     run_s agrees_s speedup identical);
+  (match budget with
+  | Some (q12, q8, within) ->
+      out
+        "  \"plru12_quotient_vs_plru8_direct\": { \"plru12_queries\": %d, \
+         \"plru8_queries\": %d, \"within_budget\": %b },\n"
+        q12 q8 within
+  | None -> ());
+  out "  \"results\": [\n";
+  let run_json = function
+    | Cq_core.Learn.Complete (r : Cq_core.Learn.report) ->
+        let quot =
+          match r.Cq_core.Learn.quotient with
+          | Some q ->
+              Printf.sprintf
+                ", \"quotient_reps\": %d, \"quotient_states\": %d, \
+                 \"quotient_aliases\": %d, \"alias_queries\": %d, \
+                 \"state_collapse\": %.2f"
+                q.Cq_learner.Quotient.reps q.Cq_learner.Quotient.states
+                q.Cq_learner.Quotient.aliases
+                q.Cq_learner.Quotient.alias_queries
+                (Cq_learner.Quotient.collapse q)
+          | None -> ""
+        in
+        Printf.sprintf
+          "{ \"learned\": true, \"states\": %d, \"member_queries\": %d, \
+           \"member_symbols\": %d, \"cache_queries\": %d, \
+           \"cache_accesses\": %d, \"seconds\": %.6f%s }"
+          r.Cq_core.Learn.states r.Cq_core.Learn.member_queries
+          r.Cq_core.Learn.member_symbols r.Cq_core.Learn.cache_queries
+          r.Cq_core.Learn.cache_accesses r.Cq_core.Learn.seconds quot
+    | Cq_core.Learn.Partial p ->
+        Printf.sprintf "{ \"learned\": false, \"reason\": %S }"
+          (Fmt.str "%a" Cq_core.Learn.pp_failure p.Cq_core.Learn.failure)
+  in
+  List.iteri
+    (fun i (name, assoc, off, on, identical) ->
+      out
+        "    { \"policy\": %S, \"assoc\": %d,\n      \"quotient\": %s,\n\
+        \      \"direct\": %s,\n      \"identical\": %s }%s\n"
+        name assoc (run_json on)
+        (match off with Some o -> run_json o | None -> "null")
+        (match identical with
+        | Some b -> string_of_bool b
+        | None -> "null")
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n}\n";
+  Cq_util.Atomic_file.write ~path:"BENCH_assoc.json" (Buffer.contents buf);
+  Printf.printf "\n(wrote BENCH_assoc.json)\n%!";
+  let mismatches =
+    List.filter_map
+      (fun (name, assoc, _, _, identical) ->
+        if identical = Some false then Some (Printf.sprintf "%s-%d" name assoc)
+        else None)
+      rows
+  in
+  if mismatches <> [] then
+    failwith
+      ("assoc bench: quotient changed the learned machine for "
+      ^ String.concat ", " mismatches);
+  if smoke then
+    match budget with
+    | Some (_, _, false) ->
+        failwith "assoc bench: PLRU-12 quotient run exceeded the PLRU-8 budget"
+    | _ -> ()
+
+(* ----------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one per experiment family                      *)
 (* ----------------------------------------------------------------------- *)
 
@@ -1042,6 +1325,7 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
+  let smoke = List.mem "--smoke" args in
   let cmds = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
   let cmds = if cmds = [] then [ "all" ] else cmds in
   let run = function
@@ -1058,6 +1342,7 @@ let () =
     | "noise" -> noise ~full ()
     | "recovery" -> recovery ()
     | "analysis" -> analysis ()
+    | "assoc" -> assoc_bench ~full ~smoke ()
     | "micro" -> micro ()
     | "all" ->
         (* One crashing experiment must not take the rest of the run (or
@@ -1082,8 +1367,22 @@ let () =
             ("noise", noise ~full);
             ("recovery", recovery);
             ("analysis", analysis);
+            ("assoc", assoc_bench ~full ~smoke);
             ("micro", micro);
-          ]
+          ];
+        (* Every artifact this bench run (or a previous one) left behind:
+           the machine-readable counterpart of the tables above. *)
+        let artifacts =
+          Sys.readdir "." |> Array.to_list
+          |> List.filter (fun f ->
+                 String.length f > 6
+                 && String.sub f 0 6 = "BENCH_"
+                 && Filename.check_suffix f ".json")
+          |> List.sort compare
+        in
+        Printf.printf "\nartifacts:\n";
+        List.iter (Printf.printf "  %s\n") artifacts;
+        Printf.printf "%!"
     | other -> Printf.printf "unknown experiment %S\n%!" other
   in
   List.iter run cmds;

@@ -32,15 +32,15 @@ let setup_observability trace metrics registry =
   | Some path ->
       at_exit (fun () -> Cq_util.Metrics.write_json ~path registry)
 
-let learn_simulated policy assoc depth validate dot snapshot snapshot_every
-    resume deadline query_budget metrics =
+let learn_simulated policy assoc depth validate quotient dot snapshot
+    snapshot_every resume deadline query_budget metrics =
   match Cq_policy.Zoo.make ~name:policy ~assoc with
   | Error msg -> `Error (false, msg)
   | Ok p -> (
       match
         Cq_core.Learn.run_simulated
           ~equivalence:(Cq_core.Learn.W_method depth)
-          ~validate ~metrics
+          ~validate ~quotient ~metrics
           ?snapshot:(snapshot_policy_of snapshot snapshot_every)
           ?resume
           ~deadline:(Cq_util.Clock.deadline_of deadline)
@@ -63,8 +63,8 @@ let learn_simulated policy assoc depth validate dot snapshot snapshot_every
             dot;
           `Ok ())
 
-let learn_hardware cpu level set slice cat depth noise validate dot snapshot
-    snapshot_every resume deadline query_budget metrics =
+let learn_hardware cpu level set slice cat depth noise validate quotient dot
+    snapshot snapshot_every resume deadline query_budget metrics =
   match Cq_hwsim.Cpu_model.by_name cpu with
   | None -> `Error (false, Printf.sprintf "unknown CPU %S" cpu)
   | Some model ->
@@ -76,7 +76,7 @@ let learn_hardware cpu level set slice cat depth noise validate dot snapshot
       let run =
         Cq_core.Hardware.learn_set machine level ~slice ~set ?cat_ways:cat
           ~equivalence:(Cq_core.Learn.W_method depth)
-          ~check_hits:false ~validate
+          ~check_hits:false ~validate ~quotient
           ~repetitions:(if noise then 5 else 1)
           ~metrics
           ?snapshot:(snapshot_policy_of snapshot snapshot_every)
@@ -148,6 +148,19 @@ let check_arg =
            (hit consistency, reachability, minimality, line-permutation \
            symmetry) before accepting it; a violation exits 14 and, in \
            hardware mode, is first retried with escalated voting.")
+let quotient_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "quotient" ]
+        ~doc:
+          "Learn modulo verified line-relabeling symmetry: candidate \
+           relabelings are probed against the oracle, and membership \
+           queries are canonicalized through the verified group before \
+           reaching the query cache, collapsing up-to-assoc! symmetric \
+           experiments into one real execution.  Sound for asymmetric \
+           policies (degrades to the identity).")
+
 let dot_arg = Arg.(value & opt (some string) None & info [ "dot" ] ~doc:"Write learned automaton to this DOT file.")
 
 let snapshot_arg =
@@ -211,18 +224,18 @@ let metrics_arg =
           "Write the run's metrics registry (counters and histograms across \
            the whole pipeline) to $(docv) as JSON.")
 
-let main policy assoc cpu level set slice cat depth noise check dot snapshot
-    snapshot_every resume deadline query_budget trace metrics_path =
+let main policy assoc cpu level set slice cat depth noise check quotient dot
+    snapshot snapshot_every resume deadline query_budget trace metrics_path =
   let registry = Cq_util.Metrics.create () in
   setup_observability trace metrics_path registry;
   try
     match policy with
     | Some name ->
-        learn_simulated name assoc depth check dot snapshot snapshot_every
-          resume deadline query_budget registry
-    | None ->
-        learn_hardware cpu level set slice cat depth noise check dot snapshot
+        learn_simulated name assoc depth check quotient dot snapshot
           snapshot_every resume deadline query_budget registry
+    | None ->
+        learn_hardware cpu level set slice cat depth noise check quotient dot
+          snapshot snapshot_every resume deadline query_budget registry
   with Cq_core.Session.Corrupt msg -> `Error (false, msg)
 
 let cmd =
@@ -232,7 +245,8 @@ let cmd =
     Term.(
       ret
         (const main $ policy_arg $ assoc_arg $ cpu_arg $ level_arg $ set_arg
-       $ slice_arg $ cat_arg $ depth_arg $ noise_arg $ check_arg $ dot_arg
+       $ slice_arg $ cat_arg $ depth_arg $ noise_arg $ check_arg
+       $ quotient_arg $ dot_arg
        $ snapshot_arg $ snapshot_every_arg $ resume_arg $ deadline_arg
        $ query_budget_arg $ trace_arg $ metrics_arg))
 

@@ -82,7 +82,35 @@ let bump ?(n = 1) registry name =
 let transposition assoc i =
   List.init assoc (fun j -> if j = i then i + 1 else if j = i + 1 then i else j)
 
-let check ?(symmetry = true) ?(max_symmetry_states = 512) ?registry ~assoc m =
+(* A quotient-learned machine carries merge witnesses: each (s, s0, perm)
+   claims that state [s] behaves as state [s0] conjugated by [perm] —
+   res_m(s) = perm . res_m(s0) . perm^-1.  Conjugating the whole machine
+   by perm^-1 ([Zoo.relabel_lines] with that permutation) turns the claim
+   into plain trace equivalence between two anchored start states, so
+   each triple costs one product walk — O(states * inputs) — instead of
+   the cubic some-start-state search. *)
+let witness_triple_holds assoc m (s, s0, perm) =
+  let n = Mealy.n_states m in
+  s >= 0 && s < n && s0 >= 0 && s0 < n
+  && List.length perm = assoc
+  && List.for_all (fun i -> i >= 0 && i < assoc) perm
+  &&
+  let inverse = Array.make assoc 0 in
+  List.iteri (fun j i -> inverse.(i) <- j) perm;
+  let relabeled =
+    Cq_policy.Zoo.relabel_lines assoc (Array.to_list inverse) m
+  in
+  Cq_automata.Mealy.find_counterexample ~from_a:(Some s) ~from_b:(Some s0) m
+    relabeled
+  = None
+
+(* Bound the validation work: the witness is a (bounded) sample of the
+   machine's merges anyway, so checking a prefix keeps the cost linear in
+   [max_witness_triples] rather than in the orbit closure. *)
+let max_witness_triples = 64
+
+let check ?(symmetry = true) ?(max_symmetry_states = 512) ?symmetry_witness
+    ?registry ~assoc m =
   if assoc < 1 then
     invalid_arg "Automaton_check.check: associativity must be >= 1";
   Cq_util.Trace.with_span ~cat:"analysis" "analysis.automaton_check"
@@ -154,10 +182,27 @@ let check ?(symmetry = true) ?(max_symmetry_states = 512) ?registry ~assoc m =
            nonempty, swap-invariant machine is full), and a machine that
            fails it really does privilege a line (e.g. a constant-victim
            automaton), which no renaming of the reset can explain. *)
-        let sym =
-          if
-            not (symmetry && io_ok && states <= max_symmetry_states && assoc >= 2)
-          then Not_checked
+        let evictability_scan () =
+          let evicted = Array.make assoc false in
+          Array.iteri
+            (fun s seq ->
+              if seq <> None then
+                match Mealy.output m s assoc with
+                | Some l when l >= 0 && l < assoc -> evicted.(l) <- true
+                | _ -> ())
+            access;
+          let missing = ref [] in
+          for l = assoc - 1 downto 0 do
+            if not evicted.(l) then missing := l :: !missing
+          done;
+          match !missing with
+          | [] -> Up_to_reset_order
+          | lines ->
+              List.iter (fun line -> add (Asymmetric { line })) lines;
+              Broken
+        in
+        let brute_force () =
+          if states > max_symmetry_states then Not_checked
           else if
             let strict_swap i =
               let perm = transposition assoc i in
@@ -166,25 +211,31 @@ let check ?(symmetry = true) ?(max_symmetry_states = 512) ?registry ~assoc m =
             in
             List.for_all strict_swap (List.init (assoc - 1) Fun.id)
           then Strict
-          else begin
-            let evicted = Array.make assoc false in
-            Array.iteri
-              (fun s seq ->
-                if seq <> None then
-                  match Mealy.output m s assoc with
-                  | Some l when l >= 0 && l < assoc -> evicted.(l) <- true
-                  | _ -> ())
-              access;
-            let missing = ref [] in
-            for l = assoc - 1 downto 0 do
-              if not evicted.(l) then missing := l :: !missing
-            done;
-            match !missing with
-            | [] -> Up_to_reset_order
-            | lines ->
-                List.iter (fun line -> add (Asymmetric { line })) lines;
-                Broken
-          end
+          else evictability_scan ()
+        in
+        let sym =
+          if not (symmetry && io_ok && assoc >= 2) then Not_checked
+          else
+            (* A symmetry witness from the quotient learner replaces the
+               cubic some-start-state search with one anchored product
+               walk per merge triple, so the machine's internal symmetry
+               stays checkable even past [max_symmetry_states] — there
+               the evictability scan supplies the tier verdict. *)
+            match symmetry_witness with
+            | Some (_ :: _ as witness) ->
+                let sample =
+                  List.filteri (fun i _ -> i < max_witness_triples) witness
+                in
+                if List.for_all (witness_triple_holds assoc m) sample then
+                  if states <= max_symmetry_states then brute_force ()
+                  else evictability_scan ()
+                else
+                  (* A merge the quotient claimed to have verified does
+                     not hold of the learned machine: something corrupted
+                     the run, so fall back to the full brute-force tiers
+                     rather than trust the witness. *)
+                  brute_force ()
+            | _ -> brute_force ()
         in
         finish sym (List.rev !violations)
       end)

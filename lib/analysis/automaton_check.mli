@@ -79,6 +79,7 @@ val report_to_string : report -> string
 val check :
   ?symmetry:bool ->
   ?max_symmetry_states:int ->
+  ?symmetry_witness:(int * int * int list) list ->
   ?registry:Cq_util.Metrics.t ->
   assoc:int ->
   Cq_policy.Types.output Cq_automata.Mealy.t ->
@@ -86,6 +87,19 @@ val check :
 (** [check ~assoc m] runs every axiom check.  [?symmetry] (default [true])
     and [?max_symmetry_states] (default [512]) bound the symmetry pass;
     when it is skipped, the report carries [symmetry = Not_checked].
+
+    [?symmetry_witness] is the merge witness of a quotient-learned
+    machine (see {!Cq_learner.Quotient.stats}): each [(s, s0, perm)]
+    triple claims state [s] behaves as state [s0] conjugated by [perm]
+    (a line permutation, length [assoc]).  Each triple is re-validated
+    with one anchored product walk against the [perm]-relabeled machine
+    — O(states * inputs) instead of the cubic some-start-state search —
+    so internal symmetry stays checkable past [max_symmetry_states],
+    where the evictability scan then supplies the tier verdict (below
+    the bound the full brute-force tiers still run, the walks are
+    cheap).  A failing triple discards the witness and falls back to the
+    brute-force tiers; at most 64 triples are checked.
+
     A wrong alphabet short-circuits the per-state checks (they would be
     meaningless), so a [Bad_alphabet] report carries that violation
     alone. *)

@@ -31,6 +31,9 @@ let rules =
     ( "domain-shared-state",
       "mutable state in a Domain.spawn-ing file; share via Atomic or \
        document the single-writer discipline" );
+    ( "hot-loop-alloc",
+      "allocation in a hot-loop region (List combinator or closure); \
+       hoist it out of the loop or audit it with an allow" );
   ]
 
 (* --- Stripping --------------------------------------------------------- *)
@@ -182,9 +185,40 @@ let allowed raw_lines line rule =
 
 let message_of rule = List.assoc rule rules
 
+(* Hot-loop regions are declared in the raw text (the markers are
+   comments, so the stripper erases them): a standalone comment line
+   with the prefixed "hot-loop" marker opens a region, the prefixed
+   "end hot-loop" marker closes it (the exact strings are in the code
+   below — writing them out in this comment would mark this file).
+   Inside a region every List combinator and closure allocation is a
+   finding unless audited with an allow — the point is not that such
+   code is wrong, but that allocation on a marked path must be a
+   decision someone wrote a justification for.
+
+   A marker only counts when its stripped line is blank, i.e. the
+   marker sits in a comment with no code beside it.  That keeps string
+   literals that merely *mention* the marker (this linter's own source,
+   its tests) from opening phantom regions. *)
+let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') s
+
+let hot_regions raw_lines stripped_lines =
+  let n = Array.length raw_lines in
+  let hot = Array.make n false in
+  let in_region = ref false in
+  for i = 0 to n - 1 do
+    let marker m =
+      contains_sub raw_lines.(i) m && is_blank stripped_lines.(i)
+    in
+    if marker "cq-lint: end hot-loop" then in_region := false
+    else if marker "cq-lint: hot-loop" then in_region := true
+    else hot.(i) <- !in_region
+  done;
+  hot
+
 let lint_source ~file src =
   let stripped = Array.of_list (split_lines (strip src)) in
   let raw = Array.of_list (split_lines src) in
+  let hot = hot_regions raw stripped in
   let findings = ref [] in
   let emit line rule =
     if not (allowed raw line rule) then
@@ -217,7 +251,9 @@ let lint_source ~file src =
         !spawns_domains
         && (contains_sub l "= ref " || contains_sub l "= ref("
            || contains_token l "Hashtbl.create")
-      then emit line "domain-shared-state")
+      then emit line "domain-shared-state";
+      if hot.(i) && (contains_sub l "List." || contains_token l "fun") then
+        emit line "hot-loop-alloc")
     stripped;
   List.rev !findings
 

@@ -12,7 +12,18 @@
       re-read across versions, and a stale marshal segfaults;
     - [domain-shared-state]: [ref] cells and [Hashtbl.create] in files
       that [Domain.spawn] — shared mutable state across domains belongs
-      behind [Atomic] (or a clear single-writer discipline).
+      behind [Atomic] (or a clear single-writer discipline);
+    - [hot-loop-alloc]: List combinators and [fun] closures inside a
+      hot-loop region — bracketed by standalone ["hot-loop"] /
+      ["end hot-loop"] marker comments with the usual [cq-lint:]
+      prefix (spelled out in {!Lint.hot_regions}; repeating the exact
+      text here would mark this very file).  The compiled-evaluator
+      paths in [Cq_automata.Mealy] are marked: they run once per
+      conformance-suite word, so an allocation there multiplies by
+      millions.  Allocation in a marked region is not forbidden — it
+      must carry a written justification
+      ([cq-lint: allow hot-loop-alloc — ...]), making every such site
+      an audited decision rather than an accident.
 
     Matching is over comment- and string-stripped source text, so
     mentioning a pattern in a docstring (as this one just did, four

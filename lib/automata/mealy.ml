@@ -59,6 +59,288 @@ let run t word = run_from t t.init word
 
 let state_after t word = List.fold_left (fun s i -> next_state t s i) t.init word
 
+(* --- Compiled evaluation -------------------------------------------------
+
+   Conformance testing and counterexample processing evaluate the *same*
+   hypothesis on millions of words.  [step] pays an input bounds check, two
+   nested array indirections, and a tuple allocation per symbol; [run]
+   additionally allocates the output list.  Compiling the hypothesis once
+   flattens both tables into single [s * k + i]-indexed vectors — [Bytes]
+   when every state id fits a byte, an int array otherwise — and the
+   walkers below touch them with unsafe reads after one predictable
+   per-symbol range check on the input.  No allocation on the agree/reject
+   paths. *)
+
+type transitions =
+  | Narrow of Bytes.t    (* n_states <= 256: one byte per successor *)
+  | Wide of int array
+
+type 'o compiled = {
+  c_states : int;
+  c_k : int;
+  c_init : int;
+  c_next : transitions; (* successor of (s, i) at index s * c_k + i *)
+  c_out : 'o array;     (* output of (s, i) at index s * c_k + i *)
+  c_code : int array;   (* dictionary code of [c_out.(idx)] *)
+  c_dict : 'o array;    (* distinct outputs; [c_dict.(code)] decodes *)
+}
+
+let compile t =
+  let n = t.n_states and k = t.n_inputs in
+  let size = n * k in
+  let c_next =
+    if n <= 256 then begin
+      let b = Bytes.create size in
+      for s = 0 to n - 1 do
+        let row = t.next.(s) in
+        for i = 0 to k - 1 do
+          Bytes.unsafe_set b ((s * k) + i) (Char.unsafe_chr row.(i))
+        done
+      done;
+      Narrow b
+    end
+    else begin
+      let a = Array.make size 0 in
+      for s = 0 to n - 1 do
+        let row = t.next.(s) in
+        for i = 0 to k - 1 do
+          Array.unsafe_set a ((s * k) + i) row.(i)
+        done
+      done;
+      Wide a
+    end
+  in
+  let c_out = Array.make size t.out.(0).(0) in
+  for s = 0 to n - 1 do
+    let row = t.out.(s) in
+    for i = 0 to k - 1 do
+      Array.unsafe_set c_out ((s * k) + i) row.(i)
+    done
+  done;
+  (* Output dictionary: assign each distinct output a small int code so
+     the hot walkers below can compare outputs with int equality instead
+     of polymorphic [caml_equal].  The alphabet of outputs is tiny (cache
+     line labels), so a linear scan per table entry is fine here — this
+     runs once per compile, not per evaluation. *)
+  let dict = ref [] and n_dict = ref 0 in
+  let c_code =
+    Array.map
+      (fun o ->
+        let rec find c = function
+          | [] ->
+              dict := o :: !dict;
+              incr n_dict;
+              !n_dict - 1
+          | o' :: rest -> if o' = o then c else find (c - 1) rest
+        in
+        find (!n_dict - 1) !dict)
+      c_out
+  in
+  let c_dict = Array.make (max 1 !n_dict) t.out.(0).(0) in
+  List.iteri (fun j o -> c_dict.(!n_dict - 1 - j) <- o) !dict;
+  { c_states = n; c_k = k; c_init = t.init; c_next; c_out; c_code; c_dict }
+
+let compiled_n_states c = c.c_states
+let compiled_n_inputs c = c.c_k
+let compiled_init c = c.c_init
+
+let bad_input () = invalid_arg "Mealy.compiled: input out of range"
+
+(* cq-lint: hot-loop — the walkers below run once per conformance-suite
+   word (millions of calls per learn); per-symbol allocation is a bug. *)
+
+let compiled_state_after_from c s word =
+  let k = c.c_k in
+  match c.c_next with
+  | Narrow b ->
+      let rec go s = function
+        | [] -> s
+        | i :: w ->
+            if i < 0 || i >= k then bad_input ();
+            go (Char.code (Bytes.unsafe_get b ((s * k) + i))) w
+      in
+      go s word
+  | Wide a ->
+      let rec go s = function
+        | [] -> s
+        | i :: w ->
+            if i < 0 || i >= k then bad_input ();
+            go (Array.unsafe_get a ((s * k) + i)) w
+      in
+      go s word
+
+let compiled_state_after c word = compiled_state_after_from c c.c_init word
+
+(* [agrees_from c s word expected]: does the machine, started in [s], emit
+   exactly [expected] on [word]?  Stops at the first mismatch; allocates
+   nothing. *)
+let agrees_from c s word expected =
+  let k = c.c_k and out = c.c_out in
+  match c.c_next with
+  | Narrow b ->
+      let rec go s word exp =
+        match (word, exp) with
+        | [], [] -> true
+        | i :: w, o :: os ->
+            if i < 0 || i >= k then bad_input ();
+            let idx = (s * k) + i in
+            Array.unsafe_get out idx = o
+            && go (Char.code (Bytes.unsafe_get b idx)) w os
+        | _ -> false
+      in
+      go s word expected
+  | Wide a ->
+      let rec go s word exp =
+        match (word, exp) with
+        | [], [] -> true
+        | i :: w, o :: os ->
+            if i < 0 || i >= k then bad_input ();
+            let idx = (s * k) + i in
+            Array.unsafe_get out idx = o
+            && go (Array.unsafe_get a idx) w os
+        | _ -> false
+      in
+      go s word expected
+
+let agrees c word expected = agrees_from c c.c_init word expected
+
+(* Pre-encoded comparison: callers that evaluate the same recorded trace
+   many times (Rivest–Schapire's binary search, counterexample
+   re-processing across refinements) encode the expected outputs into
+   dictionary codes once, then every evaluation is an int-only walk. *)
+
+let encode_output c o =
+  let d = c.c_dict in
+  let n = Array.length d in
+  let rec find i = if i >= n then -1 else if d.(i) = o then i else find (i + 1) in
+  find 0
+
+let encode_outputs c expected =
+  (* Outputs the machine can never emit encode to -1, a code no table
+     entry carries, so [agrees_codes] rejects them without a special
+     case. *)
+  (* cq-lint: allow hot-loop-alloc — encoding runs once per trace, not per evaluation *)
+  Array.of_list (List.map (encode_output c) expected)
+
+let agrees_codes_from c s word codes =
+  let k = c.c_k and code = c.c_code in
+  let m = Array.length codes in
+  match c.c_next with
+  | Narrow b ->
+      let rec go s j = function
+        | [] -> j = m
+        | i :: w ->
+            if i < 0 || i >= k then bad_input ();
+            j < m
+            &&
+            let idx = (s * k) + i in
+            Array.unsafe_get code idx = Array.unsafe_get codes j
+            && go (Char.code (Bytes.unsafe_get b idx)) (j + 1) w
+      in
+      go s 0 word
+  | Wide a ->
+      let rec go s j = function
+        | [] -> j = m
+        | i :: w ->
+            if i < 0 || i >= k then bad_input ();
+            j < m
+            &&
+            let idx = (s * k) + i in
+            Array.unsafe_get code idx = Array.unsafe_get codes j
+            && go (Array.unsafe_get a idx) (j + 1) w
+      in
+      go s 0 word
+
+let agrees_codes c word codes = agrees_codes_from c c.c_init word codes
+
+(* Fully pre-encoded trace: the word is packed into an int array with
+   inputs range-checked once at encode time, so the walk is a pure
+   array loop — no list pointer-chasing and no per-symbol bounds test. *)
+type trace = { t_word : int array; t_codes : int array }
+
+let encode_trace c word expected =
+  let k = c.c_k in
+  let t_word = Array.of_list word in
+  (* cq-lint: allow hot-loop-alloc — encoding runs once per trace, not per evaluation *)
+  Array.iter (fun i -> if i < 0 || i >= k then bad_input ()) t_word;
+  { t_word; t_codes = encode_outputs c expected }
+
+let agrees_trace_from c s tr =
+  let k = c.c_k and code = c.c_code in
+  let w = tr.t_word and codes = tr.t_codes in
+  let n = Array.length w in
+  Array.length codes = n
+  &&
+  match c.c_next with
+  | Narrow b ->
+      let rec go s j =
+        j >= n
+        ||
+        let idx = (s * k) + Array.unsafe_get w j in
+        Array.unsafe_get code idx = Array.unsafe_get codes j
+        && go (Char.code (Bytes.unsafe_get b idx)) (j + 1)
+      in
+      go s 0
+  | Wide a ->
+      let rec go s j =
+        j >= n
+        ||
+        let idx = (s * k) + Array.unsafe_get w j in
+        Array.unsafe_get code idx = Array.unsafe_get codes j
+        && go (Array.unsafe_get a idx) (j + 1)
+      in
+      go s 0
+
+let agrees_trace c tr = agrees_trace_from c c.c_init tr
+
+(* Index of the first position where the machine's output differs from
+   [expected] (or where one sequence ends early); [None] when they agree
+   over the whole word. *)
+let first_disagreement c word expected =
+  let k = c.c_k and out = c.c_out in
+  let next =
+    match c.c_next with
+    (* cq-lint: allow hot-loop-alloc — one closure per call, not per symbol *)
+    | Narrow b -> fun idx -> Char.code (Bytes.unsafe_get b idx)
+    (* cq-lint: allow hot-loop-alloc — one closure per call, not per symbol *)
+    | Wide a -> fun idx -> Array.unsafe_get a idx
+  in
+  let rec go n s word exp =
+    match (word, exp) with
+    | [], [] -> None
+    | i :: w, o :: os ->
+        if i < 0 || i >= k then bad_input ();
+        let idx = (s * k) + i in
+        if Array.unsafe_get out idx <> o then Some n
+        else go (n + 1) (next idx) w os
+    | _ -> Some n
+  in
+  go 0 c.c_init word expected
+
+let compiled_run_from c s word =
+  let k = c.c_k and out = c.c_out in
+  let next =
+    match c.c_next with
+    (* cq-lint: allow hot-loop-alloc — one closure per call, not per symbol *)
+    | Narrow b -> fun idx -> Char.code (Bytes.unsafe_get b idx)
+    (* cq-lint: allow hot-loop-alloc — one closure per call, not per symbol *)
+    | Wide a -> fun idx -> Array.unsafe_get a idx
+  in
+  let state = ref s in
+  (* cq-lint: allow hot-loop-alloc — the output list is the result *)
+  List.map
+    (* cq-lint: allow hot-loop-alloc — the output list is the result *)
+    (fun i ->
+      if i < 0 || i >= k then bad_input ();
+      let idx = (!state * k) + i in
+      state := next idx;
+      Array.unsafe_get out idx)
+    word
+
+let compiled_run c word = compiled_run_from c c.c_init word
+
+(* cq-lint: end hot-loop *)
+
 (* Enumerate the reachable part of an implicit machine given by a step
    function over arbitrary (immutable, structurally comparable) states.
    This is how concrete policy implementations are turned into explicit

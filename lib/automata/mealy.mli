@@ -29,6 +29,74 @@ val run : 'o t -> int list -> 'o list
 val run_from : 'o t -> int -> int list -> 'o list
 val state_after : 'o t -> int list -> int
 
+(** {2 Compiled evaluation}
+
+    Conformance testing evaluates one fixed hypothesis on millions of
+    words.  [compile] flattens the transition/output tables into
+    preallocated one-dimensional vectors ([Bytes] when every state id fits
+    a byte) built once per hypothesis; the walkers below are
+    allocation-free on the agree/reject paths and are the evaluators the
+    equivalence oracles and the learner's counterexample processing use. *)
+
+type 'o compiled
+
+val compile : 'o t -> 'o compiled
+
+val compiled_n_states : 'o compiled -> int
+val compiled_n_inputs : 'o compiled -> int
+val compiled_init : 'o compiled -> int
+
+val agrees : 'o compiled -> int list -> 'o list -> bool
+(** [agrees c word expected] is [run c word = expected], evaluated without
+    allocating and stopping at the first mismatch. *)
+
+val agrees_from : 'o compiled -> int -> int list -> 'o list -> bool
+(** [agrees_from c s word expected] is [agrees] started in state [s]. *)
+
+val encode_outputs : 'o compiled -> 'o list -> int array
+(** Translate an expected-output sequence into [c]'s output-dictionary
+    codes.  Outputs the machine can never emit encode to [-1] and fail
+    every comparison.  Encode once per recorded trace, then evaluate it
+    repeatedly with {!agrees_codes} — the walk compares ints only, never
+    touching the polymorphic structural equality that dominates
+    {!agrees} on short outputs. *)
+
+val agrees_codes : 'o compiled -> int list -> int array -> bool
+(** [agrees_codes c word codes] is [agrees c word expected] where
+    [codes = encode_outputs c expected], evaluated with int comparisons
+    only and no allocation. *)
+
+val agrees_codes_from : 'o compiled -> int -> int list -> int array -> bool
+(** [agrees_codes_from c s word codes] is [agrees_codes] started in
+    state [s]. *)
+
+type trace
+(** A fully pre-encoded (word, expected outputs) pair: the word packed
+    into a range-checked int array, the outputs into dictionary codes.
+    Build once per recorded trace with {!encode_trace}; each
+    {!agrees_trace} evaluation is then a pure int-array walk. *)
+
+val encode_trace : 'o compiled -> int list -> 'o list -> trace
+(** [encode_trace c word expected] pre-encodes a trace against [c]'s
+    output dictionary.  Raises [Invalid_argument] if an input symbol is
+    out of range — the walkers skip per-symbol bounds tests. *)
+
+val agrees_trace : 'o compiled -> trace -> bool
+(** [agrees_trace c tr] is [agrees] on the pre-encoded trace, with int
+    comparisons only, no allocation, and no per-symbol bounds checks. *)
+
+val agrees_trace_from : 'o compiled -> int -> trace -> bool
+(** [agrees_trace_from c s tr] is {!agrees_trace} started in state [s]. *)
+
+val first_disagreement : 'o compiled -> int list -> 'o list -> int option
+(** Index of the first position where the machine's output differs from
+    [expected] (or where one sequence ends early), [None] if none. *)
+
+val compiled_state_after : 'o compiled -> int list -> int
+val compiled_state_after_from : 'o compiled -> int -> int list -> int
+val compiled_run : 'o compiled -> int list -> 'o list
+val compiled_run_from : 'o compiled -> int -> int list -> 'o list
+
 val of_fun :
   init:'s -> n_inputs:int -> step:('s -> int -> 's * 'o) -> max_states:int -> 'o t
 (** Explicit reachable-state enumeration of an implicit machine. States of

@@ -51,6 +51,7 @@ val learn_set :
   ?check_hits:bool ->
   ?max_states:int ->
   ?validate:bool ->
+  ?quotient:bool ->
   ?reset_trials:int ->
   ?metrics:Cq_util.Metrics.t ->
   ?snapshot:Learn.snapshot_policy ->
@@ -107,6 +108,7 @@ val run :
   ?check_hits:bool ->
   ?max_states:int ->
   ?validate:bool ->
+  ?quotient:bool ->
   ?reset_trials:int ->
   ?metrics:Cq_util.Metrics.t ->
   ?snapshot:Learn.snapshot_policy ->

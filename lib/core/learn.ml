@@ -101,6 +101,9 @@ type report = {
   domains : int; (* worker domains used by the equivalence oracle *)
   worker_restarts : int; (* pooled worker contexts poisoned and rebuilt *)
   identified : string list; (* known policies equivalent to the result *)
+  quotient : Cq_learner.Quotient.stats option;
+      (* symmetry-quotient merge statistics (state collapse, alias count,
+         verification queries), when requested ([~quotient]) *)
   (* Noise-layer accounting (0 for quiet software oracles): *)
   timed_loads : int; (* physical timed loads, incl. vote re-measurements *)
   vote_runs : int; (* extra executions spent on majority voting *)
@@ -124,6 +127,9 @@ let pp_report ppf r =
     r.member_queries r.member_symbols r.cache_queries r.cache_accesses
     r.cache_batches r.accesses_saved r.domains
     (match r.identified with [] -> "(unknown policy)" | l -> String.concat ", " l);
+  (match r.quotient with
+  | Some q -> Fmt.pf ppf "@,quotient: %a" Cq_learner.Quotient.pp q
+  | None -> ());
   if r.vote_runs > 0 || r.retry_attempts > 0 || r.timed_loads > 0 then
     Fmt.pf ppf
       "@,timed loads: %d@,vote re-runs: %d@,retries: %d (%d transient flips \
@@ -155,6 +161,7 @@ let learn_core ?(equivalence = default_equivalence)
     ?(engine = default_engine) ?cache_factory ?(check_hits = true)
     ?(memoize = true) ?max_memo_entries ?max_row_cache
     ?(max_states = 1_000_000) ?(identify = true) ?(validate = false)
+    ?(quotient = false)
     ?(retries = 0) ?on_retry ?device_stats ?metrics ?snapshot ?resume
     ?snapshot_meta ?(deadline = Cq_util.Clock.no_deadline) ?query_budget
     ?probe cache =
@@ -218,12 +225,11 @@ let learn_core ?(equivalence = default_equivalence)
       ~stats:cache_stats cache
   in
   let mstats = Cq_learner.Moracle.fresh_stats ~registry () in
-  let oracle, handle =
+  let cached_oracle, handle =
     Polca.moracle polca
     |> Cq_learner.Moracle.counting mstats
     |> Cq_learner.Moracle.cached_session ~stats:mstats ~conflict_retries:retries
   in
-  let refresh_word = handle.Cq_learner.Moracle.refresh in
   (* Preload the prefix trie from the snapshot: every query the crashed
      run ever answered is now served locally, so the deterministic learner
      replays to the crash point at zero hardware cost and then continues —
@@ -306,7 +312,7 @@ let learn_core ?(equivalence = default_equivalence)
           || Cq_util.Clock.now () -. !last_snap_time >= p.every_seconds
         then write_snapshot ()
   in
-  let oracle =
+  let guarded oracle =
     {
       oracle with
       Cq_learner.Moracle.query =
@@ -343,38 +349,58 @@ let learn_core ?(equivalence = default_equivalence)
         Polca.moracle (Polca.create ~check_hits ~batch_probes:true cache)
         |> Cq_learner.Moracle.cached
   in
-  let find_cex =
-    match (equivalence, engine) with
-    | W_method depth, Parallel _ when domains > 1 ->
-        if Option.is_none cache_factory then
-          invalid_arg "Learn: Parallel engine requires ~cache_factory";
-        let pool =
-          Cq_util.Pool.create ~size:domains ~stats:pool_stats
-            ~factory:worker_oracle ()
-        in
-        Cq_learner.Equivalence.w_method_pooled ~depth pool
-    | Wp_method depth, Parallel _ when domains > 1 ->
-        if Option.is_none cache_factory then
-          invalid_arg "Learn: Parallel engine requires ~cache_factory";
-        let pool =
-          Cq_util.Pool.create ~size:domains ~stats:pool_stats
-            ~factory:worker_oracle ()
-        in
-        Cq_learner.Equivalence.wp_method_pooled ~depth pool
-    | W_method depth, _ -> Cq_learner.Equivalence.w_method ~depth oracle
-    | Wp_method depth, _ -> Cq_learner.Equivalence.wp_method ~depth oracle
-    | Random_walk { max_tests; max_len; seed }, _ ->
-        Cq_learner.Equivalence.random_walk
-          ~prng:(Cq_util.Prng.of_int seed)
-          ~max_tests ~max_len oracle
-  in
-  (* Counterexample verification (noise hardening): a transient measurement
-     flip during conformance testing fabricates a counterexample the
-     learner cannot process (no genuine distinguishing suffix exists).
-     Re-execute the candidate fresh — repairing the prefix cache in
-     passing — and only hand the learner a disagreement that reproduces;
-     a spurious one costs a bounded re-run of the (mostly cached) suite. *)
-  let find_cex =
+  (* The latest hypothesis' rep/alias decomposition, published by the
+     quotient learner so the conformance suite can focus on representative
+     states (aliased states only get a frame spot-check). *)
+  let qview = ref None in
+  let make_find_cex oracle =
+    let mk_pool () =
+      if Option.is_none cache_factory then
+        invalid_arg "Learn: Parallel engine requires ~cache_factory";
+      Cq_util.Pool.create ~size:domains ~stats:pool_stats
+        ~factory:worker_oracle ()
+    in
+    let quotient_conformance = quotient && Polca.assoc polca >= 2 in
+    let find_cex =
+      match (equivalence, engine) with
+      | Random_walk { max_tests; max_len; seed }, _ ->
+          Cq_learner.Equivalence.random_walk
+            ~prng:(Cq_util.Prng.of_int seed)
+            ~max_tests ~max_len oracle
+      | (W_method depth | Wp_method depth), _ when quotient_conformance -> (
+          let assoc = Polca.assoc polca in
+          let sweep = List.init assoc (fun _ -> assoc) in
+          let is_rep s =
+            match !qview with
+            | None -> true
+            | Some v ->
+                s < Array.length v.Cq_learner.Lstar.is_rep_state
+                && v.Cq_learner.Lstar.is_rep_state.(s)
+          in
+          match engine with
+          | Parallel _ when domains > 1 ->
+              Cq_learner.Equivalence.pooled
+                ~suite:
+                  (Cq_learner.Equivalence.wp_quotient_suite ~depth ~is_rep
+                     ~sweep)
+                (mk_pool ())
+          | _ ->
+              Cq_learner.Equivalence.wp_quotient ~depth ~is_rep ~sweep oracle)
+      | W_method depth, Parallel _ when domains > 1 ->
+          Cq_learner.Equivalence.w_method_pooled ~depth (mk_pool ())
+      | Wp_method depth, Parallel _ when domains > 1 ->
+          Cq_learner.Equivalence.wp_method_pooled ~depth (mk_pool ())
+      | W_method depth, _ -> Cq_learner.Equivalence.w_method ~depth oracle
+      | Wp_method depth, _ -> Cq_learner.Equivalence.wp_method ~depth oracle
+    in
+    (* Counterexample verification (noise hardening): a transient measurement
+       flip during conformance testing fabricates a counterexample the
+       learner cannot process (no genuine distinguishing suffix exists).
+       Re-execute the candidate fresh — repairing the prefix cache in
+       passing — and only hand the learner a disagreement that
+       reproduces; a spurious one costs a bounded re-run of the (mostly
+       cached) suite. *)
+    let refresh_word = handle.Cq_learner.Moracle.refresh in
     if retries = 0 then find_cex
     else fun h ->
       let rec verified budget =
@@ -407,6 +433,7 @@ let learn_core ?(equivalence = default_equivalence)
       worker_restarts = v pool_stats.Cq_util.Pool.worker_restarts;
       identified =
         (if identify then Cq_policy.Zoo.identify result.machine else []);
+      quotient = result.Cq_learner.Lstar.quotient;
       timed_loads =
         (let dev_loads, _ = dev_snapshot () in
          v cache_stats.Cq_cache.Oracle.timed_loads + (dev_loads - dev_loads0));
@@ -421,18 +448,33 @@ let learn_core ?(equivalence = default_equivalence)
       metrics = registry;
     }
   in
-  (* Equivalence queries are rare (one per hypothesis), so the span wrapper
-     costs nothing measurable even when tracing is off. *)
-  let find_cex h =
-    Cq_util.Trace.with_span ~cat:"learn" "learn.equivalence" (fun () ->
-        find_cex h)
-  in
   match
     Cq_util.Clock.time (fun () ->
         Cq_util.Trace.with_span ~cat:"learn" "learn.run" @@ fun () ->
+        let oracle = guarded cached_oracle in
+        let find_cex = make_find_cex oracle in
+        (* Equivalence queries are rare (one per hypothesis), so the span
+           wrapper costs nothing measurable even when tracing is off. *)
+        let find_cex h =
+          Cq_util.Trace.with_span ~cat:"learn" "learn.equivalence" (fun () ->
+              find_cex h)
+        in
+        (* Quotient mode hands the learner the line-relabeling action: the
+           observation table merges states that are verified relabelings
+           of each other and the hypothesis is the unfolding of the
+           quotient machine — see Lstar/Quotient.  The published view
+           focuses the conformance suite above on representative
+           states. *)
+        let qaction =
+          if quotient && Polca.assoc polca >= 2 then
+            Some (Cq_learner.Quotient.policy_action ~assoc:(Polca.assoc polca))
+          else None
+        in
         Cq_learner.Lstar.learn ~max_states ?max_row_cache ?seed_rows
           ~expose_table:(fun g -> table_getter := Some g)
           ~on_hypothesis:(fun h -> last_hypothesis := Some h)
+          ?quotient:qaction
+          ~on_quotient_view:(fun v -> qview := Some v)
           ~oracle ~find_cex ())
   with
   | result, seconds -> (
@@ -444,9 +486,19 @@ let learn_core ?(equivalence = default_equivalence)
       let validation =
         if validate && Cq_automata.Mealy.n_inputs result.machine >= 2 then
           let assoc = Cq_automata.Mealy.n_inputs result.machine - 1 in
+          (* A quotient-learned machine carries the merge witness — state
+             [s] behaves as state [s0] conjugated by a permutation — so
+             the checker validates symmetry with anchored product walks
+             instead of the brute-force relabeled-copy search. *)
+          let symmetry_witness =
+            match result.Cq_learner.Lstar.quotient with
+            | Some st when st.Cq_learner.Quotient.witness <> [] ->
+                Some st.Cq_learner.Quotient.witness
+            | _ -> None
+          in
           Some
             (Cq_analysis.Automaton_check.check ~registry ~assoc
-               result.machine)
+               ?symmetry_witness result.machine)
         else None
       in
       match validation with
@@ -515,27 +567,29 @@ let learn_core ?(equivalence = default_equivalence)
               } ))
 
 let learn_from_cache ?equivalence ?engine ?cache_factory ?check_hits ?memoize
-    ?max_memo_entries ?max_row_cache ?max_states ?identify ?validate ?retries
-    ?on_retry ?device_stats ?metrics ?snapshot ?resume ?snapshot_meta
-    ?deadline ?query_budget ?probe cache =
+    ?max_memo_entries ?max_row_cache ?max_states ?identify ?validate ?quotient ?retries ?on_retry ?device_stats
+    ?metrics ?snapshot ?resume ?snapshot_meta ?deadline ?query_budget ?probe
+    cache =
   match
     learn_core ?equivalence ?engine ?cache_factory ?check_hits ?memoize
       ?max_memo_entries ?max_row_cache ?max_states ?identify ?validate
-      ?retries ?on_retry ?device_stats ?metrics ?snapshot ?resume
-      ?snapshot_meta ?deadline ?query_budget ?probe cache
+      ?quotient ?retries ?on_retry
+      ?device_stats ?metrics ?snapshot ?resume ?snapshot_meta ?deadline
+      ?query_budget ?probe cache
   with
   | Ok report -> report
   | Error (e, _) -> raise e
 
 let run ?equivalence ?engine ?cache_factory ?check_hits ?memoize
-    ?max_memo_entries ?max_row_cache ?max_states ?identify ?validate ?retries
-    ?on_retry ?device_stats ?metrics ?snapshot ?resume ?snapshot_meta
-    ?deadline ?query_budget ?probe cache =
+    ?max_memo_entries ?max_row_cache ?max_states ?identify ?validate ?quotient ?retries ?on_retry ?device_stats
+    ?metrics ?snapshot ?resume ?snapshot_meta ?deadline ?query_budget ?probe
+    cache =
   match
     learn_core ?equivalence ?engine ?cache_factory ?check_hits ?memoize
       ?max_memo_entries ?max_row_cache ?max_states ?identify ?validate
-      ?retries ?on_retry ?device_stats ?metrics ?snapshot ?resume
-      ?snapshot_meta ?deadline ?query_budget ?probe cache
+      ?quotient ?retries ?on_retry
+      ?device_stats ?metrics ?snapshot ?resume ?snapshot_meta ?deadline
+      ?query_budget ?probe cache
   with
   | Ok report -> Complete report
   | Error (_, partial) -> Partial partial
@@ -544,22 +598,24 @@ let run ?equivalence ?engine ?cache_factory ?check_hits ?memoize
    simulated oracle is trivially reproducible, so the Parallel engine's
    per-domain factory comes for free. *)
 let learn_simulated ?equivalence ?engine ?check_hits ?max_memo_entries
-    ?max_row_cache ?max_states ?identify ?validate ?metrics ?snapshot ?resume
-    ?deadline ?query_budget ?probe policy =
+    ?max_row_cache ?max_states ?identify ?validate ?quotient ?metrics ?snapshot ?resume ?deadline ?query_budget
+    ?probe policy =
   learn_from_cache ?equivalence ?engine
     ~cache_factory:(fun () -> Cq_cache.Oracle.of_policy policy)
     ?check_hits ?max_memo_entries ?max_row_cache ?max_states ?identify
-    ?validate ?metrics ?snapshot ?resume ?deadline ?query_budget ?probe
+    ?validate ?quotient ?metrics
+    ?snapshot ?resume ?deadline ?query_budget ?probe
     (Cq_cache.Oracle.of_policy policy)
 
 (* As [learn_simulated] but through the supervised [run] API. *)
 let run_simulated ?equivalence ?engine ?check_hits ?max_memo_entries
-    ?max_row_cache ?max_states ?identify ?validate ?metrics ?snapshot ?resume
-    ?deadline ?query_budget ?probe policy =
+    ?max_row_cache ?max_states ?identify ?validate ?quotient ?metrics ?snapshot ?resume ?deadline ?query_budget
+    ?probe policy =
   run ?equivalence ?engine
     ~cache_factory:(fun () -> Cq_cache.Oracle.of_policy policy)
     ?check_hits ?max_memo_entries ?max_row_cache ?max_states ?identify
-    ?validate ?metrics ?snapshot ?resume ?deadline ?query_budget ?probe
+    ?validate ?quotient ?metrics
+    ?snapshot ?resume ?deadline ?query_budget ?probe
     (Cq_cache.Oracle.of_policy policy)
 
 (* Sanity check used in tests and experiments: the learned machine must be

@@ -96,6 +96,11 @@ type report = {
   identified : string list;
       (** known policies trace-equivalent to the result (up to reset state
           and line permutation) *)
+  quotient : Cq_learner.Quotient.stats option;
+      (** symmetry-quotient merge statistics — representative/state
+          counts (the collapse factor), alias edges, verification
+          queries, and the merge witness — when [~quotient] was set;
+          [None] when quotient learning was off *)
   timed_loads : int;
       (** physical timed loads including vote re-measurements (0 for quiet
           software oracles without a [device_stats] record) *)
@@ -142,6 +147,7 @@ val learn_from_cache :
   ?max_states:int ->
   ?identify:bool ->
   ?validate:bool ->
+  ?quotient:bool ->
   ?retries:int ->
   ?on_retry:(int -> unit) ->
   ?device_stats:Cq_cache.Oracle.stats ->
@@ -170,6 +176,17 @@ val learn_from_cache :
     systematic measurement artefact, the axioms can.  A violation raises
     {!Invalid_automaton} here (classified as [Invalid] by {!run}); the
     passing verdict lands in [report.validation].
+
+    [quotient] (default false) switches the learner to symmetry-quotient
+    mode ({!Cq_learner.Quotient}, {!Cq_learner.Lstar.learn}'s [quotient]
+    parameter): the observation table merges states whose rows are
+    verified line-relabelings of an existing representative's —
+    collapsing the up-to-assoc! symmetric copies of each state into one
+    — and conformance testing runs a focused suite (full phases on
+    representative states, frame spot-checks on aliased ones).  When
+    [validate] also runs, the merge witness is passed to the model
+    checker, which re-validates each surviving merge with an anchored
+    product walk (see {!Cq_analysis.Automaton_check.check}).
 
     [retries] / [on_retry] plumb the bounded {!Polca.Non_deterministic}
     retry layer (see {!Polca.create}).  [device_stats] is the device
@@ -205,6 +222,7 @@ val run :
   ?max_states:int ->
   ?identify:bool ->
   ?validate:bool ->
+  ?quotient:bool ->
   ?retries:int ->
   ?on_retry:(int -> unit) ->
   ?device_stats:Cq_cache.Oracle.stats ->
@@ -231,6 +249,7 @@ val learn_simulated :
   ?max_states:int ->
   ?identify:bool ->
   ?validate:bool ->
+  ?quotient:bool ->
   ?metrics:Cq_util.Metrics.t ->
   ?snapshot:snapshot_policy ->
   ?resume:string ->
@@ -252,6 +271,7 @@ val run_simulated :
   ?max_states:int ->
   ?identify:bool ->
   ?validate:bool ->
+  ?quotient:bool ->
   ?metrics:Cq_util.Metrics.t ->
   ?snapshot:snapshot_policy ->
   ?resume:string ->

@@ -93,16 +93,18 @@ let w_method_suite ~depth h =
                     List.to_seq w_set |> Seq.map (fun w -> acc @ (i :: m) @ w))
                 |> Seq.concat))
 
-(* Run a test word against the oracle and the hypothesis. *)
-let run_test (oracle : 'o Moracle.t) h word =
-  let o = oracle.Moracle.query word in
-  let hh = Cq_automata.Mealy.run h word in
-  o <> hh
+(* Run a test word against the oracle and the (compiled) hypothesis.  The
+   hypothesis is compiled once per conformance round — [Mealy.agrees]
+   walks the flattened tables without allocating, where [Mealy.run] paid a
+   tuple and an output-list cell per symbol. *)
+let run_test (oracle : 'o Moracle.t) compiled word =
+  not (Cq_automata.Mealy.agrees compiled word (oracle.Moracle.query word))
 
 let w_method ?(depth = 1) (oracle : 'o Moracle.t) : 'o t =
  fun h ->
   let suite = w_method_suite ~depth h in
-  Seq.find (fun word -> run_test oracle h word) suite
+  let c = Cq_automata.Mealy.compile h in
+  Seq.find (fun word -> run_test oracle c word) suite
 
 
 (* The Wp-method [Fujiwara et al. 1991], the suite the paper actually uses
@@ -171,17 +173,178 @@ let wp_method_suite ~depth h =
   in
   Seq.append phase1 phase2
 
+(* --- Focused suite for quotient-learned hypotheses ---------------------- *)
+
+(* Shortest distinguishing words for the pairs of [subset] only — the
+   representative states of a quotient hypothesis.  Same tolerance for
+   unseparable pairs as [characterization_set]. *)
+let characterization_set_on m subset =
+  let w = ref [] in
+  let signature s =
+    List.map (fun word -> Cq_automata.Mealy.run_from m s word) !w
+  in
+  let unseparable : (int * int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let finished = ref false in
+  while not !finished do
+    let groups : ('a, int) Hashtbl.t = Hashtbl.create 97 in
+    let clash = ref None in
+    List.iter
+      (fun s ->
+        if !clash = None then begin
+          let sg = Cq_util.Deep.pack (signature s) in
+          match Hashtbl.find_opt groups sg with
+          | Some s' ->
+              if not (Hashtbl.mem unseparable (s', s)) then clash := Some (s', s)
+          | None -> Hashtbl.add groups sg s (* cq-lint: allow hashtbl-add: find_opt miss *)
+        end)
+      subset;
+    match !clash with
+    | None -> finished := true
+    | Some (p, q) -> (
+        match
+          Cq_automata.Mealy.find_counterexample ~from_a:(Some p)
+            ~from_b:(Some q) m m
+        with
+        | Some word -> w := word :: !w
+        | None -> Hashtbl.replace unseparable (p, q) ())
+  done;
+  !w
+
+(* Conformance suite for a quotient-learned hypothesis.  A full Wp suite
+   over the unfolded machine defeats the point of the quotient: its cost
+   scales with the |assoc|!-sized orbit closure, and [identification_sets]
+   alone is quadratic in states.  Instead the suite trusts the structure
+   the table verified and spends accordingly:
+
+   - representative states (frame = identity) get the full treatment:
+     state cover and transition cover x I^{<=depth} x distinguishers,
+     where the distinguishers are the sweep (which fingerprints a state's
+     line frame) plus shortest separators for representative pairs;
+   - aliased states get a spot-check: access word . sweep confirms the
+     state's claimed frame, access word . input . sweep each outgoing
+     transition's output and target frame.
+
+   This trades the (|H|+k)-completeness bound for a suite whose size
+   scales with states x inputs instead of states^2 — wrong merges still
+   surface (the sweep pins the frame the merge asserted), and the learned
+   machine is re-validated independently by Automaton_check and policy
+   identification. *)
+let wp_quotient_suite ~depth ~is_rep ~sweep h =
+  let n_inputs = Cq_automata.Mealy.n_inputs h in
+  let n = Cq_automata.Mealy.n_states h in
+  let access = Cq_automata.Mealy.access_sequences h in
+  let acc s = Option.value access.(s) ~default:[] in
+  let states = List.init n Fun.id in
+  let rep_states = List.filter is_rep states in
+  let aliased = List.filter (fun s -> not (is_rep s)) states in
+  let w_set = sweep :: characterization_set_on h rep_states in
+  let w_all = [] :: w_set in
+  (* Per-representative identification sets (the "p" of Wp): the subset
+     of W a given representative actually needs to be told apart from
+     the other representatives.  Transitions landing on an aliased state
+     are identified by the sweep alone — it fingerprints the state's
+     frame, which is exactly what the alias asserted. *)
+  let wp =
+    let tbl = Hashtbl.create 64 in
+    let response s w = Cq_automata.Mealy.run_from h s w in
+    List.iter
+      (fun s ->
+        let confusable = ref (List.filter (fun t -> t <> s) rep_states) in
+        let chosen = ref [] in
+        List.iter
+          (fun w ->
+            if !confusable <> [] then begin
+              let rs = response s w in
+              let still =
+                List.filter (fun t -> response t w = rs) !confusable
+              in
+              if List.length still < List.length !confusable then begin
+                chosen := w :: !chosen;
+                confusable := still
+              end
+            end)
+          w_set;
+        Hashtbl.replace tbl s (List.rev !chosen))
+      rep_states;
+    tbl
+  in
+  let middles = words_up_to n_inputs depth in
+  let phase1 =
+    List.to_seq rep_states
+    |> Seq.concat_map (fun s ->
+           middles
+           |> Seq.concat_map (fun m ->
+                  List.to_seq w_all |> Seq.map (fun w -> acc s @ m @ w)))
+  in
+  let phase2 =
+    List.to_seq rep_states
+    |> Seq.concat_map (fun s ->
+           Seq.init n_inputs (fun i ->
+               middles
+               |> Seq.concat_map (fun m ->
+                      let prefix = acc s @ (i :: m) in
+                      let reached = Cq_automata.Mealy.state_after h prefix in
+                      let ws =
+                        if is_rep reached then
+                          match Hashtbl.find_opt wp reached with
+                          | Some [] | None -> [ [] ]
+                          | Some ws -> ws
+                        else [ sweep ]
+                      in
+                      List.to_seq ws |> Seq.map (fun w -> prefix @ w)))
+           |> Seq.concat)
+  in
+  let spot =
+    (* Every aliased state has its claimed frame confirmed.  Outgoing
+       transitions are the frame-conjugates of the representative's
+       (all of which phase2 tests in full), so per-transition spots only
+       guard the conjugation itself: they run in full while affordable,
+       and fall back to a deterministic 1-in-4 sample of the aliased
+       states once the unfolding is large enough that full spots would
+       scale with the orbit closure instead of the quotient. *)
+    let full_spots = List.length aliased * n_inputs <= 8192 in
+    List.to_seq (List.mapi (fun j s -> (j, s)) aliased)
+    |> Seq.concat_map (fun (j, s) ->
+           if full_spots || j mod 4 = 0 then
+             Seq.cons
+               (acc s @ sweep)
+               (Seq.init n_inputs (fun i -> acc s @ (i :: sweep)))
+           else Seq.return (acc s @ sweep))
+  in
+  Seq.append phase1 (Seq.append phase2 spot)
+
+let wp_quotient ?(depth = 1) ~is_rep ~sweep (oracle : 'o Moracle.t) : 'o t =
+ fun h ->
+  (* While the unfolding is small, completeness is affordable — and the
+     two suites catch different wrong machines.  The full Wp suite is
+     (|H|+depth)-complete, which bites when a wrong merge still unfolds
+     to at least the true machine's size (LIP); the focused suite's
+     sweep distinguishers catch under-sized hypotheses whose state count
+     voids that bound (BIP's 6-state impostor).  Run both when small;
+     for unfoldings big enough that the full suite would scale with the
+     orbit closure, the focused suite alone carries the test. *)
+  let small =
+    Cq_automata.Mealy.n_states h * Cq_automata.Mealy.n_inputs h <= 512
+  in
+  let focused = wp_quotient_suite ~depth ~is_rep ~sweep h in
+  let suite =
+    if small then Seq.append focused (wp_method_suite ~depth h) else focused
+  in
+  let c = Cq_automata.Mealy.compile h in
+  Seq.find (fun word -> run_test oracle c word) suite
+
 (* Random walks: [max_tests] random words of length up to [max_len]. *)
 let random_walk ~prng ?(max_tests = 10_000) ?(max_len = 30)
     (oracle : 'o Moracle.t) : 'o t =
  fun h ->
   let n_inputs = oracle.Moracle.n_inputs in
+  let c = Cq_automata.Mealy.compile h in
   let rec go t =
     if t >= max_tests then None
     else
       let len = 1 + Cq_util.Prng.int prng max_len in
       let word = List.init len (fun _ -> Cq_util.Prng.int prng n_inputs) in
-      if run_test oracle h word then Some word else go (t + 1)
+      if run_test oracle c word then Some word else go (t + 1)
   in
   go 0
 
@@ -191,7 +354,8 @@ let perfect (truth : 'o Cq_automata.Mealy.t) : 'o t =
 let wp_method ?(depth = 1) (oracle : 'o Moracle.t) : 'o t =
  fun h ->
   let suite = wp_method_suite ~depth h in
-  Seq.find (fun word -> run_test oracle h word) suite
+  let c = Cq_automata.Mealy.compile h in
+  Seq.find (fun word -> run_test oracle c word) suite
 
 (* Total number of input symbols in a suite — the cost metric for the
    W-vs-Wp ablation. *)
@@ -228,6 +392,9 @@ let take_chunks n chunk seq =
 let pooled ?(chunk = 512) ~suite (pool : 'o Moracle.t Cq_util.Pool.t) : 'o t =
  fun h ->
   if chunk < 1 then invalid_arg "Equivalence.pooled: chunk must be >= 1";
+  (* The compiled hypothesis is immutable, so sharing it read-only across
+     the pool's domains is safe. *)
+  let c = Cq_automata.Mealy.compile h in
   let rec rounds seq =
     let chunks, rest = take_chunks (Cq_util.Pool.size pool) chunk seq in
     if chunks = [] then None
@@ -235,7 +402,7 @@ let pooled ?(chunk = 512) ~suite (pool : 'o Moracle.t Cq_util.Pool.t) : 'o t =
       let results =
         Cq_util.Pool.map_list pool
           (fun oracle words ->
-            List.find_opt (fun w -> run_test oracle h w) words)
+            List.find_opt (fun w -> run_test oracle c w) words)
           chunks
       in
       match List.find_map Fun.id results with

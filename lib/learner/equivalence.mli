@@ -43,6 +43,26 @@ val wp_method_suite : depth:int -> 'o Cq_automata.Mealy.t -> int list Seq.t
 
 val wp_method : ?depth:int -> 'o Moracle.t -> 'o t
 
+val wp_quotient_suite :
+  depth:int ->
+  is_rep:(int -> bool) ->
+  sweep:int list ->
+  'o Cq_automata.Mealy.t ->
+  int list Seq.t
+(** Focused suite for a quotient-learned hypothesis: representative
+    states ([is_rep]) get full Wp-style phases whose distinguishers are
+    the eviction [sweep] (which fingerprints a state's line frame) plus
+    shortest separators of representative pairs; aliased states get a
+    spot-check (access word [.] sweep, and access word [.] input [.]
+    sweep per transition).  Cost scales with states x inputs instead of
+    states^2, trading the (|H|+depth)-completeness bound for a budget
+    that stays within the direct learner's at larger associativity —
+    wrong merges still surface because the sweep pins the exact frame
+    each merge asserted. *)
+
+val wp_quotient :
+  ?depth:int -> is_rep:(int -> bool) -> sweep:int list -> 'o Moracle.t -> 'o t
+
 val suite_symbols : int list Seq.t -> int
 (** Total input symbols in a suite (the W-vs-Wp ablation metric). *)
 

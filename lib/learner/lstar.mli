@@ -8,7 +8,16 @@ type 'o result = {
   suffixes_added : int;  (** distinguishing suffixes added to E *)
   row_cache_overflows : int;
       (** times the bounded row cache was cleared (see [max_row_cache]) *)
+  quotient : Quotient.stats option;
+      (** merge statistics and symmetry witness when the learn ran in
+          quotient mode (see [quotient] below) *)
 }
+
+type quotient_view = { is_rep_state : bool array }
+(** The quotient decomposition of the current hypothesis, published via
+    [on_quotient_view]: representative states deserve the full
+    conformance suite, aliased states a spot-check — their behavior is
+    by construction the verified image of their representative's. *)
 
 type divergence = {
   reason : string;
@@ -43,6 +52,8 @@ val learn :
   ?expose_table:((unit -> 'o table_state) -> unit) ->
   ?seed_rows:(int list * 'o list list) list ->
   ?on_hypothesis:('o Cq_automata.Mealy.t -> unit) ->
+  ?quotient:'o Quotient.action ->
+  ?on_quotient_view:(quotient_view -> unit) ->
   oracle:'o Moracle.t ->
   find_cex:('o Cq_automata.Mealy.t -> int list option) ->
   unit ->
@@ -63,4 +74,15 @@ val learn :
     from a snapshot (rows longer than the current E are truncated).
     [on_hypothesis] observes every intermediate hypothesis before it is
     submitted to the equivalence oracle — supervisors keep the latest one
-    for [Partial] reports. *)
+    for [Partial] reports.
+
+    [quotient] switches the table to symmetry-quotient mode: the
+    signature suffix ([Quotient.sweep]) is appended to the initial E, a
+    one-step extension whose row is a verified relabeling of an existing
+    representative's row becomes an alias edge instead of a new
+    representative (collapsing the up-to-[assoc!] symmetric copies of
+    each state into one), and each hypothesis is the unfolding of the
+    permutation-labeled quotient machine.  Merges are re-derived whenever
+    E grows and arbitrated by conformance testing.  [on_quotient_view]
+    observes the rep/alias decomposition of each hypothesis so the
+    conformance layer can focus its suite on representative states. *)

@@ -1,0 +1,189 @@
+(* Symmetry-quotient support for the learner: collapse the up-to-assoc!
+   relabeled copies of each observation-table state into one
+   representative.
+
+   Replacement policies treat cache lines interchangeably *as a family*:
+   the machine reached from a different reset ordering is the original
+   conjugated by a line permutation (see Automaton_check's "up to reset
+   order" tier).  But the machine the learner observes starts from the
+   one state its reset establishes, and that state fixes a line ordering
+   — LRU's initial recency stack, FIFO's pointer, PLRU's all-zero mask.
+   No zoo policy has a nontrivial symmetry *from its initial state*
+   (PLRU has no state invariant under any tree automorphism at all:
+   conjugating by a subtree swap flips the swapped node's bit), so a
+   sound query-level quotient — answer M(w) by canonicalizing w and
+   mapping the answer back through the witness — would collapse nothing.
+
+   The symmetry that does survive the reset lives one level up: distinct
+   *states* of the learned machine are conjugates of each other.  Every
+   LRU state is some relabeling of every other; PLRU's 2^(n-1) masks
+   fall into orbits of its tree-automorphism group.  So the quotient
+   acts on the observation table: when a one-step extension's row is a
+   verified relabeling of an existing representative's row, the learner
+   records an alias edge (representative, witness permutation) instead
+   of a new representative, and the hypothesis is the unfolding of that
+   permutation-labeled quotient machine.  Aliases are hypotheses like
+   any other: they are checked against the table's suffix set when
+   formed, re-derived from scratch whenever the suffix set grows, and
+   arbitrated by conformance testing — a wrong merge surfaces as a
+   counterexample whose distinguishing suffix splits it.
+
+   This module holds the pieces that know what a line permutation does:
+   the action on inputs and outputs, deriving a candidate witness from
+   eviction-sweep signatures, and the canonical signature key used to
+   bucket candidate representatives.  Lstar holds the table machinery. *)
+
+(* --- permutations (arrays mapping index -> image) ---------------------- *)
+
+let identity n = Array.init n Fun.id
+
+let is_identity p =
+  let n = Array.length p in
+  let rec go i = i >= n || (p.(i) = i && go (i + 1)) in
+  go 0
+
+let invert p =
+  let n = Array.length p in
+  let inv = Array.make n 0 in
+  for i = 0 to n - 1 do
+    inv.(p.(i)) <- i
+  done;
+  inv
+
+(* [compose f g] is "apply g, then f". *)
+let compose f g = Array.init (Array.length f) (fun i -> f.(g.(i)))
+
+let perm_to_list = Array.to_list
+
+(* --- the action of a line permutation on the learning alphabet --------- *)
+
+(* Everything the table machinery needs, packaged per output type so
+   Lstar stays generic in ['o].  [map_input]/[map_output] apply a
+   permutation; [derive] proposes the unique witness consistent with two
+   signature rows (or [None]); [signature_key] is constant on relabeling
+   orbits of signatures, so representatives can be bucketed by it and a
+   candidate merge only compares rows that could possibly match;
+   [sweep] is the signature suffix itself. *)
+type 'o action = {
+  assoc : int;
+  map_input : int array -> int -> int;
+  map_output : int array -> 'o -> 'o;
+  derive : 'o list -> 'o list -> int array option;
+  signature_key : 'o list -> string;
+  sweep : int list;
+}
+
+(* The policy alphabet: inputs 0..assoc-1 are Ln(i) (permuted), input
+   [assoc] is Evct (fixed); outputs are [int option] naming the evicted
+   line.  The signature suffix is Evct^assoc — an eviction sweep.  From
+   any state it names lines in policy order (for LRU and FIFO it
+   enumerates all of them), so a candidate witness mapping one sweep
+   onto another is pinned pointwise; lines the sweep misses are
+   completed in increasing order, and a wrong completion simply fails
+   verification against the suffix set. *)
+let policy_action ~assoc =
+  if assoc < 2 then invalid_arg "Quotient.policy_action: assoc must be >= 2";
+  let map_input p i = if i >= assoc then i else p.(i) in
+  let map_output p = Option.map (fun l -> p.(l)) in
+  let derive sig_rep sig_row =
+    if List.length sig_rep <> List.length sig_row then None
+    else begin
+      let perm = Array.make assoc (-1) in
+      let taken = Array.make assoc false in
+      let ok = ref true in
+      List.iter2
+        (fun a b ->
+          match (a, b) with
+          | None, None -> ()
+          | Some x, Some y ->
+              if x < 0 || x >= assoc || y < 0 || y >= assoc then ok := false
+              else if perm.(x) = -1 then begin
+                if taken.(y) then ok := false
+                else begin
+                  perm.(x) <- y;
+                  taken.(y) <- true
+                end
+              end
+              else if perm.(x) <> y then ok := false
+          | _ -> ok := false)
+        sig_rep sig_row;
+      if not !ok then None
+      else begin
+        (* Complete on lines the sweep never named, in increasing order. *)
+        let free = ref [] in
+        for y = assoc - 1 downto 0 do
+          if not taken.(y) then free := y :: !free
+        done;
+        for x = 0 to assoc - 1 do
+          if perm.(x) = -1 then begin
+            match !free with
+            | y :: rest ->
+                perm.(x) <- y;
+                free := rest
+            | [] -> ok := false
+          end
+        done;
+        if !ok then Some perm else None
+      end
+    end
+  in
+  (* First-occurrence canonicalization of a signature: rename each line
+     to its order of first appearance.  Two signatures related by a line
+     relabeling canonicalize identically, so the key is orbit-constant. *)
+  let signature_key outs =
+    let seen = Array.make assoc (-1) in
+    let next = ref 0 in
+    let buf = Buffer.create (2 * assoc) in
+    List.iter
+      (fun o ->
+        (match o with
+        | None -> Buffer.add_char buf '.'
+        | Some l when l >= 0 && l < assoc ->
+            if seen.(l) = -1 then begin
+              seen.(l) <- !next;
+              incr next
+            end;
+            Buffer.add_char buf (Char.chr (Char.code 'a' + seen.(l)))
+        | Some _ -> Buffer.add_char buf '?');
+        Buffer.add_char buf ';')
+      outs;
+    Buffer.contents buf
+  in
+  {
+    assoc;
+    map_input;
+    map_output;
+    derive;
+    signature_key;
+    sweep = List.init assoc (fun _ -> assoc);
+  }
+
+(* Canonical form of a signature under line relabeling — the orbit
+   fingerprint behind the representative buckets.  Exposed for the
+   property tests. *)
+let canonical_signature action outs = action.signature_key outs
+
+(* --- what a quotient learn reports ------------------------------------- *)
+
+(* [witness] certifies the merges baked into the *final* machine: each
+   [(s, s0, perm)] claims that state [s] behaves as state [s0]
+   conjugated by [perm] — exactly what Automaton_check re-validates
+   with an anchored product walk (state indices refer to the returned
+   machine). *)
+type stats = {
+  reps : int;  (* representatives the table actually explored *)
+  states : int;  (* states of the unfolded hypothesis *)
+  aliases : int;  (* alias edges recorded in the final table *)
+  alias_attempts : int;  (* candidate merges tried *)
+  alias_queries : int;  (* membership queries spent verifying merges *)
+  witness : (int * int * int list) list;
+}
+
+let collapse s =
+  if s.reps <= 0 then 1.0 else float_of_int s.states /. float_of_int s.reps
+
+let pp ppf s =
+  Fmt.pf ppf
+    "%d state(s) from %d representative(s) (%.1fx collapse, %d alias(es), %d \
+     merge attempt(s), %d verification queries)"
+    s.states s.reps (collapse s) s.aliases s.alias_attempts s.alias_queries

@@ -1,0 +1,81 @@
+(** Symmetry-quotient support for state-level learning collapse.
+
+    A replacement policy treats lines interchangeably as a {e family},
+    but the one machine the learner observes starts from the state its
+    reset establishes, and that state fixes a line ordering — so no zoo
+    policy has a nontrivial query-level symmetry from its initial state
+    (the answer function [w -> M(w)] cannot be canonicalized soundly).
+    What survives the reset is state-level conjugacy: distinct states of
+    the learned machine are relabelings of one another (all [n!] LRU
+    recency stacks; the tree-automorphism orbits of PLRU's masks).
+
+    The learner exploits this by {e aliasing}: a one-step extension
+    whose row is a verified relabeling of an existing representative's
+    row is recorded as (representative, witness permutation) instead of
+    becoming a new representative, and the hypothesis is the unfolding
+    of the resulting permutation-labeled quotient machine.  Merges are
+    verified against the current suffix set, re-derived whenever it
+    grows, and arbitrated by conformance testing.
+
+    This module supplies the permutation action for a given output type
+    (the table machinery itself lives in {!Lstar} behind its
+    [?quotient] parameter) plus the statistics a quotient learn
+    reports.  Words are over the flattened policy alphabet: lines
+    [0 .. assoc-1], Evct = [assoc]; outputs are [int option]. *)
+
+(** {1 Permutations} *)
+
+val identity : int -> int array
+val is_identity : int array -> bool
+val invert : int array -> int array
+
+val compose : int array -> int array -> int array
+(** [compose f g] is "apply [g], then [f]". *)
+
+val perm_to_list : int array -> int list
+
+(** {1 The relabeling action} *)
+
+type 'o action = {
+  assoc : int;
+  map_input : int array -> int -> int;  (** permutation acting on inputs *)
+  map_output : int array -> 'o -> 'o;  (** permutation acting on outputs *)
+  derive : 'o list -> 'o list -> int array option;
+      (** [derive sig_rep sig_row] proposes the witness [p] with
+          [map_output p]-image of [sig_rep] equal to [sig_row], or
+          [None] when no permutation fits. *)
+  signature_key : 'o list -> string;
+      (** Orbit-constant fingerprint of a signature, used to bucket
+          candidate representatives. *)
+  sweep : int list;  (** the signature suffix appended to the table's E *)
+}
+
+val policy_action : assoc:int -> int option action
+(** The action for the policy alphabet: [Ln(i)] permuted, [Evct] fixed,
+    outputs renamed.  The signature suffix is the eviction sweep
+    [Evct^assoc], which pins candidate witnesses pointwise on every
+    line it names (all of them, for LRU and FIFO). *)
+
+val canonical_signature : 'o action -> 'o list -> string
+(** Canonical form of a signature under line relabeling (first-occurrence
+    renaming): invariant on orbits, distinct across them up to sweep
+    shape.  This is [signature_key]. *)
+
+(** {1 Reporting} *)
+
+type stats = {
+  reps : int;  (** representatives the table explored *)
+  states : int;  (** states of the unfolded hypothesis *)
+  aliases : int;  (** alias edges in the final table *)
+  alias_attempts : int;  (** candidate merges tried *)
+  alias_queries : int;  (** membership queries spent verifying merges *)
+  witness : (int * int * int list) list;
+      (** per surviving merge: state [s] of the final machine behaves as
+          state [s0] conjugated by the permutation — re-validated by
+          [Automaton_check] with anchored product walks *)
+}
+
+val collapse : stats -> float
+(** [states /. reps] — the state-collapse factor the quotient won. *)
+
+val pp : Format.formatter -> stats -> unit

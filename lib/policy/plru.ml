@@ -1,55 +1,93 @@
 (* Tree-based Pseudo-LRU [Handy 1993], the policy of Intel L1 caches (and
    Haswell's L2).  The control state is one bit per internal node of a
-   complete binary tree over the lines; each bit points towards the
+   binary tree over the lines; each bit points towards the
    pseudo-least-recently-used subtree.  2^(n-1) control states.
 
-   Node numbering is heap style: root is node 1, node [v] has children
-   [2v] (left) and [2v+1] (right); leaves [n .. 2n-1] are lines
-   [0 .. n-1].  Bit for node [v] is stored at position [v - 1] of the
-   mask.  Bit = 0 means "the pseudo-LRU line is in the left subtree". *)
+   The tree over [n] leaves splits ceil(n/2) left / floor(n/2) right,
+   recursively — for a power-of-two [n] this is the complete binary tree
+   of the classic formulation (identical traces from the all-zero initial
+   state), and it extends PLRU to every associativity, matching how
+   odd-way hardware (e.g. 12- and 10-way L2s) trees its ways.
+
+   Internal nodes carry preorder ids; the bit for node [v] is stored at
+   position [v] of the mask.  Bit = 0 means "the pseudo-LRU line is in
+   the left subtree". *)
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
-let log2 n =
-  let rec loop acc m = if m <= 1 then acc else loop (acc + 1) (m / 2) in
-  loop 0 n
+(* The static tree for one associativity: children per internal node
+   (>= 0: internal node id, < 0: line [-v - 1]) and, per line, the
+   root-to-leaf path as (node id, direction) steps. *)
+type tree = {
+  left : int array;
+  right : int array;
+  paths : (int * int) list array;
+}
 
-let bit mask v = (mask lsr (v - 1)) land 1
-let set_bit mask v b =
-  if b = 1 then mask lor (1 lsl (v - 1)) else mask land lnot (1 lsl (v - 1))
+let build assoc =
+  let internal = max 1 (assoc - 1) in
+  let left = Array.make internal 0 in
+  let right = Array.make internal 0 in
+  let next = ref 0 in
+  let rec go lo hi =
+    if hi - lo = 1 then -lo - 1
+    else begin
+      let id = !next in
+      incr next;
+      let mid = lo + ((hi - lo + 1) / 2) in
+      let l = go lo mid in
+      let r = go mid hi in
+      left.(id) <- l;
+      right.(id) <- r;
+      id
+    end
+  in
+  ignore (go 0 assoc);
+  let paths = Array.make assoc [] in
+  let rec walk node acc =
+    if node < 0 then paths.(-node - 1) <- List.rev acc
+    else begin
+      walk left.(node) ((node, 0) :: acc);
+      walk right.(node) ((node, 1) :: acc)
+    end
+  in
+  if assoc > 1 then walk 0 [];
+  { left; right; paths }
 
-(* Walk from root towards the pseudo-LRU leaf. *)
-let victim ~assoc mask =
-  let rec go v = if v >= assoc then v - assoc else go ((2 * v) + bit mask v) in
-  go 1
+let bit mask v = (mask lsr v) land 1
+
+(* Walk from the root towards the pseudo-LRU leaf. *)
+let victim tree mask =
+  let rec go node =
+    if node < 0 then -node - 1
+    else go (if bit mask node = 0 then tree.left.(node) else tree.right.(node))
+  in
+  go 0
 
 (* Point every bit on the path to leaf [i] away from it. *)
-let touch ~assoc mask i =
-  let levels = log2 assoc in
-  let rec go mask v k =
-    if k < 0 then mask
-    else
-      let dir = (i lsr k) land 1 in
-      let mask = set_bit mask v (1 - dir) in
-      go mask ((2 * v) + dir) (k - 1)
-  in
-  go mask 1 (levels - 1)
+let touch tree mask i =
+  List.fold_left
+    (fun mask (node, dir) ->
+      if dir = 0 then mask lor (1 lsl node) else mask land lnot (1 lsl node))
+    mask tree.paths.(i)
 
 let make assoc =
-  if not (is_power_of_two assoc) then
-    invalid_arg "Plru.make: associativity must be a power of two";
+  if assoc < 1 then invalid_arg "Plru.make: associativity must be >= 1";
   if assoc = 1 then
     Policy.v ~name:"PLRU" ~assoc ~init:0
       ~step:(fun s -> function Types.Line _ -> (s, None) | Types.Evct -> (s, Some 0))
       ()
-  else
+  else begin
+    let tree = build assoc in
     Policy.v ~name:"PLRU" ~assoc ~init:0
       ~step:(fun mask -> function
-        | Types.Line i -> (touch ~assoc mask i, None)
+        | Types.Line i -> (touch tree mask i, None)
         | Types.Evct ->
-            let v = victim ~assoc mask in
-            (touch ~assoc mask v, Some v))
+            let v = victim tree mask in
+            (touch tree mask v, Some v))
       ~describe:
         "Tree-based pseudo-LRU: one bit per tree node pointing at the \
-         pseudo-LRU subtree; accesses flip the path away from the line."
+         pseudo-LRU subtree; accesses flip the path away from the line.  \
+         Non-power-of-two associativities use the ceil/floor split tree."
       ()
+  end

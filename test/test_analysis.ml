@@ -438,6 +438,26 @@ let test_lint_allow () =
     (lint_rules
        "(* cq-lint: allow wall-clock: no *)\nlet () = Hashtbl.add t k v\n")
 
+let test_lint_hot_loop () =
+  (* Outside a marked region List combinators and closures are fine. *)
+  Alcotest.(check (list string)) "no region" []
+    (lint_rules "let f xs = List.map (fun x -> x + 1) xs\n");
+  (* Inside one, both fire (here: on the same line). *)
+  Alcotest.(check (list string)) "in region" [ "hot-loop-alloc" ]
+    (lint_rules
+       "(* cq-lint: hot-loop *)\nlet f xs = List.map succ xs\n\
+        (* cq-lint: end hot-loop *)\nlet g xs = List.map succ xs\n");
+  (* [function] is not [fun]; allocation-free walkers stay clean. *)
+  Alcotest.(check (list string)) "token boundary" []
+    (lint_rules
+       "(* cq-lint: hot-loop *)\nlet rec go s = function [] -> s | _ :: w -> \
+        go s w\n(* cq-lint: end hot-loop *)\n");
+  (* Audited allocation is allowed, and the audit names the rule. *)
+  Alcotest.(check (list string)) "allow" []
+    (lint_rules
+       "(* cq-lint: hot-loop *)\n(* cq-lint: allow hot-loop-alloc — result \
+        *)\nlet f xs = List.map succ xs\n(* cq-lint: end hot-loop *)\n")
+
 let test_lint_line_numbers () =
   match L.lint_source ~file:"x.ml" "let a = 1\n\nlet () = Hashtbl.add t k v\n" with
   | [ f ] -> Alcotest.(check int) "line" 3 f.L.line
@@ -475,5 +495,6 @@ let suite =
       Alcotest.test_case "lint: detects" `Quick test_lint_detects;
       Alcotest.test_case "lint: stripping" `Quick test_lint_stripping;
       Alcotest.test_case "lint: allow annotations" `Quick test_lint_allow;
+      Alcotest.test_case "lint: hot-loop regions" `Quick test_lint_hot_loop;
       Alcotest.test_case "lint: line numbers" `Quick test_lint_line_numbers;
     ] )

@@ -188,6 +188,61 @@ let prop_wmethod_passes_on_truth =
       let oracle = Mo.of_mealy truth in
       Eq.w_method ~depth:1 oracle minimized = None)
 
+(* --- Quotient: the relabeling action ---------------------------------- *)
+
+module Q = Cq_learner.Quotient
+
+(* A random line permutation together with a random signature (a list of
+   outputs as the eviction sweep produces them: [Some line] / [None]). *)
+let gen_perm_and_signature =
+  QCheck.Gen.(
+    let* assoc = 2 -- 6 in
+    let* keys = list_size (return assoc) (0 -- 1_000_000) in
+    let perm =
+      List.mapi (fun i k -> (k, i)) keys
+      |> List.sort compare
+      |> List.map snd
+      |> Array.of_list
+    in
+    let* sig_len = 1 -- 12 in
+    let* raw = list_size (return sig_len) (0 -- assoc) in
+    let signature =
+      List.map (fun v -> if v = assoc then None else Some v) raw
+    in
+    return (assoc, perm, signature))
+
+let arb_perm_and_signature =
+  QCheck.make
+    ~print:(fun (assoc, perm, s) ->
+      Fmt.str "assoc=%d perm=[%a] sig=[%a]" assoc
+        Fmt.(list ~sep:(any ";") int)
+        (Array.to_list perm)
+        Fmt.(list ~sep:(any ";") (option int))
+        s)
+    gen_perm_and_signature
+
+let prop_canonical_signature_invariant =
+  (* The canonical form is constant on relabeling orbits: permuting the
+     lines of a signature never changes it. *)
+  QCheck.Test.make ~name:"canonical signature is permutation-invariant"
+    ~count:500 arb_perm_and_signature (fun (assoc, perm, s) ->
+      let a = Q.policy_action ~assoc in
+      let permuted = List.map (a.Q.map_output perm) s in
+      Q.canonical_signature a permuted = Q.canonical_signature a s)
+
+let prop_derive_recovers_witness =
+  (* [derive] proposes a witness permutation whenever the two signatures
+     really are relabelings of each other, and the witness it proposes
+     maps one onto the other exactly (it need not equal the permutation
+     used — lines the signature never names are unconstrained). *)
+  QCheck.Test.make ~name:"derive recovers a relabeling witness" ~count:500
+    arb_perm_and_signature (fun (assoc, perm, s) ->
+      let a = Q.policy_action ~assoc in
+      let permuted = List.map (a.Q.map_output perm) s in
+      match a.Q.derive s permuted with
+      | None -> false
+      | Some q -> List.map (a.Q.map_output q) s = permuted)
+
 let suite =
   ( "learner",
     [
@@ -207,4 +262,6 @@ let suite =
       QCheck_alcotest.to_alcotest prop_lstar_wmethod_corollary_3_4;
       QCheck_alcotest.to_alcotest prop_wmethod_passes_on_truth;
       QCheck_alcotest.to_alcotest prop_wp_equals_w_verdict;
+      QCheck_alcotest.to_alcotest prop_canonical_signature_invariant;
+      QCheck_alcotest.to_alcotest prop_derive_recovers_witness;
     ] )

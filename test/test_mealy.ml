@@ -178,6 +178,41 @@ let prop_access_sequences_reach =
              match w with None -> true | Some w -> Mealy.state_after m w = s)
            acc))
 
+(* --- Compiled evaluation: differential fuzz against the reference --- *)
+
+let gen_mealy_and_word =
+  QCheck.Gen.(
+    let* m = gen_mealy in
+    let* w = list_size (0 -- 24) (0 -- (Mealy.n_inputs m - 1)) in
+    return (m, w))
+
+let arb_mealy_and_word = QCheck.make gen_mealy_and_word
+
+let prop_compiled_run_agrees =
+  QCheck.Test.make ~name:"compiled_run matches Mealy.run" ~count:500
+    arb_mealy_and_word (fun (m, w) ->
+      let c = Mealy.compile m in
+      Mealy.compiled_run c w = Mealy.run m w
+      && Mealy.compiled_state_after c w = Mealy.state_after m w)
+
+let prop_compiled_agrees_verdict =
+  (* [agrees] accepts exactly the reference trace, and on a corrupted
+     trace [first_disagreement] points at the corrupted position. *)
+  QCheck.Test.make ~name:"agrees/first_disagreement verdicts" ~count:500
+    arb_mealy_and_word (fun (m, w) ->
+      let c = Mealy.compile m in
+      let outs = Mealy.run m w in
+      Mealy.agrees c w outs
+      && Mealy.first_disagreement c w outs = None
+      &&
+      match outs with
+      | [] -> true
+      | _ ->
+          let i = List.length outs / 2 in
+          let corrupted = List.mapi (fun j o -> if j = i then o + 7 else o) outs in
+          (not (Mealy.agrees c w corrupted))
+          && Mealy.first_disagreement c w corrupted = Some i)
+
 let suite =
   ( "mealy",
     [
@@ -199,4 +234,6 @@ let suite =
       QCheck_alcotest.to_alcotest prop_cex_is_real;
       QCheck_alcotest.to_alcotest prop_run_length;
       QCheck_alcotest.to_alcotest prop_access_sequences_reach;
+      QCheck_alcotest.to_alcotest prop_compiled_run_agrees;
+      QCheck_alcotest.to_alcotest prop_compiled_agrees_verdict;
     ] )

@@ -59,10 +59,16 @@ let test_lip_inserts_at_lru () =
   Alcotest.(check (list int)) "promoted after hit" [ 2; 1 ]
     (victims p [ evct; ln 2; evct ])
 
-let test_plru_power_of_two_only () =
-  Alcotest.check_raises "assoc 3 rejected"
-    (Invalid_argument "Plru.make: associativity must be a power of two")
-    (fun () -> ignore (Cq_policy.Plru.make 3))
+let test_plru_any_assoc () =
+  Alcotest.check_raises "assoc 0 rejected"
+    (Invalid_argument "Plru.make: associativity must be >= 1")
+    (fun () -> ignore (Cq_policy.Plru.make 0));
+  (* Ceil/floor tree over 3 lines: root splits {0,1} / {2}.  From the
+     all-zero state the victim walk reaches line 0; three consecutive
+     misses cover all three lines. *)
+  let p = Cq_policy.Plru.make 3 in
+  Alcotest.(check (list int)) "PLRU-3 sweep" [ 0; 2; 1 ]
+    (victims p [ evct; evct; evct ])
 
 let test_plru_victim_walk () =
   let p = Cq_policy.Plru.make 4 in
@@ -158,9 +164,14 @@ let test_zoo_make_errors () =
   (match Cq_policy.Zoo.make ~name:"NOPE" ~assoc:4 with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown policy accepted");
-  match Cq_policy.Zoo.make ~name:"PLRU" ~assoc:6 with
+  (* PLRU uses the ceil/floor split tree, so any assoc >= 1 is valid —
+     including the non-power-of-two 6 and the scaling targets 12/16. *)
+  (match Cq_policy.Zoo.make ~name:"PLRU" ~assoc:6 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("PLRU-6 rejected: " ^ e));
+  match Cq_policy.Zoo.make ~name:"New1" ~assoc:1 with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "PLRU-6 accepted"
+  | Ok _ -> Alcotest.fail "New1-1 accepted"
 
 let test_zoo_identify_direct () =
   let m = P.to_mealy (Cq_policy.Zoo.make_exn ~name:"New1" ~assoc:4) in
@@ -251,7 +262,7 @@ let suite =
       Alcotest.test_case "FIFO ignores hits" `Quick test_fifo_ignores_hits;
       Alcotest.test_case "LRU promotion" `Quick test_lru_promotes;
       Alcotest.test_case "LIP LRU-insertion" `Quick test_lip_inserts_at_lru;
-      Alcotest.test_case "PLRU power-of-two" `Quick test_plru_power_of_two_only;
+      Alcotest.test_case "PLRU any associativity" `Quick test_plru_any_assoc;
       Alcotest.test_case "PLRU victim walk" `Quick test_plru_victim_walk;
       Alcotest.test_case "MRU bits" `Quick test_mru_bits;
       Alcotest.test_case "SRRIP HP vs FP" `Quick test_srrip_hp_vs_fp;

@@ -261,6 +261,46 @@ let test_learned_automaton_agrees () =
           done)
     [ ("FIFO", 3); ("LRU", 2); ("PLRU", 2); ("MRU", 3) ]
 
+(* Soundness of the symmetry quotient: for every policy in the zoo, the
+   machine learned with the quotient on is trace-equivalent to the
+   ground-truth automaton.  The quotient may only change *how many
+   queries* the table spends, never *what* it learns — an alias that
+   survives verification but alters the machine would show up here.
+   The quotient run also validates against the policy axioms, which
+   re-checks the merge witness with anchored product walks.
+
+   Equivalence is checked against the ground truth rather than against a
+   direct (quotient-off) run because the direct baseline is not always
+   sound at conformance depth 1: BIP-3's minimal machine has 24 states
+   but plain Wp-depth-1 accepts a wrong 6-state hypothesis, while the
+   quotient's sweep suffix refines the table far enough to learn the
+   true machine.  Where the direct run is sound the two coincide (the
+   assoc-scaling bench asserts that pairwise). *)
+let test_quotient_learns_truth () =
+  List.iter
+    (fun (name, assoc) ->
+      let policy = Cq_policy.Zoo.make_exn ~name ~assoc in
+      match
+        Learn.run_simulated ~identify:false ~quotient:true ~validate:true
+          policy
+      with
+      | Learn.Partial { failure; _ } ->
+          Alcotest.fail
+            (Fmt.str "quotient learning %s-%d failed: %a" name assoc
+               Learn.pp_failure failure)
+      | Learn.Complete report ->
+          let truth = P.to_mealy policy in
+          if not (Mealy.equivalent truth report.Learn.machine) then
+            Alcotest.fail
+              (Fmt.str
+                 "%s-%d: quotient-learned machine differs from ground truth"
+                 name assoc))
+    [
+      ("FIFO", 4); ("LRU", 4); ("PLRU", 4); ("MRU", 4); ("LIP", 4);
+      ("BIP", 3); ("SRRIP-HP", 3); ("SRRIP-FP", 3); ("BRRIP", 3);
+      ("New1", 3); ("New2", 3);
+    ]
+
 let suite =
   ( "prop",
     [
@@ -274,4 +314,6 @@ let suite =
         test_polca_roundtrip_identity;
       Alcotest.test_case "learned automata agree on random words" `Quick
         test_learned_automaton_agrees;
+      Alcotest.test_case "quotient learning recovers ground truth (full zoo)"
+        `Slow test_quotient_learns_truth;
     ] )
