@@ -132,13 +132,13 @@ let table4 ~full () =
         let machine =
           Cq_hwsim.Machine.create ~noise:Cq_hwsim.Machine.quiet_noise plan.model
         in
-        let t0 = Cq_util.Clock.now () in
+        let t0 = Cq_util.Clock.mono () in
         let run =
           Cq_core.Hardware.learn_set machine plan.level ?cat_ways:plan.cat_ways
             ~set:plan.set ~slice:plan.slice ~max_states:plan.max_states
             ~check_hits:false
         in
-        let dt = Cq_util.Clock.now () -. t0 in
+        let dt = Cq_util.Clock.mono () -. t0 in
         let ours =
           match run.Cq_core.Hardware.outcome with
           | Cq_core.Hardware.Learned { report; reset; _ } ->
@@ -296,11 +296,11 @@ let cost () =
       ignore (Cq_cachequery.Backend.calibrate backend);
       let fe = Cq_cachequery.Frontend.create backend in
       Cq_cachequery.Frontend.set_memo fe false;
-      let t0 = Cq_util.Clock.now () in
+      let t0 = Cq_util.Clock.mono () in
       for _ = 1 to 100 do
         ignore (Cq_cachequery.Frontend.run_mbl fe "@ M _?")
       done;
-      let ms = (Cq_util.Clock.now () -. t0) /. 100.0 *. 1000.0 in
+      let ms = (Cq_util.Clock.mono () -. t0) /. 100.0 *. 1000.0 in
       Printf.printf "  %s: %7.2f ms/query (paper, on silicon: %.0f ms)\n%!" level
         ms paper_ms)
     Paper_data.cost_query_ms
@@ -623,11 +623,11 @@ let noise ~full () =
           "voting" "noise" "states" "same" "timedloads" "voteruns" "flips"
           "rcal" "retry" "time";
         let quiet_machine = M.create ~noise:M.quiet_noise model in
-        let t0 = Cq_util.Clock.now () in
+        let t0 = Cq_util.Clock.mono () in
         let quiet =
           Cq_core.Hardware.learn_set ~check_hits:false quiet_machine level
         in
-        let quiet_dt = Cq_util.Clock.now () -. t0 in
+        let quiet_dt = Cq_util.Clock.mono () -. t0 in
         let quiet_report =
           match quiet.Cq_core.Hardware.outcome with
           | Cq_core.Hardware.Learned { report; _ } -> report
@@ -646,12 +646,12 @@ let noise ~full () =
           List.map
             (fun (vlabel, nlabel, noise_cfg, voting, retries) ->
               let machine = M.create ~noise:noise_cfg model in
-              let t0 = Cq_util.Clock.now () in
+              let t0 = Cq_util.Clock.mono () in
               let run =
                 Cq_core.Hardware.learn_set ~check_hits:false ~voting ~retries
                   machine level
               in
-              let dt = Cq_util.Clock.now () -. t0 in
+              let dt = Cq_util.Clock.mono () -. t0 in
               let row =
                 match run.Cq_core.Hardware.outcome with
                 | Cq_core.Hardware.Learned { report; _ } ->
@@ -785,12 +785,12 @@ let recovery () =
     let machine =
       Cq_hwsim.Machine.create ~noise:Cq_hwsim.Machine.quiet_noise model
     in
-    let t0 = Cq_util.Clock.now () in
+    let t0 = Cq_util.Clock.mono () in
     let run =
       Cq_core.Hardware.learn_set ~check_hits:false ?snapshot ?resume
         ?query_budget machine Cq_hwsim.Cpu_model.L1
     in
-    (run, Cq_util.Clock.now () -. t0)
+    (run, Cq_util.Clock.mono () -. t0)
   in
   let report_of label (run : Cq_core.Hardware.run) =
     match run.Cq_core.Hardware.outcome with
@@ -972,6 +972,121 @@ let analysis () =
   Buffer.add_string buf "  ]\n}\n";
   Cq_util.Atomic_file.write ~path:"BENCH_analysis.json" (Buffer.contents buf);
   Printf.printf "\n(wrote BENCH_analysis.json)\n%!"
+
+(* ----------------------------------------------------------------------- *)
+(* Service layer: cachequeryd under concurrent clients                       *)
+(* ----------------------------------------------------------------------- *)
+
+(* An in-process daemon serving N concurrent clients: membership-query
+   latency percentiles and request throughput, then one full learn per
+   client running concurrently — each result must be byte-identical to a
+   solo (daemon-less) learn of the same policy, or the bench fails. *)
+let service () =
+  header "Service layer: cachequeryd under concurrent clients";
+  let module Server = Cq_service.Server in
+  let module Client = Cq_service.Client in
+  let module Json = Cq_service.Json in
+  let clients = 4 in
+  let queries_per_client = 250 in
+  let state_dir = "bench-service-state" in
+  (try Unix.mkdir state_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let socket = Filename.concat state_dir "bench.sock" in
+  let cfg = Server.config ~workers:clients ~state_dir socket in
+  let server = Server.create cfg in
+  Server.start server;
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  (* --- phase 1: membership-query latency under concurrency --- *)
+  let latencies = Array.make clients [||] in
+  let t0 = Cq_util.Clock.mono () in
+  let run_client i =
+    let c = Client.connect_unix socket in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    let sid = Client.create_sim c ~policy:"LRU" ~assoc:2 () in
+    let samples = Array.make queries_per_client 0.0 in
+    for q = 0 to queries_per_client - 1 do
+      let word = [ q mod 3; (q + 1) mod 3; q mod 2 ] in
+      let t = Cq_util.Clock.mono () in
+      ignore (Client.query_sim c sid word);
+      samples.(q) <- Cq_util.Clock.mono () -. t
+    done;
+    latencies.(i) <- samples
+  in
+  let threads = List.init clients (fun i -> Thread.create run_client i) in
+  List.iter Thread.join threads;
+  let wall = Cq_util.Clock.mono () -. t0 in
+  let all = Array.concat (Array.to_list latencies) in
+  Array.sort compare all;
+  let pct p =
+    let n = Array.length all in
+    all.(min (n - 1) (max 0 (int_of_float (ceil (p /. 100. *. float n)) - 1)))
+  in
+  let total = clients * queries_per_client in
+  let throughput = float total /. wall in
+  let p50 = pct 50. and p95 = pct 95. and p99 = pct 99. in
+  Printf.printf
+    "%d clients x %d queries: %.0f req/s | p50 %.0f us | p95 %.0f us | p99 \
+     %.0f us\n%!"
+    clients queries_per_client throughput (1e6 *. p50) (1e6 *. p95)
+    (1e6 *. p99);
+  (* --- phase 2: concurrent learns, checked against solo runs --- *)
+  let policies = [| "LRU"; "FIFO"; "PLRU"; "MRU" |] in
+  let digest m = Digest.to_hex (Digest.string (Marshal.to_string m [])) in
+  let learns = Array.make clients ("", "", "", 0, 0.0) in
+  let learn_client i =
+    let c = Client.connect_unix socket in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    let policy = policies.(i mod Array.length policies) in
+    let sid = Client.create_sim c ~policy ~assoc:4 () in
+    Client.learn_start c sid;
+    let st = Client.learn_wait c ~timeout_s:300.0 sid in
+    let field name =
+      match Json.mem_str name st with Some s -> s | None -> "?"
+    in
+    let queries =
+      Option.value ~default:0 (Json.mem_int "member_queries" st)
+    in
+    let seconds =
+      match Json.member "seconds" st with
+      | Some f -> Option.value ~default:0.0 (Json.to_float f)
+      | None -> 0.0
+    in
+    learns.(i) <- (policy, field "state", field "digest", queries, seconds)
+  in
+  let t1 = Cq_util.Clock.mono () in
+  let threads = List.init clients (fun i -> Thread.create learn_client i) in
+  List.iter Thread.join threads;
+  let learn_wall = Cq_util.Clock.mono () -. t1 in
+  let buf = Buffer.create 512 in
+  Printf.ksprintf (Buffer.add_string buf)
+    "{\n  \"clients\": %d,\n  \"requests\": %d,\n  \"wall_seconds\": %.6f,\n\
+    \  \"throughput_rps\": %.1f,\n\
+    \  \"latency_seconds\": { \"p50\": %.9f, \"p95\": %.9f, \"p99\": %.9f },\n\
+    \  \"learn_wall_seconds\": %.3f,\n  \"learns\": [\n"
+    clients total wall throughput p50 p95 p99 learn_wall;
+  Array.iteri
+    (fun i (policy, state, dgst, queries, seconds) ->
+      let solo =
+        let p = Cq_policy.Zoo.make_exn ~name:policy ~assoc:4 in
+        let r = Cq_core.Learn.learn_simulated ~identify:false p in
+        digest r.Cq_core.Learn.machine
+      in
+      let matches = state = "done" && dgst = solo in
+      Printf.printf "  %-5s %-6s  %6d queries  %6.2f s  solo-identical: %b\n%!"
+        policy state queries seconds matches;
+      Printf.ksprintf (Buffer.add_string buf)
+        "    { \"policy\": %S, \"state\": %S, \"digest\": %S, \"queries\": \
+         %d, \"seconds\": %.3f, \"matches_solo\": %b }%s\n"
+        policy state dgst queries seconds matches
+        (if i = clients - 1 then "" else ",");
+      if not matches then
+        failwith
+          (Printf.sprintf
+             "service bench: %s learned under concurrency diverged from solo"
+             policy))
+    learns;
+  Buffer.add_string buf "  ]\n}\n";
+  Cq_util.Atomic_file.write ~path:"BENCH_service.json" (Buffer.contents buf);
+  Printf.printf "\n(wrote BENCH_service.json)\n%!"
 
 (* ----------------------------------------------------------------------- *)
 (* Assoc scaling: symmetry-quotient learning vs direct                       *)
@@ -1343,6 +1458,7 @@ let () =
     | "recovery" -> recovery ()
     | "analysis" -> analysis ()
     | "assoc" -> assoc_bench ~full ~smoke ()
+    | "service" -> service ()
     | "micro" -> micro ()
     | "all" ->
         (* One crashing experiment must not take the rest of the run (or
@@ -1368,6 +1484,7 @@ let () =
             ("recovery", recovery);
             ("analysis", analysis);
             ("assoc", assoc_bench ~full ~smoke);
+            ("service", service);
             ("micro", micro);
           ];
         (* Every artifact this bench run (or a previous one) left behind:

@@ -281,9 +281,12 @@ let parse_sets spec =
 
 let main cpu level set slice reps noise seed query sets check lint_only trace
     metrics_path =
-  (* Flush observability output on every exit path (batch mode exits 2 on
-     a failed query; at_exit still runs). *)
+  (* Flush observability output on every exit path: batch mode exits 2 on
+     a failed query (at_exit still runs), and SIGINT/SIGTERM are converted
+     into an exit so a ^C'd or service-managed run keeps its files too. *)
   let registry = Cq_util.Metrics.create () in
+  if trace <> None || metrics_path <> None then
+    Cq_util.Shutdown.exit_on_signals ();
   (match trace with
   | None -> ()
   | Some path ->

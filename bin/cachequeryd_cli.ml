@@ -1,0 +1,122 @@
+(* cachequeryd: the learning-as-a-service daemon.
+
+   Serves concurrent learning/query sessions over length-prefixed JSON
+   frames on a Unix-domain socket (optionally also TCP).  Hardware time
+   is fairly scheduled across sessions; learns snapshot continuously and
+   resume byte-identically after a crash or shutdown — see
+   DESIGN.md, "Service layer". *)
+
+open Cmdliner
+
+let main socket tcp_port tcp_addr workers state_dir max_inflight snapshot_every
+    trace metrics_path =
+  let registry = Cq_util.Metrics.create () in
+  (* Flush observability artefacts on every exit path; the graceful-stop
+     sequence below reaches [at_exit] through a normal return, and
+     SIGINT/SIGTERM are converted into the same graceful stop rather than
+     killing the process mid-write. *)
+  (match trace with
+  | None -> ()
+  | Some path ->
+      Cq_util.Trace.enable ();
+      at_exit (fun () -> Cq_util.Trace.export_chrome ~path ()));
+  (match metrics_path with
+  | None -> ()
+  | Some path -> at_exit (fun () -> Cq_util.Metrics.write_json ~path registry));
+  let tcp = Option.map (fun port -> (tcp_addr, port)) tcp_port in
+  let cfg =
+    Cq_service.Server.config ?tcp ~workers ~max_inflight ~snapshot_every
+      ~state_dir socket
+  in
+  let server = Cq_service.Server.create ~metrics:registry cfg in
+  (* Graceful shutdown on SIGINT/SIGTERM: stop accepting, park live
+     learns at their next probe (final snapshot written), drain, flush,
+     exit.  [request_stop] only sets a flag — safe from a handler. *)
+  Cq_util.Shutdown.notify_on_signals (fun _signo ->
+      Cq_service.Server.request_stop server);
+  (try Cq_service.Server.run server
+   with Unix.Unix_error (err, fn, arg) ->
+     Fmt.epr "cachequeryd: %s %s: %s@." fn arg (Unix.error_message err);
+     exit 1);
+  `Ok ()
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "cachequeryd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket to listen on.")
+
+let tcp_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp-port" ] ~docv:"PORT" ~doc:"Also listen on this TCP port.")
+
+let tcp_addr_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "tcp-addr" ] ~docv:"ADDR" ~doc:"TCP bind address.")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "workers" ] ~docv:"N" ~doc:"Learning worker threads.")
+
+let state_dir_arg =
+  Arg.(
+    value
+    & opt string "cachequeryd-state"
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:
+          "Session snapshots live here; a later daemon over the same \
+           directory resumes interrupted learns byte-identically.")
+
+let max_inflight_arg =
+  Arg.(
+    value
+    & opt int 8
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "Queued + running learns before $(b,learn.start) answers \
+           $(i,busy).")
+
+let snapshot_every_arg =
+  Arg.(
+    value
+    & opt int 500
+    & info [ "snapshot-every" ] ~docv:"QUERIES"
+        ~doc:"Snapshot cadence in hardware queries.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured execution trace and write it to $(docv) as \
+           Chrome trace_event JSON on exit (including signal-driven \
+           shutdown).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the daemon's metrics registry (the \"service.\" series: \
+           request latencies, gate waits, learn outcomes) to $(docv) as \
+           JSON on exit.")
+
+let cmd =
+  let doc = "serve cache-replacement-policy learning over a socket" in
+  Cmd.v
+    (Cmd.info "cachequeryd" ~doc)
+    Term.(
+      ret
+        (const main $ socket_arg $ tcp_port_arg $ tcp_addr_arg $ workers_arg
+       $ state_dir_arg $ max_inflight_arg $ snapshot_every_arg $ trace_arg
+       $ metrics_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,240 @@
+(* cq-client: command-line client for cachequeryd.
+
+   One subcommand per protocol verb (roughly); all talk to the daemon's
+   Unix socket given with --socket.  Exit codes: 0 on success, 2 on a
+   daemon error reply (the error kind is printed), 1 on connection
+   failure. *)
+
+open Cmdliner
+
+let with_client socket f =
+  match Cq_service.Client.connect_unix socket with
+  | exception Unix.Unix_error (err, _, _) ->
+      Fmt.epr "cq-client: cannot connect to %s: %s@." socket
+        (Unix.error_message err);
+      exit 1
+  | c ->
+      Fun.protect
+        ~finally:(fun () -> Cq_service.Client.close c)
+        (fun () ->
+          try f c
+          with Cq_service.Client.Error { kind; message } ->
+            Fmt.epr "cq-client: %s: %s@." kind message;
+            exit 2)
+
+let print_json doc = Fmt.pr "%s@." (Cq_service.Json.to_string doc)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "cachequeryd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"The daemon's Unix-domain socket.")
+
+let session_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "session" ] ~docv:"ID" ~doc:"Session id.")
+
+let ping_cmd =
+  let run socket = with_client socket (fun c -> print_json (Cq_service.Client.ping c)) in
+  Cmd.v (Cmd.info "ping" ~doc:"check the daemon is alive") Term.(const run $ socket_arg)
+
+let list_cmd =
+  let run socket =
+    with_client socket (fun c -> print_json (Cq_service.Client.call c "session.list"))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"list sessions") Term.(const run $ socket_arg)
+
+let create_cmd =
+  let run socket policy assoc cpu level set name budget =
+    with_client socket (fun c ->
+        let sid =
+          match policy with
+          | Some policy ->
+              Cq_service.Client.create_sim c ?name ?query_budget:budget
+                ~policy ~assoc ()
+          | None ->
+              Cq_service.Client.create_hw c ?name ?query_budget:budget ~cpu
+                ~level ~set ()
+        in
+        Fmt.pr "%d@." sid)
+  in
+  let policy =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "simulate" ] ~docv:"POLICY"
+          ~doc:"Create a simulated-cache session for this zoo policy.")
+  in
+  let assoc = Arg.(value & opt int 4 & info [ "assoc" ] ~doc:"Associativity (sim).") in
+  let cpu = Arg.(value & opt string "skylake" & info [ "cpu" ] ~doc:"CPU (hw).") in
+  let level = Arg.(value & opt string "L1" & info [ "level" ] ~doc:"Cache level (hw).") in
+  let set = Arg.(value & opt int 0 & info [ "set" ] ~doc:"Target set (hw).") in
+  let name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~doc:"Session name (also the snapshot file stem).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "query-budget" ] ~doc:"Lifetime hardware-query budget.")
+  in
+  Cmd.v
+    (Cmd.info "create" ~doc:"create a learning session")
+    Term.(const run $ socket_arg $ policy $ assoc $ cpu $ level $ set $ name_arg $ budget)
+
+let learn_cmd =
+  let run socket sid resume kill_after budget wait follow =
+    with_client socket (fun c ->
+        Cq_service.Client.learn_start c ~resume ?kill_after_queries:kill_after
+          ?query_budget:budget sid;
+        if follow then
+          ignore
+            (Cq_service.Client.stream c
+               ~params:(Cq_service.Json.Obj [ ("session", Cq_service.Json.Int sid) ])
+               "events" print_json)
+        else if wait then print_json (Cq_service.Client.learn_wait c sid)
+        else Fmt.pr "queued@.")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ] ~doc:"Resume from the session snapshot.")
+  in
+  let kill_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after" ] ~docv:"QUERIES"
+          ~doc:"Fault injection: kill the worker after this many queries.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "query-budget" ] ~doc:"Budget for this learn only.")
+  in
+  let wait = Arg.(value & flag & info [ "wait" ] ~doc:"Block until the learn finishes.") in
+  let follow =
+    Arg.(
+      value & flag & info [ "follow" ] ~doc:"Stream progress events until done.")
+  in
+  Cmd.v
+    (Cmd.info "learn" ~doc:"start (and optionally wait for) a learn")
+    Term.(
+      const run $ socket_arg $ session_arg $ resume $ kill_after $ budget $ wait
+      $ follow)
+
+let status_cmd =
+  let run socket sid =
+    with_client socket (fun c -> print_json (Cq_service.Client.status c sid))
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"session status")
+    Term.(const run $ socket_arg $ session_arg)
+
+let wait_cmd =
+  let run socket sid timeout =
+    with_client socket (fun c ->
+        print_json (Cq_service.Client.learn_wait c ?timeout_s:timeout sid))
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Give up after this long.")
+  in
+  Cmd.v
+    (Cmd.info "wait" ~doc:"wait for the session's learn to finish")
+    Term.(const run $ socket_arg $ session_arg $ timeout)
+
+let query_cmd =
+  let run socket sid word mbl =
+    with_client socket (fun c ->
+        match (word, mbl) with
+        | Some word, None ->
+            let symbols =
+              String.split_on_char ',' word
+              |> List.filter (fun s -> s <> "")
+              |> List.map int_of_string
+            in
+            Fmt.pr "%s@."
+              (String.concat " " (Cq_service.Client.query_sim c sid symbols))
+        | None, Some mbl -> print_json (Cq_service.Client.query_mbl c sid mbl)
+        | _ ->
+            Fmt.epr "cq-client: pass exactly one of --word or --mbl@.";
+            exit 2)
+  in
+  let word =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "word" ] ~docv:"W"
+          ~doc:"Comma-separated input symbols (sim sessions).")
+  in
+  let mbl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mbl" ] ~docv:"EXPR" ~doc:"MBL expression (hw sessions).")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"run a membership query")
+    Term.(const run $ socket_arg $ session_arg $ word $ mbl)
+
+let result_cmd =
+  let run socket sid dot =
+    with_client socket (fun c ->
+        print_json (Cq_service.Client.result c ~dot sid))
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Include the DOT graph.") in
+  Cmd.v
+    (Cmd.info "result" ~doc:"fetch the learned automaton's digest (and DOT)")
+    Term.(const run $ socket_arg $ session_arg $ dot)
+
+let cancel_cmd =
+  let run socket sid =
+    with_client socket (fun c ->
+        Cq_service.Client.learn_cancel c sid;
+        Fmt.pr "cancelled@.")
+  in
+  Cmd.v
+    (Cmd.info "cancel" ~doc:"cancel the session's learn")
+    Term.(const run $ socket_arg $ session_arg)
+
+let stats_cmd =
+  let run socket =
+    with_client socket (fun c -> print_json (Cq_service.Client.call c "stats"))
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"daemon statistics") Term.(const run $ socket_arg)
+
+let shutdown_cmd =
+  let run socket =
+    with_client socket (fun c ->
+        Cq_service.Client.shutdown c;
+        Fmt.pr "stopping@.")
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"gracefully stop the daemon")
+    Term.(const run $ socket_arg)
+
+let cmd =
+  let doc = "client for the cachequeryd learning service" in
+  Cmd.group (Cmd.info "cq-client" ~doc)
+    [
+      ping_cmd;
+      list_cmd;
+      create_cmd;
+      learn_cmd;
+      status_cmd;
+      wait_cmd;
+      query_cmd;
+      result_cmd;
+      cancel_cmd;
+      stats_cmd;
+      shutdown_cmd;
+    ]
+
+let () = exit (Cmd.eval cmd)

@@ -20,8 +20,11 @@ let snapshot_policy_of snapshot snapshot_every =
 
 (* Observability hooks: enable tracing up front and flush trace + metrics
    on every exit path, including the distinct-exit-code failure paths
-   (at_exit runs on [exit 10..13] too). *)
+   (at_exit runs on [exit 10..13] too) and SIGINT/SIGTERM — a killed
+   campaign run keeps its trace instead of losing it to the default
+   signal disposition. *)
 let setup_observability trace metrics registry =
+  if trace <> None || metrics <> None then Cq_util.Shutdown.exit_on_signals ();
   (match trace with
   | None -> ()
   | Some path ->

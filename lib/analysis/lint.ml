@@ -172,14 +172,50 @@ let contains_sub line needle =
 
 let split_lines s = String.split_on_char '\n' s
 
-(* [cq-lint: allow <rule>] in the raw text of the finding's line or the
-   line above. *)
+let find_sub line needle =
+  let nl = String.length line and nn = String.length needle in
+  let rec at i =
+    if i + nn > nl then None
+    else if String.sub line i nn = needle then Some i
+    else at (i + 1)
+  in
+  at 0
+
+(* [cq-lint: allow <rule>: reason] in the raw text of the finding's line
+   or the line above.  A bare [allow <rule>] with no stated reason does
+   NOT suppress (tightened after the Hashtbl.add dedup sweep): every
+   surviving suppression must document why the pattern is safe at that
+   site, so allows cannot accrete as unexplained noise. *)
 let allowed raw_lines line rule =
   let marker = "cq-lint: allow " ^ rule in
+  let reasoned l =
+    match find_sub l marker with
+    | None -> false
+    | Some i ->
+        let j = i + String.length marker in
+        if j < String.length l && is_ident_char l.[j] then
+          (* A longer rule name ("hashtbl-addendum"): not this rule. *)
+          false
+        else begin
+          (* A reason = at least one letter or digit after the rule name,
+             before the comment closes. *)
+          let rest = String.sub l j (String.length l - j) in
+          let stop =
+            match find_sub rest "*)" with
+            | Some k -> k
+            | None -> String.length rest
+          in
+          let rec scan k =
+            k < stop
+            && (match rest.[k] with
+               | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' -> true
+               | _ -> scan (k + 1))
+          in
+          scan 0
+        end
+  in
   let check idx =
-    idx >= 1
-    && idx <= Array.length raw_lines
-    && contains_sub raw_lines.(idx - 1) marker
+    idx >= 1 && idx <= Array.length raw_lines && reasoned raw_lines.(idx - 1)
   in
   check line || check (line - 1)
 

@@ -32,8 +32,10 @@
 
     {[ (* cq-lint: allow hashtbl-add — fresh key, guarded by mem above *) ]}
 
-    The rule name must follow [cq-lint: allow]; everything after it is
-    free-form justification (and writing one is the point). *)
+    The rule name must follow [cq-lint: allow], and a free-form
+    justification must follow the rule name — a bare
+    [cq-lint: allow <rule>] with no stated reason does not suppress
+    (writing the reason is the point). *)
 
 type finding = {
   file : string;

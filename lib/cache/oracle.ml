@@ -193,8 +193,7 @@ let memoized ?stats ?max_entries t =
           (fun (key, q) ->
             if (not (Hashtbl.mem table key)) && not (Hashtbl.mem missing key)
             then begin
-              (* cq-lint: allow hashtbl-add: fresh key, guarded by the mem test above *)
-              Hashtbl.add missing key ();
+              Hashtbl.replace missing key ();
               order := q :: !order
             end)
           keyed;

@@ -338,8 +338,7 @@ let query_blocks_batch t batches =
     (fun (key, q) ->
       let known = t.memo_enabled && Hashtbl.mem t.memo key in
       if (not known) && not (Hashtbl.mem missing key) then begin
-        (* cq-lint: allow hashtbl-add: fresh key, guarded by the mem test above *)
-        Hashtbl.add missing key ();
+        Hashtbl.replace missing key ();
         order := q :: !order
       end)
     keyed;

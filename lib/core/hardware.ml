@@ -71,7 +71,7 @@ let level_to_string = function
 let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
     ?voting ?(retries = 3) ?equivalence ?check_hits ?(max_states = 100_000)
     ?validate ?quotient ?(reset_trials = 24) ?metrics ?snapshot ?resume ?deadline
-    ?query_budget ?(supervise_retries = 2) machine level =
+    ?query_budget ?probe ?(supervise_retries = 2) machine level =
   Cq_util.Trace.with_span ~cat:"hardware" "hardware.learn_set" @@ fun () ->
   (* One registry spans the whole stack: backend, frontend and the
      learning loop all register their series here, so the "backend." /
@@ -182,7 +182,7 @@ let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
               ?validate ?quotient ~retries ~on_retry
               ~device_stats:(Cq_cachequery.Frontend.stats frontend)
               ~metrics ?snapshot ?resume ~snapshot_meta ~deadline:dl
-              ?query_budget oracle
+              ?query_budget ?probe oracle
           with
           | Learn.Complete report -> Learned { report; reset; threshold }
           | Learn.Partial p -> (

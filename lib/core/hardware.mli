@@ -58,6 +58,7 @@ val learn_set :
   ?resume:string ->
   ?deadline:float ->
   ?query_budget:int ->
+  ?probe:(int -> unit) ->
   ?supervise_retries:int ->
   Cq_hwsim.Machine.t ->
   Cq_hwsim.Cpu_model.level ->
@@ -91,7 +92,10 @@ val learn_set :
     [resume] continues a crashed run from its snapshot, restoring the
     crashed run's PRNG seed and calibration state so the resumed run
     re-derives the same reset sequence, classifies latencies identically
-    and produces the {e identical} automaton.  A [Transient] failure is
+    and produces the {e identical} automaton.  [probe] is called with the
+    current hardware-query count before each top-level oracle call (see
+    {!Learn.learn_from_cache}) — the service daemon's scheduling,
+    cancellation and fault-injection hook.  A [Transient] failure is
     retried up to [supervise_retries] (default 2) times with escalated
     voting, each attempt resuming from the latest snapshot; the other
     failure classes surface immediately as [Partial]. *)
@@ -115,6 +119,7 @@ val run :
   ?resume:string ->
   ?deadline:float ->
   ?query_budget:int ->
+  ?probe:(int -> unit) ->
   ?supervise_retries:int ->
   Cq_hwsim.Machine.t ->
   Cq_hwsim.Cpu_model.level ->

@@ -191,7 +191,7 @@ let learn_core ?(equivalence = default_equivalence)
           Cq_util.Metrics.value d.Cq_cache.Oracle.vote_runs )
   in
   let dev_loads0, dev_votes0 = dev_snapshot () in
-  let t0 = Cq_util.Clock.now () in
+  let t0 = Cq_util.Clock.mono () in
   (* Resume: load the snapshot up front so a damaged file fails fast,
      before any hardware traffic. *)
   let resumed : Cq_policy.Types.output Session.snapshot option =
@@ -285,7 +285,7 @@ let learn_core ?(equivalence = default_equivalence)
         Cq_util.Metrics.observe snapshot_write_h seconds;
         snapshot_written := true;
         last_snap_queries := hw_queries ();
-        last_snap_time := Cq_util.Clock.now ()
+        last_snap_time := Cq_util.Clock.mono ()
   in
   let guard () =
     (match probe with
@@ -309,7 +309,7 @@ let learn_core ?(equivalence = default_equivalence)
     | Some p ->
         if
           hw_queries () - !last_snap_queries >= p.every_queries
-          || Cq_util.Clock.now () -. !last_snap_time >= p.every_seconds
+          || Cq_util.Clock.mono () -. !last_snap_time >= p.every_seconds
         then write_snapshot ()
   in
   let guarded oracle =
@@ -519,7 +519,7 @@ let learn_core ?(equivalence = default_equivalence)
               } )
       | validation -> Ok (finish ?validation result seconds))
   | exception e -> (
-      let seconds = Cq_util.Clock.now () -. t0 in
+      let seconds = Cq_util.Clock.mono () -. t0 in
       (* Preserve whatever was learned: the failure path writes a final
          snapshot, so a follow-up run resumes instead of starting over.
          A failing write must not mask the original failure. *)

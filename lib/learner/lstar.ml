@@ -71,7 +71,7 @@ let learn ?(max_states = 1_000_000) ?max_row_cache ?expose_table ?seed_rows
       if not (List.for_all (fun i -> i >= 0 && i < k) a.Quotient.sweep) then
         invalid_arg "Lstar.learn: quotient sweep uses inputs outside the alphabet"
   | None -> ());
-  let t0 = Cq_util.Clock.now () in
+  let t0 = Cq_util.Clock.mono () in
   (* Count the membership queries this learn issues, for the divergence
      payload (the conformance suite's queries go through [find_cex] and
      are not ours to count). *)
@@ -260,7 +260,7 @@ let learn ?(max_states = 1_000_000) ?max_row_cache ?expose_table ?seed_rows
            reason;
            states = Array.length !reps;
            queries = !queries;
-           elapsed = Cq_util.Clock.now () -. t0;
+           elapsed = Cq_util.Clock.mono () -. t0;
          })
   in
   (* Hand the caller a live view of the observation table for session

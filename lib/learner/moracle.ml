@@ -284,8 +284,7 @@ let cached_session ?stats ?(conflict_retries = 0) t =
             if Trie.lookup root w = None then begin
               let key = Cq_util.Deep.pack w in
               if not (Hashtbl.mem missing key) then begin
-                (* cq-lint: allow hashtbl-add: fresh key, guarded by the mem test above *)
-                Hashtbl.add missing key ();
+                Hashtbl.replace missing key ();
                 order := w :: !order
               end
             end)

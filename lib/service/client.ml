@@ -1,0 +1,209 @@
+(* The client side of the cachequeryd protocol: blocking calls over one
+   connection, with typed errors re-raised from the daemon's replies. *)
+
+type t = { fd : Unix.file_descr; m : Mutex.t; mutable next_id : int }
+
+exception Error of { kind : string; message : string }
+
+let protocol_error message = raise (Error { kind = "protocol"; message })
+
+let connect_fd fd =
+  (* A daemon dying mid-call must raise EPIPE from the write, not kill
+     the client process with SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  { fd; m = Mutex.create (); next_id = 1 }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  connect_fd fd
+
+let connect_tcp host port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          protocol_error (Printf.sprintf "cannot resolve %S" host)
+      | h -> h.Unix.h_addr_list.(0)
+      | exception Not_found ->
+          protocol_error (Printf.sprintf "cannot resolve %S" host))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  connect_fd fd
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let read_doc c =
+  match Protocol.read_frame c.fd with
+  | Protocol.Frame payload -> (
+      match Json.parse payload with
+      | doc -> doc
+      | exception Json.Parse_error msg ->
+          protocol_error ("unparseable reply: " ^ msg))
+  | Protocol.Eof -> protocol_error "daemon closed the connection"
+  | Protocol.Bad err -> protocol_error (Protocol.frame_error_to_string err)
+
+let check_reply doc =
+  match Json.member "ok" doc with
+  | Some (Json.Bool true) -> doc
+  | Some (Json.Bool false) ->
+      let kind, message =
+        match Json.member "error" doc with
+        | Some err ->
+            ( Option.value ~default:"error" (Json.mem_str "kind" err),
+              Option.value ~default:"" (Json.mem_str "message" err) )
+        | None -> ("error", "malformed error reply")
+      in
+      raise (Error { kind; message })
+  | _ -> protocol_error "reply lacks an \"ok\" field"
+
+let send_request c ?params verb =
+  let id = c.next_id in
+  c.next_id <- id + 1;
+  let fields =
+    [ ("verb", Json.String verb); ("id", Json.Int id) ]
+    @ match params with Some p -> [ ("params", p) ] | None -> []
+  in
+  Protocol.send c.fd (Json.Obj fields)
+
+let call c ?params verb =
+  Mutex.lock c.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.m)
+    (fun () ->
+      send_request c ?params verb;
+      check_reply (read_doc c))
+
+let is_end doc = Json.mem_str "type" doc = Some "end"
+
+let stream c ?params verb f =
+  Mutex.lock c.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.m)
+    (fun () ->
+      send_request c ?params verb;
+      let reply = check_reply (read_doc c) in
+      let rec drain () =
+        let doc = read_doc c in
+        if is_end doc then ()
+        else begin
+          f doc;
+          drain ()
+        end
+      in
+      drain ();
+      reply)
+
+(* --- convenience wrappers --- *)
+
+let ping c = call c "ping"
+
+let opt_field name = function Some v -> [ (name, v) ] | None -> []
+
+let session_of reply =
+  match Json.mem_int "session" reply with
+  | Some sid -> sid
+  | None -> protocol_error "reply lacks a session id"
+
+let create_sim c ?name ?query_budget ~policy ~assoc () =
+  let params =
+    Json.Obj
+      ([
+         ( "target",
+           Json.Obj
+             [
+               ("kind", Json.String "sim");
+               ("policy", Json.String policy);
+               ("assoc", Json.Int assoc);
+             ] );
+       ]
+      @ opt_field "name" (Option.map (fun n -> Json.String n) name)
+      @ opt_field "query_budget"
+          (Option.map (fun b -> Json.Int b) query_budget))
+  in
+  session_of (call c ~params "session.create")
+
+let create_hw c ?name ?query_budget ?(seed = 42) ?(noise = false) ~cpu ~level
+    ~set () =
+  let params =
+    Json.Obj
+      ([
+         ( "target",
+           Json.Obj
+             [
+               ("kind", Json.String "hw");
+               ("cpu", Json.String cpu);
+               ("level", Json.String level);
+               ("set", Json.Int set);
+               ("seed", Json.Int seed);
+               ("noise", Json.Bool noise);
+             ] );
+       ]
+      @ opt_field "name" (Option.map (fun n -> Json.String n) name)
+      @ opt_field "query_budget"
+          (Option.map (fun b -> Json.Int b) query_budget))
+  in
+  session_of (call c ~params "session.create")
+
+let learn_start c ?resume ?kill_after_queries ?query_budget sid =
+  let params =
+    Json.Obj
+      ([ ("session", Json.Int sid) ]
+      @ opt_field "resume" (Option.map (fun b -> Json.Bool b) resume)
+      @ opt_field "kill_after_queries"
+          (Option.map (fun n -> Json.Int n) kill_after_queries)
+      @ opt_field "query_budget"
+          (Option.map (fun n -> Json.Int n) query_budget))
+  in
+  ignore (call c ~params "learn.start")
+
+let learn_wait c ?timeout_s sid =
+  let params =
+    Json.Obj
+      ([ ("session", Json.Int sid) ]
+      @ opt_field "timeout_s" (Option.map (fun s -> Json.Float s) timeout_s))
+  in
+  call c ~params "learn.wait"
+
+let learn_cancel c sid =
+  ignore (call c ~params:(Json.Obj [ ("session", Json.Int sid) ]) "learn.cancel")
+
+let status c sid =
+  call c ~params:(Json.Obj [ ("session", Json.Int sid) ]) "learn.status"
+
+let result c ?(dot = false) sid =
+  call c
+    ~params:(Json.Obj [ ("session", Json.Int sid); ("dot", Json.Bool dot) ])
+    "session.result"
+
+let query_sim c sid word =
+  let reply =
+    call c
+      ~params:
+        (Json.Obj [ ("session", Json.Int sid); ("word", Json.of_int_list word) ])
+      "query"
+  in
+  match Json.mem_list "outputs" reply with
+  | Some outputs ->
+      List.map
+        (fun o -> Option.value ~default:"?" (Json.to_str o))
+        outputs
+  | None -> protocol_error "query reply lacks \"outputs\""
+
+let query_mbl c sid mbl =
+  call c
+    ~params:(Json.Obj [ ("session", Json.Int sid); ("mbl", Json.String mbl) ])
+    "query"
+
+let shutdown c =
+  try ignore (call c "shutdown")
+  with Error { kind = "protocol"; _ } | Unix.Unix_error _ -> ()

@@ -1,0 +1,71 @@
+(** cq-client: the client side of the cachequeryd protocol.
+
+    A thin, synchronous wrapper: one {!call} sends a frame and blocks on
+    the reply (the daemon answers requests on a connection in order).
+    Error replies raise {!Error} with the daemon's typed kind, so tests
+    and scripts can match on ["busy"] / ["budget_exhausted"] / ... without
+    string-scraping messages. *)
+
+type t
+
+exception Error of { kind : string; message : string }
+(** A [{"ok": false}] reply, or a framing failure ([kind] = ["protocol"])
+    — e.g. the daemon closed the connection mid-reply. *)
+
+val connect_unix : string -> t
+val connect_tcp : string -> int -> t
+val close : t -> unit
+
+val call : t -> ?params:Json.t -> string -> Json.t
+(** [call c verb] sends one request and returns the [ok] reply document.
+    Raises {!Error} on an error reply. *)
+
+val stream : t -> ?params:Json.t -> string -> (Json.t -> unit) -> Json.t
+(** [stream c verb f] — for streaming verbs (["events"]): sends the
+    request, returns the initial [ok] reply after feeding every streamed
+    event frame to [f], until the terminal [{"type": "end"}] frame
+    (exclusive).  Note the reply is read {e first}, then the stream. *)
+
+(** {1 Convenience wrappers} *)
+
+val ping : t -> Json.t
+
+val create_sim :
+  t -> ?name:string -> ?query_budget:int -> policy:string -> assoc:int -> unit -> int
+(** Returns the new session id. *)
+
+val create_hw :
+  t ->
+  ?name:string ->
+  ?query_budget:int ->
+  ?seed:int ->
+  ?noise:bool ->
+  cpu:string ->
+  level:string ->
+  set:int ->
+  unit ->
+  int
+
+val learn_start :
+  t -> ?resume:bool -> ?kill_after_queries:int -> ?query_budget:int -> int -> unit
+
+val learn_wait : t -> ?timeout_s:float -> int -> Json.t
+(** Block until the session's learn reaches a terminal state (or the
+    timeout); returns the status document. *)
+
+val learn_cancel : t -> int -> unit
+val status : t -> int -> Json.t
+
+val result : t -> ?dot:bool -> int -> Json.t
+(** The completed learn's [{digest; states; dot?}]; raises {!Error}
+    [no_result] otherwise. *)
+
+val query_sim : t -> int -> int list -> string list
+(** Membership query on a sim session: outputs as labels (["⊥"] / line
+    indices), one per input symbol. *)
+
+val query_mbl : t -> int -> string -> Json.t
+(** MBL query on a hw session; returns the reply document. *)
+
+val shutdown : t -> unit
+(** Ask the daemon to stop; tolerates the connection dying right after. *)

@@ -1,0 +1,58 @@
+(** A minimal JSON tree for the service protocol.
+
+    The repository deliberately has no JSON dependency — the metrics and
+    trace exporters hand-roll their output through
+    {!Cq_util.Metrics.json_string}.  The daemon additionally needs to
+    {e read} JSON (requests arrive as JSON frames), so this module adds
+    the smallest recursive-descent parser that round-trips with those
+    exporters.  Integers are kept distinct from floats so session ids and
+    query counts survive a round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!parse} on malformed input; the message carries a byte
+    offset. *)
+
+val parse : string -> t
+(** Parse one JSON document.  Trailing non-whitespace input is an error
+    (frames carry exactly one document). *)
+
+val parse_opt : string -> t option
+
+val to_string : t -> string
+(** Compact (single-line) serialization; strings are escaped exactly like
+    the metrics exporter's. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Accessors}
+
+    All partial accessors return [option]; [member] on a non-object is
+    [None] (absent and wrong-shape look the same to the protocol layer,
+    which answers [bad_request] either way). *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+(** [Int n] and integral [Float]s both convert. *)
+
+val to_float : t -> float option
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option
+
+val mem_str : string -> t -> string option
+val mem_int : string -> t -> int option
+val mem_bool : string -> t -> bool option
+val mem_list : string -> t -> t list option
+
+val of_int_list : int list -> t
+val int_list : t -> int list option
+(** [Some] only if the value is a list of integers. *)

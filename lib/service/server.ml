@@ -1,0 +1,1272 @@
+(* cachequeryd's engine: sessions, the fair hardware token, the worker
+   pool, and the request dispatcher.
+
+   Threading model (threads.posix, one domain): each listener has an
+   accept thread, each connection a handler thread, and learns run on a
+   fixed pool of worker threads consuming a bounded queue.  All shared
+   state — the session table, the learn queue, per-session learn state —
+   is guarded by one server mutex [t.m]; the hardware token has its own
+   lock so waiting for hardware never holds the server lock.  Each learn
+   is single-threaded and deterministic: concurrency lives only between
+   sessions, which is why an interleaved learn still produces the solo
+   run's automaton (asserted in test_service). *)
+
+module Clock = Cq_util.Clock
+module Metrics = Cq_util.Metrics
+module Trace = Cq_util.Trace
+module Learn = Cq_core.Learn
+
+(* Control-flow exceptions raised from the learner's [probe] hook.  They
+   are outside the supervisor's failure taxonomy, so [Learn.run] writes a
+   final snapshot and re-raises them to the worker (see learn_core's
+   exception path) — exactly the failover contract. *)
+exception Cancelled
+exception Worker_killed (* fault injection: simulate a dead worker *)
+exception Draining (* graceful shutdown parked the learn *)
+
+(* The hardware token: FIFO turnstile serialising access to the (one)
+   measurement device.  A learn holds a ticket from one top-level oracle
+   query to the next probe call, where it yields — release then
+   re-acquire — so contending sessions hand the device around in strict
+   arrival order, at query granularity.  Ad-hoc membership queries
+   acquire around a single query.  Tickets (not session ids) are the
+   holder identity: one session may legitimately wait twice (a learn and
+   a concurrent membership query). *)
+module Gate = struct
+  type t = {
+    m : Mutex.t;
+    c : Condition.t;
+    waiting : int Queue.t;
+    mutable holder : int option;
+    mutable next_ticket : int;
+    acquires : Metrics.counter;
+    contended : Metrics.counter;
+    wait_seconds : Metrics.histogram;
+  }
+
+  let create registry =
+    {
+      m = Mutex.create ();
+      c = Condition.create ();
+      waiting = Queue.create ();
+      holder = None;
+      next_ticket = 0;
+      acquires = Metrics.counter registry "service.gate.acquires";
+      contended = Metrics.counter registry "service.gate.contended";
+      wait_seconds =
+        Metrics.histogram ~buckets:16 ~start:0.0001 ~base:4.0 registry
+          "service.gate.wait_seconds";
+    }
+
+  let acquire t =
+    Mutex.lock t.m;
+    let ticket = t.next_ticket in
+    t.next_ticket <- ticket + 1;
+    Queue.push ticket t.waiting;
+    Metrics.incr t.acquires;
+    let t0 = Clock.mono () in
+    let contended = ref false in
+    while not (t.holder = None && Queue.peek t.waiting = ticket) do
+      contended := true;
+      Condition.wait t.c t.m
+    done;
+    ignore (Queue.pop t.waiting);
+    t.holder <- Some ticket;
+    if !contended then begin
+      Metrics.incr t.contended;
+      Metrics.observe t.wait_seconds (Clock.mono () -. t0)
+    end;
+    Mutex.unlock t.m;
+    ticket
+
+  let release t ticket =
+    Mutex.lock t.m;
+    if t.holder = Some ticket then begin
+      t.holder <- None;
+      Condition.broadcast t.c
+    end;
+    Mutex.unlock t.m
+
+  (* The learn-loop handoff point: give every waiter its turn, then get
+     back in line. *)
+  let yield t ticket =
+    release t ticket;
+    acquire t
+end
+
+type target =
+  | Sim of { policy : string; assoc : int }
+  | Hw of {
+      cpu : string;
+      level : Cq_hwsim.Cpu_model.level;
+      slice : int;
+      set : int;
+      seed : int;
+      noise : bool;
+    }
+
+let target_json = function
+  | Sim { policy; assoc } ->
+      Json.Obj
+        [
+          ("kind", Json.String "sim");
+          ("policy", Json.String policy);
+          ("assoc", Json.Int assoc);
+        ]
+  | Hw { cpu; level; slice; set; seed; noise } ->
+      Json.Obj
+        [
+          ("kind", Json.String "hw");
+          ("cpu", Json.String cpu);
+          ("level", Json.String (Cq_hwsim.Cpu_model.level_to_string level));
+          ("slice", Json.Int slice);
+          ("set", Json.Int set);
+          ("seed", Json.Int seed);
+          ("noise", Json.Bool noise);
+        ]
+
+type learn_state =
+  | Idle
+  | Queued
+  | Running of { queries : int; started : float (* mono *) }
+  | Done of {
+      digest : string;
+      states : int;
+      member_queries : int;
+      seconds : float;
+      identified : string list;
+    }
+  | Failed of { kind : string; detail : string; snapshot : string option }
+
+let state_name = function
+  | Idle -> "idle"
+  | Queued -> "queued"
+  | Running _ -> "running"
+  | Done _ -> "done"
+  | Failed _ -> "failed"
+
+type session = {
+  sid : int;
+  name : string;
+  target : target;
+  snapshot_path : string;
+  budget : int option; (* lifetime hardware-query budget *)
+  mutable queries_used : int;
+  mutable refs : int;
+  mutable state : learn_state;
+  mutable cancel_requested : bool;
+  (* options for the next learn, set by learn.start *)
+  mutable learn_resume : bool;
+  mutable kill_after : int option;
+  mutable learn_budget : int option;
+  (* learned artefacts *)
+  mutable machine : Cq_policy.Types.output Cq_automata.Mealy.t option;
+  mutable learned_assoc : int option;
+  (* lazily built membership-query engines *)
+  mutable sim_polca : Cq_core.Polca.t option;
+  mutable hw_frontend : Cq_cachequery.Frontend.t option;
+  (* bounded recent-events ring, newest first *)
+  mutable events : (int * (string * Json.t) list) list;
+  mutable next_seq : int;
+  mutable last_progress : int;
+}
+
+type config = {
+  socket_path : string;
+  tcp : (string * int) option;
+  workers : int;
+  state_dir : string;
+  max_inflight : int;
+  snapshot_every : int;
+  progress_every : int;
+}
+
+let config ?tcp ?(workers = 2) ?(max_inflight = 8) ?(snapshot_every = 500)
+    ?(progress_every = 512) ~state_dir socket_path =
+  {
+    socket_path;
+    tcp;
+    workers;
+    state_dir;
+    max_inflight;
+    snapshot_every;
+    progress_every;
+  }
+
+type t = {
+  cfg : config;
+  m : Mutex.t;
+  work_available : Condition.t;
+  changed : Condition.t; (* any session state transition *)
+  sessions : (int, session) Hashtbl.t;
+  queue : int Queue.t; (* sids with state Queued *)
+  mutable inflight : int; (* queued + running learns *)
+  mutable next_sid : int;
+  mutable stopping : bool;
+  mutable stop_started : bool;
+  mutable stopped_flag : bool;
+  mutable stop_requested : bool;
+  mutable listeners : Unix.file_descr list;
+  mutable threads : Thread.t list; (* accept + worker threads *)
+  mutable conns : (Unix.file_descr * Thread.t) list;
+  devices : (string, Cq_hwsim.Machine.t) Hashtbl.t;
+  gate : Gate.t;
+  registry : Metrics.t;
+  started_at : float; (* mono *)
+  c_connections : Metrics.counter;
+  c_requests : Metrics.counter;
+  c_protocol_errors : Metrics.counter;
+  c_busy : Metrics.counter;
+  c_learns_started : Metrics.counter;
+  c_learns_done : Metrics.counter;
+  c_learns_failed : Metrics.counter;
+  c_events : Metrics.counter;
+  h_request_seconds : Metrics.histogram;
+}
+
+let create ?metrics cfg =
+  let registry =
+    match metrics with Some r -> r | None -> Metrics.create ()
+  in
+  (if not (Sys.file_exists cfg.state_dir) then
+     try Unix.mkdir cfg.state_dir 0o755 with Unix.Unix_error _ -> ());
+  {
+    cfg;
+    m = Mutex.create ();
+    work_available = Condition.create ();
+    changed = Condition.create ();
+    sessions = Hashtbl.create 16;
+    queue = Queue.create ();
+    inflight = 0;
+    next_sid = 1;
+    stopping = false;
+    stop_started = false;
+    stopped_flag = false;
+    stop_requested = false;
+    listeners = [];
+    threads = [];
+    conns = [];
+    devices = Hashtbl.create 4;
+    gate = Gate.create registry;
+    registry;
+    started_at = Clock.mono ();
+    c_connections = Metrics.counter registry "service.connections";
+    c_requests = Metrics.counter registry "service.requests";
+    c_protocol_errors = Metrics.counter registry "service.protocol_errors";
+    c_busy = Metrics.counter registry "service.busy_rejections";
+    c_learns_started = Metrics.counter registry "service.learns_started";
+    c_learns_done = Metrics.counter registry "service.learns_done";
+    c_learns_failed = Metrics.counter registry "service.learns_failed";
+    c_events = Metrics.counter registry "service.events";
+    h_request_seconds =
+      Metrics.histogram ~buckets:20 ~start:0.0001 ~base:4.0 registry
+        "service.request_seconds";
+  }
+
+let metrics t = t.registry
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* --- events (call with [t.m] held) --- *)
+
+let max_events = 256
+
+let publish_locked t s ty extra =
+  let seq = s.next_seq in
+  s.next_seq <- seq + 1;
+  let fields =
+    ("type", Json.String ty)
+    :: ("session", Json.Int s.sid)
+    :: ("seq", Json.Int seq)
+    :: extra
+  in
+  s.events <-
+    (let l = (seq, fields) :: s.events in
+     if List.length l > max_events then List.filteri (fun i _ -> i < max_events) l
+     else l);
+  Metrics.incr t.c_events;
+  Trace.instant ~cat:"service"
+    ~args:[ ("session", string_of_int s.sid) ]
+    ("service.event." ^ ty);
+  Condition.broadcast t.changed
+
+(* --- session helpers --- *)
+
+let digest_of_machine m = Digest.to_hex (Digest.string (Marshal.to_string m []))
+
+let failure_kind = function
+  | Learn.Transient _ -> "transient"
+  | Learn.Diverged _ -> "diverged"
+  | Learn.Budget_exhausted _ -> "budget_exhausted"
+  | Learn.Worker_lost _ -> "worker_lost"
+  | Learn.Invalid _ -> "invalid"
+
+let session_json s =
+  let base =
+    [
+      ("session", Json.Int s.sid);
+      ("name", Json.String s.name);
+      ("target", target_json s.target);
+      ("state", Json.String (state_name s.state));
+      ("queries_used", Json.Int s.queries_used);
+      ( "budget",
+        match s.budget with Some b -> Json.Int b | None -> Json.Null );
+      ("refs", Json.Int s.refs);
+      ("snapshot", Json.String s.snapshot_path);
+      ("snapshot_exists", Json.Bool (Sys.file_exists s.snapshot_path));
+    ]
+  in
+  let state_fields =
+    match s.state with
+    | Running { queries; started } ->
+        [
+          ("queries", Json.Int queries);
+          ("running_seconds", Json.Float (Clock.mono () -. started));
+        ]
+    | Done { digest; states; member_queries; seconds; identified } ->
+        [
+          ("digest", Json.String digest);
+          ("states", Json.Int states);
+          ("member_queries", Json.Int member_queries);
+          ("seconds", Json.Float seconds);
+          ( "identified",
+            Json.List (List.map (fun n -> Json.String n) identified) );
+        ]
+    | Failed { kind; detail; snapshot } ->
+        [
+          ("failure", Json.String kind);
+          ("detail", Json.String detail);
+          ( "failure_snapshot",
+            match snapshot with Some p -> Json.String p | None -> Json.Null );
+        ]
+    | Idle | Queued -> []
+  in
+  Json.Obj (base @ state_fields)
+
+let find_session t params =
+  match Json.mem_int "session" params with
+  | None -> Error "missing integer \"session\" field"
+  | Some sid -> (
+      match Hashtbl.find_opt t.sessions sid with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "unknown session %d" sid))
+
+let remaining_budget s =
+  match s.budget with
+  | None -> None
+  | Some b -> Some (max 0 (b - s.queries_used))
+
+(* The machine registry: hardware sessions naming the same CPU/seed/noise
+   share one simulated machine, which is what makes the fair-scheduling
+   question real — their queries interleave on shared state, serialised
+   by the gate at top-level-query granularity. *)
+let device t cpu seed noise =
+  let key = Printf.sprintf "%s:%d:%b" cpu seed noise in
+  match Hashtbl.find_opt t.devices key with
+  | Some m -> m
+  | None ->
+      let model =
+        match Cq_hwsim.Cpu_model.by_name cpu with
+        | Some m -> m
+        | None -> failwith ("unknown CPU " ^ cpu)
+      in
+      let noise_cfg =
+        if noise then Cq_hwsim.Machine.default_noise
+        else Cq_hwsim.Machine.quiet_noise
+      in
+      let machine =
+        Cq_hwsim.Machine.create ~seed:(Int64.of_int seed) ~noise:noise_cfg
+          model
+      in
+      Hashtbl.replace t.devices key machine;
+      machine
+
+(* --- the learn worker --- *)
+
+type learn_result =
+  | R_done of Learn.report
+  | R_failed of Learn.failure * string option * int (* member queries *)
+
+let run_learn t s =
+  let resume =
+    if s.learn_resume && Sys.file_exists s.snapshot_path then
+      Some s.snapshot_path
+    else None
+  in
+  let query_budget =
+    match (remaining_budget s, s.learn_budget) with
+    | None, b | b, None -> b
+    | Some a, Some b -> Some (min a b)
+  in
+  let snapshot =
+    Learn.snapshot_policy ~every_queries:t.cfg.snapshot_every s.snapshot_path
+  in
+  let kill_after = s.kill_after in
+  let last_queries = ref 0 in
+  let ticket = ref (Gate.acquire t.gate) in
+  let probe q =
+    last_queries := q;
+    let raise_now =
+      locked t (fun () ->
+          (match s.state with
+          | Running { queries; started } when q > queries ->
+              s.state <- Running { queries = q; started };
+              if q - s.last_progress >= t.cfg.progress_every then begin
+                s.last_progress <- q;
+                publish_locked t s "progress" [ ("queries", Json.Int q) ]
+              end
+          | _ -> ());
+          if t.stopping then Some Draining
+          else if s.cancel_requested then Some Cancelled
+          else
+            match kill_after with
+            | Some k when q >= k -> Some Worker_killed
+            | _ -> None)
+    in
+    (match raise_now with Some e -> raise e | None -> ());
+    (* Hand the hardware token around: FIFO across sessions, one
+       top-level query per turn. *)
+    ticket := Gate.yield t.gate !ticket
+  in
+  let result =
+    match
+      Fun.protect
+        ~finally:(fun () -> Gate.release t.gate !ticket)
+        (fun () ->
+          match s.target with
+          | Sim { policy; assoc } -> (
+              let p = Cq_policy.Zoo.make_exn ~name:policy ~assoc in
+              match
+                Learn.run_simulated ~identify:false ~snapshot ?resume
+                  ?query_budget ~probe p
+              with
+              | Learn.Complete report -> R_done report
+              | Learn.Partial p ->
+                  R_failed (p.Learn.failure, p.Learn.snapshot, p.Learn.member_queries))
+          | Hw { cpu; level; slice; set; seed; noise } -> (
+              let machine = device t cpu seed noise in
+              let run =
+                Cq_core.Hardware.learn_set ~seed ~slice ~set ~check_hits:false
+                  ~snapshot ?resume ?query_budget ~probe machine level
+              in
+              s.learned_assoc <- Some run.Cq_core.Hardware.assoc;
+              match run.Cq_core.Hardware.outcome with
+              | Cq_core.Hardware.Learned { report; _ } -> R_done report
+              | Cq_core.Hardware.Partial
+                  { failure; snapshot; member_queries; _ } ->
+                  R_failed (failure, snapshot, member_queries)
+              | Cq_core.Hardware.Failed { reason; _ } ->
+                  R_failed (Learn.Transient reason, None, 0)))
+    with
+    | r -> Ok r
+    | exception e -> Error e
+  in
+  let snapshot_if_exists () =
+    if Sys.file_exists s.snapshot_path then Some s.snapshot_path else None
+  in
+  locked t (fun () ->
+      (match result with
+      | Ok (R_done report) ->
+          s.queries_used <- s.queries_used + report.Learn.member_queries;
+          s.machine <- Some report.Learn.machine;
+          (match s.target with
+          | Sim { assoc; _ } -> s.learned_assoc <- Some assoc
+          | Hw _ -> ());
+          let digest = digest_of_machine report.Learn.machine in
+          s.state <-
+            Done
+              {
+                digest;
+                states = report.Learn.states;
+                member_queries = report.Learn.member_queries;
+                seconds = report.Learn.seconds;
+                identified = report.Learn.identified;
+              };
+          Metrics.incr t.c_learns_done;
+          publish_locked t s "done"
+            [
+              ("digest", Json.String digest);
+              ("states", Json.Int report.Learn.states);
+            ]
+      | Ok (R_failed (failure, snap, member_queries)) ->
+          s.queries_used <- s.queries_used + member_queries;
+          let kind = failure_kind failure in
+          let detail = Fmt.str "%a" Learn.pp_failure failure in
+          s.state <- Failed { kind; detail; snapshot = snap };
+          Metrics.incr t.c_learns_failed;
+          publish_locked t s "failed" [ ("failure", Json.String kind) ]
+      | Error e ->
+          s.queries_used <- s.queries_used + !last_queries;
+          let kind, detail =
+            match e with
+            | Cancelled -> ("cancelled", "cancelled by client request")
+            | Worker_killed -> ("worker_killed", "worker died mid-learn")
+            | Draining -> ("interrupted", "daemon shut down mid-learn")
+            | e -> ("error", Printexc.to_string e)
+          in
+          s.state <- Failed { kind; detail; snapshot = snapshot_if_exists () };
+          Metrics.incr t.c_learns_failed;
+          publish_locked t s "failed" [ ("failure", Json.String kind) ]);
+      s.cancel_requested <- false;
+      t.inflight <- t.inflight - 1;
+      Condition.broadcast t.changed)
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.work_available t.m
+    done;
+    if t.stopping then begin
+      Mutex.unlock t.m;
+      ()
+    end
+    else begin
+      let sid = Queue.pop t.queue in
+      match Hashtbl.find_opt t.sessions sid with
+      | None ->
+          t.inflight <- t.inflight - 1;
+          Mutex.unlock t.m;
+          next ()
+      | Some s ->
+          s.state <- Running { queries = 0; started = Clock.mono () };
+          s.last_progress <- 0;
+          publish_locked t s "started" [];
+          Mutex.unlock t.m;
+          run_learn t s;
+          next ()
+    end
+  in
+  next ()
+
+(* --- request dispatch --- *)
+
+let reply fd ?id fields = Protocol.send fd (Protocol.ok ?id fields)
+let reply_error fd ?id ~kind msg = Protocol.send fd (Protocol.error ?id ~kind msg)
+
+let parse_level s =
+  match String.uppercase_ascii s with
+  | "L1" -> Some Cq_hwsim.Cpu_model.L1
+  | "L2" -> Some Cq_hwsim.Cpu_model.L2
+  | "L3" -> Some Cq_hwsim.Cpu_model.L3
+  | _ -> None
+
+let parse_target params =
+  match Json.member "target" params with
+  | None -> Error "missing \"target\" object"
+  | Some target -> (
+      match Json.mem_str "kind" target with
+      | Some "sim" | Some "policy" -> (
+          let assoc = Option.value ~default:4 (Json.mem_int "assoc" target) in
+          match Json.mem_str "policy" target with
+          | None -> Error "sim target lacks a \"policy\" field"
+          | Some policy -> (
+              match Cq_policy.Zoo.make ~name:policy ~assoc with
+              | Error msg -> Error msg
+              | Ok _ -> Ok (Sim { policy; assoc })))
+      | Some "hw" -> (
+          let cpu = Option.value ~default:"skylake" (Json.mem_str "cpu" target) in
+          match Cq_hwsim.Cpu_model.by_name cpu with
+          | None -> Error (Printf.sprintf "unknown CPU %S" cpu)
+          | Some _ -> (
+              match
+                parse_level
+                  (Option.value ~default:"L1" (Json.mem_str "level" target))
+              with
+              | None -> Error "level must be L1, L2 or L3"
+              | Some level ->
+                  Ok
+                    (Hw
+                       {
+                         cpu;
+                         level;
+                         slice =
+                           Option.value ~default:0 (Json.mem_int "slice" target);
+                         set =
+                           Option.value ~default:0 (Json.mem_int "set" target);
+                         seed =
+                           Option.value ~default:42 (Json.mem_int "seed" target);
+                         noise =
+                           Option.value ~default:false
+                             (Json.mem_bool "noise" target);
+                       })))
+      | Some k -> Error (Printf.sprintf "unknown target kind %S" k)
+      | None -> Error "target lacks a \"kind\" field")
+
+let sanitize_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    name
+
+let v_session_create t fd id params =
+  match parse_target params with
+  | Error msg -> reply_error fd ~id ~kind:"bad_request" msg
+  | Ok target ->
+      let result =
+        locked t (fun () ->
+            if t.stopping then Error ("shutting_down", "daemon is shutting down")
+            else begin
+              let sid = t.next_sid in
+              t.next_sid <- sid + 1;
+              let name =
+                match Json.mem_str "name" params with
+                | Some n -> sanitize_name n
+                | None -> Printf.sprintf "session-%d" sid
+              in
+              let clash =
+                Hashtbl.fold
+                  (fun _ s acc -> acc || s.name = name)
+                  t.sessions false
+              in
+              if clash then
+                Error
+                  ( "bad_request",
+                    Printf.sprintf "session name %S already in use" name )
+              else begin
+                let s =
+                  {
+                    sid;
+                    name;
+                    target;
+                    snapshot_path =
+                      Filename.concat t.cfg.state_dir (name ^ ".snap");
+                    budget = Json.mem_int "query_budget" params;
+                    queries_used = 0;
+                    refs = 1;
+                    state = Idle;
+                    cancel_requested = false;
+                    learn_resume = false;
+                    kill_after = None;
+                    learn_budget = None;
+                    machine = None;
+                    learned_assoc =
+                      (match target with
+                      | Sim { assoc; _ } -> Some assoc
+                      | Hw _ -> None);
+                    sim_polca = None;
+                    hw_frontend = None;
+                    events = [];
+                    next_seq = 0;
+                    last_progress = 0;
+                  }
+                in
+                Hashtbl.replace t.sessions sid s;
+                publish_locked t s "created" [];
+                Ok s
+              end
+            end)
+      in
+      (match result with
+      | Error (kind, msg) -> reply_error fd ~id ~kind msg
+      | Ok s ->
+          reply fd ~id
+            [
+              ("session", Json.Int s.sid);
+              ("name", Json.String s.name);
+              ("snapshot", Json.String s.snapshot_path);
+            ])
+
+let v_learn_start t fd id params =
+  let result =
+    locked t (fun () ->
+        match find_session t params with
+        | Error msg -> Error ("unknown_session", msg)
+        | Ok s -> (
+            if t.stopping then Error ("shutting_down", "daemon is shutting down")
+            else
+              match s.state with
+              | Queued | Running _ ->
+                  Metrics.incr t.c_busy;
+                  Error ("busy", "a learn is already in progress on this session")
+              | Idle | Done _ | Failed _ ->
+                  if t.inflight >= t.cfg.max_inflight then begin
+                    Metrics.incr t.c_busy;
+                    Error
+                      ( "busy",
+                        Printf.sprintf
+                          "server at capacity (%d learns in flight)" t.inflight
+                      )
+                  end
+                  else if remaining_budget s = Some 0 then
+                    Error
+                      ( "budget_exhausted",
+                        Printf.sprintf "session budget of %d queries spent"
+                          (Option.value ~default:0 s.budget) )
+                  else begin
+                    s.learn_resume <-
+                      Option.value ~default:false
+                        (Json.mem_bool "resume" params);
+                    s.kill_after <- Json.mem_int "kill_after_queries" params;
+                    s.learn_budget <- Json.mem_int "query_budget" params;
+                    s.cancel_requested <- false;
+                    s.state <- Queued;
+                    t.inflight <- t.inflight + 1;
+                    Metrics.incr t.c_learns_started;
+                    Queue.push s.sid t.queue;
+                    publish_locked t s "queued" [];
+                    Condition.signal t.work_available;
+                    Ok s.sid
+                  end))
+  in
+  match result with
+  | Error (kind, msg) -> reply_error fd ~id ~kind msg
+  | Ok sid -> reply fd ~id [ ("session", Json.Int sid); ("state", Json.String "queued") ]
+
+let v_learn_cancel t fd id params =
+  let result =
+    locked t (fun () ->
+        match find_session t params with
+        | Error msg -> Error ("unknown_session", msg)
+        | Ok s -> (
+            match s.state with
+            | Running _ ->
+                s.cancel_requested <- true;
+                Ok "cancelling"
+            | Queued ->
+                (* Never started: pull it out of the queue directly. *)
+                let keep = Queue.create () in
+                Queue.iter
+                  (fun sid -> if sid <> s.sid then Queue.push sid keep)
+                  t.queue;
+                Queue.clear t.queue;
+                Queue.transfer keep t.queue;
+                t.inflight <- t.inflight - 1;
+                s.state <-
+                  Failed
+                    {
+                      kind = "cancelled";
+                      detail = "cancelled before starting";
+                      snapshot = None;
+                    };
+                publish_locked t s "failed"
+                  [ ("failure", Json.String "cancelled") ];
+                Ok "cancelled"
+            | Idle | Done _ | Failed _ ->
+                Error ("bad_request", "no learn in progress")))
+  in
+  match result with
+  | Error (kind, msg) -> reply_error fd ~id ~kind msg
+  | Ok state -> reply fd ~id [ ("state", Json.String state) ]
+
+let v_learn_wait t fd id params =
+  let timeout = Json.member "timeout_s" params in
+  let timeout = Option.bind timeout Json.to_float in
+  let deadline =
+    match timeout with Some s -> Clock.after s | None -> Clock.no_deadline
+  in
+  let rec wait () =
+    let status =
+      locked t (fun () ->
+          match find_session t params with
+          | Error msg -> Some (Error ("unknown_session", msg))
+          | Ok s -> (
+              match s.state with
+              | Done _ | Failed _ | Idle -> Some (Ok (session_json s, false))
+              | Queued | Running _ ->
+                  if t.stopping then Some (Ok (session_json s, false))
+                  else if Clock.expired deadline then
+                    Some (Ok (session_json s, true))
+                  else None))
+    in
+    match status with
+    | Some r -> r
+    | None ->
+        Thread.delay 0.02;
+        wait ()
+  in
+  match wait () with
+  | Error (kind, msg) -> reply_error fd ~id ~kind msg
+  | Ok (json, timed_out) ->
+      let fields =
+        match json with Json.Obj f -> f | other -> [ ("status", other) ]
+      in
+      reply fd ~id (fields @ [ ("timed_out", Json.Bool timed_out) ])
+
+let v_session_result t fd id params =
+  let want_dot = Option.value ~default:false (Json.mem_bool "dot" params) in
+  let result =
+    locked t (fun () ->
+        match find_session t params with
+        | Error msg -> Error ("unknown_session", msg)
+        | Ok s -> (
+            match (s.state, s.machine) with
+            | Done d, Some m -> Ok (d.digest, d.states, m, s.learned_assoc)
+            | _ -> Error ("no_result", "session has no completed learn")))
+  in
+  match result with
+  | Error (kind, msg) -> reply_error fd ~id ~kind msg
+  | Ok (digest, states, m, assoc) ->
+      let dot =
+        if want_dot then
+          let assoc =
+            match assoc with
+            | Some a -> a
+            | None -> Cq_automata.Mealy.n_inputs m - 1
+          in
+          [
+            ( "dot",
+              Json.String
+                (Cq_automata.Mealy.to_dot
+                   ~input_label:(Cq_policy.Types.input_label ~assoc)
+                   ~output_label:Cq_policy.Types.output_label m) );
+          ]
+        else []
+      in
+      reply fd ~id
+        ([ ("digest", Json.String digest); ("states", Json.Int states) ] @ dot)
+
+(* Membership queries: one hardware interaction under the gate, counted
+   against the session budget. *)
+let v_query t fd id params =
+  let checked =
+    locked t (fun () ->
+        match find_session t params with
+        | Error msg -> Error ("unknown_session", msg)
+        | Ok s ->
+            if remaining_budget s = Some 0 then
+              Error
+                ( "budget_exhausted",
+                  Printf.sprintf "session budget of %d queries spent"
+                    (Option.value ~default:0 s.budget) )
+            else Ok s)
+  in
+  match checked with
+  | Error (kind, msg) -> reply_error fd ~id ~kind msg
+  | Ok s -> (
+      match s.target with
+      | Sim { policy; assoc } -> (
+          match Option.bind (Json.member "word" params) Json.int_list with
+          | None ->
+              reply_error fd ~id ~kind:"bad_request"
+                "sim query needs a \"word\" list of integers"
+          | Some word ->
+              let n = assoc + 1 in
+              if List.exists (fun i -> i < 0 || i >= n) word then
+                reply_error fd ~id ~kind:"bad_request"
+                  (Printf.sprintf "word symbols must be in 0..%d" (n - 1))
+              else begin
+                let ticket = Gate.acquire t.gate in
+                let outputs =
+                  Fun.protect
+                    ~finally:(fun () -> Gate.release t.gate ticket)
+                    (fun () ->
+                      let polca =
+                        match s.sim_polca with
+                        | Some p -> p
+                        | None ->
+                            let p =
+                              Cq_core.Polca.create ~check_hits:false
+                                (Cq_cache.Oracle.of_policy
+                                   (Cq_policy.Zoo.make_exn ~name:policy ~assoc))
+                            in
+                            s.sim_polca <- Some p;
+                            p
+                      in
+                      Cq_core.Polca.run polca word)
+                in
+                locked t (fun () -> s.queries_used <- s.queries_used + 1);
+                reply fd ~id
+                  [
+                    ( "outputs",
+                      Json.List
+                        (List.map
+                           (fun o ->
+                             Json.String (Cq_policy.Types.output_label o))
+                           outputs) );
+                  ]
+              end)
+      | Hw { cpu; level; slice; set; seed; noise } -> (
+          match Json.mem_str "mbl" params with
+          | None ->
+              reply_error fd ~id ~kind:"bad_request"
+                "hw query needs an \"mbl\" expression string"
+          | Some mbl -> (
+              let ticket = Gate.acquire t.gate in
+              match
+                Fun.protect
+                  ~finally:(fun () -> Gate.release t.gate ticket)
+                  (fun () ->
+                    let frontend =
+                      match s.hw_frontend with
+                      | Some f -> f
+                      | None ->
+                          let machine = device t cpu seed noise in
+                          let backend =
+                            Cq_cachequery.Backend.create machine
+                              { Cq_cachequery.Backend.level; slice; set }
+                          in
+                          ignore (Cq_cachequery.Backend.calibrate backend);
+                          let f = Cq_cachequery.Frontend.create backend in
+                          s.hw_frontend <- Some f;
+                          f
+                    in
+                    Cq_cachequery.Frontend.run_mbl frontend mbl)
+              with
+              | results ->
+                  locked t (fun () ->
+                      s.queries_used <- s.queries_used + List.length results);
+                  reply fd ~id
+                    [
+                      ( "results",
+                        Json.List
+                          (List.map
+                             (fun (q, rs) ->
+                               Json.Obj
+                                 [
+                                   ( "query",
+                                     Json.String
+                                       (Cq_mbl.Expand.query_to_string q) );
+                                   ( "outcomes",
+                                     Json.List
+                                       (List.map
+                                          (fun r ->
+                                            Json.String
+                                              (match r with
+                                              | Cq_cache.Cache_set.Hit -> "Hit"
+                                              | Cq_cache.Cache_set.Miss ->
+                                                  "Miss"))
+                                          rs) );
+                                 ])
+                             results) );
+                    ]
+              | exception e ->
+                  reply_error fd ~id ~kind:"bad_request"
+                    (Printexc.to_string e))))
+
+let v_events t fd id params =
+  let from = Option.value ~default:0 (Json.mem_int "from" params) in
+  let follow = Option.value ~default:true (Json.mem_bool "follow" params) in
+  let sid =
+    locked t (fun () ->
+        match find_session t params with
+        | Error msg -> Error ("unknown_session", msg)
+        | Ok s -> Ok s.sid)
+  in
+  match sid with
+  | Error (kind, msg) -> reply_error fd ~id ~kind msg
+  | Ok sid ->
+      reply fd ~id [ ("subscribed", Json.Int sid) ];
+      let next = ref from in
+      let rec stream () =
+        let batch, finished =
+          locked t (fun () ->
+              match Hashtbl.find_opt t.sessions sid with
+              | None -> ([], true)
+              | Some s ->
+                  let fresh =
+                    List.filter (fun (seq, _) -> seq >= !next) s.events
+                    |> List.sort (fun (a, _) (b, _) -> compare a b)
+                  in
+                  let terminal =
+                    match s.state with
+                    | Done _ | Failed _ | Idle -> true
+                    | Queued | Running _ -> false
+                  in
+                  (fresh, (terminal && not follow) || terminal))
+        in
+        List.iter
+          (fun (seq, fields) ->
+            next := seq + 1;
+            Protocol.send fd (Protocol.event fields))
+          batch;
+        let stop_now =
+          locked t (fun () -> t.stopping)
+          || (finished && batch = [])
+          || not follow
+        in
+        if stop_now then
+          Protocol.send fd (Protocol.event [ ("type", Json.String "end") ])
+        else begin
+          Thread.delay 0.02;
+          stream ()
+        end
+      in
+      stream ()
+
+let v_stats t fd id =
+  let sessions, inflight =
+    locked t (fun () -> (Hashtbl.length t.sessions, t.inflight))
+  in
+  let metrics_json =
+    match Json.parse_opt (Metrics.to_json t.registry) with
+    | Some j -> j
+    | None -> Json.Null
+  in
+  reply fd ~id
+    [
+      ("sessions", Json.Int sessions);
+      ("inflight", Json.Int inflight);
+      ("uptime_seconds", Json.Float (Clock.mono () -. t.started_at));
+      ("metrics", metrics_json);
+    ]
+
+let dispatch t fd { Protocol.id; verb; params } =
+  match verb with
+  | "hello" | "ping" ->
+      reply fd ~id
+        [ ("server", Json.String "cachequeryd"); ("protocol", Json.Int 1) ]
+  | "session.create" -> v_session_create t fd id params
+  | "session.attach" -> (
+      match
+        locked t (fun () ->
+            match find_session t params with
+            | Error msg -> Error msg
+            | Ok s ->
+                s.refs <- s.refs + 1;
+                Ok (session_json s))
+      with
+      | Error msg -> reply_error fd ~id ~kind:"unknown_session" msg
+      | Ok json -> (
+          match json with
+          | Json.Obj fields -> reply fd ~id fields
+          | other -> reply fd ~id [ ("status", other) ]))
+  | "session.detach" -> (
+      match
+        locked t (fun () ->
+            match find_session t params with
+            | Error msg -> Error msg
+            | Ok s ->
+                s.refs <- max 0 (s.refs - 1);
+                Ok s.refs)
+      with
+      | Error msg -> reply_error fd ~id ~kind:"unknown_session" msg
+      | Ok refs -> reply fd ~id [ ("refs", Json.Int refs) ])
+  | "session.list" ->
+      let sessions =
+        locked t (fun () ->
+            Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions []
+            |> List.sort (fun a b -> compare a.sid b.sid)
+            |> List.map session_json)
+      in
+      reply fd ~id [ ("sessions", Json.List sessions) ]
+  | "session.drop" -> (
+      match
+        locked t (fun () ->
+            match find_session t params with
+            | Error msg -> Error ("unknown_session", msg)
+            | Ok s -> (
+                match s.state with
+                | Queued | Running _ ->
+                    Error ("busy", "session has a learn in progress")
+                | Idle | Done _ | Failed _ ->
+                    Hashtbl.remove t.sessions s.sid;
+                    Ok s.sid))
+      with
+      | Error (kind, msg) -> reply_error fd ~id ~kind msg
+      | Ok sid -> reply fd ~id [ ("dropped", Json.Int sid) ])
+  | "session.status" | "learn.status" -> (
+      match locked t (fun () ->
+          match find_session t params with
+          | Error msg -> Error msg
+          | Ok s -> Ok (session_json s))
+      with
+      | Error msg -> reply_error fd ~id ~kind:"unknown_session" msg
+      | Ok (Json.Obj fields) -> reply fd ~id fields
+      | Ok other -> reply fd ~id [ ("status", other) ])
+  | "learn.start" -> v_learn_start t fd id params
+  | "learn.cancel" -> v_learn_cancel t fd id params
+  | "learn.wait" -> v_learn_wait t fd id params
+  | "session.result" -> v_session_result t fd id params
+  | "query" -> v_query t fd id params
+  | "events" -> v_events t fd id params
+  | "stats" -> v_stats t fd id
+  | "shutdown" ->
+      reply fd ~id [ ("stopping", Json.Bool true) ];
+      t.stop_requested <- true;
+      Condition.broadcast t.changed
+  | verb ->
+      reply_error fd ~id ~kind:"unknown_verb"
+        (Printf.sprintf "unknown verb %S" verb)
+
+(* --- connections --- *)
+
+(* Wait until [fd] is readable, checking the stop flag so idle
+   connections do not pin the shutdown join. *)
+let rec wait_readable t fd =
+  if t.stopping then `Stop
+  else
+    match Unix.select [ fd ] [] [] 0.25 with
+    | [], _, _ -> wait_readable t fd
+    | _ -> `Ready
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable t fd
+    | exception Unix.Unix_error (_, _, _) -> `Stop
+
+let handle_conn t fd =
+  Metrics.incr t.c_connections;
+  let rec loop () =
+    match wait_readable t fd with
+    | `Stop -> ()
+    | `Ready -> (
+        match Protocol.read_frame fd with
+        | Protocol.Eof -> ()
+        | Protocol.Bad err ->
+            Metrics.incr t.c_protocol_errors;
+            (try
+               Protocol.send fd
+                 (Protocol.error ~kind:"bad_frame"
+                    (Protocol.frame_error_to_string err))
+             with _ -> ());
+            (* The stream is desynchronised — drop the connection. *)
+            ()
+        | Protocol.Frame payload ->
+            Metrics.incr t.c_requests;
+            let t0 = Clock.mono () in
+            (match Json.parse payload with
+            | exception Json.Parse_error msg ->
+                Metrics.incr t.c_protocol_errors;
+                Protocol.send fd (Protocol.error ~kind:"bad_json" msg)
+            | doc -> (
+                match Protocol.request_of_json doc with
+                | Error msg ->
+                    Metrics.incr t.c_protocol_errors;
+                    Protocol.send fd (Protocol.error ~kind:"bad_request" msg)
+                | Ok req -> (
+                    try
+                      Trace.with_span ~cat:"service" ("service." ^ req.verb)
+                        (fun () -> dispatch t fd req)
+                    with
+                    | Unix.Unix_error _ as e -> raise e
+                    | e ->
+                        reply_error fd ~id:req.Protocol.id ~kind:"error"
+                          (Printexc.to_string e))));
+            Metrics.observe t.h_request_seconds (Clock.mono () -. t0);
+            loop ())
+  in
+  (try loop () with _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  locked t (fun () ->
+      t.conns <- List.filter (fun (fd', _) -> fd' <> fd) t.conns)
+
+let accept_loop t lfd =
+  let rec loop () =
+    if t.stopping then ()
+    else
+      match Unix.select [ lfd ] [] [] 0.25 with
+      | [], _, _ -> loop ()
+      | _ -> (
+          match Unix.accept lfd with
+          | fd, _ ->
+              if t.stopping then (try Unix.close fd with _ -> ())
+              else begin
+                let th = Thread.create (fun () -> handle_conn t fd) () in
+                locked t (fun () -> t.conns <- (fd, th) :: t.conns);
+                loop ()
+              end
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | exception Unix.Unix_error (_, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  loop ()
+
+(* --- lifecycle --- *)
+
+let bind_unix path =
+  if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 16;
+  fd
+
+let bind_tcp addr port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+  Unix.listen fd 16;
+  fd
+
+let start t =
+  (* A peer closing its socket mid-write must surface as EPIPE on the
+     offending connection (handled per-connection above), not deliver a
+     process-killing SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let listeners =
+    bind_unix t.cfg.socket_path
+    ::
+    (match t.cfg.tcp with
+    | Some (addr, port) -> [ bind_tcp addr port ]
+    | None -> [])
+  in
+  t.listeners <- listeners;
+  let acceptors =
+    List.map (fun lfd -> Thread.create (fun () -> accept_loop t lfd) ()) listeners
+  in
+  let workers =
+    List.init t.cfg.workers (fun _ -> Thread.create (fun () -> worker_loop t) ())
+  in
+  t.threads <- acceptors @ workers
+
+let stopped t = t.stopped_flag
+
+let request_stop t = t.stop_requested <- true
+
+let stop t =
+  let proceed =
+    locked t (fun () ->
+        if t.stop_started then false
+        else begin
+          t.stop_started <- true;
+          t.stopping <- true;
+          (* Queued-but-not-started learns will never run: park them so
+             clients see a terminal state (their snapshots, if any, still
+             resume). *)
+          Queue.iter
+            (fun sid ->
+              match Hashtbl.find_opt t.sessions sid with
+              | Some s when s.state = Queued ->
+                  s.state <-
+                    Failed
+                      {
+                        kind = "interrupted";
+                        detail = "daemon shut down before the learn started";
+                        snapshot =
+                          (if Sys.file_exists s.snapshot_path then
+                             Some s.snapshot_path
+                           else None);
+                      };
+                  t.inflight <- t.inflight - 1;
+                  publish_locked t s "failed"
+                    [ ("failure", Json.String "interrupted") ]
+              | _ -> ())
+            t.queue;
+          Queue.clear t.queue;
+          Condition.broadcast t.work_available;
+          Condition.broadcast t.changed;
+          true
+        end)
+  in
+  if not proceed then
+    while not t.stopped_flag do
+      Thread.delay 0.02
+    done
+  else begin
+    (* Running learns hit [Draining] at their next probe, write a final
+       snapshot and park as [interrupted]; workers then drain.  Accept
+       loops notice the flag within their select timeout. *)
+    List.iter
+      (fun lfd -> try Unix.close lfd with Unix.Unix_error _ -> ())
+      t.listeners;
+    List.iter (fun th -> Thread.join th) t.threads;
+    (* Nudge connection handlers off any blocking read, then join. *)
+    let conns = locked t (fun () -> t.conns) in
+    List.iter
+      (fun (fd, _) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    List.iter (fun (_, th) -> Thread.join th) conns;
+    (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
+    t.stopped_flag <- true
+  end
+
+let run t =
+  start t;
+  while not t.stop_requested do
+    Thread.delay 0.1
+  done;
+  stop t

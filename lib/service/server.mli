@@ -1,0 +1,80 @@
+(** cachequeryd: learning-as-a-service on top of the PR-3 durable
+    sessions.
+
+    One daemon owns the (simulated) measurement hardware and serves
+    concurrent clients over {!Protocol} frames on a Unix-domain socket
+    (optionally also TCP).  Clients create {e sessions} — one learning
+    target each — and drive them with membership queries and long-running
+    learn jobs.  The daemon provides what the one-shot CLIs cannot:
+
+    - {b fair hardware time}: every hardware interaction (a learn's
+      top-level oracle queries, ad-hoc membership queries) passes through
+      a FIFO hardware token that is re-acquired before each query, so N
+      concurrent sessions interleave at query granularity instead of one
+      learn monopolising the device;
+    - {b budgets and backpressure}: per-session cumulative query budgets
+      ([budget_exhausted] once spent), a bounded learn queue ([busy] when
+      full), and typed protocol errors for every malformed frame;
+    - {b failover}: learns snapshot on the PR-3 cadence and once more on
+      any failure, so a session killed mid-learn (worker death, cancel,
+      daemon shutdown) resumes from its snapshot — on another worker or
+      another daemon over the same state directory — and produces the
+      byte-identical automaton.
+
+    Learning runs on a pool of worker threads.  Each learn is
+    single-threaded and deterministic; concurrency lives between
+    sessions, so a learn interleaved with others still yields the same
+    automaton as a solo run — asserted in test_service. *)
+
+type config = {
+  socket_path : string;
+  tcp : (string * int) option;  (** bind address, port *)
+  workers : int;
+  state_dir : string;  (** session snapshots live here *)
+  max_inflight : int;  (** queued + running learns before [busy] *)
+  snapshot_every : int;  (** snapshot cadence in hardware queries *)
+  progress_every : int;  (** progress event cadence in hardware queries *)
+}
+
+val config :
+  ?tcp:string * int ->
+  ?workers:int ->
+  ?max_inflight:int ->
+  ?snapshot_every:int ->
+  ?progress_every:int ->
+  state_dir:string ->
+  string ->
+  config
+(** [config ~state_dir socket_path] with defaults: no TCP, 2 workers,
+    [max_inflight] 8, [snapshot_every] 500, [progress_every] 512. *)
+
+type t
+
+val create : ?metrics:Cq_util.Metrics.t -> config -> t
+(** Create a server (no sockets yet).  [metrics] receives the
+    ["service."] series; default is a private registry. *)
+
+val metrics : t -> Cq_util.Metrics.t
+
+val start : t -> unit
+(** Bind the socket(s) and spawn the accept and worker threads.  Raises
+    [Unix_error] if binding fails (stale Unix sockets are unlinked
+    first). *)
+
+val stop : t -> unit
+(** Graceful shutdown, idempotent: stop accepting, let in-flight learns
+    reach their next probe (where they snapshot and park as
+    [interrupted]), drain connections, join every thread, unlink the
+    socket.  A subsequent daemon over the same [state_dir] resumes the
+    parked sessions byte-identically. *)
+
+val stopped : t -> bool
+
+val request_stop : t -> unit
+(** Flag the server for shutdown without blocking — safe to call from a
+    signal handler; {!run}'s loop (or any {!wait} caller) performs the
+    actual {!stop}. *)
+
+val run : t -> unit
+(** [start] + block until {!request_stop} (or a ["shutdown"] request)
+    arrives, then [stop].  Returns once shutdown completes. *)

@@ -211,7 +211,7 @@ let passes_trace ~assoc prog (word, expected) =
 let synthesize_with ?(with_others = true) ~extended ?(deadline = infinity)
     machine =
   let assoc = Cq_automata.Mealy.n_inputs machine - 1 in
-  let t0 = Cq_util.Clock.now () in
+  let t0 = Cq_util.Clock.mono () in
   let tried = ref 0 in
   (* One deadline representation across the code base (Cq_util.Clock):
      the same abstraction bounds the learning supervisor and reset
@@ -281,7 +281,7 @@ let synthesize_with ?(with_others = true) ~extended ?(deadline = infinity)
       outcome = Not_expressible;
       template = (if extended then "Extended" else "Simple");
       candidates_tried = !tried;
-      seconds = Cq_util.Clock.now () -. t0;
+      seconds = Cq_util.Clock.mono () -. t0;
     }
   with
   | Done prog ->
@@ -289,14 +289,14 @@ let synthesize_with ?(with_others = true) ~extended ?(deadline = infinity)
         outcome = Found prog;
         template = (if extended then "Extended" else "Simple");
         candidates_tried = !tried;
-        seconds = Cq_util.Clock.now () -. t0;
+        seconds = Cq_util.Clock.mono () -. t0;
       }
   | Timed_out ->
       {
         outcome = Timeout;
         template = (if extended then "Extended" else "Simple");
         candidates_tried = !tried;
-        seconds = Cq_util.Clock.now () -. t0;
+        seconds = Cq_util.Clock.mono () -. t0;
       }
 
 (* The paper's workflow (§8.1): try the Simple template first, fall back to

@@ -1,44 +1,69 @@
-(* Wall-clock timing helpers and the paper's "H h M m S s" duration format
-   (cf. Table 2 / Table 5). *)
+(* Timing helpers and the paper's "H h M m S s" duration format
+   (cf. Table 2 / Table 5).
 
-(* cq-lint: allow wall-clock: this is the designated read everyone else routes through *)
-let now () = Unix.gettimeofday ()
+   Two clocks, two jobs:
+   - [now] is wall time, for timestamps humans and trace viewers correlate
+     with the outside world (snapshot metadata, trace events).
+   - [mono] is CLOCK_MONOTONIC, for durations and deadlines.  Wall time
+     steps (NTP, date(1)); a stepped wall clock fires or starves every
+     deadline at once — fatal for the long-running daemon.  Monotonic time
+     only ever moves forward, at ~1 s/s. *)
+
+(* cq-lint: allow wall-clock: the designated wall-clock read, timestamps only *)
+let wall () = Unix.gettimeofday ()
+
+(* Tests mock an NTP step by skewing the wall clock; the monotonic clock
+   (and therefore every deadline) must not notice. *)
+let test_skew = ref 0.0
+let set_wall_skew_for_tests s = test_skew := s
+let now () = wall () +. !test_skew
+
+external mono : unit -> float = "cq_clock_monotonic"
 
 let time f =
-  let t0 = now () in
+  let t0 = mono () in
   let result = f () in
-  (result, now () -. t0)
+  (result, mono () -. t0)
 
-(* Deadlines: every layer that bounds wall-clock work (Synth's search, the
-   learning supervisor, reset discovery) shares this one representation, so
-   "remaining budget" arithmetic and expiry checks are written once. *)
+(* Deadlines: every layer that bounds work by time (Synth's search, the
+   learning supervisor, reset discovery, the daemon's session budgets)
+   shares this one representation, so "remaining budget" arithmetic and
+   expiry checks are written once.  The absolute instant is monotonic. *)
 
-type deadline = { at : float option (* absolute epoch seconds *) }
+type deadline = { at : float option (* absolute monotonic seconds *) }
 
 let no_deadline = { at = None }
 
 let after seconds =
   if seconds < 0.0 then invalid_arg "Clock.after: negative deadline";
-  if seconds = infinity then no_deadline else { at = Some (now () +. seconds) }
+  if seconds = infinity then no_deadline else { at = Some (mono () +. seconds) }
 
 let deadline_of = function None -> no_deadline | Some s -> after s
 
-let expired d = match d.at with None -> false | Some at -> now () > at
+let expired d = match d.at with None -> false | Some at -> mono () > at
 
 let remaining d =
-  match d.at with None -> None | Some at -> Some (Float.max 0.0 (at -. now ()))
+  match d.at with
+  | None -> None
+  | Some at -> Some (Float.max 0.0 (at -. mono ()))
 
 let remaining_or d default =
   match remaining d with None -> default | Some s -> s
 
 let pp_duration ppf seconds =
   if seconds < 0.0 then Fmt.string ppf "-"
+  else if seconds >= 9e15 then
+    (* Beyond Int64 centisecond range; carry cannot matter at this
+       magnitude. *)
+    Fmt.pf ppf "%.0f s" seconds
   else begin
-    let h = int_of_float (seconds /. 3600.0) in
-    let rem = seconds -. (float_of_int h *. 3600.0) in
-    let m = int_of_float (rem /. 60.0) in
-    let s = rem -. (float_of_int m *. 60.0) in
-    Fmt.pf ppf "%d h %d m %.2f s" h m s
+    (* Round to the printed precision (centiseconds) *before* splitting
+       off hours and minutes: truncating first shows 3599.999 s as
+       "0 h 59 m 60.00 s" instead of "1 h 0 m 0.00 s". *)
+    let cs = Int64.of_float (Float.round (seconds *. 100.0)) in
+    let h = Int64.div cs 360_000L and rem = Int64.rem cs 360_000L in
+    let m = Int64.div rem 6_000L and s = Int64.rem rem 6_000L in
+    Fmt.pf ppf "%Ld h %Ld m %.2f s" h m (Int64.to_float s /. 100.0)
   end
 
 let to_string seconds = Fmt.str "%a" pp_duration seconds

@@ -1,21 +1,30 @@
-(** Wall-clock timing and duration formatting in the paper's
-    ["H h M m S s"] style. *)
+(** Wall-clock timestamps, monotonic durations and deadlines, and the
+    paper's ["H h M m S s"] duration format. *)
 
 val now : unit -> float
-(** Seconds since the epoch. *)
+(** Seconds since the epoch (wall clock).  For timestamps only — trace
+    events, snapshot metadata.  Deadlines and elapsed-time measurement use
+    {!mono}: the wall clock steps under NTP, which would fire or starve
+    every deadline at once. *)
+
+val mono : unit -> float
+(** [CLOCK_MONOTONIC] seconds.  The epoch is arbitrary (boot time on
+    Linux): values are only meaningful as differences.  Never steps. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f] and returns its result with the elapsed seconds. *)
+(** [time f] runs [f] and returns its result with the elapsed seconds
+    (measured on {!mono}). *)
 
 type deadline
-(** A wall-clock deadline (possibly absent).  The single representation
-    every bounded phase shares — Synth's search, the learning supervisor's
-    per-phase limits, reset discovery. *)
+(** A deadline (possibly absent), anchored to the monotonic clock.  The
+    single representation every bounded phase shares — Synth's search, the
+    learning supervisor's per-phase limits, reset discovery, the service
+    daemon's session budgets. *)
 
 val no_deadline : deadline
 
 val after : float -> deadline
-(** [after s] expires [s] seconds from now.  [after infinity] is
+(** [after s] expires [s] monotonic seconds from now.  [after infinity] is
     {!no_deadline}; negative spans raise [Invalid_argument]. *)
 
 val deadline_of : float option -> deadline
@@ -30,4 +39,12 @@ val remaining_or : deadline -> float -> float
 (** {!remaining} with a default for the unbounded case. *)
 
 val pp_duration : Format.formatter -> float -> unit
+(** Rounds to centiseconds before splitting off hours and minutes, so
+    3599.999 prints as ["1 h 0 m 0.00 s"], never ["0 h 59 m 60.00 s"]. *)
+
 val to_string : float -> string
+
+val set_wall_skew_for_tests : float -> unit
+(** Add [s] seconds to every subsequent {!now} reading — a mocked NTP
+    step.  Tests use this to assert that deadlines (monotonic) ignore
+    wall-clock steps.  Affects {!now} only. *)

@@ -1,0 +1,19 @@
+/* Monotonic clock for deadlines.  Unix.gettimeofday is wall time: an NTP
+   step (or a sysadmin's date(1)) fires or starves every deadline built on
+   it, which a long-running daemon cannot tolerate.  CLOCK_MONOTONIC never
+   steps; its epoch is arbitrary, so values are only good for differences
+   and deadlines, never for timestamps. */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/fail.h>
+
+CAMLprim value cq_clock_monotonic(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    caml_failwith("clock_gettime(CLOCK_MONOTONIC)");
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec / 1e9);
+}

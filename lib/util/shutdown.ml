@@ -1,0 +1,33 @@
+(* Signal-aware shutdown for the CLIs and the daemon.
+
+   The observability exports (--trace / --metrics) hang off [at_exit];
+   plain [exit] runs them, but a SIGINT/SIGTERM default disposition kills
+   the process without unwinding — the files are simply lost.  The CLIs
+   install [exit_on_signals] so an interrupted run still flushes; the
+   daemon installs [notify_on_signals] instead and drives its own
+   graceful path (stop accepting, snapshot live sessions, flush, exit). *)
+
+(* Shell convention: 128 + the *system* signal number.  OCaml's Sys.sig*
+   values are runtime-internal and negative, so map the two we handle
+   explicitly. *)
+let exit_code_of_signal signo =
+  if signo = Sys.sigint then 130
+  else if signo = Sys.sigterm then 143
+  else if signo = Sys.sighup then 129
+  else 128
+
+let install signals handler =
+  List.iter
+    (fun signo ->
+      try Sys.set_signal signo (Sys.Signal_handle handler)
+      with Invalid_argument _ | Sys_error _ ->
+        (* Unsupported on this platform: nothing to flush-proof. *)
+        ())
+    signals
+
+let default_signals = [ Sys.sigint; Sys.sigterm ]
+
+let exit_on_signals ?(signals = default_signals) () =
+  install signals (fun signo -> exit (exit_code_of_signal signo))
+
+let notify_on_signals ?(signals = default_signals) f = install signals f

@@ -438,6 +438,23 @@ let test_lint_allow () =
     (lint_rules
        "(* cq-lint: allow wall-clock: no *)\nlet () = Hashtbl.add t k v\n")
 
+let test_lint_allow_requires_reason () =
+  (* PR-7: a bare [allow] with no stated reason does not suppress —
+     writing the reason is the point of the annotation. *)
+  Alcotest.(check (list string)) "reasonless allow fires" [ "hashtbl-add" ]
+    (lint_rules "let () = Hashtbl.add t k v (* cq-lint: allow hashtbl-add *)\n");
+  Alcotest.(check (list string)) "reasonless allow above fires"
+    [ "hashtbl-add" ]
+    (lint_rules
+       "(* cq-lint: allow hashtbl-add *)\nlet () = Hashtbl.add t k v\n");
+  Alcotest.(check (list string)) "dash-style reason suppresses" []
+    (lint_rules
+       "let () = Hashtbl.add t k v (* cq-lint: allow hashtbl-add \xe2\x80\x94 fresh *)\n");
+  (* A longer rule name must not satisfy a shorter rule's allow. *)
+  Alcotest.(check (list string)) "rule name is token-bounded" [ "hashtbl-add" ]
+    (lint_rules
+       "(* cq-lint: allow hashtbl-addendum: reason *)\nlet () = Hashtbl.add t k v\n")
+
 let test_lint_hot_loop () =
   (* Outside a marked region List combinators and closures are fine. *)
   Alcotest.(check (list string)) "no region" []
@@ -495,6 +512,8 @@ let suite =
       Alcotest.test_case "lint: detects" `Quick test_lint_detects;
       Alcotest.test_case "lint: stripping" `Quick test_lint_stripping;
       Alcotest.test_case "lint: allow annotations" `Quick test_lint_allow;
+      Alcotest.test_case "lint: allow needs a reason" `Quick
+        test_lint_allow_requires_reason;
       Alcotest.test_case "lint: hot-loop regions" `Quick test_lint_hot_loop;
       Alcotest.test_case "lint: line numbers" `Quick test_lint_line_numbers;
     ] )

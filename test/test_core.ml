@@ -156,5 +156,6 @@ let () =
       Test_trace.suite;
       Test_prop.suite;
       Test_analysis.suite;
+      Test_service.suite;
       suite;
     ]

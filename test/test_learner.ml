@@ -243,10 +243,32 @@ let prop_derive_recovers_witness =
       | None -> false
       | Some q -> List.map (a.Q.map_output q) s = permuted)
 
+(* PR-7 regression, membership-oracle flavour: cached's pending-word
+   table binds each word once; duplicates in one batch reach the system
+   deduplicated and a repeat batch is served from the trie. *)
+let test_cached_batch_dedup () =
+  let stats = Mo.fresh_stats () in
+  let truth =
+    Mealy.make ~init:0 ~n_inputs:2 ~next:[| [| 0; 0 |] |] ~out:[| [| 1; 2 |] |]
+  in
+  let o = Mo.of_mealy truth |> Mo.counting stats |> Mo.cached ~stats in
+  let w1 = [ 0; 1; 0 ] and w2 = [ 1; 1 ] in
+  (match o.Mo.query_batch [ w1; w2; w1; w1; w2 ] with
+  | [ a; b; a'; a''; b' ] ->
+      Alcotest.(check bool) "duplicates answered identically" true
+        (a = a' && a = a'' && b = b')
+  | _ -> Alcotest.fail "expected five answers");
+  Alcotest.(check int) "system saw each distinct word once" 2
+    (Cq_util.Metrics.value stats.Mo.queries);
+  ignore (o.Mo.query_batch [ w1; w2 ]);
+  Alcotest.(check int) "repeat batch served from the trie" 2
+    (Cq_util.Metrics.value stats.Mo.queries)
+
 let suite =
   ( "learner",
     [
       Alcotest.test_case "cached oracle counts" `Quick test_cached_oracle_counts;
+      Alcotest.test_case "cached batch dedup" `Quick test_cached_batch_dedup;
       Alcotest.test_case "cache detects nondeterminism" `Quick test_cached_detects_nondeterminism;
       Alcotest.test_case "characterization set" `Quick test_characterization_set_separates;
       Alcotest.test_case "words_up_to" `Quick test_words_up_to;

@@ -125,6 +125,48 @@ let prop_welford_matches_naive =
       let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
       Float.abs (Cq_util.Stats.mean s -. naive) < 1e-6)
 
+(* PR-7 regressions: deadlines ride the monotonic clock (a mocked NTP
+   step on the wall clock must not fire or starve them), and the duration
+   printer carries centisecond rounding into minutes/hours. *)
+
+let test_duration_carry () =
+  Alcotest.(check string) "3599.999 carries to the hour" "1 h 0 m 0.00 s"
+    (Cq_util.Clock.to_string 3599.999);
+  Alcotest.(check string) "59.999 carries to the minute" "0 h 1 m 0.00 s"
+    (Cq_util.Clock.to_string 59.999);
+  Alcotest.(check string) "59.994 rounds down" "0 h 0 m 59.99 s"
+    (Cq_util.Clock.to_string 59.994);
+  Alcotest.(check string) "exact hour" "1 h 0 m 0.00 s"
+    (Cq_util.Clock.to_string 3600.0);
+  Alcotest.(check string) "negative spans" "-" (Cq_util.Clock.to_string (-1.0))
+
+let test_deadline_ignores_wall_steps () =
+  let d = Cq_util.Clock.after 5.0 in
+  Fun.protect
+    ~finally:(fun () -> Cq_util.Clock.set_wall_skew_for_tests 0.0)
+    (fun () ->
+      Cq_util.Clock.set_wall_skew_for_tests 3600.0;
+      Alcotest.(check bool) "forward NTP step does not expire it" false
+        (Cq_util.Clock.expired d);
+      (match Cq_util.Clock.remaining d with
+      | None -> Alcotest.fail "bounded deadline must report remaining time"
+      | Some r ->
+          Alcotest.(check bool) "remaining unaffected by the step" true
+            (r > 4.0 && r <= 5.0));
+      Cq_util.Clock.set_wall_skew_for_tests (-3600.0);
+      Alcotest.(check bool) "backward step does not expire it either" false
+        (Cq_util.Clock.expired d))
+
+let test_mono_advances () =
+  let t0 = Cq_util.Clock.mono () in
+  let d = Cq_util.Clock.after 0.0 in
+  while Cq_util.Clock.mono () -. t0 < 0.01 do
+    ignore (Sys.opaque_identity 0)
+  done;
+  Alcotest.(check bool) "mono advances" true (Cq_util.Clock.mono () > t0);
+  Alcotest.(check bool) "zero-length deadline expires" true
+    (Cq_util.Clock.expired d)
+
 let suite =
   ( "util",
     [
@@ -138,6 +180,10 @@ let suite =
       Alcotest.test_case "otsu bimodal" `Quick test_otsu_bimodal;
       Alcotest.test_case "otsu degenerate" `Quick test_otsu_degenerate;
       Alcotest.test_case "duration format" `Quick test_duration_format;
+      Alcotest.test_case "duration carry" `Quick test_duration_carry;
+      Alcotest.test_case "deadline ignores wall steps" `Quick
+        test_deadline_ignores_wall_steps;
+      Alcotest.test_case "mono advances" `Quick test_mono_advances;
       Alcotest.test_case "deep hash packing" `Quick test_deep_pack_distributes;
       QCheck_alcotest.to_alcotest prop_int_in_bounds;
       QCheck_alcotest.to_alcotest prop_float_unit_interval;
