@@ -977,6 +977,17 @@ let analysis () =
 (* Service layer: cachequeryd under concurrent clients                       *)
 (* ----------------------------------------------------------------------- *)
 
+(* Daemon state dirs are scratch: sockets and per-session snapshots that
+   only matter while the bench runs.  Remove them afterwards so repeated
+   runs and CI checkouts stay clean. *)
+let rm_scratch_dir dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
 (* An in-process daemon serving N concurrent clients: membership-query
    latency percentiles and request throughput, then one full learn per
    client running concurrently — each result must be byte-identical to a
@@ -994,7 +1005,10 @@ let service () =
   let cfg = Server.config ~workers:clients ~state_dir socket in
   let server = Server.create cfg in
   Server.start server;
-  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  Fun.protect ~finally:(fun () ->
+      Server.stop server;
+      rm_scratch_dir state_dir)
+  @@ fun () ->
   (* --- phase 1: membership-query latency under concurrency --- *)
   let latencies = Array.make clients [||] in
   let t0 = Cq_util.Clock.mono () in
@@ -1087,6 +1101,199 @@ let service () =
   Buffer.add_string buf "  ]\n}\n";
   Cq_util.Atomic_file.write ~path:"BENCH_service.json" (Buffer.contents buf);
   Printf.printf "\n(wrote BENCH_service.json)\n%!"
+
+(* ----------------------------------------------------------------------- *)
+(* Chaos: seeded fault schedules x concurrent resilient clients             *)
+(* ----------------------------------------------------------------------- *)
+
+(* The chaos matrix: boot an in-process daemon under a seeded fault
+   schedule, drive it with concurrent retry-enabled clients, and hold the
+   resilience layer to its contract — the daemon never crashes, client
+   retry counts stay bounded, and every learned automaton is
+   byte-identical to the quiet run's.  Schedules are deterministic
+   (registry seed + site-local PRNG streams), so a failing cell replays
+   exactly from its spec string. *)
+let chaos () =
+  header "Chaos: seeded fault schedules x concurrent resilient clients";
+  let module Server = Cq_service.Server in
+  let module Client = Cq_service.Client in
+  let module Json = Cq_service.Json in
+  let module Faults = Cq_util.Faults in
+  let policies = [| "LRU"; "FIFO"; "PLRU" |] in
+  let assoc = 4 in
+  let n_clients = Array.length policies in
+  let digest m = Digest.to_hex (Digest.string (Marshal.to_string m [])) in
+  (* The quiet reference: solo daemon-less learns, one per policy. *)
+  let solo =
+    Array.map
+      (fun policy ->
+        let p = Cq_policy.Zoo.make_exn ~name:policy ~assoc in
+        let r = Cq_core.Learn.learn_simulated ~identify:false p in
+        digest r.Cq_core.Learn.machine)
+      policies
+  in
+  let scenarios =
+    [
+      ("quiet", "");
+      ("worker-kill", "service.worker.kill:reach=60");
+      ("torn-frames", "frame.write.torn:every=9,limit=3");
+      ("read-stall", "frame.read.stall:every=10,limit=6");
+      ( "snapshot-enospc",
+        "atomic_file.write:nth=2,limit=1;atomic_file.fsync:nth=5,limit=1" );
+      ( "mixed",
+        "service.worker.kill:reach=80;frame.write.torn:every=13,limit=2;atomic_file.write:nth=3,limit=1"
+      );
+    ]
+  in
+  let max_restarts = 5 in
+  let retry_bound = 50 in
+  let rows =
+    List.map
+      (fun (scenario, spec) ->
+        Printf.printf "\nscenario %-16s %s\n%!" scenario
+          (if spec = "" then "(no faults)" else spec);
+        let reg =
+          if spec = "" then None
+          else
+            match Faults.of_spec ~seed:7 spec with
+            | Ok r -> Some r
+            | Error msg -> failwith ("chaos: bad fault spec: " ^ msg)
+        in
+        Faults.set_ambient reg;
+        let state_dir = "bench-chaos-" ^ scenario in
+        (try Unix.mkdir state_dir 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let socket = Filename.concat state_dir "chaos.sock" in
+        let cfg =
+          Server.config ~workers:n_clients ~snapshot_every:25 ~state_dir socket
+        in
+        let server = Server.create cfg in
+        Server.start server;
+        let results = Array.make n_clients ("", "", 0, 0, 0) in
+        let errs = Array.make n_clients None in
+        let run_client i =
+          let retry =
+            Client.retry ~attempts:8
+              ~policy:(Cq_util.Backoff.policy ~base:0.005 ~cap:0.1 ())
+              ~seed:i ()
+          in
+          let c = Client.connect_unix ~retry socket in
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          let policy = policies.(i) in
+          let sid =
+            Client.create_sim c ~policy ~assoc ~name:(scenario ^ "-" ^ policy)
+              ()
+          in
+          Client.learn_start c sid;
+          (* A faulted learn lands in [failed]/[interrupted] with a
+             snapshot; restart it with resume until done (bounded). *)
+          let rec finish restarts =
+            let st = Client.learn_wait c ~timeout_s:120.0 sid in
+            match Json.mem_str "state" st with
+            | Some "done" -> (st, restarts)
+            | Some ("failed" | "interrupted") when restarts < max_restarts ->
+                Client.learn_start c ~resume:true sid;
+                finish (restarts + 1)
+            | st_name ->
+                failwith
+                  (Printf.sprintf
+                     "chaos %s/%s: state %s after %d restarts (not done)"
+                     scenario policy
+                     (Option.value ~default:"?" st_name)
+                     restarts)
+          in
+          let st, restarts = finish 0 in
+          let dgst = Option.value ~default:"?" (Json.mem_str "digest" st) in
+          results.(i) <-
+            (policy, dgst, restarts, Client.reconnects c,
+             Client.request_retries c)
+        in
+        let run i = try run_client i with e -> errs.(i) <- Some e in
+        let threads = List.init n_clients (fun i -> Thread.create run i) in
+        List.iter Thread.join threads;
+        let fault_fires =
+          match reg with None -> 0 | Some r -> Faults.total_fires r
+        in
+        (* Disarm before the liveness probe and the final snapshot writes:
+           the scenario's schedule applies to the workload only. *)
+        Faults.set_ambient None;
+        let alive =
+          match Client.connect_unix socket with
+          | exception _ -> false
+          | c ->
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  match Client.health c with
+                  | h -> Json.mem_str "status" h <> None
+                  | exception _ -> false)
+        in
+        Server.stop server;
+        Array.iteri
+          (fun i err ->
+            match err with
+            | Some e ->
+                failwith
+                  (Printf.sprintf "chaos %s: client %d died: %s" scenario i
+                     (Printexc.to_string e))
+            | None -> ())
+          errs;
+        if not alive then
+          failwith
+            (Printf.sprintf "chaos %s: daemon unresponsive after fault run"
+               scenario);
+        Array.iteri
+          (fun i (policy, dgst, restarts, reconnects, retries) ->
+            let identical = dgst = solo.(i) in
+            Printf.printf
+              "  %-5s done  restarts=%d reconnects=%d retries=%d  \
+               solo-identical: %b\n\
+               %!"
+              policy restarts reconnects retries identical;
+            if not identical then
+              failwith
+                (Printf.sprintf
+                   "chaos %s/%s: automaton diverged from the quiet run (%s vs %s)"
+                   scenario policy dgst solo.(i));
+            if reconnects + retries > retry_bound then
+              failwith
+                (Printf.sprintf
+                   "chaos %s/%s: unbounded retries (%d reconnects + %d \
+                    retries > %d)"
+                   scenario policy reconnects retries retry_bound))
+          results;
+        Printf.printf "  (daemon alive, %d fault firings)\n%!" fault_fires;
+        (* Only a passing scenario cleans up: a failed one leaves its
+           state dir behind for the post-mortem. *)
+        rm_scratch_dir state_dir;
+        (scenario, spec, fault_fires, Array.to_list results))
+      scenarios
+  in
+  Faults.set_ambient None;
+  let buf = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n  \"clients\": %d,\n  \"scenarios\": [\n" n_clients;
+  List.iteri
+    (fun si (scenario, spec, fault_fires, results) ->
+      out
+        "    { \"name\": %S, \"spec\": %S, \"fault_fires\": %d, \
+         \"daemon_crashes\": 0,\n\
+        \      \"learns\": [\n"
+        scenario spec fault_fires;
+      List.iteri
+        (fun i (policy, dgst, restarts, reconnects, retries) ->
+          out
+            "        { \"policy\": %S, \"digest\": %S, \"restarts\": %d, \
+             \"reconnects\": %d, \"request_retries\": %d, \
+             \"identical_to_quiet\": true }%s\n"
+            policy dgst restarts reconnects retries
+            (if i = List.length results - 1 then "" else ","))
+        results;
+      out "      ] }%s\n" (if si = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n}\n";
+  Cq_util.Atomic_file.write ~path:"BENCH_chaos.json" (Buffer.contents buf);
+  Printf.printf "\n(wrote BENCH_chaos.json)\n%!"
 
 (* ----------------------------------------------------------------------- *)
 (* Assoc scaling: symmetry-quotient learning vs direct                       *)
@@ -1459,6 +1666,7 @@ let () =
     | "analysis" -> analysis ()
     | "assoc" -> assoc_bench ~full ~smoke ()
     | "service" -> service ()
+    | "chaos" -> chaos ()
     | "micro" -> micro ()
     | "all" ->
         (* One crashing experiment must not take the rest of the run (or
@@ -1485,6 +1693,7 @@ let () =
             ("analysis", analysis);
             ("assoc", assoc_bench ~full ~smoke);
             ("service", service);
+            ("chaos", chaos);
             ("micro", micro);
           ];
         (* Every artifact this bench run (or a previous one) left behind:

@@ -9,8 +9,20 @@
 open Cmdliner
 
 let main socket tcp_port tcp_addr workers state_dir max_inflight snapshot_every
-    trace metrics_path =
+    trace metrics_path faults faults_seed breaker_threshold breaker_cooldown =
   let registry = Cq_util.Metrics.create () in
+  (* Deterministic chaos: arm the ambient fault registry before anything
+     can hit an injection site.  The schedule is seeded, so the same
+     --faults/--faults-seed pair reproduces the same failures. *)
+  (match faults with
+  | None -> ()
+  | Some spec -> (
+      match Cq_util.Faults.of_spec ~seed:faults_seed spec with
+      | Ok reg -> Cq_util.Faults.set_ambient (Some reg)
+      | Error msg ->
+          Fmt.epr "cachequeryd: bad --faults spec: %s@.%s@." msg
+            Cq_util.Faults.spec_syntax;
+          exit 2));
   (* Flush observability artefacts on every exit path; the graceful-stop
      sequence below reaches [at_exit] through a normal return, and
      SIGINT/SIGTERM are converted into the same graceful stop rather than
@@ -26,7 +38,7 @@ let main socket tcp_port tcp_addr workers state_dir max_inflight snapshot_every
   let tcp = Option.map (fun port -> (tcp_addr, port)) tcp_port in
   let cfg =
     Cq_service.Server.config ?tcp ~workers ~max_inflight ~snapshot_every
-      ~state_dir socket
+      ~breaker_threshold ~breaker_cooldown ~state_dir socket
   in
   let server = Cq_service.Server.create ~metrics:registry cfg in
   (* Graceful shutdown on SIGINT/SIGTERM: stop accepting, park live
@@ -109,6 +121,45 @@ let metrics_arg =
            request latencies, gate waits, learn outcomes) to $(docv) as \
            JSON on exit.")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Arm deterministic fault injection for chaos testing. $(docv) is \
+           semicolon-separated $(i,SITE:SCHEDULE) entries, e.g. \
+           $(b,service.worker.kill:reach=40;frame.write.torn:nth=3,limit=1). \
+           Schedules: $(b,nth=K), $(b,every=K), $(b,first=K), $(b,p=F), \
+           $(b,reach=K); optional $(b,limit=N) caps total firings.")
+
+let faults_seed_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "faults-seed" ] ~docv:"N"
+        ~doc:
+          "Seed for probabilistic fault schedules; the same \
+           $(b,--faults)/$(b,--faults-seed) pair reproduces the same \
+           failures.")
+
+let breaker_threshold_arg =
+  Arg.(
+    value
+    & opt int 5
+    & info [ "breaker-threshold" ] ~docv:"N"
+        ~doc:
+          "Consecutive backend-attributable learn failures before the \
+           circuit breaker trips and $(b,learn.start) answers \
+           $(i,degraded).")
+
+let breaker_cooldown_arg =
+  Arg.(
+    value
+    & opt float 2.0
+    & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+        ~doc:"How long the tripped breaker sheds load before probing.")
+
 let cmd =
   let doc = "serve cache-replacement-policy learning over a socket" in
   Cmd.v
@@ -117,6 +168,7 @@ let cmd =
       ret
         (const main $ socket_arg $ tcp_port_arg $ tcp_addr_arg $ workers_arg
        $ state_dir_arg $ max_inflight_arg $ snapshot_every_arg $ trace_arg
-       $ metrics_arg))
+       $ metrics_arg $ faults_arg $ faults_seed_arg $ breaker_threshold_arg
+       $ breaker_cooldown_arg))
 
 let () = exit (Cmd.eval cmd)

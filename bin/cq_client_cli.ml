@@ -7,8 +7,18 @@
 
 open Cmdliner
 
-let with_client socket f =
-  match Cq_service.Client.connect_unix socket with
+(* (socket, retries, retry_base): every subcommand takes the connection
+   triple so retry behaviour is uniform across verbs. *)
+let with_client (socket, retries, retry_base) f =
+  let retry =
+    if retries <= 0 then None
+    else
+      Some
+        (Cq_service.Client.retry ~attempts:(retries + 1)
+           ~policy:(Cq_util.Backoff.policy ~base:retry_base ())
+           ())
+  in
+  match Cq_service.Client.connect_unix ?retry socket with
   | exception Unix.Unix_error (err, _, _) ->
       Fmt.epr "cq-client: cannot connect to %s: %s@." socket
         (Unix.error_message err);
@@ -25,10 +35,33 @@ let with_client socket f =
 let print_json doc = Fmt.pr "%s@." (Cq_service.Json.to_string doc)
 
 let socket_arg =
-  Arg.(
-    value
-    & opt string "cachequeryd.sock"
-    & info [ "socket" ] ~docv:"PATH" ~doc:"The daemon's Unix-domain socket.")
+  let socket =
+    Arg.(
+      value
+      & opt string "cachequeryd.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"The daemon's Unix-domain socket.")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Survive daemon restarts: retry each operation up to $(docv) \
+             times across reconnects (with idempotency keys on mutating \
+             verbs, so a failover replays instead of double-creating). 0 \
+             disables.")
+  in
+  let retry_base =
+    Arg.(
+      value
+      & opt float 0.05
+      & info [ "retry-base" ] ~docv:"SECONDS"
+          ~doc:
+            "Base delay for the decorrelated-jitter reconnect backoff \
+             (only with $(b,--retries)).")
+  in
+  Term.(const (fun s r b -> (s, r, b)) $ socket $ retries $ retry_base)
 
 let session_arg =
   Arg.(
@@ -93,10 +126,9 @@ let learn_cmd =
         Cq_service.Client.learn_start c ~resume ?kill_after_queries:kill_after
           ?query_budget:budget sid;
         if follow then
-          ignore
-            (Cq_service.Client.stream c
-               ~params:(Cq_service.Json.Obj [ ("session", Cq_service.Json.Int sid) ])
-               "events" print_json)
+          (* [events] resumes from the last seen seq across reconnects
+             when --retries is set. *)
+          ignore (Cq_service.Client.events c sid print_json)
         else if wait then print_json (Cq_service.Client.learn_wait c sid)
         else Fmt.pr "queued@.")
   in
@@ -204,6 +236,17 @@ let cancel_cmd =
     (Cmd.info "cancel" ~doc:"cancel the session's learn")
     Term.(const run $ socket_arg $ session_arg)
 
+let health_cmd =
+  let run socket =
+    with_client socket (fun c -> print_json (Cq_service.Client.health c))
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "daemon health: breaker state, gate depth, inflight learns, \
+          snapshot-disk headroom, armed fault sites")
+    Term.(const run $ socket_arg)
+
 let stats_cmd =
   let run socket =
     with_client socket (fun c -> print_json (Cq_service.Client.call c "stats"))
@@ -233,6 +276,7 @@ let cmd =
       query_cmd;
       result_cmd;
       cancel_cmd;
+      health_cmd;
       stats_cmd;
       shutdown_cmd;
     ]

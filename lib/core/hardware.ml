@@ -176,43 +176,61 @@ let learn_set ?(seed = 42) ?cat_ways ?(slice = 0) ?(set = 0) ?(repetitions = 1)
            The other failure classes are structural — retrying verbatim
            cannot help — and surface as a [Partial] report carrying the
            last hypothesis and the snapshot path. *)
-        let rec supervise attempt resume =
-          match
-            Learn.run ?equivalence ?check_hits ~memoize:false ~max_states
-              ?validate ?quotient ~retries ~on_retry
-              ~device_stats:(Cq_cachequery.Frontend.stats frontend)
-              ~metrics ?snapshot ?resume ~snapshot_meta ~deadline:dl
-              ?query_budget ?probe oracle
-          with
-          | Learn.Complete report -> Learned { report; reset; threshold }
-          | Learn.Partial p -> (
-              match p.Learn.failure with
-              (* [Invalid] retries like [Transient]: an automaton that
-                 violates the policy axioms was built from flipped
-                 measurements, and escalated voting can repair it. *)
-              | (Learn.Transient _ | Learn.Invalid _)
-                when attempt < supervise_retries ->
-                  on_retry 0;
-                  let resume =
-                    match p.Learn.snapshot with
-                    | Some _ as s -> s
-                    | None -> resume
-                  in
-                  supervise (attempt + 1) resume
-              | Learn.Transient reason ->
-                  Failed { reason; reset = Some reset }
-              | failure ->
-                  Partial
-                    {
-                      failure;
-                      hypothesis = p.Learn.hypothesis;
-                      snapshot = p.Learn.snapshot;
-                      reset = Some reset;
-                      member_queries = p.Learn.member_queries;
-                      seconds = p.Learn.seconds;
-                    })
+        let finish_partial (p : Learn.partial) =
+          match p.Learn.failure with
+          | Learn.Transient reason -> Failed { reason; reset = Some reset }
+          | failure ->
+              Partial
+                {
+                  failure;
+                  hypothesis = p.Learn.hypothesis;
+                  snapshot = p.Learn.snapshot;
+                  reset = Some reset;
+                  member_queries = p.Learn.member_queries;
+                  seconds = p.Learn.seconds;
+                }
         in
-        supervise 0 resume
+        (* The retry state threads the resume snapshot forward: each
+           attempt restarts from the latest snapshot so already-paid
+           hardware queries are not re-measured.  [Backoff.immediate]
+           keeps the loop structure without sleeping — the backend is
+           local, waiting buys nothing. *)
+        let supervised =
+          Cq_util.Backoff.retry ~policy:Cq_util.Backoff.immediate
+            ~attempts:(supervise_retries + 1) ~init:(resume, None)
+            (fun ~attempt:_ (resume, _) ->
+              match
+                Learn.run ?equivalence ?check_hits ~memoize:false ~max_states
+                  ?validate ?quotient ~retries ~on_retry
+                  ~device_stats:(Cq_cachequery.Frontend.stats frontend)
+                  ~metrics ?snapshot ?resume ~snapshot_meta ~deadline:dl
+                  ?query_budget ?probe oracle
+              with
+              | Learn.Complete report ->
+                  `Done (Learned { report; reset; threshold })
+              | Learn.Partial p -> (
+                  match p.Learn.failure with
+                  (* [Invalid] retries like [Transient]: an automaton that
+                     violates the policy axioms was built from flipped
+                     measurements, and escalated voting can repair it.
+                     The other classes are structural — retrying verbatim
+                     cannot help. *)
+                  | Learn.Transient _ | Learn.Invalid _ ->
+                      on_retry 0;
+                      let resume =
+                        match p.Learn.snapshot with
+                        | Some _ as s -> s
+                        | None -> resume
+                      in
+                      `Retry (resume, Some p)
+                  | _ -> `Done (finish_partial p)))
+        in
+        (match supervised with
+        | Ok outcome -> outcome
+        | Error (_, Some p) -> finish_partial p
+        | Error (_, None) ->
+            (* unreachable: `Retry always carries the partial *)
+            Failed { reason = "supervisor retried nothing"; reset = Some reset })
   in
   {
     cpu = model.Cq_hwsim.Cpu_model.name;

@@ -32,19 +32,30 @@ let engine_to_string = function
 
 (* Snapshot cadence for durable sessions: write at most every
    [every_queries] hardware queries AND at least every [every_seconds]
-   seconds of wall clock (whichever trips first). *)
+   seconds of wall clock (whichever trips first).
+
+   A snapshot write that fails typed (Atomic_file.Write_error, or an
+   injected crash) must degrade the session, never kill the learn — the
+   snapshot is an optimisation of the failure path, and aborting hours of
+   hardware queries because the *backup* could not be written inverts its
+   purpose.  [on_degraded] observes the failure; [spill] names a fallback
+   path (ideally another filesystem) tried before giving up on this
+   cadence tick. *)
 type snapshot_policy = {
   path : string;
   every_queries : int;
   every_seconds : float;
+  spill : string option;
+  on_degraded : (string -> unit) option;
 }
 
-let snapshot_policy ?(every_queries = 500) ?(every_seconds = 30.) path =
+let snapshot_policy ?(every_queries = 500) ?(every_seconds = 30.) ?spill
+    ?on_degraded path =
   if every_queries < 1 then
     invalid_arg "Learn.snapshot_policy: every_queries must be >= 1";
   if every_seconds <= 0. then
     invalid_arg "Learn.snapshot_policy: every_seconds must be > 0";
-  { path; every_queries; every_seconds }
+  { path; every_queries; every_seconds; spill; on_degraded }
 
 (* The supervisor's failure taxonomy.  Everything a learning run can die
    of maps onto one of these; anything else is a programming error and
@@ -255,7 +266,7 @@ let learn_core ?(equivalence = default_equivalence)
      the budget currency — only counts real traffic. *)
   let table_getter = ref None in
   let last_hypothesis = ref None in
-  let snapshot_written = ref false in
+  let snapshot_path_written = ref None in
   let last_snap_queries = ref 0 in
   let last_snap_time = ref t0 in
   let hw_queries () = Cq_util.Metrics.value mstats.Cq_learner.Moracle.queries in
@@ -273,19 +284,44 @@ let learn_core ?(equivalence = default_equivalence)
           in
           { m with Session.queries = hw_queries () }
         in
-        let (), seconds =
-          Cq_util.Clock.time (fun () ->
-              Session.save ~path:p.path
-                {
-                  Session.meta;
-                  knowledge = handle.Cq_learner.Moracle.export ();
-                  table = Option.map (fun g -> g ()) !table_getter;
-                })
+        let snap =
+          {
+            Session.meta;
+            knowledge = handle.Cq_learner.Moracle.export ();
+            table = Option.map (fun g -> g ()) !table_getter;
+          }
         in
-        Cq_util.Metrics.observe snapshot_write_h seconds;
-        snapshot_written := true;
+        let save path =
+          let (), seconds =
+            Cq_util.Clock.time (fun () -> Session.save ~path snap)
+          in
+          Cq_util.Metrics.observe snapshot_write_h seconds;
+          snapshot_path_written := Some path
+        in
+        (* Bump the cadence trackers before attempting the write: a dead
+           disk must not turn every subsequent query into a write
+           attempt. *)
         last_snap_queries := hw_queries ();
-        last_snap_time := Cq_util.Clock.mono ()
+        last_snap_time := Cq_util.Clock.mono ();
+        (* A snapshot failure degrades the session, it never kills the
+           learn: notify the observer, reroute to the spill path, carry
+           on.  Only the typed shapes are absorbed — anything else is a
+           programming error and propagates. *)
+        (try save p.path
+         with
+        | ( Cq_util.Atomic_file.Write_error _ | Cq_util.Faults.Injected _ ) as e
+        ->
+          (match p.on_degraded with
+          | Some f -> ( try f (Printexc.to_string e) with _ -> ())
+          | None -> ());
+          (match p.spill with
+          | None -> ()
+          | Some sp -> (
+              try save sp
+              with
+              | Cq_util.Atomic_file.Write_error _ | Cq_util.Faults.Injected _
+              ->
+                ())))
   in
   let guard () =
     (match probe with
@@ -510,10 +546,7 @@ let learn_core ?(equivalence = default_equivalence)
               {
                 failure = Invalid msg;
                 hypothesis = Some result.machine;
-                snapshot =
-                  (if !snapshot_written then
-                     Option.map (fun p -> p.path) snapshot
-                   else None);
+                snapshot = !snapshot_path_written;
                 member_queries = hw_queries ();
                 seconds;
               } )
@@ -558,10 +591,7 @@ let learn_core ?(equivalence = default_equivalence)
               {
                 failure;
                 hypothesis = !last_hypothesis;
-                snapshot =
-                  (if !snapshot_written then
-                     Option.map (fun p -> p.path) snapshot
-                   else None);
+                snapshot = !snapshot_path_written;
                 member_queries = hw_queries ();
                 seconds;
               } ))

@@ -33,15 +33,28 @@ type snapshot_policy = {
   path : string;  (** snapshot file, written atomically *)
   every_queries : int;  (** write after this many new hardware queries *)
   every_seconds : float;  (** ... or after this much wall clock *)
+  spill : string option;
+      (** fallback path tried when writing [path] fails typed — a
+          different filesystem keeps snapshots flowing through a
+          full/failing state dir *)
+  on_degraded : (string -> unit) option;
+      (** observer called with a diagnostic whenever a snapshot write
+          fails typed (before the spill is tried): a snapshot failure
+          degrades the session, it never kills the learn *)
 }
 (** Snapshot cadence for durable sessions: a write happens whenever either
     trigger trips, always between top-level oracle queries (when the
     prefix trie is consistent). *)
 
 val snapshot_policy :
-  ?every_queries:int -> ?every_seconds:float -> string -> snapshot_policy
+  ?every_queries:int ->
+  ?every_seconds:float ->
+  ?spill:string ->
+  ?on_degraded:(string -> unit) ->
+  string ->
+  snapshot_policy
 (** [snapshot_policy path] with defaults [every_queries = 500],
-    [every_seconds = 30.]. *)
+    [every_seconds = 30.], no spill, no observer. *)
 
 type failure =
   | Transient of string

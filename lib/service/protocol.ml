@@ -56,11 +56,17 @@ let read_frame fd =
       let len = if len land 0x80000000 <> 0 then len - (1 lsl 32) else len in
       if len < 0 then Bad (Bad_magic len)
       else if len > max_frame then Bad (Oversized len)
-      else
+      else begin
+        (* Chaos seam: a bounded stall between header and payload — the
+           shape of a peer wedged mid-frame — exercising reader-side
+           patience without ever hanging the connection thread. *)
+        if Cq_util.Faults.ambient_fire "frame.read.stall" then
+          Unix.sleepf 0.05;
         let payload = Bytes.create len in
         let got = really_read fd payload len in
         if got < len then Bad (Truncated { declared = len; got })
         else Frame (Bytes.unsafe_to_string payload)
+      end
 
 let write_frame fd payload =
   let len = String.length payload in
@@ -75,13 +81,22 @@ let write_frame fd payload =
   Bytes.set buf 3 (Char.chr (len land 0xFF));
   Bytes.blit_string payload 0 buf 4 len;
   let total = 4 + len in
-  let rec go off =
-    if off < total then
-      match Unix.write fd buf off (total - off) with
-      | k -> go (off + k)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  let rec go limit off =
+    if off < limit then
+      match Unix.write fd buf off (limit - off) with
+      | k -> go limit (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go limit off
   in
-  go 0
+  (* Chaos seam: a torn write emits a strict prefix of the frame and then
+     fails like a dropped peer would — the reader ends up with a typed
+     [Truncated], the writer with an injected exception. *)
+  if Cq_util.Faults.ambient_fire "frame.write.torn" then begin
+    go (max 1 (total / 2)) 0;
+    raise
+      (Cq_util.Faults.Injected
+         { site = "frame.write.torn"; detail = "frame write torn mid-payload" })
+  end
+  else go total 0
 
 type request = { id : Json.t; verb : string; params : Json.t }
 

@@ -92,6 +92,15 @@ module Gate = struct
   let yield t ticket =
     release t ticket;
     acquire t
+
+  (* Queue depth for the health verb: holders + waiters. *)
+  let depth t =
+    Mutex.lock t.m;
+    let n =
+      Queue.length t.waiting + match t.holder with Some _ -> 1 | None -> 0
+    in
+    Mutex.unlock t.m;
+    n
 end
 
 type target =
@@ -102,8 +111,17 @@ type target =
       slice : int;
       set : int;
       seed : int;
-      noise : bool;
+      noise : string; (* hwsim noise preset: quiet/default/burst/drift *)
     }
+
+(* The PR-2 noise presets, addressable over the wire: chaos schedules
+   pick a backend-degradation profile by name. *)
+let noise_preset_of_name = function
+  | "quiet" -> Some Cq_hwsim.Machine.quiet_noise
+  | "default" -> Some Cq_hwsim.Machine.default_noise
+  | "burst" -> Some Cq_hwsim.Machine.burst_noise
+  | "drift" -> Some Cq_hwsim.Machine.drift_noise
+  | _ -> None
 
 let target_json = function
   | Sim { policy; assoc } ->
@@ -122,7 +140,7 @@ let target_json = function
           ("slice", Json.Int slice);
           ("set", Json.Int set);
           ("seed", Json.Int seed);
-          ("noise", Json.Bool noise);
+          ("noise", Json.String noise);
         ]
 
 type learn_state =
@@ -179,10 +197,13 @@ type config = {
   max_inflight : int;
   snapshot_every : int;
   progress_every : int;
+  breaker_threshold : int; (* consecutive learn failures before tripping *)
+  breaker_cooldown : float; (* seconds open before a half-open probe *)
 }
 
 let config ?tcp ?(workers = 2) ?(max_inflight = 8) ?(snapshot_every = 500)
-    ?(progress_every = 512) ~state_dir socket_path =
+    ?(progress_every = 512) ?(breaker_threshold = 5) ?(breaker_cooldown = 2.0)
+    ~state_dir socket_path =
   {
     socket_path;
     tcp;
@@ -191,6 +212,8 @@ let config ?tcp ?(workers = 2) ?(max_inflight = 8) ?(snapshot_every = 500)
     max_inflight;
     snapshot_every;
     progress_every;
+    breaker_threshold;
+    breaker_cooldown;
   }
 
 type t = {
@@ -211,12 +234,23 @@ type t = {
   mutable conns : (Unix.file_descr * Thread.t) list;
   devices : (string, Cq_hwsim.Machine.t) Hashtbl.t;
   gate : Gate.t;
+  breaker : Cq_util.Breaker.t;
+  (* Idempotency-key replay cache: success replies of mutating verbs
+     (session.create, learn.start), keyed by the client-chosen "idem"
+     string, so a retry across a reconnect returns the original reply
+     instead of double-creating.  Bounded FIFO; failures are never
+     cached (the client should genuinely retry those). *)
+  idem : (string, (string * Json.t) list) Hashtbl.t;
+  idem_order : string Queue.t;
   registry : Metrics.t;
   started_at : float; (* mono *)
   c_connections : Metrics.counter;
   c_requests : Metrics.counter;
   c_protocol_errors : Metrics.counter;
   c_busy : Metrics.counter;
+  c_degraded : Metrics.counter;
+  c_idem_replays : Metrics.counter;
+  c_snapshot_degraded : Metrics.counter;
   c_learns_started : Metrics.counter;
   c_learns_done : Metrics.counter;
   c_learns_failed : Metrics.counter;
@@ -248,12 +282,20 @@ let create ?metrics cfg =
     conns = [];
     devices = Hashtbl.create 4;
     gate = Gate.create registry;
+    breaker =
+      Cq_util.Breaker.create ~failure_threshold:cfg.breaker_threshold
+        ~cooldown:cfg.breaker_cooldown ();
+    idem = Hashtbl.create 16;
+    idem_order = Queue.create ();
     registry;
     started_at = Clock.mono ();
     c_connections = Metrics.counter registry "service.connections";
     c_requests = Metrics.counter registry "service.requests";
     c_protocol_errors = Metrics.counter registry "service.protocol_errors";
     c_busy = Metrics.counter registry "service.busy_rejections";
+    c_degraded = Metrics.counter registry "service.degraded_rejections";
+    c_idem_replays = Metrics.counter registry "service.idem_replays";
+    c_snapshot_degraded = Metrics.counter registry "service.snapshot_degraded";
     c_learns_started = Metrics.counter registry "service.learns_started";
     c_learns_done = Metrics.counter registry "service.learns_done";
     c_learns_failed = Metrics.counter registry "service.learns_failed";
@@ -363,7 +405,7 @@ let remaining_budget s =
    question real — their queries interleave on shared state, serialised
    by the gate at top-level-query granularity. *)
 let device t cpu seed noise =
-  let key = Printf.sprintf "%s:%d:%b" cpu seed noise in
+  let key = Printf.sprintf "%s:%d:%s" cpu seed noise in
   match Hashtbl.find_opt t.devices key with
   | Some m -> m
   | None ->
@@ -373,8 +415,9 @@ let device t cpu seed noise =
         | None -> failwith ("unknown CPU " ^ cpu)
       in
       let noise_cfg =
-        if noise then Cq_hwsim.Machine.default_noise
-        else Cq_hwsim.Machine.quiet_noise
+        match noise_preset_of_name noise with
+        | Some cfg -> cfg
+        | None -> failwith ("unknown noise preset " ^ noise)
       in
       let machine =
         Cq_hwsim.Machine.create ~seed:(Int64.of_int seed) ~noise:noise_cfg
@@ -383,6 +426,23 @@ let device t cpu seed noise =
       Hashtbl.replace t.devices key machine;
       machine
 
+(* --- idempotency-key replay (call without [t.m] held) --- *)
+
+let max_idem_entries = 256
+
+let idem_find t key = locked t (fun () -> Hashtbl.find_opt t.idem key)
+
+let idem_store t key fields =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.idem key) then begin
+        Hashtbl.replace t.idem key fields;
+        Queue.push key t.idem_order;
+        if Queue.length t.idem_order > max_idem_entries then begin
+          let oldest = Queue.pop t.idem_order in
+          Hashtbl.remove t.idem oldest
+        end
+      end)
+
 (* --- the learn worker --- *)
 
 type learn_result =
@@ -390,9 +450,11 @@ type learn_result =
   | R_failed of Learn.failure * string option * int (* member queries *)
 
 let run_learn t s =
+  let spill_path = s.snapshot_path ^ ".spill" in
   let resume =
-    if s.learn_resume && Sys.file_exists s.snapshot_path then
-      Some s.snapshot_path
+    if not s.learn_resume then None
+    else if Sys.file_exists s.snapshot_path then Some s.snapshot_path
+    else if Sys.file_exists spill_path then Some spill_path
     else None
   in
   let query_budget =
@@ -400,14 +462,55 @@ let run_learn t s =
     | None, b | b, None -> b
     | Some a, Some b -> Some (min a b)
   in
+  (* A failed snapshot write degrades the session — typed warning event,
+     re-route to the spill path — it never kills the learn. *)
   let snapshot =
-    Learn.snapshot_policy ~every_queries:t.cfg.snapshot_every s.snapshot_path
+    Learn.snapshot_policy ~every_queries:t.cfg.snapshot_every ~spill:spill_path
+      ~on_degraded:(fun msg ->
+        Metrics.incr t.c_snapshot_degraded;
+        locked t (fun () ->
+            publish_locked t s "snapshot_degraded"
+              [ ("detail", Json.String msg) ]))
+      s.snapshot_path
   in
-  let kill_after = s.kill_after in
+  (* The historical kill_after_queries hook, now expressed as a fault
+     schedule: a per-learn registry armed with [Reach k] on the worker
+     kill site.  The daemon-wide ambient registry (--faults) can arm the
+     same site to kill arbitrary learns. *)
+  let kill_reg = Cq_util.Faults.create () in
+  (match s.kill_after with
+  | Some k ->
+      Cq_util.Faults.arm kill_reg ~site:"service.worker.kill"
+        (Cq_util.Faults.Reach k)
+  | None -> ());
+  (* Backend-probe chaos: an armed "hw.noise.burst" site flips the shared
+     machine to the burst preset for one top-level query, restoring the
+     session's configured preset at the next probe — the PR-2 noise model
+     as an injectable fault. *)
+  let burst_machine =
+    match s.target with
+    | Hw { cpu; seed; noise; _ } -> (
+        match noise_preset_of_name noise with
+        | Some cfg -> Some (device t cpu seed noise, cfg)
+        | None -> None)
+    | Sim _ -> None
+  in
+  let burst_active = ref false in
   let last_queries = ref 0 in
   let ticket = ref (Gate.acquire t.gate) in
   let probe q =
     last_queries := q;
+    (match burst_machine with
+    | Some (machine, configured) ->
+        if !burst_active then begin
+          Cq_hwsim.Machine.set_noise machine configured;
+          burst_active := false
+        end;
+        if Cq_util.Faults.ambient_fire "hw.noise.burst" then begin
+          Cq_hwsim.Machine.set_noise machine Cq_hwsim.Machine.burst_noise;
+          burst_active := true
+        end
+    | None -> ());
     let raise_now =
       locked t (fun () ->
           (match s.state with
@@ -420,10 +523,11 @@ let run_learn t s =
           | _ -> ());
           if t.stopping then Some Draining
           else if s.cancel_requested then Some Cancelled
-          else
-            match kill_after with
-            | Some k when q >= k -> Some Worker_killed
-            | _ -> None)
+          else if
+            Cq_util.Faults.fire ~n:q kill_reg "service.worker.kill"
+            || Cq_util.Faults.ambient_fire ~n:q "service.worker.kill"
+          then Some Worker_killed
+          else None)
     in
     (match raise_now with Some e -> raise e | None -> ());
     (* Hand the hardware token around: FIFO across sessions, one
@@ -433,7 +537,15 @@ let run_learn t s =
   let result =
     match
       Fun.protect
-        ~finally:(fun () -> Gate.release t.gate !ticket)
+        ~finally:(fun () ->
+          (* The machine is shared across sessions: never leak an active
+             burst past this learn's lifetime. *)
+          (match burst_machine with
+          | Some (machine, configured) when !burst_active ->
+              Cq_hwsim.Machine.set_noise machine configured;
+              burst_active := false
+          | _ -> ());
+          Gate.release t.gate !ticket)
         (fun () ->
           match s.target with
           | Sim { policy; assoc } -> (
@@ -464,8 +576,24 @@ let run_learn t s =
     | exception e -> Error e
   in
   let snapshot_if_exists () =
-    if Sys.file_exists s.snapshot_path then Some s.snapshot_path else None
+    if Sys.file_exists s.snapshot_path then Some s.snapshot_path
+    else if Sys.file_exists spill_path then Some spill_path
+    else None
   in
+  (* Feed the breaker: only outcomes that say something about backend
+     health count.  Budget exhaustion, divergence and cancellation are
+     the caller's (or the policy's) doing, not the backend's — they
+     release a held half-open probe without moving the state. *)
+  (match result with
+  | Ok (R_done _) -> Cq_util.Breaker.success t.breaker
+  | Ok (R_failed (failure, _, _)) -> (
+      match failure with
+      | Learn.Transient _ | Learn.Worker_lost _ | Learn.Invalid _ ->
+          Cq_util.Breaker.failure t.breaker
+      | Learn.Budget_exhausted _ | Learn.Diverged _ ->
+          Cq_util.Breaker.abandon t.breaker)
+  | Error (Cancelled | Draining) -> Cq_util.Breaker.abandon t.breaker
+  | Error _ -> Cq_util.Breaker.failure t.breaker);
   locked t (fun () ->
       (match result with
       | Ok (R_done report) ->
@@ -576,22 +704,44 @@ let parse_target params =
                   (Option.value ~default:"L1" (Json.mem_str "level" target))
               with
               | None -> Error "level must be L1, L2 or L3"
-              | Some level ->
-                  Ok
-                    (Hw
-                       {
-                         cpu;
-                         level;
-                         slice =
-                           Option.value ~default:0 (Json.mem_int "slice" target);
-                         set =
-                           Option.value ~default:0 (Json.mem_int "set" target);
-                         seed =
-                           Option.value ~default:42 (Json.mem_int "seed" target);
-                         noise =
-                           Option.value ~default:false
-                             (Json.mem_bool "noise" target);
-                       })))
+              | Some level -> (
+                  (* "noise" accepts a preset name; booleans are kept for
+                     protocol-1 clients (false = quiet, true = default). *)
+                  let noise =
+                    match Json.member "noise" target with
+                    | None -> Ok "quiet"
+                    | Some (Json.Bool b) -> Ok (if b then "default" else "quiet")
+                    | Some (Json.String s) -> (
+                        match noise_preset_of_name s with
+                        | Some _ -> Ok s
+                        | None ->
+                            Error
+                              (Printf.sprintf
+                                 "unknown noise preset %S (quiet, default, \
+                                  burst, drift)"
+                                 s))
+                    | Some _ ->
+                        Error "noise must be a bool or a preset name string"
+                  in
+                  match noise with
+                  | Error _ as e -> e
+                  | Ok noise ->
+                      Ok
+                        (Hw
+                           {
+                             cpu;
+                             level;
+                             slice =
+                               Option.value ~default:0
+                                 (Json.mem_int "slice" target);
+                             set =
+                               Option.value ~default:0
+                                 (Json.mem_int "set" target);
+                             seed =
+                               Option.value ~default:42
+                                 (Json.mem_int "seed" target);
+                             noise;
+                           }))))
       | Some k -> Error (Printf.sprintf "unknown target kind %S" k)
       | None -> Error "target lacks a \"kind\" field")
 
@@ -604,9 +754,17 @@ let sanitize_name name =
     name
 
 let v_session_create t fd id params =
-  match parse_target params with
-  | Error msg -> reply_error fd ~id ~kind:"bad_request" msg
-  | Ok target ->
+  let idem = Json.mem_str "idem" params in
+  match Option.bind idem (idem_find t) with
+  | Some fields ->
+      (* A retried create after a reconnect: replay the original success
+         instead of double-creating the session. *)
+      Metrics.incr t.c_idem_replays;
+      reply fd ~id fields
+  | None -> (
+      match parse_target params with
+      | Error msg -> reply_error fd ~id ~kind:"bad_request" msg
+      | Ok target ->
       let result =
         locked t (fun () ->
             if t.stopping then Error ("shutting_down", "daemon is shutting down")
@@ -661,61 +819,93 @@ let v_session_create t fd id params =
               end
             end)
       in
-      (match result with
+      match result with
       | Error (kind, msg) -> reply_error fd ~id ~kind msg
       | Ok s ->
-          reply fd ~id
+          let fields =
             [
               ("session", Json.Int s.sid);
               ("name", Json.String s.name);
               ("snapshot", Json.String s.snapshot_path);
-            ])
+            ]
+          in
+          (match idem with
+          | Some key -> idem_store t key fields
+          | None -> ());
+          reply fd ~id fields)
 
 let v_learn_start t fd id params =
-  let result =
-    locked t (fun () ->
-        match find_session t params with
-        | Error msg -> Error ("unknown_session", msg)
-        | Ok s -> (
-            if t.stopping then Error ("shutting_down", "daemon is shutting down")
-            else
-              match s.state with
-              | Queued | Running _ ->
-                  Metrics.incr t.c_busy;
-                  Error ("busy", "a learn is already in progress on this session")
-              | Idle | Done _ | Failed _ ->
-                  if t.inflight >= t.cfg.max_inflight then begin
-                    Metrics.incr t.c_busy;
-                    Error
-                      ( "busy",
-                        Printf.sprintf
-                          "server at capacity (%d learns in flight)" t.inflight
-                      )
-                  end
-                  else if remaining_budget s = Some 0 then
-                    Error
-                      ( "budget_exhausted",
-                        Printf.sprintf "session budget of %d queries spent"
-                          (Option.value ~default:0 s.budget) )
-                  else begin
-                    s.learn_resume <-
-                      Option.value ~default:false
-                        (Json.mem_bool "resume" params);
-                    s.kill_after <- Json.mem_int "kill_after_queries" params;
-                    s.learn_budget <- Json.mem_int "query_budget" params;
-                    s.cancel_requested <- false;
-                    s.state <- Queued;
-                    t.inflight <- t.inflight + 1;
-                    Metrics.incr t.c_learns_started;
-                    Queue.push s.sid t.queue;
-                    publish_locked t s "queued" [];
-                    Condition.signal t.work_available;
-                    Ok s.sid
-                  end))
-  in
-  match result with
-  | Error (kind, msg) -> reply_error fd ~id ~kind msg
-  | Ok sid -> reply fd ~id [ ("session", Json.Int sid); ("state", Json.String "queued") ]
+  let idem = Json.mem_str "idem" params in
+  match Option.bind idem (idem_find t) with
+  | Some fields ->
+      (* Retried across a daemon failover: the learn was already queued
+         by the original request — replay, don't double-start. *)
+      Metrics.incr t.c_idem_replays;
+      reply fd ~id fields
+  | None -> (
+      let result =
+        locked t (fun () ->
+            match find_session t params with
+            | Error msg -> Error ("unknown_session", msg)
+            | Ok s -> (
+                if t.stopping then
+                  Error ("shutting_down", "daemon is shutting down")
+                else
+                  match s.state with
+                  | Queued | Running _ ->
+                      Metrics.incr t.c_busy;
+                      Error
+                        ("busy", "a learn is already in progress on this session")
+                  | Idle | Done _ | Failed _ ->
+                      if t.inflight >= t.cfg.max_inflight then begin
+                        Metrics.incr t.c_busy;
+                        Error
+                          ( "busy",
+                            Printf.sprintf
+                              "server at capacity (%d learns in flight)"
+                              t.inflight )
+                      end
+                      else if remaining_budget s = Some 0 then
+                        Error
+                          ( "budget_exhausted",
+                            Printf.sprintf "session budget of %d queries spent"
+                              (Option.value ~default:0 s.budget) )
+                      else if not (Cq_util.Breaker.allow t.breaker) then begin
+                        (* Load shedding: the backend keeps failing — a
+                           fast typed rejection beats a slot in a queue
+                           that cannot drain. *)
+                        Metrics.incr t.c_degraded;
+                        Error
+                          ( "degraded",
+                            "hardware backend degraded (circuit breaker \
+                             open); retry after the cooldown" )
+                      end
+                      else begin
+                        s.learn_resume <-
+                          Option.value ~default:false
+                            (Json.mem_bool "resume" params);
+                        s.kill_after <- Json.mem_int "kill_after_queries" params;
+                        s.learn_budget <- Json.mem_int "query_budget" params;
+                        s.cancel_requested <- false;
+                        s.state <- Queued;
+                        t.inflight <- t.inflight + 1;
+                        Metrics.incr t.c_learns_started;
+                        Queue.push s.sid t.queue;
+                        publish_locked t s "queued" [];
+                        Condition.signal t.work_available;
+                        Ok s.sid
+                      end))
+      in
+      match result with
+      | Error (kind, msg) -> reply_error fd ~id ~kind msg
+      | Ok sid ->
+          let fields =
+            [ ("session", Json.Int sid); ("state", Json.String "queued") ]
+          in
+          (match idem with
+          | Some key -> idem_store t key fields
+          | None -> ());
+          reply fd ~id fields)
 
 let v_learn_cancel t fd id params =
   let result =
@@ -988,6 +1178,51 @@ let v_events t fd id params =
       in
       stream ()
 
+(* Liveness + degradation in one reply: gate depth (hardware contention),
+   inflight vs capacity, breaker state, snapshot-disk headroom, and the
+   armed fault sites (so a chaos run can audit its own schedule). *)
+let v_health t fd id =
+  let gate_depth = Gate.depth t.gate in
+  let sessions, inflight, stopping =
+    locked t (fun () -> (Hashtbl.length t.sessions, t.inflight, t.stopping))
+  in
+  let breaker = Cq_util.Breaker.state t.breaker in
+  let degraded = breaker <> Cq_util.Breaker.Closed || stopping in
+  let fault_sites =
+    match Cq_util.Faults.ambient () with
+    | None -> Json.Null
+    | Some f ->
+        Json.List
+          (List.map
+             (fun (site, hits, fires) ->
+               Json.Obj
+                 [
+                   ("site", Json.String site);
+                   ("hits", Json.Int hits);
+                   ("fires", Json.Int fires);
+                 ])
+             (Cq_util.Faults.counts f))
+  in
+  reply fd ~id
+    [
+      ("status", Json.String (if degraded then "degraded" else "ok"));
+      ("breaker", Json.String (Cq_util.Breaker.state_to_string breaker));
+      ("breaker_trips", Json.Int (Cq_util.Breaker.trips t.breaker));
+      ("breaker_rejections", Json.Int (Cq_util.Breaker.rejections t.breaker));
+      ("gate_depth", Json.Int gate_depth);
+      ("inflight", Json.Int inflight);
+      ("max_inflight", Json.Int t.cfg.max_inflight);
+      ("sessions", Json.Int sessions);
+      ("stopping", Json.Bool stopping);
+      ("uptime_seconds", Json.Float (Clock.mono () -. t.started_at));
+      ("state_dir", Json.String t.cfg.state_dir);
+      ( "disk_free_bytes",
+        match Cq_util.Disk.free_bytes t.cfg.state_dir with
+        | Some b -> Json.Int (Int64.to_int b)
+        | None -> Json.Null );
+      ("fault_sites", fault_sites);
+    ]
+
 let v_stats t fd id =
   let sessions, inflight =
     locked t (fun () -> (Hashtbl.length t.sessions, t.inflight))
@@ -1075,6 +1310,7 @@ let dispatch t fd { Protocol.id; verb; params } =
   | "query" -> v_query t fd id params
   | "events" -> v_events t fd id params
   | "stats" -> v_stats t fd id
+  | "health" -> v_health t fd id
   | "shutdown" ->
       reply fd ~id [ ("stopping", Json.Bool true) ];
       t.stop_requested <- true;
@@ -1131,6 +1367,11 @@ let handle_conn t fd =
                         (fun () -> dispatch t fd req)
                     with
                     | Unix.Unix_error _ as e -> raise e
+                    (* A torn write left a partial frame on the wire; an
+                       error reply appended to it would be read as frame
+                       payload and wedge the peer.  Drop the connection —
+                       the peer sees Truncated/Eof and reconnects. *)
+                    | Cq_util.Faults.Injected _ as e -> raise e
                     | e ->
                         reply_error fd ~id:req.Protocol.id ~kind:"error"
                           (Printexc.to_string e))));

@@ -34,6 +34,11 @@ type config = {
   max_inflight : int;  (** queued + running learns before [busy] *)
   snapshot_every : int;  (** snapshot cadence in hardware queries *)
   progress_every : int;  (** progress event cadence in hardware queries *)
+  breaker_threshold : int;
+      (** consecutive backend-attributable learn failures before the
+          circuit breaker trips to [degraded] load shedding *)
+  breaker_cooldown : float;
+      (** seconds the breaker stays open before admitting one probe *)
 }
 
 val config :
@@ -42,11 +47,14 @@ val config :
   ?max_inflight:int ->
   ?snapshot_every:int ->
   ?progress_every:int ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown:float ->
   state_dir:string ->
   string ->
   config
 (** [config ~state_dir socket_path] with defaults: no TCP, 2 workers,
-    [max_inflight] 8, [snapshot_every] 500, [progress_every] 512. *)
+    [max_inflight] 8, [snapshot_every] 500, [progress_every] 512,
+    [breaker_threshold] 5, [breaker_cooldown] 2.0. *)
 
 type t
 

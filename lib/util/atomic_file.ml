@@ -5,25 +5,80 @@
    final [write] would otherwise destroy the previous good copy along with
    the new one.  POSIX [rename] over the destination is atomic, so readers
    see either the old complete file or the new complete file, never a
-   torn one. *)
+   torn one.
+
+   Failure contract: any I/O failure surfaces as the typed {!Write_error}
+   (stage + errno text) with the temp sibling unlinked, so a full disk
+   degrades a snapshot instead of littering the state dir with [*.tmp]
+   files and killing the learn with a raw [Unix_error].  The fsync
+   outcome is part of that contract — a snapshot that never reached
+   stable storage must not be reported as written.
+
+   Fault sites (armed via [Faults], inert otherwise):
+   - "atomic_file.write"  — ENOSPC while writing the temp sibling
+   - "atomic_file.fsync"  — EIO at fsync
+   - "atomic_file.rename" — simulated crash between the durable temp
+     write and the rename: the temp file is deliberately left behind
+     (as a real crash would leave it) and [Faults.Injected] escapes. *)
+
+type stage = Create | Write | Fsync | Rename
+
+let stage_to_string = function
+  | Create -> "create"
+  | Write -> "write"
+  | Fsync -> "fsync"
+  | Rename -> "rename"
+
+exception Write_error of { path : string; stage : stage; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Write_error { path; stage; reason } ->
+        Some
+          (Printf.sprintf "Atomic_file.Write_error(%s at %s: %s)" path
+             (stage_to_string stage) reason)
+    | _ -> None)
 
 let write ~path content =
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
+  let typed stage reason = raise (Write_error { path; stage; reason }) in
+  let oc =
+    try open_out_bin tmp with Sys_error reason -> typed Create reason
+  in
+  let cleanup () =
+    close_out_noerr oc;
+    try Sys.remove tmp with Sys_error _ -> ()
+  in
   (try
+     if Faults.ambient_fire "atomic_file.write" then
+       raise (Unix.Unix_error (Unix.ENOSPC, "write", tmp));
      output_string oc content;
      flush oc;
      (* Push the bytes to stable storage before the rename makes them the
         authoritative copy; a metadata-only crash window would otherwise
         leave a zero-length "snapshot". *)
-     (try Unix.fsync (Unix.descr_of_out_channel oc)
-      with Unix.Unix_error _ -> ())
-   with e ->
-     close_out_noerr oc;
+     if Faults.ambient_fire "atomic_file.fsync" then
+       raise (Unix.Unix_error (Unix.EIO, "fsync", tmp));
+     Unix.fsync (Unix.descr_of_out_channel oc)
+   with
+  | Sys_error reason ->
+      cleanup ();
+      typed Write reason
+  | Unix.Unix_error (e, op, _) ->
+      cleanup ();
+      typed (if op = "fsync" then Fsync else Write) (Unix.error_message e));
+  (try close_out oc
+   with Sys_error reason ->
      (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  close_out oc;
-  Sys.rename tmp path
+     typed Write reason);
+  (* The crash-simulation point: the temp sibling is durable, the rename
+     has not happened.  A real crash here leaves the tmp file; so do we. *)
+  Faults.ambient_inject ~detail:"crash between tmp write and rename"
+    "atomic_file.rename";
+  try Sys.rename tmp path
+  with Sys_error reason ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    typed Rename reason
 
 let read_opt ~path =
   match In_channel.with_open_bin path In_channel.input_all with

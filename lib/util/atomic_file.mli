@@ -2,10 +2,24 @@
     tolerant reads.  Used for learning-session snapshots and benchmark
     result files, which must never be observable half-written. *)
 
+type stage = Create | Write | Fsync | Rename
+
+val stage_to_string : stage -> string
+
+exception Write_error of { path : string; stage : stage; reason : string }
+(** The one failure shape of {!write}: which stage failed and the errno
+    text.  The temp sibling has been unlinked by the time it is raised. *)
+
 val write : path:string -> string -> unit
 (** Replace [path] with [content] atomically: readers observe either the
-    previous complete file or the new one.  The temp sibling
-    ([path ^ ".tmp"]) is removed on failure. *)
+    previous complete file or the new one.  Any I/O failure — including
+    fsync, which is not swallowed — raises {!Write_error} with the temp
+    sibling removed.
+
+    Exception: when the ["atomic_file.rename"] fault site is armed (see
+    {!Faults}), a simulated crash between the durable temp write and the
+    rename raises {!Faults.Injected} and deliberately leaves the temp
+    file behind, exactly as a real crash would. *)
 
 val read_opt : path:string -> string option
 (** Whole-file read; [None] when the file is missing or unreadable (a

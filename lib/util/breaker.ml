@@ -1,0 +1,121 @@
+(* Circuit breaker.
+
+   The daemon sits in front of a hardware backend that can go bad as a
+   unit — a wedged interference channel, a noise storm — in which case
+   every queued learn would burn its full retry budget discovering the
+   same outage, and the gate queue collapses under work that cannot
+   succeed.  The breaker converts that into fast, typed rejection:
+   after [failure_threshold] consecutive failures it opens, callers get
+   an immediate "degraded" answer instead of a slot in a doomed queue,
+   and after [cooldown] a single probe call is let through (half-open)
+   to test whether the backend healed.
+
+   The clock is injectable (monotonic seconds) so tests drive the
+   cooldown with a fake clock instead of sleeping. *)
+
+type state = Closed | Open | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+
+type t = {
+  m : Mutex.t;
+  clock : unit -> float;
+  failure_threshold : int;
+  cooldown : float;
+  mutable st : state;
+  mutable consecutive_failures : int;
+  mutable opened_at : float;
+  mutable probing : bool; (* a half-open probe is in flight *)
+  mutable trips : int;
+  mutable rejections : int;
+}
+
+let create ?(clock = Clock.mono) ?(failure_threshold = 5) ?(cooldown = 2.0) ()
+    =
+  if failure_threshold < 1 then
+    invalid_arg "Breaker.create: failure_threshold must be >= 1";
+  if cooldown < 0.0 then invalid_arg "Breaker.create: cooldown must be >= 0";
+  {
+    m = Mutex.create ();
+    clock;
+    failure_threshold;
+    cooldown;
+    st = Closed;
+    consecutive_failures = 0;
+    opened_at = 0.0;
+    probing = false;
+    trips = 0;
+    rejections = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let state t = locked t (fun () -> t.st)
+
+let allow t =
+  locked t (fun () ->
+      match t.st with
+      | Closed -> true
+      | Open ->
+          if t.clock () -. t.opened_at >= t.cooldown then begin
+            (* Cooldown elapsed: admit exactly one probe. *)
+            t.st <- Half_open;
+            t.probing <- true;
+            true
+          end
+          else begin
+            t.rejections <- t.rejections + 1;
+            false
+          end
+      | Half_open ->
+          if t.probing then begin
+            (* Someone else holds the probe slot; keep shedding. *)
+            t.rejections <- t.rejections + 1;
+            false
+          end
+          else begin
+            t.probing <- true;
+            true
+          end)
+
+let success t =
+  locked t (fun () ->
+      t.consecutive_failures <- 0;
+      t.probing <- false;
+      t.st <- Closed)
+
+let failure t =
+  locked t (fun () ->
+      match t.st with
+      | Half_open ->
+          (* The probe failed: back to open, restart the cooldown. *)
+          t.probing <- false;
+          t.st <- Open;
+          t.opened_at <- t.clock ()
+      | Open -> ()
+      | Closed ->
+          t.consecutive_failures <- t.consecutive_failures + 1;
+          if t.consecutive_failures >= t.failure_threshold then begin
+            t.st <- Open;
+            t.opened_at <- t.clock ();
+            t.trips <- t.trips + 1
+          end)
+
+(* The call finished without saying anything about backend health (it was
+   cancelled, or failed for reasons the backend cannot answer for):
+   release a held half-open probe slot so the next caller can probe. *)
+let abandon t = locked t (fun () -> t.probing <- false)
+
+let trips t = locked t (fun () -> t.trips)
+let rejections t = locked t (fun () -> t.rejections)
+
+let reset t =
+  locked t (fun () ->
+      t.st <- Closed;
+      t.consecutive_failures <- 0;
+      t.probing <- false)

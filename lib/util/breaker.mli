@@ -1,0 +1,53 @@
+(** Circuit breaker around a backend that fails as a unit.
+
+    After [failure_threshold] consecutive failures the breaker trips to
+    {!Open}: {!allow} answers [false] immediately (load shedding), the
+    caller should reply with a typed "degraded" error.  After [cooldown]
+    seconds a single probe call is admitted ({!Half_open}); its outcome
+    — reported via {!success}/{!failure} — closes or re-opens the
+    breaker.  All operations are thread-safe. *)
+
+type state = Closed | Open | Half_open
+
+val state_to_string : state -> string
+
+type t
+
+val create :
+  ?clock:(unit -> float) ->
+  ?failure_threshold:int ->
+  ?cooldown:float ->
+  unit ->
+  t
+(** [clock] is a monotonic-seconds source (default {!Clock.mono});
+    inject a fake one in tests to drive the cooldown without sleeping.
+    Defaults: [failure_threshold = 5], [cooldown = 2.0]. *)
+
+val state : t -> state
+
+val allow : t -> bool
+(** May a call proceed?  [false] means shed it now.  In the open state,
+    the first call after the cooldown elapses is admitted as the
+    half-open probe; concurrent callers keep being shed until the probe
+    reports. *)
+
+val success : t -> unit
+(** Report a successful call: closes the breaker, resets counters. *)
+
+val failure : t -> unit
+(** Report a failed call: counts toward the threshold when closed;
+    re-opens and restarts the cooldown when half-open. *)
+
+val abandon : t -> unit
+(** Report that a call finished without evidence either way (cancelled,
+    or failed for reasons the backend cannot answer for): frees a held
+    half-open probe slot without changing state. *)
+
+val trips : t -> int
+(** Closed→open transitions since creation. *)
+
+val rejections : t -> int
+(** Calls shed by {!allow}. *)
+
+val reset : t -> unit
+(** Force-close, clearing failure counts (stats are kept). *)

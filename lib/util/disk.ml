@@ -1,0 +1,11 @@
+(* Disk headroom, for the daemon's health verb and the snapshot spill
+   decision.  A learn that will write snapshots for hours should be able
+   to say up front — and report over the wire — whether the state dir
+   has room for them. *)
+
+external free_bytes_exn : string -> int64 = "cq_disk_free_bytes"
+
+let free_bytes path =
+  match free_bytes_exn path with
+  | bytes -> Some bytes
+  | exception (Failure _ | Invalid_argument _) -> None

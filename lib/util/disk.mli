@@ -1,0 +1,5 @@
+(** Disk headroom (statvfs binding). *)
+
+val free_bytes : string -> int64 option
+(** Bytes available to an unprivileged writer on the filesystem holding
+    [path]; [None] when the path does not exist or statvfs fails. *)

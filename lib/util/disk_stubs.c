@@ -1,0 +1,34 @@
+/* Free-space probe for the daemon's health verb.  The snapshot spill
+   logic wants to report disk headroom before a multi-hour learn starts
+   writing snapshots, and OCaml's stdlib has no statvfs binding.  Uses
+   f_bavail (blocks available to unprivileged callers), not f_bfree:
+   the daemon does not run as root, so root-reserved blocks are not
+   headroom it can use. */
+
+#include <errno.h>
+#include <string.h>
+#include <sys/statvfs.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+
+CAMLprim value cq_disk_free_bytes(value vpath)
+{
+  CAMLparam1(vpath);
+  struct statvfs st;
+  char path[4096];
+  int rc;
+  size_t len = caml_string_length(vpath);
+  if (len >= sizeof(path))
+    caml_invalid_argument("Disk.free_bytes: path too long");
+  memcpy(path, String_val(vpath), len);
+  path[len] = '\0';
+  caml_release_runtime_system();
+  rc = statvfs(path, &st);
+  caml_acquire_runtime_system();
+  if (rc != 0)
+    caml_failwith("statvfs");
+  CAMLreturn(caml_copy_int64((int64_t)st.f_bavail * (int64_t)st.f_frsize));
+}

@@ -112,7 +112,13 @@ let map_run t f items n =
     (* cq-lint: allow domain-shared-state: calling domain only; workers signal via the failed_flag Atomic *)
     let any_failure = ref false in
     let run_task slot i =
-      match f (ctx_for t slot) items.(i) with
+      match
+        (* Chaos seam: an armed "pool.task" site makes this task raise as
+           if the user function had — exercising the poison / salvage /
+           sequential-fallback machinery below on demand. *)
+        Faults.ambient_inject ~detail:"pool worker task fault" "pool.task";
+        f (ctx_for t slot) items.(i)
+      with
       | r ->
           (* Reconcile once per task, not per attempt: a retry of a
              salvaged slot must not count the task again.  A task's
@@ -174,20 +180,25 @@ let map_run t f items n =
       Metrics.add t.stats.salvaged
         (Array.fold_left (fun a r -> if r <> None then a + 1 else a) 0 results);
       (* Bounded retry rounds, sequentially in the calling domain on a
-         rebuilt context: the degraded mode when workers keep dying. *)
-      (* cq-lint: allow domain-shared-state: retry loop runs in the calling domain only *)
-      let round = ref 0 in
+         rebuilt context: the degraded mode when workers keep dying.  One
+         [Backoff] attempt per round; [immediate] because the context was
+         already rebuilt — there is nothing to wait out. *)
       let still_failing () = Array.exists (fun e -> e <> None) failures in
-      while !round < t.task_retries && still_failing () do
-        incr round;
-        Metrics.incr t.stats.sequential_fallbacks;
-        for i = 0 to n - 1 do
-          if failures.(i) <> None then begin
-            Metrics.incr t.stats.task_retries;
-            run_task 0 i
-          end
-        done
-      done;
+      (if t.task_retries > 0 && still_failing () then
+         let outcome =
+           Backoff.retry ~policy:Backoff.immediate ~attempts:t.task_retries
+             ~init:()
+             (fun ~attempt:_ () ->
+               Metrics.incr t.stats.sequential_fallbacks;
+               for i = 0 to n - 1 do
+                 if failures.(i) <> None then begin
+                   Metrics.incr t.stats.task_retries;
+                   run_task 0 i
+                 end
+               done;
+               if still_failing () then `Retry () else `Done ())
+         in
+         ignore (outcome : (unit, unit) result));
       match
         Array.to_seq failures
         |> Seq.zip (Seq.ints 0)

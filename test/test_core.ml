@@ -140,6 +140,7 @@ let () =
   Alcotest.run "cachequery"
     [
       Test_util.suite;
+      Test_resilience.suite;
       Test_mealy.suite;
       Test_policy.suite;
       Test_cache.suite;

@@ -166,6 +166,104 @@ let test_frame_typed_errors () =
       | Protocol.Bad (Protocol.Truncated _) -> ()
       | _ -> Alcotest.fail "partial header must be Truncated")
 
+(* A reader thread with a deadline: the framing contract is "typed result
+   or Eof, promptly" — a hung read_frame must fail the test, not wedge the
+   whole suite. *)
+let read_frame_with_deadline ?(seconds = 10.0) fd =
+  let result = ref None in
+  let th = Thread.create (fun () -> result := Some (Protocol.read_frame fd)) () in
+  let deadline = Cq_util.Clock.after seconds in
+  let rec wait () =
+    if !result <> None then ()
+    else if Cq_util.Clock.expired deadline then ()
+    else begin
+      Thread.delay 0.005;
+      wait ()
+    end
+  in
+  wait ();
+  match !result with
+  | Some r ->
+      Thread.join th;
+      r
+  | None -> Alcotest.fail "read_frame hung past the deadline"
+
+let test_frame_byte_at_a_time () =
+  (* A writer dribbling one byte per write (worst-case TCP segmentation):
+     the reader must reassemble every frame intact, never misframe. *)
+  with_socketpair (fun a b ->
+      let payloads =
+        [ "{\"verb\":\"ping\",\"id\":1}"; ""; String.make 300 'x' ]
+      in
+      let feeder =
+        Thread.create
+          (fun () ->
+            List.iter
+              (fun p ->
+                let wire = header_of_len (String.length p) ^ p in
+                String.iter
+                  (fun ch ->
+                    write_all a (String.make 1 ch);
+                    Thread.yield ())
+                  wire)
+              payloads;
+            Unix.close a)
+          ()
+      in
+      List.iter
+        (fun expected ->
+          match read_frame_with_deadline b with
+          | Protocol.Frame got ->
+              Alcotest.(check string) "reassembled intact" expected got
+          | _ -> Alcotest.fail "expected a frame")
+        payloads;
+      (match read_frame_with_deadline b with
+      | Protocol.Eof -> ()
+      | _ -> Alcotest.fail "clean close after dribble reads as Eof");
+      Thread.join feeder)
+
+let test_frame_torn_at_every_boundary () =
+  (* Tear one frame at every possible byte boundary: each prefix must read
+     back as a typed Truncated (or Eof for the empty prefix) — never an
+     exception, never a hang. *)
+  let payload = "{\"verb\":\"learn.start\",\"id\":7}" in
+  let wire = header_of_len (String.length payload) ^ payload in
+  for cut = 0 to String.length wire - 1 do
+    with_socketpair (fun a b ->
+        write_all a (String.sub wire 0 cut);
+        Unix.close a;
+        match read_frame_with_deadline b with
+        | Protocol.Eof when cut = 0 -> ()
+        | Protocol.Bad (Protocol.Truncated _) when cut > 0 -> ()
+        | other ->
+            Alcotest.fail
+              (Printf.sprintf "cut at %d: unexpected %s" cut
+                 (match other with
+                 | Protocol.Frame _ -> "Frame"
+                 | Protocol.Eof -> "Eof"
+                 | Protocol.Bad e -> Protocol.frame_error_to_string e)))
+  done
+
+let test_frame_torn_write_fault_site () =
+  (* The injected torn write must write a strict prefix: the peer sees a
+     typed Truncated once the writer closes, and the writer itself gets
+     the typed Injected exception to act on. *)
+  let t = Cq_util.Faults.create () in
+  Cq_util.Faults.arm t ~site:"frame.write.torn" (Cq_util.Faults.Nth 1);
+  with_socketpair (fun a b ->
+      Cq_util.Faults.with_ambient t (fun () ->
+          match Protocol.write_frame a "0123456789abcdef" with
+          | () -> Alcotest.fail "armed torn write must raise"
+          | exception Cq_util.Faults.Injected { site = "frame.write.torn"; _ }
+            ->
+              ());
+      Unix.close a;
+      match read_frame_with_deadline b with
+      | Protocol.Bad (Protocol.Truncated _) | Protocol.Eof -> ()
+      | Protocol.Frame _ -> Alcotest.fail "torn write delivered a whole frame"
+      | Protocol.Bad e ->
+          Alcotest.fail ("unexpected " ^ Protocol.frame_error_to_string e))
+
 (* --- the daemon under garbage input --- *)
 
 let raw_connect socket =
@@ -551,6 +649,12 @@ let suite =
       Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
       Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
       Alcotest.test_case "frame typed errors" `Quick test_frame_typed_errors;
+      Alcotest.test_case "frame byte-at-a-time reassembly" `Quick
+        test_frame_byte_at_a_time;
+      Alcotest.test_case "frame torn at every boundary" `Quick
+        test_frame_torn_at_every_boundary;
+      Alcotest.test_case "frame torn-write fault site" `Quick
+        test_frame_torn_write_fault_site;
       Alcotest.test_case "fuzzed frames never crash the daemon" `Quick
         test_fuzzed_frames_never_crash;
       Alcotest.test_case "membership queries" `Quick test_membership_queries;
