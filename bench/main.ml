@@ -1641,6 +1641,197 @@ let micro () =
     (List.map (fun t -> Test.make_grouped ~name:"micro" [ t ]) tests)
 
 (* ----------------------------------------------------------------------- *)
+(* Workload engine: hit rates vs Belady-OPT, compiled replay throughput     *)
+(* ----------------------------------------------------------------------- *)
+
+(* The workload engine closes the loop from learned automata back to
+   traffic: replay spec-described traces through the zoo (hit rates vs
+   the Belady-OPT offline bound), then hold the compiled replayer to its
+   contract — bit-for-bit agreement with the policy-instance path on a
+   learned PLRU-8 machine at >= 1M accesses/sec — and finally drive the
+   same evaluation through the daemon's replay verb, which must report
+   the same numbers.  Results land in BENCH_workload.json (atomically); a
+   prior file is read tolerantly for a throughput trend line. *)
+let workload () =
+  header
+    "Workload engine: hit rates vs Belady-OPT, compiled replay throughput";
+  let module W = Cq_workload in
+  let assoc = 8 in
+  let policy_names =
+    [ "LRU"; "FIFO"; "PLRU"; "MRU"; "LIP"; "BIP"; "SRRIP-HP" ]
+  in
+  let specs =
+    [
+      "zipf:n=64,alpha=1.2,len=200000,seed=1";
+      "uniform:n=16,len=200000,seed=2";
+      "seq:n=12,len=200000";
+      "stride:n=24,stride=3,len=200000";
+      "anti:len=200000";
+    ]
+  in
+  let traces = List.map (W.Trace.of_spec_exn ~assoc) specs in
+  let subjects =
+    List.map
+      (fun name -> (name, Cq_policy.Zoo.make_exn ~name ~assoc))
+      policy_names
+  in
+  (* --- phase 1: hit-rate table vs Belady-OPT --- *)
+  let rows = W.Eval.policies subjects traces in
+  W.Eval.pp_table Format.std_formatter rows;
+  (* --- phase 2: a machine actually produced by the learner --- *)
+  Printf.printf "\nlearning PLRU at assoc %d...\n%!" assoc;
+  let plru = Cq_policy.Zoo.make_exn ~name:"PLRU" ~assoc in
+  let report = Cq_core.Learn.learn_simulated ~identify:false plru in
+  let compiled = Cq_automata.Mealy.compile report.Cq_core.Learn.machine in
+  let states = Cq_automata.Mealy.compiled_n_states compiled in
+  Printf.printf "learned %d states in %.2f s\n%!" states
+    report.Cq_core.Learn.seconds;
+  let streams_identical =
+    List.for_all
+      (fun (tr : W.Trace.t) ->
+        let o_p = W.Replay.policy plru tr.W.Trace.blocks in
+        let o_c = W.Replay.compiled compiled tr.W.Trace.blocks in
+        Bytes.equal o_p.W.Replay.stream o_c.W.Replay.stream)
+      traces
+  in
+  Printf.printf
+    "learned-machine streams identical to policy instances: %b\n%!"
+    streams_identical;
+  if not streams_identical then
+    failwith
+      "workload bench: learned PLRU-8 replay diverged from the policy \
+       instance";
+  (* --- phase 3: compiled throughput (floor: 1M accesses/sec) --- *)
+  let big_spec = "zipf:n=64,alpha=1.2,len=2000000,seed=9" in
+  let big = W.Trace.of_spec_exn ~assoc big_spec in
+  let blocks = big.W.Trace.blocks in
+  ignore (W.Replay.compiled compiled blocks) (* warm-up *);
+  let t0 = Cq_util.Clock.mono () in
+  let o_fast = W.Replay.compiled compiled blocks in
+  let dt = Cq_util.Clock.mono () -. t0 in
+  let t1 = Cq_util.Clock.mono () in
+  let o_inst = W.Replay.policy plru blocks in
+  let dt_inst = Cq_util.Clock.mono () -. t1 in
+  if not (Bytes.equal o_fast.W.Replay.stream o_inst.W.Replay.stream) then
+    failwith "workload bench: throughput-run streams diverged";
+  let len_f = float_of_int (Array.length blocks) in
+  let compiled_aps = len_f /. dt and policy_aps = len_f /. dt_inst in
+  Printf.printf
+    "compiled replay: %.1fM accesses/s | policy instance: %.1fM/s | \
+     speedup %.1fx (%d accesses, %d-state machine)\n%!"
+    (compiled_aps /. 1e6) (policy_aps /. 1e6) (compiled_aps /. policy_aps)
+    (Array.length blocks) states;
+  if compiled_aps < 1_000_000.0 then
+    failwith
+      (Printf.sprintf
+         "workload bench: compiled replay at %.0f accesses/s is below the \
+          1M/s floor"
+         compiled_aps);
+  (* --- phase 4: miss attribution on the learned machine --- *)
+  let attr = W.Replay.attribution compiled in
+  let attr_trace = List.hd traces in
+  ignore (W.Replay.compiled ~attr compiled attr_trace.W.Trace.blocks);
+  Printf.printf "\nmiss attribution: learned PLRU-%d on %s\n%!" assoc
+    attr_trace.W.Trace.label;
+  W.Eval.pp_attribution ~top:5 Format.std_formatter attr;
+  (* --- phase 5: the daemon as a load source --- *)
+  let module Server = Cq_service.Server in
+  let module Client = Cq_service.Client in
+  let module Json = Cq_service.Json in
+  let state_dir = "bench-workload-state" in
+  (try Unix.mkdir state_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let socket = Filename.concat state_dir "bench.sock" in
+  let server = Server.create (Server.config ~workers:1 ~state_dir socket) in
+  Server.start server;
+  let daemon_match =
+    Fun.protect ~finally:(fun () ->
+        Server.stop server;
+        rm_scratch_dir state_dir)
+    @@ fun () ->
+    let c = Client.connect_unix socket in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    let d_assoc = 4 in
+    let d_spec = "zipf:n=32,alpha=1.2,len=50000,seed=5" in
+    let local =
+      W.Replay.policy
+        (Cq_policy.Zoo.make_exn ~name:"PLRU" ~assoc:d_assoc)
+        (W.Trace.of_spec_exn ~assoc:d_assoc d_spec).W.Trace.blocks
+    in
+    let sid = Client.create_sim c ~policy:"PLRU" ~assoc:d_assoc () in
+    let hits_of doc = Option.value ~default:(-1) (Json.mem_int "hits" doc) in
+    let before = Client.replay c ~spec:d_spec sid in
+    Client.learn_start c sid;
+    ignore (Client.learn_wait c ~timeout_s:300.0 sid);
+    let after = Client.replay c ~spec:d_spec sid in
+    let ok =
+      hits_of before = local.W.Replay.hits
+      && hits_of after = local.W.Replay.hits
+      && Option.value ~default:"?" (Json.mem_str "source" after) = "learned"
+    in
+    Printf.printf
+      "\ndaemon replay (PLRU-%d, %s): policy %d hits, learned %d hits, \
+       local %d hits -> match: %b\n%!"
+      d_assoc d_spec (hits_of before) (hits_of after) local.W.Replay.hits ok;
+    ok
+  in
+  if not daemon_match then
+    failwith "workload bench: daemon replay diverged from local replay";
+  (* --- prior-run trend (tolerant of missing/partial files) --- *)
+  (match Cq_util.Atomic_file.read_opt ~path:"BENCH_workload.json" with
+  | None -> ()
+  | Some prior -> (
+      match json_int_field prior "compiled_accesses_per_sec" with
+      | Some p ->
+          Printf.printf
+            "\nprior compiled throughput: %d accesses/s -> this run: %.0f\n%!"
+            p compiled_aps
+      | None ->
+          Printf.printf
+            "(prior BENCH_workload.json unreadable or partial -- ignored)\n%!"));
+  (* --- artifact --- *)
+  let buf = Buffer.create 2048 in
+  Printf.ksprintf (Buffer.add_string buf)
+    "{\n\
+    \  \"assoc\": %d,\n\
+    \  \"learned_policy\": \"PLRU\",\n\
+    \  \"learned_states\": %d,\n\
+    \  \"learn_seconds\": %.3f,\n\
+    \  \"streams_identical\": %b,\n\
+    \  \"throughput_trace\": %S,\n\
+    \  \"compiled_accesses_per_sec\": %d,\n\
+    \  \"policy_accesses_per_sec\": %d,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"daemon_match\": %b,\n\
+    \  \"rows\": [\n"
+    assoc states report.Cq_core.Learn.seconds streams_identical big_spec
+    (int_of_float compiled_aps)
+    (int_of_float policy_aps)
+    (compiled_aps /. policy_aps)
+    daemon_match;
+  let n_rows = List.length rows in
+  List.iteri
+    (fun i (r : W.Eval.row) ->
+      Printf.ksprintf (Buffer.add_string buf)
+        "    { \"policy\": %S, \"trace\": %S, \"accesses\": %d, \"hits\": \
+         %d, \"hit_rate\": %.6f, \"opt_hit_rate\": %.6f }%s\n"
+        r.W.Eval.subject r.W.Eval.trace r.W.Eval.accesses r.W.Eval.hits
+        r.W.Eval.rate r.W.Eval.opt_rate
+        (if i = n_rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string buf "  ],\n  \"attribution_top\": [\n";
+  let top = W.Replay.top_miss_states attr 5 in
+  let n_top = List.length top in
+  List.iteri
+    (fun i (s, m, h) ->
+      Printf.ksprintf (Buffer.add_string buf)
+        "    { \"state\": %d, \"misses\": %d, \"hits\": %d }%s\n" s m h
+        (if i = n_top - 1 then "" else ","))
+    top;
+  Buffer.add_string buf "  ]\n}\n";
+  Cq_util.Atomic_file.write ~path:"BENCH_workload.json" (Buffer.contents buf);
+  Printf.printf "\n(wrote BENCH_workload.json)\n%!"
+
+(* ----------------------------------------------------------------------- *)
 (* Driver                                                                    *)
 (* ----------------------------------------------------------------------- *)
 
@@ -1667,6 +1858,7 @@ let () =
     | "assoc" -> assoc_bench ~full ~smoke ()
     | "service" -> service ()
     | "chaos" -> chaos ()
+    | "workload" -> workload ()
     | "micro" -> micro ()
     | "all" ->
         (* One crashing experiment must not take the rest of the run (or
@@ -1694,6 +1886,7 @@ let () =
             ("assoc", assoc_bench ~full ~smoke);
             ("service", service);
             ("chaos", chaos);
+            ("workload", workload);
             ("micro", micro);
           ];
         (* Every artifact this bench run (or a previous one) left behind:

@@ -216,6 +216,34 @@ let query_cmd =
     (Cmd.info "query" ~doc:"run a membership query")
     Term.(const run $ socket_arg $ session_arg $ word $ mbl)
 
+let replay_cmd =
+  let run socket sid spec source =
+    with_client socket (fun c ->
+        print_json (Cq_service.Client.replay c ?source ~spec sid))
+  in
+  let spec =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"SPEC"
+          ~doc:
+            (Printf.sprintf "Workload trace spec: %s."
+               Cq_workload.Trace.spec_syntax))
+  in
+  let source =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "source" ] ~docv:"SOURCE"
+          ~doc:
+            "What replays the trace: $(b,auto) (learned machine when one \
+             exists, else the policy), $(b,policy), or $(b,learned).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"replay a workload trace on a sim session (vs Belady-OPT)")
+    Term.(const run $ socket_arg $ session_arg $ spec $ source)
+
 let result_cmd =
   let run socket sid dot =
     with_client socket (fun c ->
@@ -274,6 +302,7 @@ let cmd =
       status_cmd;
       wait_cmd;
       query_cmd;
+      replay_cmd;
       result_cmd;
       cancel_cmd;
       health_cmd;

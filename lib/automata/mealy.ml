@@ -339,6 +339,53 @@ let compiled_run_from c s word =
 
 let compiled_run c word = compiled_run_from c c.c_init word
 
+(* Streaming stepper: a compiled machine plus a mutable cursor.  The
+   replay engine interleaves its own cache bookkeeping between automaton
+   steps, so the whole-trace walkers above don't fit; this exposes the
+   same unsafe table walk one input at a time.  Outputs are returned by
+   physical sharing from [c_out]/[c_dict] — nothing allocates per step. *)
+
+type 'o stepper = { sc : 'o compiled; mutable s : int }
+
+let stepper ?state c =
+  let s = match state with None -> c.c_init | Some s -> s in
+  if s < 0 || s >= c.c_states then
+    invalid_arg "Mealy.stepper: state out of range";
+  { sc = c; s }
+
+let stepper_state st = st.s
+
+let stepper_reset ?state st =
+  let s = match state with None -> st.sc.c_init | Some s -> s in
+  if s < 0 || s >= st.sc.c_states then
+    invalid_arg "Mealy.stepper_reset: state out of range";
+  st.s <- s
+
+let stepper_step st i =
+  let c = st.sc in
+  let k = c.c_k in
+  if i < 0 || i >= k then bad_input ();
+  let idx = (st.s * k) + i in
+  (match c.c_next with
+  | Narrow b -> st.s <- Char.code (Bytes.unsafe_get b idx)
+  | Wide a -> st.s <- Array.unsafe_get a idx);
+  Array.unsafe_get c.c_out idx
+
+let stepper_step_code st i =
+  let c = st.sc in
+  let k = c.c_k in
+  if i < 0 || i >= k then bad_input ();
+  let idx = (st.s * k) + i in
+  (match c.c_next with
+  | Narrow b -> st.s <- Char.code (Bytes.unsafe_get b idx)
+  | Wide a -> st.s <- Array.unsafe_get a idx);
+  Array.unsafe_get c.c_code idx
+
+let decode_output c code =
+  if code < 0 || code >= Array.length c.c_dict then
+    invalid_arg "Mealy.decode_output: bad code";
+  c.c_dict.(code)
+
 (* cq-lint: end hot-loop *)
 
 (* Enumerate the reachable part of an implicit machine given by a step

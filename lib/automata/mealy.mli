@@ -97,6 +97,42 @@ val compiled_state_after_from : 'o compiled -> int -> int list -> int
 val compiled_run : 'o compiled -> int list -> 'o list
 val compiled_run_from : 'o compiled -> int -> int list -> 'o list
 
+(** {2 Streaming compiled stepper}
+
+    The agree/reject walkers above answer one question per whole trace.
+    Replay workloads need the machine's output {e per access}, millions of
+    times, while interleaving their own bookkeeping (tag updates, miss
+    attribution) between steps.  A {!stepper} is a compiled machine plus a
+    mutable current state: each {!stepper_step} advances by one input and
+    returns the output {e from the compiled table} — a physically shared
+    value, so the walk allocates nothing per access. *)
+
+type 'o stepper
+
+val stepper : ?state:int -> 'o compiled -> 'o stepper
+(** A fresh stepper positioned at [state] (default the initial state).
+    Raises [Invalid_argument] on an out-of-range state.  Steppers are
+    cheap; the compiled tables are shared, never copied. *)
+
+val stepper_state : 'o stepper -> int
+(** The current control state. *)
+
+val stepper_reset : ?state:int -> 'o stepper -> unit
+(** Reposition at [state] (default the initial state). *)
+
+val stepper_step : 'o stepper -> int -> 'o
+(** Advance by one input and return the emitted output (shared with the
+    compiled table — no allocation).  Raises [Invalid_argument] when the
+    input is out of range. *)
+
+val stepper_step_code : 'o stepper -> int -> int
+(** As {!stepper_step} but returns the output's dictionary code (an int
+    comparison key); decode with {!decode_output}. *)
+
+val decode_output : 'o compiled -> int -> 'o
+(** The output behind a dictionary code ({!stepper_step_code},
+    {!encode_outputs}).  Raises [Invalid_argument] on a bad code. *)
+
 val of_fun :
   init:'s -> n_inputs:int -> step:('s -> int -> 's * 'o) -> max_states:int -> 'o t
 (** Explicit reachable-state enumeration of an implicit machine. States of

@@ -342,6 +342,41 @@ let wbinvd t =
     (fun level -> Cache_level.flush_content (level_cache t level))
     Cpu_model.all_levels
 
+(* Batch replay: drive a block-id trace through one (slice, set) of a
+   level, classifying each access by the level that served it.  Block id
+   [b] maps to the [b]-th address congruent with the set; a hit is an
+   access served at [level] or closer to the core.  This is the
+   hwsim-as-load-source entry point the workload engine's differential
+   tests drive. *)
+let replay_set ?universe t level ~slice ~set blocks =
+  let n_blocks =
+    match universe with
+    | Some n -> n
+    | None -> 1 + Array.fold_left max (-1) blocks
+  in
+  Array.iter
+    (fun b ->
+      if b < 0 || b >= n_blocks then
+        invalid_arg "Machine.replay_set: block id out of range")
+    blocks;
+  let addrs =
+    Array.of_list (congruent_addresses t level ~slice ~set n_blocks)
+  in
+  let n = Array.length blocks in
+  let stream = Bytes.make n '\000' in
+  let hit served =
+    match (level, served) with
+    | Cpu_model.L1, `L1 -> true
+    | Cpu_model.L2, (`L1 | `L2) -> true
+    | Cpu_model.L3, (`L1 | `L2 | `L3) -> true
+    | _ -> false
+  in
+  for j = 0 to n - 1 do
+    let served = load_raw t addrs.(Array.unsafe_get blocks j) in
+    if hit served then Bytes.unsafe_set stream j '\001'
+  done;
+  stream
+
 (* Test-only introspection into a set's tags. *)
 let peek_set t level ~slice ~set =
   Cache_level.peek_content (level_cache t level) ~slice ~set

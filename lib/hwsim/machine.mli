@@ -104,6 +104,21 @@ val wbinvd : t -> unit
 (** Drop all cached content everywhere (replacement metadata stays, as
     on real hardware). *)
 
+val replay_set :
+  ?universe:int ->
+  t ->
+  Cpu_model.level ->
+  slice:int ->
+  set:int ->
+  int array ->
+  Bytes.t
+(** [replay_set t level ~slice ~set blocks] drives a block-id trace
+    through one set of the level and returns the hit/miss stream — one
+    byte per access, [1] when the access was served at [level] or closer
+    to the core.  Block id [b] maps to the [b]-th address congruent with
+    the set ([universe] fixes the id range; default the trace's max + 1).
+    Disable prefetchers first for faithful single-set semantics. *)
+
 (** {1 Introspection (tests, diagnostics)} *)
 
 val peek_set : t -> Cpu_model.level -> slice:int -> set:int -> int option array

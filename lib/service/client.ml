@@ -399,6 +399,16 @@ let query_mbl c sid mbl =
     ~params:(Json.Obj [ ("session", Json.Int sid); ("mbl", Json.String mbl) ])
     "query"
 
+(* Replay is read-only and budget-free server-side, so unlike membership
+   queries it is safe to resend after a connection failure. *)
+let replay c ?source ~spec sid =
+  let params =
+    Json.Obj
+      ([ ("session", Json.Int sid); ("spec", Json.String spec) ]
+      @ opt_field "source" (Option.map (fun s -> Json.String s) source))
+  in
+  call c ~params "replay"
+
 (* Event stream with transparent resume: remember the last sequence seen
    and resubscribe from there after a reconnect, so a daemon bounce costs
    neither duplicates nor gaps. *)

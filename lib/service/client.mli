@@ -122,6 +122,14 @@ val query_mbl : t -> int -> string -> Json.t
 (** MBL query on a hw session; returns the reply document.  Never
     auto-resent (see {!query_sim}). *)
 
+val replay : t -> ?source:string -> spec:string -> int -> Json.t
+(** [replay c ~spec sid] evaluates a workload trace spec on a sim
+    session, returning the reply document [{spec; trace; source;
+    accesses; hits; misses; hit_rate; opt_hits; opt_hit_rate}].
+    [source] is ["auto"] (default: the learned machine when one exists,
+    else the policy), ["policy"], or ["learned"].  Replay is read-only
+    and does not charge the query budget. *)
+
 val events : t -> ?from:int -> ?follow:bool -> int -> (Json.t -> unit) -> Json.t
 (** [events c sid f] subscribes to the session's event stream, feeding
     each event document to [f].  With [~retry], a connection failure

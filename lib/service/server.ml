@@ -1128,6 +1128,87 @@ let v_query t fd id params =
                   reply_error fd ~id ~kind:"bad_request"
                     (Printexc.to_string e))))
 
+(* Workload replay served by the daemon: evaluate a trace spec against
+   the session's policy (or its learned machine, once a learn is done)
+   and the Belady-OPT bound.  One gate turn covers the whole trace —
+   replay is a read-only evaluation, not a hardware interaction, so it
+   does not charge the query budget. *)
+let v_replay t fd id params =
+  let checked =
+    locked t (fun () ->
+        match find_session t params with
+        | Error msg -> Error ("unknown_session", msg)
+        | Ok s -> Ok s)
+  in
+  match checked with
+  | Error (kind, msg) -> reply_error fd ~id ~kind msg
+  | Ok s -> (
+      match s.target with
+      | Hw _ ->
+          reply_error fd ~id ~kind:"bad_request"
+            "replay serves simulated sessions only"
+      | Sim { policy; assoc } -> (
+          match Json.mem_str "spec" params with
+          | None ->
+              reply_error fd ~id ~kind:"bad_request"
+                (Printf.sprintf "replay needs a \"spec\" string (%s)"
+                   Cq_workload.Trace.spec_syntax)
+          | Some spec -> (
+              match Cq_workload.Trace.of_spec ~assoc spec with
+              | Error msg -> reply_error fd ~id ~kind:"bad_request" msg
+              | Ok tr -> (
+                  let source =
+                    Option.value ~default:"auto" (Json.mem_str "source" params)
+                  in
+                  let machine = locked t (fun () -> s.machine) in
+                  match (source, machine) with
+                  | "learned", None ->
+                      reply_error fd ~id ~kind:"bad_request"
+                        "session has no learned machine yet"
+                  | (("auto" | "learned" | "policy") as source), _ ->
+                      let blocks = tr.Cq_workload.Trace.blocks in
+                      let use_learned =
+                        source <> "policy" && machine <> None
+                      in
+                      let ticket = Gate.acquire t.gate in
+                      let outcome =
+                        Fun.protect
+                          ~finally:(fun () -> Gate.release t.gate ticket)
+                          (fun () ->
+                            if use_learned then
+                              let m = Option.get machine in
+                              Cq_workload.Replay.compiled
+                                (Cq_automata.Mealy.compile m)
+                                blocks
+                            else
+                              Cq_workload.Replay.policy
+                                (Cq_policy.Zoo.make_exn ~name:policy ~assoc)
+                                blocks)
+                      in
+                      let opt = Cq_workload.Opt.replay ~assoc blocks in
+                      reply fd ~id
+                        [
+                          ("spec", Json.String tr.Cq_workload.Trace.spec);
+                          ("trace", Json.String tr.Cq_workload.Trace.label);
+                          ( "source",
+                            Json.String
+                              (if use_learned then "learned" else "policy") );
+                          ("accesses", Json.Int (Array.length blocks));
+                          ("hits", Json.Int outcome.Cq_workload.Replay.hits);
+                          ( "misses",
+                            Json.Int outcome.Cq_workload.Replay.misses );
+                          ( "hit_rate",
+                            Json.Float (Cq_workload.Replay.hit_rate outcome)
+                          );
+                          ( "opt_hits",
+                            Json.Int opt.Cq_workload.Replay.hits );
+                          ( "opt_hit_rate",
+                            Json.Float (Cq_workload.Replay.hit_rate opt) );
+                        ]
+                  | _ ->
+                      reply_error fd ~id ~kind:"bad_request"
+                        "source must be \"auto\", \"policy\" or \"learned\""))))
+
 let v_events t fd id params =
   let from = Option.value ~default:0 (Json.mem_int "from" params) in
   let follow = Option.value ~default:true (Json.mem_bool "follow" params) in
@@ -1308,6 +1389,7 @@ let dispatch t fd { Protocol.id; verb; params } =
   | "learn.wait" -> v_learn_wait t fd id params
   | "session.result" -> v_session_result t fd id params
   | "query" -> v_query t fd id params
+  | "replay" -> v_replay t fd id params
   | "events" -> v_events t fd id params
   | "stats" -> v_stats t fd id
   | "health" -> v_health t fd id

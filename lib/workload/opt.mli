@@ -1,0 +1,16 @@
+(** Belady's OPT: the offline-optimal replacement baseline.
+
+    OPT evicts the resident block whose next use lies farthest in the
+    future.  Among demand-fill caches that evict exactly one block per
+    miss, no policy has fewer misses on a given trace (Belady 1966) —
+    the property test holds every zoo policy to that bound.  The
+    implementation is deterministic: ties break toward the lowest way,
+    so the same trace always yields the same stream. *)
+
+val replay : assoc:int -> ?initial:int array -> int array -> Replay.outcome
+(** [replay ~assoc blocks] simulates OPT on one set.  [initial] follows
+    {!Replay}: default blocks [0 .. assoc-1] in ways [0 .. assoc-1],
+    [[||]] for a cold set (cold misses fill the lowest invalid way, as
+    everywhere else).  O(len × assoc) time, O(len + universe) space. *)
+
+val hit_rate : assoc:int -> ?initial:int array -> int array -> float

@@ -1,0 +1,192 @@
+(* Trace replay through policies and learned automata.
+
+   One cache set, [Cache_set.access] / [Cache_level.fill] semantics.  The
+   three paths (concrete policy, explicit Mealy machine, compiled
+   machine) share the set-bookkeeping shape so their hit/miss streams are
+   byte-identical by construction; the differential tests in
+   test_workload keep them that way. *)
+
+module Mealy = Cq_automata.Mealy
+module Types = Cq_policy.Types
+module Policy = Cq_policy.Policy
+module Instance = Cq_policy.Instance
+
+type outcome = { hits : int; misses : int; stream : Bytes.t }
+
+let outcome_of_stream stream =
+  let hits = ref 0 in
+  Bytes.iter (fun c -> if c = '\001' then incr hits) stream;
+  { hits = !hits; misses = Bytes.length stream - !hits; stream }
+
+let hit_rate o =
+  let n = o.hits + o.misses in
+  if n = 0 then 0.0 else float_of_int o.hits /. float_of_int n
+
+(* Shared set bookkeeping: resident tags per way plus an O(1) reverse map
+   block -> way (-1 when absent). *)
+let init_set ~assoc ~initial blocks =
+  let tags =
+    match initial with
+    | None -> Array.init assoc (fun w -> w)
+    | Some init ->
+        if Array.length init > assoc then
+          invalid_arg "Replay: initial content larger than assoc";
+        Array.init assoc (fun w ->
+            if w < Array.length init then init.(w) else -1)
+  in
+  let max_tag = Array.fold_left max (-1) tags in
+  let max_blk = Array.fold_left max max_tag blocks in
+  Array.iter
+    (fun b -> if b < 0 then invalid_arg "Replay: negative block id")
+    blocks;
+  let way_of = Array.make (max_blk + 1) (-1) in
+  Array.iteri (fun w tag -> if tag >= 0 then way_of.(tag) <- w) tags;
+  (tags, way_of)
+
+let lowest_invalid tags assoc =
+  let invalid = ref (-1) in
+  (try
+     for v = 0 to assoc - 1 do
+       if tags.(v) < 0 then begin
+         invalid := v;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !invalid
+
+let policy ?initial ?fill_touch p blocks =
+  let inst = Instance.create p in
+  outcome_of_stream (Instance.replay inst ?initial ?fill_touch blocks)
+
+(* Explicit-machine replay via Mealy.step: the slow reference path the
+   compiled replayer is diffed against. *)
+let machine ?initial ?(fill_touch = true) m blocks =
+  let assoc = Mealy.n_inputs m - 1 in
+  if assoc < 1 then invalid_arg "Replay.machine: machine has no Evct input";
+  let tags, way_of = init_set ~assoc ~initial blocks in
+  let evct = assoc in
+  let state = ref (Mealy.init m) in
+  let n = Array.length blocks in
+  let stream = Bytes.make n '\000' in
+  for j = 0 to n - 1 do
+    let b = blocks.(j) in
+    let w = way_of.(b) in
+    if w >= 0 then begin
+      let s', _ = Mealy.step m !state w in
+      state := s';
+      Bytes.unsafe_set stream j '\001'
+    end
+    else begin
+      let inv = lowest_invalid tags assoc in
+      let victim =
+        if inv >= 0 then begin
+          if fill_touch then begin
+            let s', _ = Mealy.step m !state inv in
+            state := s'
+          end;
+          inv
+        end
+        else
+          let s', out = Mealy.step m !state evct in
+          state := s';
+          match out with
+          | Some v ->
+              if v < 0 || v >= assoc then
+                invalid_arg "Replay.machine: victim out of range";
+              v
+          | None -> invalid_arg "Replay.machine: machine emitted ⊥ on Evct"
+      in
+      let old = tags.(victim) in
+      if old >= 0 then way_of.(old) <- -1;
+      tags.(victim) <- b;
+      way_of.(b) <- victim
+    end
+  done;
+  outcome_of_stream stream
+
+(* --- compiled replay and miss attribution ----------------------------- *)
+
+type attribution = {
+  attr_states : int;
+  state_hits : int array;
+  state_misses : int array;
+  victims : int array;
+}
+
+let attribution c =
+  let n = Mealy.compiled_n_states c in
+  let assoc = Mealy.compiled_n_inputs c - 1 in
+  {
+    attr_states = n;
+    state_hits = Array.make n 0;
+    state_misses = Array.make n 0;
+    victims = Array.make (max assoc 1) 0;
+  }
+
+(* cq-lint: hot-loop — one iteration per trace access; the throughput
+   gate in bench -- workload holds this walk to >= 1M accesses/sec, so
+   per-access allocation is a bug. *)
+let compiled ?initial ?(fill_touch = true) ?attr c blocks =
+  let assoc = Mealy.compiled_n_inputs c - 1 in
+  if assoc < 1 then invalid_arg "Replay.compiled: machine has no Evct input";
+  (match attr with
+  | Some a when a.attr_states <> Mealy.compiled_n_states c ->
+      invalid_arg "Replay.compiled: attribution sized for another machine"
+  | _ -> ());
+  let tags, way_of = init_set ~assoc ~initial blocks in
+  let evct = assoc in
+  let st = Mealy.stepper c in
+  let n = Array.length blocks in
+  let stream = Bytes.make n '\000' in
+  for j = 0 to n - 1 do
+    let b = Array.unsafe_get blocks j in
+    let w = Array.unsafe_get way_of b in
+    let s = Mealy.stepper_state st in
+    if w >= 0 then begin
+      ignore (Mealy.stepper_step st w);
+      Bytes.unsafe_set stream j '\001';
+      match attr with
+      | Some a -> Array.unsafe_set a.state_hits s (Array.unsafe_get a.state_hits s + 1)
+      | None -> ()
+    end
+    else begin
+      let inv = lowest_invalid tags assoc in
+      let victim =
+        if inv >= 0 then begin
+          if fill_touch then ignore (Mealy.stepper_step st inv);
+          inv
+        end
+        else
+          match Mealy.stepper_step st evct with
+          | Some v ->
+              if v < 0 || v >= assoc then
+                invalid_arg "Replay.compiled: victim out of range";
+              v
+          | None -> invalid_arg "Replay.compiled: machine emitted ⊥ on Evct"
+      in
+      (match attr with
+      | Some a ->
+          Array.unsafe_set a.state_misses s (Array.unsafe_get a.state_misses s + 1);
+          Array.unsafe_set a.victims victim (Array.unsafe_get a.victims victim + 1)
+      | None -> ());
+      let old = tags.(victim) in
+      if old >= 0 then way_of.(old) <- -1;
+      tags.(victim) <- b;
+      way_of.(b) <- victim
+    end
+  done;
+  outcome_of_stream stream
+(* cq-lint: end hot-loop *)
+
+let top_miss_states a n =
+  let rows = ref [] in
+  for s = a.attr_states - 1 downto 0 do
+    if a.state_misses.(s) > 0 || a.state_hits.(s) > 0 then
+      rows := (s, a.state_misses.(s), a.state_hits.(s)) :: !rows
+  done;
+  let cmp (s1, m1, _) (s2, m2, _) =
+    if m1 <> m2 then compare m2 m1 else compare s1 s2
+  in
+  let sorted = List.sort cmp !rows in
+  List.filteri (fun i _ -> i < n) sorted

@@ -1,0 +1,71 @@
+(** Trace replay through policies and learned automata.
+
+    All replayers simulate one cache set with the semantics of
+    [Cache_set.access] / [Cache_level.fill]: a hit touches the governing
+    automaton with [Line w]; a miss fills the lowest-index invalid way
+    first (touching the automaton only under [fill_touch], hwsim's
+    [fill_touches_policy]) and evicts through the automaton only once the
+    set is full.  Default initial content is blocks [0 .. assoc-1] in
+    ways [0 .. assoc-1] ([Cache_set.create]); pass [~initial:[||]] for a
+    cold set.  The three paths — concrete policy, explicit Mealy machine
+    ([Mealy.step]), compiled machine ({!Cq_automata.Mealy.stepper}) —
+    must produce byte-identical hit/miss streams; the differential tests
+    hold them to that. *)
+
+type outcome = {
+  hits : int;
+  misses : int;
+  stream : Bytes.t;  (** one byte per access; [1] = hit *)
+}
+
+val outcome_of_stream : Bytes.t -> outcome
+val hit_rate : outcome -> float
+(** [hits / accesses]; [0.] for an empty trace. *)
+
+val policy :
+  ?initial:int array ->
+  ?fill_touch:bool ->
+  Cq_policy.Policy.t ->
+  int array ->
+  outcome
+(** Replay through a fresh {!Cq_policy.Instance} of the policy. *)
+
+val machine :
+  ?initial:int array ->
+  ?fill_touch:bool ->
+  Cq_policy.Types.output Cq_automata.Mealy.t ->
+  int array ->
+  outcome
+(** Replay through an explicit machine via [Mealy.step] — the slow
+    reference the compiled path is diffed against. *)
+
+(** {2 Compiled replay and miss attribution} *)
+
+type attribution = {
+  attr_states : int;
+  state_hits : int array;  (** hits observed in each automaton state *)
+  state_misses : int array;
+      (** misses charged to the automaton state the set was in when the
+          miss occurred (before the eviction/fill step) *)
+  victims : int array;  (** evictions that landed on each way *)
+}
+
+val attribution : Cq_policy.Types.output Cq_automata.Mealy.compiled -> attribution
+(** A zeroed accumulator sized for the machine.  Pass the same record to
+    several {!compiled} calls to aggregate across traces. *)
+
+val compiled :
+  ?initial:int array ->
+  ?fill_touch:bool ->
+  ?attr:attribution ->
+  Cq_policy.Types.output Cq_automata.Mealy.compiled ->
+  int array ->
+  outcome
+(** The fast path: allocation-free per access (streaming stepper over the
+    compiled tables, int tags, no boxing).  When [attr] is given, each
+    access also charges the current automaton state's hit/miss counter
+    and the victim way's eviction counter. *)
+
+val top_miss_states : attribution -> int -> (int * int * int) list
+(** [(state, misses, hits)] rows of the [n] states absorbing the most
+    misses, descending (ties by state id). *)

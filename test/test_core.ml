@@ -158,5 +158,6 @@ let () =
       Test_prop.suite;
       Test_analysis.suite;
       Test_service.suite;
+      Test_workload.suite;
       suite;
     ]
