@@ -1832,6 +1832,152 @@ let workload () =
   Printf.printf "\n(wrote BENCH_workload.json)\n%!"
 
 (* ----------------------------------------------------------------------- *)
+(* Security analysis: eviction sets, stealthy sequences, leakage            *)
+(* ----------------------------------------------------------------------- *)
+
+(* The cq-attack pass over the whole zoo at assoc 4 and 8 plus a
+   quotient-learned PLRU-12: eviction-set size, stealthy-sequence
+   length, leakage bits and analysis wall-clock per policy.  Gates (the
+   process fails): every synthesized sequence must replay byte-for-byte
+   through the Replay paths *and* hwsim; the analysis must be
+   deterministic; BIP must evict strictly less information than LRU.
+   [--smoke] (the CI gate) shrinks the sweep to a machine actually
+   learned in simulation (LRU-4). *)
+let attack ~smoke () =
+  header
+    "Security analysis: eviction sets, stealthy sequences, leakage \
+     (cq-attack)";
+  let module A = Cq_analysis.Attack in
+  let module Learn = Cq_core.Learn in
+  let zoo assoc =
+    List.filter_map
+      (fun e ->
+        if e.Cq_policy.Zoo.valid_assoc assoc then
+          Some (e.Cq_policy.Zoo.name, `Policy (e.Cq_policy.Zoo.make assoc))
+        else None)
+      Cq_policy.Zoo.entries
+  in
+  let subjects =
+    if smoke then begin
+      Printf.printf "smoke: learning LRU-4 in simulation...\n%!";
+      let p = Cq_policy.Zoo.make_exn ~name:"LRU" ~assoc:4 in
+      let lr = Learn.learn_simulated ~identify:false p in
+      [ ("LRU(learned)", `Learned (lr.Learn.machine, p)) ]
+    end
+    else begin
+      Printf.printf "learning PLRU-12 with the symmetry quotient...\n%!";
+      let plru12 = Cq_policy.Zoo.make_exn ~name:"PLRU" ~assoc:12 in
+      let lr = Learn.learn_simulated ~identify:false ~quotient:true plru12 in
+      zoo 4 @ zoo 8
+      @ [ ("PLRU-12(learned)", `Learned (lr.Learn.machine, plru12)) ]
+    end
+  in
+  Printf.printf "%-18s %5s %7s | %5s %5s | %8s | %5s %8s %8s | %8s %s\n%!"
+    "policy" "assoc" "states" "evset" "evlen" "stealth" "leak" "absorbed"
+    "residual" "ms" "verified";
+  let rows =
+    List.map
+      (fun (name, src) ->
+        let p, m =
+          match src with
+          | `Policy p -> (p, Cq_policy.Policy.to_mealy p)
+          | `Learned (m, p) -> (p, m)
+        in
+        let r, dt = Cq_util.Clock.time (fun () -> A.analyze ~name m) in
+        if r.A.assoc <= 4 && A.analyze ~name m <> r then
+          failwith (name ^ ": analysis is not deterministic");
+        (match A.verify p r with
+        | Ok () -> ()
+        | Error e -> failwith (name ^ ": replay verification failed: " ^ e));
+        (match A.verify_hwsim p r with
+        | Ok () -> ()
+        | Error e -> failwith (name ^ ": hwsim verification failed: " ^ e));
+        let stealth_len, stealth_rep =
+          match r.A.stealthy with
+          | None -> (0, false)
+          | Some st ->
+              (List.length st.A.setup + List.length st.A.body,
+               st.A.repeatable)
+        in
+        let l = r.A.leakage in
+        Printf.printf
+          "%-18s %5d %7d | %5d %5d | %7d%s | %5.2f %8d %8.2f | %8.1f ok\n%!"
+          name r.A.assoc r.A.states r.A.eviction_set_size r.A.eviction_length
+          stealth_len
+          (if stealth_rep then "R" else "!")
+          l.A.evicted_information l.A.absorbed_noise l.A.residual_information
+          (dt *. 1000.0);
+        (r, dt, stealth_len, stealth_rep))
+      subjects
+  in
+  (* Ordering gate: BIP's deterministic LIP-biased insertion collapses
+     victim intensities that LRU keeps apart. *)
+  if not smoke then
+    List.iter
+      (fun assoc ->
+        let bits name =
+          let r, _, _, _ =
+            List.find (fun (r, _, _, _) -> r.A.name = name && r.A.assoc = assoc) rows
+          in
+          r.A.leakage.A.evicted_information
+        in
+        if not (bits "BIP" < bits "LRU") then
+          failwith
+            (Printf.sprintf
+               "attack bench: BIP-%d does not leak less than LRU-%d" assoc
+               assoc))
+      [ 4; 8 ];
+  (* Prior-run trend (tolerant of missing/partial files — first runs have
+     no BENCH_attack.json at all). *)
+  (match Cq_util.Atomic_file.read_opt ~path:"BENCH_attack.json" with
+  | None -> ()
+  | Some prior -> (
+      match json_int_field prior "max_analysis_ms" with
+      | Some p ->
+          let worst =
+            List.fold_left (fun acc (_, dt, _, _) -> max acc dt) 0.0 rows
+          in
+          Printf.printf
+            "\nprior worst analysis: %d ms -> this run: %.0f ms\n%!" p
+            (worst *. 1000.0)
+      | None ->
+          Printf.printf
+            "(prior BENCH_attack.json unreadable or partial -- ignored)\n%!"));
+  let buf = Buffer.create 2048 in
+  let worst_ms =
+    List.fold_left (fun acc (_, dt, _, _) -> max acc (dt *. 1000.0)) 0.0 rows
+  in
+  Printf.ksprintf (Buffer.add_string buf)
+    "{\n\
+    \  \"smoke\": %b,\n\
+    \  \"verified_all\": true,\n\
+    \  \"row_count\": %d,\n\
+    \  \"max_analysis_ms\": %d,\n\
+    \  \"rows\": [\n"
+    smoke (List.length rows)
+    (int_of_float (Float.round worst_ms));
+  let n = List.length rows in
+  List.iteri
+    (fun i (r, dt, stealth_len, stealth_rep) ->
+      let l = r.A.leakage in
+      Printf.ksprintf (Buffer.add_string buf)
+        "    { \"policy\": %S, \"assoc\": %d, \"states\": %d, \
+         \"eviction_set_size\": %d, \"eviction_length\": %d, \
+         \"stealthy_length\": %d, \"stealthy_repeatable\": %b, \
+         \"probe_classes\": %d, \"evicted_information\": %.6f, \
+         \"absorbed_noise\": %d, \"residual_information\": %.6f, \
+         \"analysis_ms\": %.3f, \"verified\": true }%s\n"
+        r.A.name r.A.assoc r.A.states r.A.eviction_set_size
+        r.A.eviction_length stealth_len stealth_rep l.A.probe_classes
+        l.A.evicted_information l.A.absorbed_noise l.A.residual_information
+        (dt *. 1000.0)
+        (if i = n - 1 then "" else ","))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Cq_util.Atomic_file.write ~path:"BENCH_attack.json" (Buffer.contents buf);
+  Printf.printf "\n(wrote BENCH_attack.json)\n%!"
+
+(* ----------------------------------------------------------------------- *)
 (* Driver                                                                    *)
 (* ----------------------------------------------------------------------- *)
 
@@ -1859,6 +2005,7 @@ let () =
     | "service" -> service ()
     | "chaos" -> chaos ()
     | "workload" -> workload ()
+    | "attack" -> attack ~smoke ()
     | "micro" -> micro ()
     | "all" ->
         (* One crashing experiment must not take the rest of the run (or
@@ -1887,6 +2034,7 @@ let () =
             ("service", service);
             ("chaos", chaos);
             ("workload", workload);
+            ("attack", fun () -> attack ~smoke ());
             ("micro", micro);
           ];
         (* Every artifact this bench run (or a previous one) left behind:
@@ -1901,6 +2049,14 @@ let () =
         in
         Printf.printf "\nartifacts:\n";
         List.iter (Printf.printf "  %s\n") artifacts;
+        (* Expected artifacts that are absent (first run, or their
+           experiment failed above) are named rather than silently
+           dropped from the summary. *)
+        List.iter
+          (fun f ->
+            if not (List.mem f artifacts) then
+              Printf.printf "  %s (missing -- first run or failed above)\n" f)
+          [ "BENCH_attack.json"; "BENCH_workload.json" ];
         Printf.printf "%!"
     | other -> Printf.printf "unknown experiment %S\n%!" other
   in

@@ -244,6 +244,27 @@ let replay_cmd =
        ~doc:"replay a workload trace on a sim session (vs Belady-OPT)")
     Term.(const run $ socket_arg $ session_arg $ spec $ source)
 
+let analyze_cmd =
+  let run socket sid source =
+    with_client socket (fun c ->
+        print_json (Cq_service.Client.analyze c ?source sid))
+  in
+  let source =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "source" ] ~docv:"SOURCE"
+          ~doc:
+            "What is analyzed: $(b,auto) (learned machine when one exists, \
+             else the policy), $(b,policy), or $(b,learned).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "static security analysis of a sim session's automaton: eviction \
+          sets, stealthy sequences, leakage (verified server-side)")
+    Term.(const run $ socket_arg $ session_arg $ source)
+
 let result_cmd =
   let run socket sid dot =
     with_client socket (fun c ->
@@ -303,6 +324,7 @@ let cmd =
       wait_cmd;
       query_cmd;
       replay_cmd;
+      analyze_cmd;
       result_cmd;
       cancel_cmd;
       health_cmd;

@@ -35,7 +35,28 @@ let setup_observability trace metrics registry =
   | Some path ->
       at_exit (fun () -> Cq_util.Metrics.write_json ~path registry)
 
-let learn_simulated policy assoc depth validate quotient dot snapshot
+(* --analyze: run the static security pass (Cq_analysis.Attack) over the
+   machine a learn produced.  With a ground-truth policy at hand
+   (simulated mode) every synthesized sequence is additionally verified
+   dynamically — replay paths and hwsim — before the report is shown. *)
+let run_analysis ?policy ~name machine =
+  let r = Cq_analysis.Attack.analyze ~name machine in
+  Fmt.pr "%a@." Cq_analysis.Attack.pp_report r;
+  Option.iter
+    (fun p ->
+      (match Cq_analysis.Attack.verify p r with
+      | Ok () -> Fmt.pr "analysis verified against the replay paths@."
+      | Error e ->
+          Fmt.epr "polca: analysis verification failed: %s@." e;
+          exit 1);
+      match Cq_analysis.Attack.verify_hwsim p r with
+      | Ok () -> Fmt.pr "analysis verified against hwsim@."
+      | Error e ->
+          Fmt.epr "polca: hwsim verification failed: %s@." e;
+          exit 1)
+    policy
+
+let learn_simulated policy assoc depth validate quotient analyze dot snapshot
     snapshot_every resume deadline query_budget metrics =
   match Cq_policy.Zoo.make ~name:policy ~assoc with
   | Error msg -> `Error (false, msg)
@@ -64,10 +85,13 @@ let learn_simulated policy assoc depth validate quotient dot snapshot
                        report.Cq_core.Learn.machine));
               Fmt.pr "wrote %s@." path)
             dot;
+          if analyze then
+            run_analysis ~policy:p ~name:policy
+              report.Cq_core.Learn.machine;
           `Ok ())
 
-let learn_hardware cpu level set slice cat depth noise validate quotient dot
-    snapshot snapshot_every resume deadline query_budget metrics =
+let learn_hardware cpu level set slice cat depth noise validate quotient
+    analyze dot snapshot snapshot_every resume deadline query_budget metrics =
   match Cq_hwsim.Cpu_model.by_name cpu with
   | None -> `Error (false, Printf.sprintf "unknown CPU %S" cpu)
   | Some model ->
@@ -105,7 +129,17 @@ let learn_hardware cpu level set slice cat depth noise validate quotient dot
                        ~output_label:Cq_policy.Types.output_label
                        report.Cq_core.Learn.machine));
               Fmt.pr "wrote %s@." path)
-            dot
+            dot;
+          if analyze then
+            (* No ground-truth policy in hardware mode: the report stands
+               on the learned machine alone (identification may still
+               name it); verification needs a zoo policy. *)
+            run_analysis
+              ~name:
+                (Printf.sprintf "%s-%s" run.Cq_core.Hardware.cpu
+                   (Cq_hwsim.Cpu_model.level_to_string
+                      run.Cq_core.Hardware.level))
+              report.Cq_core.Learn.machine
       | Cq_core.Hardware.Partial { failure; snapshot = snap; _ } ->
           Option.iter (fun s -> Fmt.epr "polca: snapshot at %s@." s) snap;
           exit_partial failure
@@ -163,6 +197,19 @@ let quotient_arg =
            reaching the query cache, collapsing up-to-assoc! symmetric \
            experiments into one real execution.  Sound for asymmetric \
            policies (degrades to the identity).")
+
+let analyze_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "analyze" ]
+        ~doc:
+          "After learning, run the static security analysis over the \
+           learned automaton: minimal eviction sets, stealthy \
+           hit/miss-controlling sequences and leakage measures \
+           (cq-attack's pass).  In simulated mode every synthesized \
+           sequence is first verified dynamically against the replay \
+           paths and hwsim.")
 
 let dot_arg = Arg.(value & opt (some string) None & info [ "dot" ] ~doc:"Write learned automaton to this DOT file.")
 
@@ -227,18 +274,20 @@ let metrics_arg =
           "Write the run's metrics registry (counters and histograms across \
            the whole pipeline) to $(docv) as JSON.")
 
-let main policy assoc cpu level set slice cat depth noise check quotient dot
-    snapshot snapshot_every resume deadline query_budget trace metrics_path =
+let main policy assoc cpu level set slice cat depth noise check quotient
+    analyze dot snapshot snapshot_every resume deadline query_budget trace
+    metrics_path =
   let registry = Cq_util.Metrics.create () in
   setup_observability trace metrics_path registry;
   try
     match policy with
     | Some name ->
-        learn_simulated name assoc depth check quotient dot snapshot
+        learn_simulated name assoc depth check quotient analyze dot snapshot
           snapshot_every resume deadline query_budget registry
     | None ->
-        learn_hardware cpu level set slice cat depth noise check quotient dot
-          snapshot snapshot_every resume deadline query_budget registry
+        learn_hardware cpu level set slice cat depth noise check quotient
+          analyze dot snapshot snapshot_every resume deadline query_budget
+          registry
   with Cq_core.Session.Corrupt msg -> `Error (false, msg)
 
 let cmd =
@@ -249,7 +298,7 @@ let cmd =
       ret
         (const main $ policy_arg $ assoc_arg $ cpu_arg $ level_arg $ set_arg
        $ slice_arg $ cat_arg $ depth_arg $ noise_arg $ check_arg
-       $ quotient_arg $ dot_arg
+       $ quotient_arg $ analyze_arg $ dot_arg
        $ snapshot_arg $ snapshot_every_arg $ resume_arg $ deadline_arg
        $ query_budget_arg $ trace_arg $ metrics_arg))
 

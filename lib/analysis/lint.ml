@@ -34,6 +34,10 @@ let rules =
     ( "hot-loop-alloc",
       "allocation in a hot-loop region (List combinator or closure); \
        hoist it out of the loop or audit it with an allow" );
+    ( "stray-artifact",
+      "scratch/snapshot artifact in the source tree; runtime state \
+       (wl-scratch-* dirs, *.snap session snapshots) must stay out of \
+       version control" );
   ]
 
 (* --- Stripping --------------------------------------------------------- *)
@@ -301,8 +305,32 @@ let lint_file path =
 let is_ml path =
   Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
 
-let rec walk path acc =
+(* Scratch state that PR 9's test run accidentally committed: daemon
+   state dirs and learning-session snapshots.  They are runtime
+   artifacts, not sources, so their mere presence under a linted path is
+   a finding — there is no allow (the fix is deletion, and a binary
+   snapshot cannot carry an annotation anyway). *)
+let is_stray_name base =
+  Filename.check_suffix base ".snap"
+  || String.length base >= 11
+     && String.sub base 0 11 = "wl-scratch-"
+
+let stray_finding path =
+  {
+    file = path;
+    line = 1;
+    rule = "stray-artifact";
+    excerpt = Filename.basename path;
+    message = message_of "stray-artifact";
+  }
+
+let rec walk path ((mls, strays) as acc) =
   if Sys.is_directory path then
+    let acc =
+      if is_stray_name (Filename.basename path) then
+        (mls, stray_finding path :: strays)
+      else acc
+    in
     Array.fold_left
       (fun acc entry ->
         if entry = "" || entry.[0] = '.' || entry = "_build" then acc
@@ -311,12 +339,17 @@ let rec walk path acc =
       (let entries = Sys.readdir path in
        Array.sort compare entries;
        entries)
-  else if is_ml path then path :: acc
+  else if is_stray_name (Filename.basename path) then
+    (mls, stray_finding path :: strays)
+  else if is_ml path then (path :: mls, strays)
   else acc
 
 let lint_paths paths =
-  let files = List.rev (List.fold_left (fun acc p -> walk p acc) [] paths) in
-  let findings = List.concat_map lint_file files in
+  let mls, strays =
+    List.fold_left (fun acc p -> walk p acc) ([], []) paths
+  in
+  let files = List.rev mls in
+  let findings = strays @ List.concat_map lint_file files in
   List.sort
     (fun a b ->
       match compare a.file b.file with 0 -> compare a.line b.line | c -> c)

@@ -23,7 +23,11 @@
       millions.  Allocation in a marked region is not forbidden — it
       must carry a written justification
       ([cq-lint: allow hot-loop-alloc — ...]), making every such site
-      an audited decision rather than an accident.
+      an audited decision rather than an accident;
+    - [stray-artifact]: scratch/snapshot runtime state ([wl-scratch-*]
+      directories, [*.snap] learning-session snapshots) sitting under a
+      linted path — PR 9 accidentally committed one; the fix is
+      deletion (plus [.gitignore]), so this rule has no allow.
 
     Matching is over comment- and string-stripped source text, so
     mentioning a pattern in a docstring (as this one just did, four
@@ -58,7 +62,9 @@ val lint_source : file:string -> string -> finding list
 val lint_paths : string list -> finding list
 (** Lint every [.ml]/[.mli] under the given files/directories
     (directories are walked recursively, skipping [_build] and
-    dot-directories), sorted by file then line. *)
+    dot-directories), sorted by file then line.  Non-source files are
+    not read, but scratch/snapshot artifacts encountered during the
+    walk are reported under [stray-artifact]. *)
 
 val pp_finding : Format.formatter -> finding -> unit
 

@@ -610,3 +610,136 @@ let to_dot ?(name = "mealy") ~input_label ~output_label t =
   done;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
+
+(* Invert [to_dot]: good enough for round-tripping our own exports (and
+   hand-edited copies that keep the shape).  Node declarations are
+   ignored; structure comes from the __start arrow and the labelled
+   edges.  The parse is line-based because the exporter is. *)
+let of_dot ~input_of_label ~output_of_label text =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let strip s = String.trim s in
+  (* "s12" -> Some 12 *)
+  let state_of tok =
+    let tok = strip tok in
+    if String.length tok >= 2 && tok.[0] = 's' then
+      int_of_string_opt (String.sub tok 1 (String.length tok - 1))
+    else None
+  in
+  let lines = String.split_on_char '\n' text in
+  let init = ref (-1) in
+  let edges = ref [] (* (src, dst, input, output) *) in
+  let parse_error = ref None in
+  List.iteri
+    (fun idx line ->
+      if !parse_error = None then
+        let lno = idx + 1 in
+        let line = strip line in
+        let has_sub needle =
+          let nl = String.length line and nn = String.length needle in
+          let rec at i = i + nn <= nl && (String.sub line i nn = needle || at (i + 1)) in
+          at 0
+        in
+        let index_of needle =
+          let nl = String.length line and nn = String.length needle in
+          let rec at i =
+            if i + nn > nl then None
+            else if String.sub line i nn = needle then Some i
+            else at (i + 1)
+          in
+          at 0
+        in
+        if has_sub "__start ->" then begin
+          match index_of "__start ->" with
+          | Some i -> (
+              let rest = String.sub line (i + 10) (String.length line - i - 10) in
+              let rest =
+                match String.index_opt rest ';' with
+                | Some j -> String.sub rest 0 j
+                | None -> rest
+              in
+              match state_of rest with
+              | Some s -> init := s
+              | None -> parse_error := Some (Printf.sprintf "line %d: bad __start target" lno))
+          | None -> ()
+        end
+        else
+          match (index_of "->", index_of "[label=\"") with
+          | Some arrow, Some lab ->
+              let src = String.sub line 0 arrow in
+              let dst = String.sub line (arrow + 2) (lab - arrow - 2) in
+              let rest = String.sub line (lab + 8) (String.length line - lab - 8) in
+              (match String.index_opt rest '"' with
+              | None ->
+                  parse_error := Some (Printf.sprintf "line %d: unterminated label" lno)
+              | Some close -> (
+                  let label = String.sub rest 0 close in
+                  match String.index_opt label '/' with
+                  | None ->
+                      parse_error :=
+                        Some (Printf.sprintf "line %d: label %S lacks in/out separator" lno label)
+                  | Some slash -> (
+                      let in_lab = String.sub label 0 slash in
+                      let out_lab =
+                        String.sub label (slash + 1) (String.length label - slash - 1)
+                      in
+                      match (state_of src, state_of dst) with
+                      | Some s, Some d -> (
+                          match (input_of_label in_lab, output_of_label out_lab) with
+                          | Some i, Some o -> edges := (s, d, i, o) :: !edges
+                          | None, _ ->
+                              parse_error :=
+                                Some (Printf.sprintf "line %d: bad input label %S" lno in_lab)
+                          | _, None ->
+                              parse_error :=
+                                Some (Printf.sprintf "line %d: bad output label %S" lno out_lab))
+                      | _ ->
+                          parse_error :=
+                            Some (Printf.sprintf "line %d: edge between non-state nodes" lno))))
+          | _ -> ())
+    lines;
+  match !parse_error with
+  | Some m -> Error m
+  | None -> (
+      match !edges with
+      | [] -> err "no transitions found"
+      | edges ->
+          if !init < 0 then err "no __start arrow (initial state unknown)"
+          else
+            let n_states =
+              List.fold_left (fun m (s, d, _, _) -> max m (max s d)) (-1) edges + 1
+            in
+            let n_inputs =
+              List.fold_left (fun m (_, _, i, _) -> max m i) (-1) edges + 1
+            in
+            if !init >= n_states then err "initial state has no transitions"
+            else
+              let next = Array.make_matrix n_states n_inputs (-1) in
+              let out = Array.make_matrix n_states n_inputs None in
+              let dup = ref None in
+              List.iter
+                (fun (s, d, i, o) ->
+                  if next.(s).(i) >= 0 && !dup = None then
+                    dup := Some (Printf.sprintf "duplicate edge from s%d on input %d" s i);
+                  next.(s).(i) <- d;
+                  out.(s).(i) <- Some o)
+                edges;
+              (match !dup with
+              | Some m -> Error m
+              | None ->
+                  let missing = ref None in
+                  Array.iteri
+                    (fun s row ->
+                      Array.iteri
+                        (fun i d ->
+                          if d < 0 && !missing = None then
+                            missing :=
+                              Some (Printf.sprintf "state s%d lacks a transition on input %d" s i))
+                        row)
+                    next;
+                  (match !missing with
+                  | Some m -> Error m
+                  | None ->
+                      let out = Array.map (Array.map Option.get) out in
+                      (match make ~init:!init ~n_inputs ~next ~out with
+                      | t -> Ok t
+                      | exception Invalid_argument m -> Error m))))

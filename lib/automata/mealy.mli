@@ -170,3 +170,17 @@ val to_dot :
   output_label:('o -> string) ->
   'o t ->
   string
+
+val of_dot :
+  input_of_label:(string -> int option) ->
+  output_of_label:(string -> 'o option) ->
+  string ->
+  ('o t, string) result
+(** Parse a machine from the DOT text {!to_dot} emits (node names [sN],
+    a [__start] arrow marking the initial state, one ["in/out"]-labelled
+    edge per transition).  The label parsers invert the exporter's
+    [input_label]/[output_label]; a label either rejects ([None]) or
+    yields the dense input index / output value.  The machine must be
+    complete — every state needs exactly one edge per input index — and
+    input indices must form [0 .. k-1].  Errors name the offending
+    line. *)

@@ -409,6 +409,15 @@ let replay c ?source ~spec sid =
   in
   call c ~params "replay"
 
+(* Analysis is likewise read-only and budget-free, hence resendable. *)
+let analyze c ?source sid =
+  let params =
+    Json.Obj
+      ([ ("session", Json.Int sid) ]
+      @ opt_field "source" (Option.map (fun s -> Json.String s) source))
+  in
+  call c ~params "analyze"
+
 (* Event stream with transparent resume: remember the last sequence seen
    and resubscribe from there after a reconnect, so a daemon bounce costs
    neither duplicates nor gaps. *)

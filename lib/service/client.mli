@@ -130,6 +130,17 @@ val replay : t -> ?source:string -> spec:string -> int -> Json.t
     else the policy), ["policy"], or ["learned"].  Replay is read-only
     and does not charge the query budget. *)
 
+val analyze : t -> ?source:string -> int -> Json.t
+(** [analyze c sid] runs the static security analysis
+    ({!Cq_analysis.Attack}) over a sim session's policy automaton — the
+    learned machine when one exists and [source] permits — with every
+    synthesized sequence dynamically verified server-side.  Returns the
+    reply document [{source; policy; assoc; states; eviction_set_size;
+    eviction_length; probe_classes; evicted_information; absorbed_noise;
+    residual_information; verified; stealthy_length?;
+    stealthy_repeatable?}].  [source] as in {!replay}.  Read-only,
+    budget-free. *)
+
 val events : t -> ?from:int -> ?follow:bool -> int -> (Json.t -> unit) -> Json.t
 (** [events c sid f] subscribes to the session's event stream, feeding
     each event document to [f].  With [~retry], a connection failure

@@ -1209,6 +1209,101 @@ let v_replay t fd id params =
                       reply_error fd ~id ~kind:"bad_request"
                         "source must be \"auto\", \"policy\" or \"learned\""))))
 
+(* Static security analysis served by the daemon: run Cq_analysis.Attack
+   over the session's policy automaton (or its learned machine, once a
+   learn is done), dynamically verify every synthesized sequence against
+   the replay paths and hwsim, and reply with the attack-cost and
+   leakage summary.  Like replay: read-only, one gate turn, no query
+   budget charged. *)
+let v_analyze t fd id params =
+  let checked =
+    locked t (fun () ->
+        match find_session t params with
+        | Error msg -> Error ("unknown_session", msg)
+        | Ok s -> Ok s)
+  in
+  match checked with
+  | Error (kind, msg) -> reply_error fd ~id ~kind msg
+  | Ok s -> (
+      match s.target with
+      | Hw _ ->
+          reply_error fd ~id ~kind:"bad_request"
+            "analyze serves simulated sessions only"
+      | Sim { policy; assoc } -> (
+          let source =
+            Option.value ~default:"auto" (Json.mem_str "source" params)
+          in
+          let machine = locked t (fun () -> s.machine) in
+          match (source, machine) with
+          | "learned", None ->
+              reply_error fd ~id ~kind:"bad_request"
+                "session has no learned machine yet"
+          | (("auto" | "learned" | "policy") as source), _ -> (
+              let use_learned = source <> "policy" && machine <> None in
+              let p = Cq_policy.Zoo.make_exn ~name:policy ~assoc in
+              let ticket = Gate.acquire t.gate in
+              let outcome =
+                Fun.protect
+                  ~finally:(fun () -> Gate.release t.gate ticket)
+                  (fun () ->
+                    let report =
+                      if use_learned then
+                        Cq_analysis.Attack.analyze ~name:policy
+                          (Option.get machine)
+                      else Cq_analysis.Attack.analyze_policy p
+                    in
+                    let verified =
+                      match
+                        ( Cq_analysis.Attack.verify p report,
+                          Cq_analysis.Attack.verify_hwsim p report )
+                      with
+                      | Ok (), Ok () -> Ok ()
+                      | Error e, _ | _, Error e -> Error e
+                    in
+                    (report, verified))
+              in
+              match outcome with
+              | report, Ok () ->
+                  let module A = Cq_analysis.Attack in
+                  let l = report.A.leakage in
+                  reply fd ~id
+                    ([
+                       ( "source",
+                         Json.String
+                           (if use_learned then "learned" else "policy") );
+                       ("policy", Json.String policy);
+                       ("assoc", Json.Int report.A.assoc);
+                       ("states", Json.Int report.A.states);
+                       ( "eviction_set_size",
+                         Json.Int report.A.eviction_set_size );
+                       ("eviction_length", Json.Int report.A.eviction_length);
+                       ("probe_classes", Json.Int l.A.probe_classes);
+                       ( "evicted_information",
+                         Json.Float l.A.evicted_information );
+                       ("absorbed_noise", Json.Int l.A.absorbed_noise);
+                       ( "residual_information",
+                         Json.Float l.A.residual_information );
+                       ("verified", Json.Int 1);
+                     ]
+                    @
+                    match report.A.stealthy with
+                    | None -> [ ("stealthy", Json.Null) ]
+                    | Some st ->
+                        [
+                          ( "stealthy_length",
+                            Json.Int
+                              (List.length st.A.setup
+                              + List.length st.A.body) );
+                          ("stealthy_repeatable", Json.Bool st.A.repeatable);
+                        ])
+              | _, Error msg ->
+                  reply_error fd ~id ~kind:"internal"
+                    ("synthesized sequence failed dynamic verification: "
+                    ^ msg))
+          | _ ->
+              reply_error fd ~id ~kind:"bad_request"
+                "source must be \"auto\", \"policy\" or \"learned\""))
+
 let v_events t fd id params =
   let from = Option.value ~default:0 (Json.mem_int "from" params) in
   let follow = Option.value ~default:true (Json.mem_bool "follow" params) in
@@ -1390,6 +1485,7 @@ let dispatch t fd { Protocol.id; verb; params } =
   | "session.result" -> v_session_result t fd id params
   | "query" -> v_query t fd id params
   | "replay" -> v_replay t fd id params
+  | "analyze" -> v_analyze t fd id params
   | "events" -> v_events t fd id params
   | "stats" -> v_stats t fd id
   | "health" -> v_health t fd id

@@ -480,6 +480,44 @@ let test_lint_line_numbers () =
   | [ f ] -> Alcotest.(check int) "line" 3 f.L.line
   | fs -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs))
 
+(* stray-artifact is a walk-time rule: it fires on the *presence* of
+   scratch state under a linted path, not on source text, so it is
+   exercised through [lint_paths] on a throwaway tree. *)
+let test_lint_stray_artifact () =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cq-lint-test-%d" (Unix.getpid ()))
+  in
+  let scratch = Filename.concat root "wl-scratch-7" in
+  Unix.mkdir root 0o755;
+  Unix.mkdir scratch 0o755;
+  Out_channel.with_open_bin (Filename.concat root "session-1.snap")
+    (fun oc -> Out_channel.output_string oc "not a real snapshot");
+  Out_channel.with_open_bin (Filename.concat root "clean.ml")
+    (fun oc -> Out_channel.output_string oc "let x = 1\n");
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove (Filename.concat root "session-1.snap");
+      Sys.remove (Filename.concat root "clean.ml");
+      Unix.rmdir scratch;
+      Unix.rmdir root)
+    (fun () ->
+      let fs = L.lint_paths [ root ] in
+      Alcotest.(check (list string))
+        "both the dir and the snapshot are flagged"
+        [ "stray-artifact"; "stray-artifact" ]
+        (List.map (fun f -> f.L.rule) fs);
+      List.iter
+        (fun f ->
+          Alcotest.(check bool)
+            "finding names the artifact" true
+            (f.L.excerpt = "session-1.snap" || f.L.excerpt = "wl-scratch-7"))
+        fs);
+  (* The rule is advertised alongside the source-text rules. *)
+  Alcotest.(check bool)
+    "rule is listed" true
+    (List.mem_assoc "stray-artifact" L.rules)
+
 let suite =
   ( "analysis",
     [
@@ -516,4 +554,6 @@ let suite =
         test_lint_allow_requires_reason;
       Alcotest.test_case "lint: hot-loop regions" `Quick test_lint_hot_loop;
       Alcotest.test_case "lint: line numbers" `Quick test_lint_line_numbers;
+      Alcotest.test_case "lint: stray artifacts" `Quick
+        test_lint_stray_artifact;
     ] )

@@ -159,5 +159,6 @@ let () =
       Test_analysis.suite;
       Test_service.suite;
       Test_workload.suite;
+      Test_attack.suite;
       suite;
     ]
